@@ -1,0 +1,141 @@
+// Micro-kernels (google-benchmark): the primitives every experiment sits on.
+#include <benchmark/benchmark.h>
+
+#include "src/attention/attention_engine.h"
+#include "src/attention/partial_softmax.h"
+#include "src/common/rng.h"
+#include "src/common/vec_math.h"
+#include "src/index/flat_index.h"
+#include "src/index/roargraph.h"
+#include "src/query/diprs.h"
+#include "tests/test_util.h"
+
+namespace alaya {
+namespace {
+
+void BM_Dot(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(d), b(d);
+  rng.FillGaussian(a.data(), d);
+  rng.FillGaussian(b.data(), d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(a.data(), b.data(), d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Dot)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Softmax(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<float> scores(n), scratch(n);
+  rng.FillGaussian(scores.data(), n);
+  for (auto _ : state) {
+    scratch = scores;
+    SoftmaxInPlace(scratch.data(), n);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(1024)->Arg(16384);
+
+void BM_PartialMerge(benchmark::State& state) {
+  const size_t d = 128;
+  Rng rng(3);
+  PartialAttention a(d), b(d);
+  std::vector<float> v(d);
+  rng.FillGaussian(v.data(), d);
+  a.Accumulate(1.0f, v.data());
+  b.Accumulate(2.0f, v.data());
+  std::vector<float> out(d);
+  for (auto _ : state) {
+    PartialAttention merged(d);
+    merged.Merge(a);
+    merged.Merge(b);
+    merged.Finalize(out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PartialMerge);
+
+void BM_FullAttentionHead(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0)), d = 128;
+  Rng rng(4);
+  VectorSet keys(d), values(d);
+  std::vector<float> v(d);
+  for (size_t i = 0; i < n; ++i) {
+    rng.FillGaussian(v.data(), d);
+    keys.Append(v.data());
+    rng.FillGaussian(v.data(), d);
+    values.Append(v.data());
+  }
+  std::vector<float> q(d), out(d);
+  rng.FillGaussian(q.data(), d);
+  for (auto _ : state) {
+    FullAttentionHead(q.data(), keys.View(), values.View(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FullAttentionHead)->Arg(4096)->Arg(32768);
+
+struct SearchFixture {
+  testutil::PlantedMips data;
+  RoarGraph graph;
+  SearchFixture()
+      : data(20000, 64, 200, 9), graph(data.keys.View(), RoarGraphOptions{}) {
+    VectorSet training = testutil::MakeTrainingQueries(data, 2000, 10);
+    if (!graph.BuildFromQueries(training.View()).ok()) std::abort();
+  }
+};
+
+SearchFixture& Fixture() {
+  static SearchFixture* fx = new SearchFixture();
+  return *fx;
+}
+
+void BM_GraphTopK(benchmark::State& state) {
+  auto& fx = Fixture();
+  const size_t k = static_cast<size_t>(state.range(0));
+  SearchResult res;
+  for (auto _ : state) {
+    if (!fx.graph.SearchTopK(fx.data.query.data(), TopKParams{k, 0}, &res).ok()) {
+      std::abort();
+    }
+    benchmark::DoNotOptimize(res.hits.data());
+  }
+}
+BENCHMARK(BM_GraphTopK)->Arg(100)->Arg(2000);
+
+void BM_Diprs(benchmark::State& state) {
+  auto& fx = Fixture();
+  DiprParams params;
+  params.beta = 11.f;
+  params.l0 = 128;
+  for (auto _ : state) {
+    SearchResult res =
+        DiprsSearch(fx.graph.graph(), fx.data.keys.View(),
+                    fx.graph.EntryPoint(fx.data.query.data()),
+                    fx.data.query.data(), params);
+    benchmark::DoNotOptimize(res.hits.data());
+  }
+}
+BENCHMARK(BM_Diprs);
+
+void BM_FlatDipr(benchmark::State& state) {
+  auto& fx = Fixture();
+  FlatIndex flat(fx.data.keys.View());
+  DiprParams params;
+  params.beta = 11.f;
+  SearchResult res;
+  for (auto _ : state) {
+    if (!flat.SearchDipr(fx.data.query.data(), params, &res).ok()) std::abort();
+    benchmark::DoNotOptimize(res.hits.data());
+  }
+}
+BENCHMARK(BM_FlatDipr);
+
+}  // namespace
+}  // namespace alaya
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Table 5: generation quality of sparse-attention methods on the 8 ∞-Bench
+// tasks, with the TPOT <= 0.24 s SLO check. Scores are anchored so Full
+// Attention reproduces the paper's row; other methods scale by measured
+// attention fidelity (DESIGN.md §2.2).
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+
+namespace alaya {
+namespace {
+
+void Run() {
+  bench::Header("Table 5", "quality on ∞-Bench tasks (anchored) + SLO check");
+  auto suite = InfinityBenchSuite(bench::kContextScale);
+  SimEnvironment env;
+
+  std::vector<std::string> method_names;
+  std::map<std::string, std::vector<double>> scores;
+  std::map<std::string, bool> slo_ok;
+  std::map<std::string, double> worst_tpot;
+
+  std::printf("%-16s", "method");
+  for (const auto& spec : suite) std::printf("%9s", spec.name.c_str());
+  std::printf("%9s\n", "Avg.");
+
+  for (const auto& task : suite) {
+    WorkloadSpec spec = task;
+    spec.decode_steps = 5;
+    SyntheticContext ctx = bench::MakeContext(spec);
+    auto methods = bench::Table5Methods(spec, ctx.model().head_dim);
+    std::vector<MethodEval> evals;
+    for (const auto& m : methods) {
+      MethodRunner runner(ctx.model(), m);
+      if (!runner.Prepare(ctx, &env).ok()) std::abort();
+      EvalOptions opts = bench::ScaledEval(ctx.model(), spec.decode_steps);
+      auto eval = EvaluateMethod(ctx, &runner, opts);
+      if (!eval.ok()) std::abort();
+      evals.push_back(eval.TakeValue());
+    }
+    AnchorScores(&evals, spec.paper_full_score);
+    for (const auto& e : evals) {
+      if (scores.find(e.label) == scores.end()) method_names.push_back(e.label);
+      scores[e.label].push_back(e.score);
+      auto it = slo_ok.find(e.label);
+      if (it == slo_ok.end()) {
+        slo_ok[e.label] = e.slo_met;
+        worst_tpot[e.label] = e.tpot_seconds;
+      } else {
+        it->second = it->second && e.slo_met;
+        worst_tpot[e.label] = std::max(worst_tpot[e.label], e.tpot_seconds);
+      }
+    }
+  }
+
+  for (const auto& name : method_names) {
+    std::printf("%-16s", name.c_str());
+    double sum = 0;
+    for (double s : scores[name]) {
+      std::printf("%9.1f", s);
+      sum += s;
+    }
+    std::printf("%9.1f\n", sum / scores[name].size());
+  }
+  bench::Rule(78);
+  std::printf("SLO (TPOT <= 0.24 s at Llama-3-8B-equivalent scale):\n");
+  for (const auto& name : method_names) {
+    std::printf("  %-16s %s (worst TPOT %s)\n", name.c_str(),
+                slo_ok[name] ? "MET    " : "VIOLATED",
+                HumanSeconds(worst_tpot[name]).c_str());
+  }
+  std::printf(
+      "\nexpected shape (paper Table 5): DIPRS best average while meeting SLO;\n"
+      "Top2000 comparable quality but SLO-violating; Top100 slightly behind\n"
+      "DIPRS; StreamingLLM collapses on retrieval tasks; Full Attention\n"
+      "violates the SLO on long contexts.\n");
+}
+
+}  // namespace
+}  // namespace alaya
+
+int main() {
+  alaya::Run();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Quickstart: the Fig. 4 integration in C++.
+//
+// An inference engine normally does:
+//     past_key_values.update(k, v, layer)      (DynamicCache)
+//     o = flash_attn_func(q, k, v)
+// With AlayaDB it becomes:
+//     session, prompts = DB.create_session(prompts)
+//     session.update(q, k, v, layer)
+//     o = session.attention(q, layer)
+//
+// This example imports a long context, reuses it in a session, runs a few
+// decode steps of sparse attention, and stores the extended context back.
+#include <cstdio>
+#include <vector>
+
+#include "src/common/string_util.h"
+#include "src/core/alaya_db.h"
+#include "src/llm/qkv_generator.h"
+
+using namespace alaya;
+
+int main() {
+  // The "model": 2 layers, 4 query heads, 2 KV heads (GQA), head dim 64.
+  ModelConfig model{2, 4, 2, 64, 2};
+
+  // Synthesize a long context (stands in for a prefilled document).
+  SyntheticContextOptions ctx_opts;
+  ctx_opts.model = model;
+  ctx_opts.spec = FindTask(InfinityBenchSuite(0.05), "En.QA");
+  SyntheticContext document(ctx_opts);
+  if (!document.Generate().ok()) return 1;
+  std::printf("document: %zu tokens\n", document.num_tokens());
+
+  // Configure the database: DIPR defaults tuned to this workload's logit band.
+  DbOptions options;
+  options.model = model;
+  options.session.optimizer.short_context_threshold = 512;
+  options.session.optimizer.dipr.beta =
+      static_cast<float>(SuggestedDiprBeta(ctx_opts.spec, model.head_dim));
+  options.session.optimizer.dipr.l0 = 128;
+  options.session.window = WindowConfig{32, 128};
+  AlayaDB db(options);
+
+  // DB.import(prompts, kv_cache): register the prefilled context. Training
+  // queries recorded at prefill time teach RoarGraph the query distribution.
+  auto kv = std::make_unique<KvCache>(model);
+  if (!kv->AppendAllFrom(document.kv()).ok()) return 1;
+  auto training = document.MakeTrainingQueries(256);
+  auto imported = db.Import(document.tokens(), std::move(kv), training.get());
+  if (!imported.ok()) {
+    std::printf("import failed: %s\n", imported.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("imported context #%llu (indices built)\n",
+              static_cast<unsigned long long>(imported.value()));
+
+  // DB.create_session(prompts) -> session + truncated prompt.
+  auto created = db.CreateSession(document.tokens());
+  if (!created.ok()) return 1;
+  std::printf("session reuses %zu tokens; %zu left to prefill\n",
+              created.value().reused_prefix, created.value().truncated_prompt.size());
+  Session& session = *created.value().session;
+
+  // Decode loop: session.attention(q, layer) replaces flash_attn_func.
+  const size_t qdim = model.num_q_heads * model.head_dim;
+  std::vector<float> q(qdim), o(qdim);
+  for (size_t step = 0; step < 3; ++step) {
+    for (uint32_t layer = 0; layer < model.num_layers; ++layer) {
+      document.MakeDecodeQueryLayer(step, layer, q.data());
+      AttentionCallStats stats;
+      if (!session.Attention(layer, q.data(), o.data(), &stats).ok()) return 1;
+      if (layer == 1 && step == 0) {
+        std::printf("step %zu layer %u: plan = %s, retrieved %zu critical tokens\n",
+                    step, layer, stats.plan_explain.c_str(), stats.retrieved_tokens);
+      }
+    }
+  }
+
+  // Append a generated token (session.update == DynamicCache.update) and
+  // store the session as a new reusable context (late materialization).
+  Rng rng(1);
+  std::vector<float> k(model.num_kv_heads * model.head_dim);
+  std::vector<float> v(k.size());
+  for (uint32_t layer = 0; layer < model.num_layers; ++layer) {
+    rng.FillGaussian(q.data(), qdim);
+    rng.FillGaussian(k.data(), k.size());
+    rng.FillGaussian(v.data(), v.size());
+    if (!session.Update(layer, q.data(), k.data(), v.data()).ok()) return 1;
+  }
+  std::vector<int32_t> new_tokens = {424242};
+  auto stored = db.Store(&session, new_tokens);
+  if (!stored.ok()) return 1;
+  std::printf("stored extended context #%llu (%zu contexts in DB)\n",
+              static_cast<unsigned long long>(stored.value()), db.contexts().size());
+  std::printf("GPU-resident bytes for this session: %s\n",
+              HumanBytes(session.GpuResidentBytes()).c_str());
+  std::printf("quickstart OK\n");
+  return 0;
+}

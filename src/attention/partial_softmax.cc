@@ -1,0 +1,60 @@
+#include "src/attention/partial_softmax.h"
+
+#include <cmath>
+
+#include "src/common/vec_math.h"
+
+namespace alaya {
+
+void PartialAttention::Accumulate(float logit, const float* v) {
+  const size_t d = acc_.size();
+  if (logit <= max_logit_) {
+    const float w = std::exp(logit - max_logit_);
+    sum_exp_ += w;
+    Axpy(acc_.data(), v, d, w);
+    return;
+  }
+  // New maximum: rescale the existing accumulator onto the new base.
+  const float rescale = (sum_exp_ > 0.f) ? std::exp(max_logit_ - logit) : 0.f;
+  if (rescale != 1.f) {
+    Scale(acc_.data(), d, rescale);
+    sum_exp_ *= rescale;
+  }
+  max_logit_ = logit;
+  sum_exp_ += 1.f;
+  Axpy(acc_.data(), v, d, 1.f);
+}
+
+void PartialAttention::Merge(const PartialAttention& other) {
+  if (other.empty()) return;
+  const size_t d = acc_.size();
+  if (empty()) {
+    acc_ = other.acc_;
+    max_logit_ = other.max_logit_;
+    sum_exp_ = other.sum_exp_;
+    return;
+  }
+  if (other.max_logit_ <= max_logit_) {
+    const float w = std::exp(other.max_logit_ - max_logit_);
+    sum_exp_ += other.sum_exp_ * w;
+    Axpy(acc_.data(), other.acc_.data(), d, w);
+  } else {
+    const float w = std::exp(max_logit_ - other.max_logit_);
+    Scale(acc_.data(), d, w);
+    sum_exp_ = sum_exp_ * w + other.sum_exp_;
+    Axpy(acc_.data(), other.acc_.data(), d, 1.f);
+    max_logit_ = other.max_logit_;
+  }
+}
+
+void PartialAttention::Finalize(float* out) const {
+  const size_t d = acc_.size();
+  if (sum_exp_ <= 0.f) {
+    for (size_t i = 0; i < d; ++i) out[i] = 0.f;
+    return;
+  }
+  const float inv = 1.0f / sum_exp_;
+  for (size_t i = 0; i < d; ++i) out[i] = acc_[i] * inv;
+}
+
+}  // namespace alaya

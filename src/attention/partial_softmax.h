@@ -1,0 +1,48 @@
+// Numerically-stable partial attention state and merging — the same
+// (max, sum-exp, weighted-accumulator) triple FlashAttention uses, which lets
+// AlayaDB's data-centric engine compute attention where each KV partition
+// lives and aggregate the partials exactly (§7.2).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace alaya {
+
+/// Running softmax-weighted accumulation over one partition of the KV cache.
+/// Invariant: acc = sum_i exp(z_i - max_logit) * v_i, sum_exp = sum_i exp(z_i -
+/// max_logit). Merging two states re-bases both onto the common max, so the
+/// merged result is bit-for-bit the softmax over the union (up to fp rounding).
+class PartialAttention {
+ public:
+  PartialAttention() = default;
+  explicit PartialAttention(size_t d) { Init(d); }
+
+  void Init(size_t d) {
+    acc_.assign(d, 0.f);
+    max_logit_ = -std::numeric_limits<float>::infinity();
+    sum_exp_ = 0.f;
+  }
+
+  /// Folds in one (logit, value) pair.
+  void Accumulate(float logit, const float* v);
+
+  /// Folds in another partition's state. Either may be empty.
+  void Merge(const PartialAttention& other);
+
+  /// Writes the normalized output (acc / sum_exp); zero vector if empty.
+  void Finalize(float* out) const;
+
+  bool empty() const { return sum_exp_ == 0.f; }
+  float max_logit() const { return max_logit_; }
+  float sum_exp() const { return sum_exp_; }
+  size_t dim() const { return acc_.size(); }
+
+ private:
+  std::vector<float> acc_;
+  float max_logit_ = -std::numeric_limits<float>::infinity();
+  float sum_exp_ = 0.f;
+};
+
+}  // namespace alaya

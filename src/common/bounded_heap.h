@@ -1,0 +1,102 @@
+// Bounded top-k heaps over (id, score) pairs.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/vec_math.h"
+
+namespace alaya {
+
+/// Keeps the k largest-scoring entries seen so far (min-heap of size <= k).
+class TopKMaxHeap {
+ public:
+  explicit TopKMaxHeap(size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  /// Offers an entry; returns true if it was retained.
+  bool Push(uint32_t id, float score) {
+    if (k_ == 0) return false;
+    if (heap_.size() < k_) {
+      heap_.push_back({id, score});
+      std::push_heap(heap_.begin(), heap_.end(), MinCmp);
+      return true;
+    }
+    if (score <= heap_.front().score) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), MinCmp);
+    heap_.back() = {id, score};
+    std::push_heap(heap_.begin(), heap_.end(), MinCmp);
+    return true;
+  }
+
+  /// Smallest retained score; only valid when full().
+  float MinRetained() const {
+    assert(!heap_.empty());
+    return heap_.front().score;
+  }
+
+  bool full() const { return heap_.size() >= k_; }
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  /// Would an entry with this score be admitted?
+  bool WouldAccept(float score) const {
+    return k_ > 0 && (!full() || score > heap_.front().score);
+  }
+
+  /// Extracts contents sorted by descending score (heap is consumed).
+  std::vector<ScoredId> TakeSortedDesc() {
+    std::vector<ScoredId> out = std::move(heap_);
+    SortByScoreDesc(&out);
+    return out;
+  }
+
+  const std::vector<ScoredId>& raw() const { return heap_; }
+
+ private:
+  static bool MinCmp(const ScoredId& a, const ScoredId& b) { return a.score > b.score; }
+
+  size_t k_;
+  std::vector<ScoredId> heap_;
+};
+
+/// A fixed-capacity sorted candidate pool (best-first search frontier), as used
+/// by HNSW-style beam search: keeps the ef closest candidates in ascending
+/// "cost" (we store -inner_product as cost so larger ip == better).
+class BeamPool {
+ public:
+  explicit BeamPool(size_t capacity) : capacity_(capacity) { pool_.reserve(capacity + 1); }
+
+  /// Inserts if the pool is not full or score beats the current worst.
+  /// Returns the position inserted at, or SIZE_MAX when rejected.
+  size_t Insert(uint32_t id, float score) {
+    if (full() && score <= pool_.back().score) return SIZE_MAX;
+    // Binary search insertion position (descending by score).
+    size_t lo = 0, hi = pool_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (pool_[mid].score >= score) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    pool_.insert(pool_.begin() + lo, ScoredId{id, score});
+    if (pool_.size() > capacity_) pool_.pop_back();
+    return lo;
+  }
+
+  bool full() const { return pool_.size() >= capacity_; }
+  size_t size() const { return pool_.size(); }
+  const ScoredId& operator[](size_t i) const { return pool_[i]; }
+  const std::vector<ScoredId>& entries() const { return pool_; }
+  float WorstScore() const { return pool_.empty() ? -1e30f : pool_.back().score; }
+  float BestScore() const { return pool_.empty() ? -1e30f : pool_.front().score; }
+
+ private:
+  size_t capacity_;
+  std::vector<ScoredId> pool_;  // Sorted by descending score.
+};
+
+}  // namespace alaya

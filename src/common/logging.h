@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace alaya {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns/sets the process-wide minimum emitted level (default kInfo).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is filtered out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace alaya
+
+#define ALAYA_LOG(level)                                                        \
+  (::alaya::LogLevel::k##level < ::alaya::GetLogLevel())                        \
+      ? (void)0                                                                 \
+      : (void)::alaya::internal::LogMessage(::alaya::LogLevel::k##level,        \
+                                            __FILE__, __LINE__)                 \
+            .stream()
+
+// Stream-capable form: ALAYA_LOGS(Info) << "x=" << x;
+#define ALAYA_LOGS(level)                                                       \
+  ::alaya::internal::LogMessage(::alaya::LogLevel::k##level, __FILE__, __LINE__).stream()

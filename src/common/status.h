@@ -1,0 +1,141 @@
+// Status / Result error-handling primitives (RocksDB/Abseil-style, no exceptions).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace alaya {
+
+/// Canonical error codes used across AlayaDB.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kCorruption = 4,
+  kIoError = 5,
+  kNotSupported = 6,
+  kResourceExhausted = 7,
+  kFailedPrecondition = 8,
+  kAborted = 9,
+  kInternal = 10,
+};
+
+/// Human-readable name for a status code ("Ok", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Functions that can fail return Status
+/// (or Result<T> for value-producing functions) instead of throwing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union. Accessing value() on an error aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}             // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {      // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T&& TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+  /// Returns the contained value, or `fallback` on error.
+  T ValueOr(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace alaya
+
+/// Propagates a non-OK Status to the caller.
+#define ALAYA_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::alaya::Status _alaya_status = (expr);         \
+    if (!_alaya_status.ok()) return _alaya_status;  \
+  } while (0)
+
+/// Evaluates a Result<T> expression; assigns its value to `lhs` or propagates
+/// the error.
+#define ALAYA_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto ALAYA_CONCAT_(_alaya_result, __LINE__) = (expr);          \
+  if (!ALAYA_CONCAT_(_alaya_result, __LINE__).ok())              \
+    return ALAYA_CONCAT_(_alaya_result, __LINE__).status();      \
+  lhs = ALAYA_CONCAT_(_alaya_result, __LINE__).TakeValue()
+
+#define ALAYA_CONCAT_INNER_(a, b) a##b
+#define ALAYA_CONCAT_(a, b) ALAYA_CONCAT_INNER_(a, b)

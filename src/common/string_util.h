@@ -1,0 +1,23 @@
+// printf-style string formatting and human-readable unit helpers.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alaya {
+
+/// snprintf into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1.50 GB", "320.0 MB", "4.2 KB", "17 B".
+std::string HumanBytes(uint64_t bytes);
+
+/// "1.23 s", "45.6 ms", "789 us".
+std::string HumanSeconds(double seconds);
+
+/// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items, const std::string& sep);
+
+}  // namespace alaya

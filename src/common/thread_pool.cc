@@ -1,0 +1,130 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace alaya {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn, size_t min_grain) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t nthreads = num_threads();
+  if (n <= min_grain || nthreads <= 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Dynamic chunking: ~4 chunks per worker bounds scheduling overhead while
+  // keeping load balance for skewed work.
+  const size_t chunks = std::min(n, nthreads * 4);
+  std::atomic<size_t> next{begin};
+  std::atomic<size_t> done_chunks{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  size_t actual_chunks = (n + chunk_size - 1) / chunk_size;
+  for (size_t c = 0; c < actual_chunks; ++c) {
+    Submit([&, this] {
+      (void)this;
+      for (;;) {
+        size_t lo = next.fetch_add(chunk_size);
+        if (lo >= end) break;
+        size_t hi = std::min(end, lo + chunk_size);
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      }
+      size_t d = done_chunks.fetch_add(1) + 1;
+      if (d == actual_chunks) {
+        std::unique_lock<std::mutex> lk(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lk(done_mu);
+  done_cv.wait(lk, [&] { return done_chunks.load() == actual_chunks; });
+}
+
+void ThreadPool::ParallelForChunked(size_t begin, size_t end, size_t num_chunks,
+                                    const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  num_chunks = std::max<size_t>(1, std::min(num_chunks, n));
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::atomic<size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t actual = 0;
+  for (size_t lo = begin; lo < end; lo += chunk) ++actual;
+  for (size_t lo = begin; lo < end; lo += chunk) {
+    const size_t hi = std::min(end, lo + chunk);
+    Submit([&, lo, hi] {
+      fn(lo, hi);
+      if (done.fetch_add(1) + 1 == actual) {
+        std::unique_lock<std::mutex> lk(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lk(done_mu);
+  done_cv.wait(lk, [&] { return done.load() == actual; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace alaya

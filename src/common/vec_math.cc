@@ -1,0 +1,104 @@
+#include "src/common/vec_math.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace alaya {
+
+float Dot(const float* a, const float* b, size_t d) {
+  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  float s = s0 + s1 + s2 + s3;
+  for (; i < d; ++i) s += a[i] * b[i];
+  return s;
+}
+
+float L2Sq(const float* a, const float* b, size_t d) {
+  float s = 0.f;
+  for (size_t i = 0; i < d; ++i) {
+    const float t = a[i] - b[i];
+    s += t * t;
+  }
+  return s;
+}
+
+float Norm(const float* a, size_t d) { return std::sqrt(Dot(a, a, d)); }
+
+void Scale(float* a, size_t d, float s) {
+  for (size_t i = 0; i < d; ++i) a[i] *= s;
+}
+
+void Axpy(float* y, const float* x, size_t d, float alpha) {
+  for (size_t i = 0; i < d; ++i) y[i] += alpha * x[i];
+}
+
+void NormalizeInPlace(float* a, size_t d) {
+  const float n = Norm(a, d);
+  if (n > 0.f) Scale(a, d, 1.0f / n);
+}
+
+float CosineSim(const float* a, const float* b, size_t d) {
+  const float na = Norm(a, d);
+  const float nb = Norm(b, d);
+  if (na == 0.f || nb == 0.f) return 0.f;
+  return Dot(a, b, d) / (na * nb);
+}
+
+void SoftmaxInPlace(float* scores, size_t n) {
+  if (n == 0) return;
+  const float m = MaxValue(scores, n);
+  float sum = ExpShiftInPlace(scores, n, m);
+  if (sum <= 0.f) sum = 1.f;
+  const float inv = 1.0f / sum;
+  for (size_t i = 0; i < n; ++i) scores[i] *= inv;
+}
+
+float ExpShiftInPlace(float* scores, size_t n, float max_value) {
+  float sum = 0.f;
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = std::exp(scores[i] - max_value);
+    sum += scores[i];
+  }
+  return sum;
+}
+
+size_t ArgMax(const float* a, size_t n) {
+  assert(n > 0);
+  size_t best = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (a[i] > a[best]) best = i;
+  }
+  return best;
+}
+
+float MaxValue(const float* a, size_t n) { return a[ArgMax(a, n)]; }
+
+float RelativeError(const float* a, const float* b, size_t d, float eps) {
+  float num = 0.f, den = 0.f;
+  for (size_t i = 0; i < d; ++i) {
+    const float t = a[i] - b[i];
+    num += t * t;
+    den += b[i] * b[i];
+  }
+  return std::sqrt(num) / std::max(std::sqrt(den), eps);
+}
+
+void MatVecDot(const float* m, size_t rows, size_t d, const float* v, float* out) {
+  for (size_t i = 0; i < rows; ++i) out[i] = Dot(m + i * d, v, d);
+}
+
+void SortByScoreDesc(std::vector<ScoredId>* v) {
+  std::sort(v->begin(), v->end(), [](const ScoredId& a, const ScoredId& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+}
+
+}  // namespace alaya

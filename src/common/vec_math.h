@@ -1,0 +1,60 @@
+// Dense float vector kernels used throughout attention computation and
+// vector search. All loops are written to auto-vectorize under -O3.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace alaya {
+
+/// Inner product <a, b> over d floats.
+float Dot(const float* a, const float* b, size_t d);
+
+/// Squared Euclidean distance ||a - b||^2.
+float L2Sq(const float* a, const float* b, size_t d);
+
+/// Euclidean norm ||a||.
+float Norm(const float* a, size_t d);
+
+/// In-place scale: a *= s.
+void Scale(float* a, size_t d, float s);
+
+/// y += alpha * x.
+void Axpy(float* y, const float* x, size_t d, float alpha);
+
+/// Normalizes a to unit length in place (no-op on the zero vector).
+void NormalizeInPlace(float* a, size_t d);
+
+/// Cosine similarity; 0 when either vector is zero.
+float CosineSim(const float* a, const float* b, size_t d);
+
+/// In-place numerically-stable softmax over n scores.
+void SoftmaxInPlace(float* scores, size_t n);
+
+/// Stable softmax given precomputed max; returns sum of exp(scores[i] - max).
+/// scores are transformed to exp(scores[i] - max) in place.
+float ExpShiftInPlace(float* scores, size_t n, float max_value);
+
+/// Index of the maximum element (first on ties); n must be > 0.
+size_t ArgMax(const float* a, size_t n);
+
+/// Maximum element value; n must be > 0.
+float MaxValue(const float* a, size_t n);
+
+/// Relative L2 error ||a - b|| / max(||b||, eps).
+float RelativeError(const float* a, const float* b, size_t d, float eps = 1e-12f);
+
+/// Row-major matrix-vector products: out[i] = <m[i, :], v> for i in [0, rows).
+void MatVecDot(const float* m, size_t rows, size_t d, const float* v, float* out);
+
+/// A trivially-copyable (id, score) pair used in search results everywhere.
+struct ScoredId {
+  uint32_t id;
+  float score;
+};
+
+/// Sorts (in place) by descending score, tie-break ascending id.
+void SortByScoreDesc(std::vector<ScoredId>* v);
+
+}  // namespace alaya

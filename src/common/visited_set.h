@@ -1,0 +1,46 @@
+// Epoch-based visited markers for graph traversal (O(1) reset between queries).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace alaya {
+
+/// Marks node ids visited during one search episode. Reset() is O(1) except
+/// every 2^32-1 epochs when the backing array is cleared.
+class VisitedSet {
+ public:
+  explicit VisitedSet(size_t n = 0) : marks_(n, 0) {}
+
+  /// Grows capacity to at least n ids.
+  void Resize(size_t n) {
+    if (n > marks_.size()) marks_.resize(n, 0);
+  }
+
+  /// Starts a fresh episode.
+  void Reset() {
+    if (++epoch_ == 0) {
+      std::fill(marks_.begin(), marks_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  bool IsVisited(uint32_t id) const { return marks_[id] == epoch_; }
+
+  /// Marks id; returns true if it was newly marked.
+  bool Visit(uint32_t id) {
+    if (marks_[id] == epoch_) return false;
+    marks_[id] = epoch_;
+    return true;
+  }
+
+  size_t capacity() const { return marks_.size(); }
+
+ private:
+  std::vector<uint32_t> marks_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace alaya

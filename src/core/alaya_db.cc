@@ -1,0 +1,91 @@
+#include "src/core/alaya_db.h"
+
+namespace alaya {
+
+AlayaDB::AlayaDB(const DbOptions& options, SimEnvironment* env)
+    : options_(options), env_(env != nullptr ? env : &SimEnvironment::Global()) {}
+
+Result<AlayaDB::SessionCreation> AlayaDB::CreateSession(
+    const std::vector<int32_t>& prompt) {
+  ALAYA_RETURN_IF_ERROR(options_.model.Validate());
+  SessionCreation out;
+  ContextStore::PrefixMatch match = contexts_.BestPrefixMatch(prompt);
+  Context* reused = nullptr;
+  if (match.context != nullptr && match.matched > 0) {
+    reused = match.context;
+    out.reused_prefix = match.matched;
+    out.context_id = match.context->id();
+  }
+  out.truncated_prompt.assign(prompt.begin() + static_cast<long>(out.reused_prefix),
+                              prompt.end());
+  out.session = std::make_unique<Session>(options_.model, options_.session, reused,
+                                          out.reused_prefix, env_);
+  return out;
+}
+
+Status AlayaDB::BuildIndices(Context* context, const QuerySamples* queries) {
+  if (options_.build_fine_indices) {
+    ALAYA_RETURN_IF_ERROR(context->BuildFineIndices(options_.index_build, queries));
+  }
+  if (options_.build_coarse_indices) {
+    CoarseIndexOptions copts = options_.coarse;
+    copts.gpu_memory = &env_->gpu_memory();
+    if (copts.bytes_per_token_kv == 0) {
+      copts.bytes_per_token_kv =
+          static_cast<uint32_t>(options_.model.KvBytesPerTokenLayer());
+    }
+    ALAYA_RETURN_IF_ERROR(context->BuildCoarseIndices(copts));
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> AlayaDB::Import(std::vector<int32_t> tokens,
+                                 std::unique_ptr<KvCache> kv,
+                                 const QuerySamples* queries) {
+  if (kv == nullptr) return Status::InvalidArgument("null KV cache");
+  if (kv->NumTokens() != tokens.size()) {
+    return Status::InvalidArgument("token/KV length mismatch");
+  }
+  const uint64_t kv_bytes = kv->DeployedBytes();
+  auto context = std::make_unique<Context>(0, std::move(tokens), std::move(kv));
+  ALAYA_RETURN_IF_ERROR(BuildIndices(context.get(), queries));
+  env_->host_memory().Allocate(kv_bytes);  // Offloaded KV lives in host DRAM.
+  return contexts_.Add(std::move(context));
+}
+
+Result<uint64_t> AlayaDB::Store(Session* session,
+                                std::span<const int32_t> new_tokens) {
+  if (session == nullptr) return Status::InvalidArgument("null session");
+  if (new_tokens.size() != session->LocalTokens()) {
+    return Status::InvalidArgument(
+        "new_tokens must cover exactly the session-local tokens");
+  }
+
+  // Compose the full token sequence: reused prefix + session-local tail.
+  std::vector<int32_t> tokens;
+  tokens.reserve(session->reused_prefix() + new_tokens.size());
+  if (const Context* reused = session->reused_context(); reused != nullptr) {
+    const auto& src = reused->tokens();
+    tokens.insert(tokens.end(), src.begin(),
+                  src.begin() + static_cast<long>(session->reused_prefix()));
+  }
+  tokens.insert(tokens.end(), new_tokens.begin(), new_tokens.end());
+
+  // Clone KV: context prefix + local tail (materialization happens here, not
+  // during decoding — late materialization, §7.2).
+  auto kv = std::make_unique<KvCache>(options_.model);
+  if (const Context* reused = session->reused_context(); reused != nullptr) {
+    ALAYA_RETURN_IF_ERROR(kv->AppendPrefixFrom(reused->kv(), session->reused_prefix()));
+  }
+  ALAYA_RETURN_IF_ERROR(kv->AppendAllFrom(session->local_kv()));
+
+  const uint64_t kv_bytes = kv->DeployedBytes();
+  auto context = std::make_unique<Context>(0, std::move(tokens), std::move(kv));
+  // Decode-time queries recorded by the session are the ideal training set
+  // (they are exactly the distribution future searches come from).
+  ALAYA_RETURN_IF_ERROR(BuildIndices(context.get(), session->recorded_queries()));
+  env_->host_memory().Allocate(kv_bytes);
+  return contexts_.Add(std::move(context));
+}
+
+}  // namespace alaya

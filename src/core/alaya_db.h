@@ -1,0 +1,70 @@
+// AlayaDB: the DB abstraction (Table 2) — manages all contexts (prompts, KV
+// cache, vector indexes) and hands out Sessions:
+//   DB.create_session(prompts) -> Session, truncated prompts
+//   DB.import(prompts, kv_cache)
+//   DB.store(session)
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/context_store.h"
+#include "src/core/session.h"
+
+namespace alaya {
+
+struct DbOptions {
+  ModelConfig model = ModelConfig::Tiny();
+  SessionOptions session;
+  IndexBuildOptions index_build;
+  /// Build RoarGraph per (layer, KV head) on Import/Store.
+  bool build_fine_indices = true;
+  /// Additionally build coarse block indices (used when the optimizer has GPU
+  /// budget to burn; InfLLM-in-AlayaDB, Fig. 8).
+  bool build_coarse_indices = false;
+  CoarseIndexOptions coarse;
+};
+
+class AlayaDB {
+ public:
+  explicit AlayaDB(const DbOptions& options, SimEnvironment* env = nullptr);
+
+  /// Result of create_session: the session plus the non-reused (truncated)
+  /// suffix of the prompt, which the inference engine must still prefill.
+  struct SessionCreation {
+    std::unique_ptr<Session> session;
+    std::vector<int32_t> truncated_prompt;
+    size_t reused_prefix = 0;
+    uint64_t context_id = 0;  ///< 0 when no stored context matched.
+  };
+
+  /// DB.create_session(prompts): finds the stored context sharing the longest
+  /// common prefix with `prompt` and returns a session reusing it.
+  Result<SessionCreation> CreateSession(const std::vector<int32_t>& prompt);
+
+  /// DB.import(prompts, kv_cache): registers a precomputed context (and its
+  /// optional prefill query samples for index training); builds indices.
+  Result<uint64_t> Import(std::vector<int32_t> tokens, std::unique_ptr<KvCache> kv,
+                          const QuerySamples* queries = nullptr);
+
+  /// DB.store(session): materializes the session (reused prefix + local KV)
+  /// into a new reusable context — the late-materialization endpoint (§7.2).
+  /// `new_tokens` are the token ids the session appended
+  /// (|new_tokens| == session->LocalTokens()).
+  Result<uint64_t> Store(Session* session, std::span<const int32_t> new_tokens);
+
+  ContextStore& contexts() { return contexts_; }
+  const ContextStore& contexts() const { return contexts_; }
+  SimEnvironment& env() { return *env_; }
+  const DbOptions& options() const { return options_; }
+
+ private:
+  Status BuildIndices(Context* context, const QuerySamples* queries);
+
+  DbOptions options_;
+  SimEnvironment* env_;
+  ContextStore contexts_;
+};
+
+}  // namespace alaya

@@ -1,0 +1,128 @@
+#include "src/core/context_serializer.h"
+
+#include <cstring>
+
+#include "src/common/string_util.h"
+
+namespace alaya {
+
+std::string ContextSerializer::HeadName(const std::string& prefix, uint32_t layer,
+                                        uint32_t head, const char* what) {
+  return StrFormat("%s_L%u_H%u_%s", prefix.c_str(), layer, head, what);
+}
+
+Status ContextSerializer::Persist(const Context& context, const std::string& prefix) {
+  if (vfs_ == nullptr) return Status::FailedPrecondition("no vector file system");
+  const ModelConfig& m = context.kv().config();
+
+  // Manifest: scalars stored in slot 0 of full-width rows (the VFS fixes one
+  // dim for all files).
+  {
+    ALAYA_ASSIGN_OR_RETURN(VectorFile * mf, vfs_->CreateFile(prefix + "_manifest"));
+    std::vector<float> row(mf->dim(), 0.f);
+    auto put = [&](float v) -> Status {
+      row[0] = v;
+      ALAYA_ASSIGN_OR_RETURN(uint32_t id, mf->AppendVector(row.data()));
+      (void)id;
+      return Status::Ok();
+    };
+    ALAYA_RETURN_IF_ERROR(put(static_cast<float>(context.length())));
+    ALAYA_RETURN_IF_ERROR(put(static_cast<float>(m.num_layers)));
+    ALAYA_RETURN_IF_ERROR(put(static_cast<float>(m.num_kv_heads)));
+    ALAYA_RETURN_IF_ERROR(put(static_cast<float>(m.head_dim)));
+    ALAYA_RETURN_IF_ERROR(put(context.HasFineIndices() ? 1.f : 0.f));
+    for (int32_t t : context.tokens()) {
+      ALAYA_RETURN_IF_ERROR(put(static_cast<float>(t)));
+    }
+    ALAYA_RETURN_IF_ERROR(mf->Flush());
+  }
+
+  for (uint32_t layer = 0; layer < m.num_layers; ++layer) {
+    for (uint32_t h = 0; h < m.num_kv_heads; ++h) {
+      // Keys + the fine graph's adjacency share one file (§7.3 layout).
+      const RoarGraph* fine = context.FineIndex(layer, h * m.GroupSize());
+      ALAYA_RETURN_IF_ERROR(vfs_->PersistHead(HeadName(prefix, layer, h, "keys"),
+                                              context.kv().Keys(layer, h),
+                                              fine != nullptr ? &fine->graph()
+                                                              : nullptr));
+      ALAYA_RETURN_IF_ERROR(vfs_->PersistHead(HeadName(prefix, layer, h, "vals"),
+                                              context.kv().Values(layer, h), nullptr));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Context>> ContextSerializer::Load(
+    const std::string& prefix, uint64_t id, const ModelConfig& model,
+    const RoarGraphOptions& graph_options) {
+  if (vfs_ == nullptr) return Status::FailedPrecondition("no vector file system");
+
+  // Manifest.
+  VectorFile* mf = vfs_->GetFile(prefix + "_manifest");
+  if (mf == nullptr) {
+    ALAYA_ASSIGN_OR_RETURN(mf, vfs_->OpenFile(prefix + "_manifest"));
+  }
+  auto get = [&](uint32_t idx) -> Result<float> {
+    std::vector<float> row(mf->dim());
+    ALAYA_RETURN_IF_ERROR(mf->ReadVector(idx, row.data()));
+    return row[0];
+  };
+  ALAYA_ASSIGN_OR_RETURN(float f_tokens, get(0));
+  ALAYA_ASSIGN_OR_RETURN(float f_layers, get(1));
+  ALAYA_ASSIGN_OR_RETURN(float f_heads, get(2));
+  ALAYA_ASSIGN_OR_RETURN(float f_dim, get(3));
+  ALAYA_ASSIGN_OR_RETURN(float f_fine, get(4));
+  const size_t n_tokens = static_cast<size_t>(f_tokens);
+  if (static_cast<uint32_t>(f_layers) != model.num_layers ||
+      static_cast<uint32_t>(f_heads) != model.num_kv_heads ||
+      static_cast<uint32_t>(f_dim) != model.head_dim) {
+    return Status::Corruption("persisted geometry does not match the model config");
+  }
+  std::vector<int32_t> tokens(n_tokens);
+  for (size_t t = 0; t < n_tokens; ++t) {
+    ALAYA_ASSIGN_OR_RETURN(float v, get(static_cast<uint32_t>(5 + t)));
+    tokens[t] = static_cast<int32_t>(v);
+  }
+
+  auto kv = std::make_unique<KvCache>(model);
+  std::vector<AdjacencyGraph> loaded_graphs;
+  for (uint32_t layer = 0; layer < model.num_layers; ++layer) {
+    // Load each head, then interleave into the token-major KvCache layout.
+    std::vector<VectorSet> keys(model.num_kv_heads), vals(model.num_kv_heads);
+    std::vector<AdjacencyGraph> graphs(model.num_kv_heads);
+    for (uint32_t h = 0; h < model.num_kv_heads; ++h) {
+      ALAYA_RETURN_IF_ERROR(vfs_->LoadHead(HeadName(prefix, layer, h, "keys"),
+                                           &keys[h], &graphs[h]));
+      ALAYA_RETURN_IF_ERROR(
+          vfs_->LoadHead(HeadName(prefix, layer, h, "vals"), &vals[h], nullptr));
+      if (keys[h].size() != n_tokens || vals[h].size() != n_tokens) {
+        return Status::Corruption("head vector count does not match the manifest");
+      }
+    }
+    std::vector<float> krow(static_cast<size_t>(model.num_kv_heads) * model.head_dim);
+    std::vector<float> vrow(krow.size());
+    for (size_t t = 0; t < n_tokens; ++t) {
+      for (uint32_t h = 0; h < model.num_kv_heads; ++h) {
+        std::memcpy(krow.data() + static_cast<size_t>(h) * model.head_dim,
+                    keys[h].Vec(static_cast<uint32_t>(t)),
+                    model.head_dim * sizeof(float));
+        std::memcpy(vrow.data() + static_cast<size_t>(h) * model.head_dim,
+                    vals[h].Vec(static_cast<uint32_t>(t)),
+                    model.head_dim * sizeof(float));
+      }
+      kv->AppendToken(layer, krow.data(), vrow.data());
+    }
+    for (uint32_t h = 0; h < model.num_kv_heads; ++h) {
+      loaded_graphs.push_back(std::move(graphs[h]));
+    }
+  }
+
+  auto context = std::make_unique<Context>(id, std::move(tokens), std::move(kv));
+  if (f_fine > 0.5f) {
+    ALAYA_RETURN_IF_ERROR(
+        context->RestoreFineIndices(graph_options, std::move(loaded_graphs)));
+  }
+  return context;
+}
+
+}  // namespace alaya

@@ -1,0 +1,40 @@
+// Persistence of stored contexts through the vector file system (§7.3):
+// each (layer, KV head)'s keys, values, and fine-index adjacency are written
+// to block-structured vector files, so contexts survive restarts and cold
+// contexts can be spilled from host DRAM to NVMe.
+//
+// File naming: "<prefix>_L<layer>_H<head>_keys" / "..._vals"; the graph
+// adjacency rides in the keys file's index blocks (the layout the paper
+// describes: data blocks and graph-linked index blocks in one file).
+// A small manifest file ("<prefix>_manifest") records geometry and tokens.
+#pragma once
+
+#include <string>
+
+#include "src/core/context_store.h"
+#include "src/storage/vector_file_system.h"
+
+namespace alaya {
+
+class ContextSerializer {
+ public:
+  explicit ContextSerializer(VectorFileSystem* vfs) : vfs_(vfs) {}
+
+  /// Persists the context's KV cache and (if built) its fine-index graphs.
+  /// `prefix` namespaces the files (e.g. "ctx42").
+  Status Persist(const Context& context, const std::string& prefix);
+
+  /// Loads a previously persisted context. Fine indices are restored from the
+  /// stored adjacency (no rebuild). `id` becomes the context's id.
+  Result<std::unique_ptr<Context>> Load(const std::string& prefix, uint64_t id,
+                                        const ModelConfig& model,
+                                        const RoarGraphOptions& graph_options);
+
+ private:
+  static std::string HeadName(const std::string& prefix, uint32_t layer,
+                              uint32_t head, const char* what);
+
+  VectorFileSystem* vfs_;
+};
+
+}  // namespace alaya

@@ -1,0 +1,182 @@
+#include "src/core/context_store.h"
+
+#include <algorithm>
+
+namespace alaya {
+
+Status Context::BuildFineIndices(const IndexBuildOptions& options,
+                                 const QuerySamples* queries,
+                                 IndexBuildStats* total_stats) {
+  const ModelConfig& cfg = kv_->config();
+  fine_.clear();
+  fine_shared_ = options.share_gqa_group;
+  IndexBuildStats total;
+
+  // Keys trained on themselves when no prefill queries were recorded.
+  std::unique_ptr<QuerySamples> self_train;
+  if (queries == nullptr) {
+    self_train = std::make_unique<QuerySamples>(cfg);
+    for (uint32_t layer = 0; layer < cfg.num_layers; ++layer) {
+      for (uint32_t h = 0; h < cfg.num_q_heads; ++h) {
+        const uint32_t kv_head = cfg.KvHeadForQuery(h);
+        VectorSetView keys = kv_->Keys(layer, kv_head);
+        VectorSet& dst = self_train->Mutable(layer, h);
+        dst.AppendBatch(keys.data, keys.n);
+      }
+    }
+    queries = self_train.get();
+  }
+
+  for (uint32_t layer = 0; layer < cfg.num_layers; ++layer) {
+    std::vector<VectorSetView> head_keys;
+    for (uint32_t h = 0; h < cfg.num_kv_heads; ++h) {
+      head_keys.push_back(kv_->Keys(layer, h));
+    }
+    std::vector<VectorSetView> head_queries;
+    for (uint32_t h = 0; h < cfg.num_q_heads; ++h) {
+      head_queries.push_back(queries->View(layer, h));
+    }
+    std::vector<std::unique_ptr<RoarGraph>> layer_indices;
+    IndexBuildStats stats;
+    ALAYA_RETURN_IF_ERROR(BuildLayerIndices(head_keys, head_queries, cfg.GroupSize(),
+                                            options, &layer_indices, &stats));
+    total.knn_wall_seconds += stats.knn_wall_seconds;
+    total.project_wall_seconds += stats.project_wall_seconds;
+    total.modeled_gpu_seconds += stats.modeled_gpu_seconds;
+    total.modeled_transfer_seconds += stats.modeled_transfer_seconds;
+    total.reported_seconds += stats.reported_seconds;
+    total.index_bytes += stats.index_bytes;
+    total.num_indices += stats.num_indices;
+    total.training_queries += stats.training_queries;
+    for (auto& idx : layer_indices) fine_.push_back(std::move(idx));
+  }
+  build_stats_ = total;
+  if (total_stats != nullptr) *total_stats = total;
+  return Status::Ok();
+}
+
+Status Context::RestoreFineIndices(const RoarGraphOptions& options,
+                                   std::vector<AdjacencyGraph>&& graphs) {
+  const ModelConfig& cfg = kv_->config();
+  const size_t expected = static_cast<size_t>(cfg.num_layers) * cfg.num_kv_heads;
+  if (graphs.size() != expected) {
+    return Status::InvalidArgument("graph count does not match layers * kv_heads");
+  }
+  fine_.clear();
+  fine_shared_ = true;
+  for (uint32_t layer = 0; layer < cfg.num_layers; ++layer) {
+    for (uint32_t h = 0; h < cfg.num_kv_heads; ++h) {
+      auto index = std::make_unique<RoarGraph>(kv_->Keys(layer, h), options);
+      ALAYA_RETURN_IF_ERROR(index->AdoptGraph(
+          std::move(graphs[static_cast<size_t>(layer) * cfg.num_kv_heads + h])));
+      fine_.push_back(std::move(index));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Context::BuildCoarseIndices(const CoarseIndexOptions& options) {
+  const ModelConfig& cfg = kv_->config();
+  coarse_.clear();
+  for (uint32_t layer = 0; layer < cfg.num_layers; ++layer) {
+    for (uint32_t h = 0; h < cfg.num_kv_heads; ++h) {
+      coarse_.push_back(std::make_unique<CoarseIndex>(kv_->Keys(layer, h), options));
+    }
+  }
+  return Status::Ok();
+}
+
+const RoarGraph* Context::FineIndex(uint32_t layer, uint32_t q_head) const {
+  if (fine_.empty()) return nullptr;
+  const ModelConfig& cfg = kv_->config();
+  const size_t per_layer = fine_shared_ ? cfg.num_kv_heads : cfg.num_q_heads;
+  const size_t slot = fine_shared_ ? cfg.KvHeadForQuery(q_head) : q_head;
+  const size_t idx = static_cast<size_t>(layer) * per_layer + slot;
+  return idx < fine_.size() ? fine_[idx].get() : nullptr;
+}
+
+const CoarseIndex* Context::CoarseIdx(uint32_t layer, uint32_t kv_head) const {
+  if (coarse_.empty()) return nullptr;
+  const ModelConfig& cfg = kv_->config();
+  const size_t idx = static_cast<size_t>(layer) * cfg.num_kv_heads + kv_head;
+  return idx < coarse_.size() ? coarse_[idx].get() : nullptr;
+}
+
+uint64_t Context::IndexBytes() const {
+  uint64_t b = 0;
+  for (const auto& f : fine_) b += f->MemoryBytes();
+  for (const auto& c : coarse_) b += c->MemoryBytes();
+  return b;
+}
+
+uint64_t ContextStore::Add(std::unique_ptr<Context> context) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t id = context->id() != 0 ? context->id() : next_id_;
+  context->set_id(id);
+  next_id_ = std::max(next_id_, id + 1);
+  contexts_[id] = std::move(context);
+  return id;
+}
+
+Context* ContextStore::Find(uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = contexts_.find(id);
+  return it == contexts_.end() ? nullptr : it->second.get();
+}
+
+const Context* ContextStore::Find(uint64_t id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = contexts_.find(id);
+  return it == contexts_.end() ? nullptr : it->second.get();
+}
+
+ContextStore::PrefixMatch ContextStore::BestPrefixMatch(
+    std::span<const int32_t> tokens) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  PrefixMatch best;
+  for (const auto& [id, ctx] : contexts_) {
+    const auto& stored = ctx->tokens();
+    const size_t limit = std::min(stored.size(), tokens.size());
+    size_t m = 0;
+    while (m < limit && stored[m] == tokens[m]) ++m;
+    if (m > best.matched) {
+      best.matched = m;
+      best.context = ctx.get();
+    }
+  }
+  return best;
+}
+
+bool ContextStore::Remove(uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return contexts_.erase(id) > 0;
+}
+
+size_t ContextStore::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return contexts_.size();
+}
+
+std::vector<uint64_t> ContextStore::Ids() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<uint64_t> ids;
+  ids.reserve(contexts_.size());
+  for (const auto& [id, _] : contexts_) ids.push_back(id);
+  return ids;
+}
+
+uint64_t ContextStore::TotalKvBytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t b = 0;
+  for (const auto& [_, ctx] : contexts_) b += ctx->kv().DeployedBytes();
+  return b;
+}
+
+uint64_t ContextStore::TotalIndexBytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t b = 0;
+  for (const auto& [_, ctx] : contexts_) b += ctx->IndexBytes();
+  return b;
+}
+
+}  // namespace alaya

@@ -1,0 +1,109 @@
+// Stored contexts: token sequence + KV cache + per-head vector indices.
+// The DB abstraction manages these; sessions reuse them by (partial) prefix
+// matching (§5, §7.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/kv_cache.h"
+#include "src/core/query_samples.h"
+#include "src/index/coarse_index.h"
+#include "src/index/index_builder.h"
+#include "src/index/roargraph.h"
+
+namespace alaya {
+
+/// One imported/stored context: the unit of reuse.
+class Context {
+ public:
+  Context(uint64_t id, std::vector<int32_t> tokens, std::unique_ptr<KvCache> kv)
+      : id_(id), tokens_(std::move(tokens)), kv_(std::move(kv)) {}
+
+  uint64_t id() const { return id_; }
+  /// Assigned by ContextStore::Add when constructed with id 0.
+  void set_id(uint64_t id) { id_ = id; }
+  const std::vector<int32_t>& tokens() const { return tokens_; }
+  size_t length() const { return tokens_.size(); }
+  const KvCache& kv() const { return *kv_; }
+  KvCache& mutable_kv() { return *kv_; }
+
+  /// Builds the fine-grained (RoarGraph) indices for all layers, trained on
+  /// `queries` (prefill query samples). Pass nullptr to train on keys
+  /// themselves (functional, but cross-modal navigation degrades).
+  Status BuildFineIndices(const IndexBuildOptions& options, const QuerySamples* queries,
+                          IndexBuildStats* total_stats = nullptr);
+
+  /// Builds coarse (block) indices for all layers/KV heads.
+  Status BuildCoarseIndices(const CoarseIndexOptions& options);
+
+  /// Restores GQA-shared fine indices from persisted adjacency (one graph per
+  /// (layer, KV head), layer-major). Used by ContextSerializer::Load.
+  Status RestoreFineIndices(const RoarGraphOptions& options,
+                            std::vector<AdjacencyGraph>&& graphs);
+
+  bool HasFineIndices() const { return !fine_.empty(); }
+  bool HasCoarseIndices() const { return !coarse_.empty(); }
+
+  /// Fine index serving (layer, q_head). With GQA sharing this is the KV
+  /// head's index; without, each query head has its own.
+  const RoarGraph* FineIndex(uint32_t layer, uint32_t q_head) const;
+  const CoarseIndex* CoarseIdx(uint32_t layer, uint32_t kv_head) const;
+
+  uint64_t IndexBytes() const;
+  const IndexBuildStats& build_stats() const { return build_stats_; }
+
+ private:
+  uint64_t id_;
+  std::vector<int32_t> tokens_;
+  std::unique_ptr<KvCache> kv_;
+
+  /// fine_[layer * indices_per_layer + slot]; slot is kv_head (shared) or
+  /// q_head (unshared).
+  std::vector<std::unique_ptr<RoarGraph>> fine_;
+  bool fine_shared_ = true;
+  std::vector<std::unique_ptr<CoarseIndex>> coarse_;
+  IndexBuildStats build_stats_;
+};
+
+/// Registry of stored contexts with longest-common-prefix lookup.
+/// Thread-safe for concurrent Add/Find/BestPrefixMatch.
+class ContextStore {
+ public:
+  struct PrefixMatch {
+    Context* context = nullptr;
+    size_t matched = 0;  ///< Tokens of shared prefix.
+    bool full() const { return context != nullptr && matched == context->length(); }
+  };
+
+  /// Takes ownership; returns the context id.
+  uint64_t Add(std::unique_ptr<Context> context);
+
+  Context* Find(uint64_t id);
+  const Context* Find(uint64_t id) const;
+
+  /// The stored context sharing the longest common prefix with `tokens`.
+  /// Linear scan over contexts (stores hold few, large contexts; a token trie
+  /// is an obvious extension and noted in DESIGN.md).
+  PrefixMatch BestPrefixMatch(std::span<const int32_t> tokens) const;
+
+  bool Remove(uint64_t id);
+  size_t size() const;
+  std::vector<uint64_t> Ids() const;
+
+  /// Total deployed KV bytes across stored contexts (host-resident).
+  uint64_t TotalKvBytes() const;
+  uint64_t TotalIndexBytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::unique_ptr<Context>> contexts_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace alaya

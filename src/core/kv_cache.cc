@@ -1,0 +1,94 @@
+#include "src/core/kv_cache.h"
+
+#include <cassert>
+
+namespace alaya {
+
+KvCache::KvCache(const ModelConfig& config) : config_(config) {
+  heads_.resize(static_cast<size_t>(config_.num_layers) * config_.num_kv_heads);
+  for (auto& h : heads_) {
+    h.keys.Reset(config_.head_dim);
+    h.values.Reset(config_.head_dim);
+  }
+}
+
+void KvCache::AppendToken(uint32_t layer, const float* k, const float* v) {
+  assert(layer < config_.num_layers);
+  for (uint32_t h = 0; h < config_.num_kv_heads; ++h) {
+    KvHeadStore& store = heads_[Slot(layer, h)];
+    store.keys.Append(k + static_cast<size_t>(h) * config_.head_dim);
+    store.values.Append(v + static_cast<size_t>(h) * config_.head_dim);
+  }
+}
+
+void KvCache::AppendTokens(uint32_t layer, size_t count, const float* k,
+                           const float* v) {
+  const size_t stride = static_cast<size_t>(config_.num_kv_heads) * config_.head_dim;
+  for (size_t t = 0; t < count; ++t) {
+    AppendToken(layer, k + t * stride, v + t * stride);
+  }
+}
+
+size_t KvCache::NumTokens(uint32_t layer) const {
+  assert(layer < config_.num_layers);
+  return heads_[Slot(layer, 0)].keys.size();
+}
+
+VectorSetView KvCache::Keys(uint32_t layer, uint32_t kv_head) const {
+  return heads_[Slot(layer, kv_head)].keys.View();
+}
+
+VectorSetView KvCache::Values(uint32_t layer, uint32_t kv_head) const {
+  return heads_[Slot(layer, kv_head)].values.View();
+}
+
+KvHeadStore& KvCache::Head(uint32_t layer, uint32_t kv_head) {
+  return heads_[Slot(layer, kv_head)];
+}
+
+const KvHeadStore& KvCache::Head(uint32_t layer, uint32_t kv_head) const {
+  return heads_[Slot(layer, kv_head)];
+}
+
+Status KvCache::AppendPrefixFrom(const KvCache& src, size_t count) {
+  if (src.config_.num_layers != config_.num_layers ||
+      src.config_.num_kv_heads != config_.num_kv_heads ||
+      src.config_.head_dim != config_.head_dim) {
+    return Status::InvalidArgument("KV cache geometry mismatch");
+  }
+  if (count > src.NumTokens()) {
+    return Status::OutOfRange("prefix longer than source cache");
+  }
+  for (uint32_t layer = 0; layer < config_.num_layers; ++layer) {
+    for (uint32_t h = 0; h < config_.num_kv_heads; ++h) {
+      KvHeadStore& dst = heads_[Slot(layer, h)];
+      const KvHeadStore& s = src.heads_[Slot(layer, h)];
+      dst.keys.AppendBatch(s.keys.raw(), count);
+      dst.values.AppendBatch(s.values.raw(), count);
+    }
+  }
+  return Status::Ok();
+}
+
+Status KvCache::AppendAllFrom(const KvCache& src) {
+  return AppendPrefixFrom(src, src.NumTokens());
+}
+
+uint64_t KvCache::FloatBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& h : heads_) bytes += h.keys.MemoryBytes() + h.values.MemoryBytes();
+  return bytes;
+}
+
+uint64_t KvCache::DeployedBytes() const {
+  return NumTokens() * config_.KvBytesPerToken();
+}
+
+void KvCache::Reserve(uint32_t layer, size_t tokens) {
+  for (uint32_t h = 0; h < config_.num_kv_heads; ++h) {
+    heads_[Slot(layer, h)].keys.Reserve(tokens);
+    heads_[Slot(layer, h)].values.Reserve(tokens);
+  }
+}
+
+}  // namespace alaya

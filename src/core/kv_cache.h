@@ -1,0 +1,66 @@
+// Per-layer, per-KV-head key/value storage (the "vector data" the database
+// manages). Values are stored alongside keys; token id i is row i of both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/model_config.h"
+#include "src/index/vector_set.h"
+
+namespace alaya {
+
+/// One attention head's keys and values.
+struct KvHeadStore {
+  VectorSet keys;
+  VectorSet values;
+};
+
+/// KV cache for all layers/KV-heads of one context or session.
+class KvCache {
+ public:
+  explicit KvCache(const ModelConfig& config);
+
+  const ModelConfig& config() const { return config_; }
+
+  /// Appends one token's K/V for one layer. `k` and `v` are
+  /// [num_kv_heads * head_dim] packed head-major.
+  void AppendToken(uint32_t layer, const float* k, const float* v);
+
+  /// Appends `count` tokens for one layer; k/v are [count, num_kv_heads * d]
+  /// row-major (token-major, head-minor).
+  void AppendTokens(uint32_t layer, size_t count, const float* k, const float* v);
+
+  /// Tokens stored in a layer (all layers agree after a complete forward pass).
+  size_t NumTokens(uint32_t layer = 0) const;
+
+  VectorSetView Keys(uint32_t layer, uint32_t kv_head) const;
+  VectorSetView Values(uint32_t layer, uint32_t kv_head) const;
+  KvHeadStore& Head(uint32_t layer, uint32_t kv_head);
+  const KvHeadStore& Head(uint32_t layer, uint32_t kv_head) const;
+
+  /// Copies rows [0, count) of `src` into this cache (prefix clone for
+  /// materializing partially-reused contexts).
+  Status AppendPrefixFrom(const KvCache& src, size_t count);
+
+  /// Appends all tokens of `src` (geometries must match).
+  Status AppendAllFrom(const KvCache& src);
+
+  /// Resident fp32 bytes (actual process memory).
+  uint64_t FloatBytes() const;
+  /// Deployed-precision bytes (bf16 accounting used in reported numbers).
+  uint64_t DeployedBytes() const;
+
+  void Reserve(uint32_t layer, size_t tokens);
+
+ private:
+  size_t Slot(uint32_t layer, uint32_t kv_head) const {
+    return static_cast<size_t>(layer) * config_.num_kv_heads + kv_head;
+  }
+
+  ModelConfig config_;
+  std::vector<KvHeadStore> heads_;
+};
+
+}  // namespace alaya

@@ -1,0 +1,54 @@
+// Transformer geometry the database needs to know about: layers, GQA heads,
+// head dimension, and deployed KV precision (for byte-accurate accounting).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace alaya {
+
+struct ModelConfig {
+  uint32_t num_layers = 8;
+  uint32_t num_q_heads = 8;
+  uint32_t num_kv_heads = 2;
+  uint32_t head_dim = 64;
+  /// Bytes per scalar in the deployed KV cache (bf16 = 2). This repo computes
+  /// in fp32 but reports memory at deployment precision.
+  uint32_t bytes_per_scalar = 2;
+
+  /// GQA group size: query heads sharing one KV head.
+  uint32_t GroupSize() const { return num_q_heads / num_kv_heads; }
+  /// KV head serving query head `q_head`.
+  uint32_t KvHeadForQuery(uint32_t q_head) const { return q_head / GroupSize(); }
+
+  /// Deployed KV bytes per token for one layer (K + V across KV heads).
+  uint64_t KvBytesPerTokenLayer() const {
+    return 2ull * num_kv_heads * head_dim * bytes_per_scalar;
+  }
+  /// Deployed KV bytes per token across all layers.
+  uint64_t KvBytesPerToken() const { return KvBytesPerTokenLayer() * num_layers; }
+
+  Status Validate() const {
+    if (num_layers == 0 || num_q_heads == 0 || num_kv_heads == 0 || head_dim == 0) {
+      return Status::InvalidArgument("model dimensions must be positive");
+    }
+    if (num_q_heads % num_kv_heads != 0) {
+      return Status::InvalidArgument("num_q_heads must be a multiple of num_kv_heads");
+    }
+    return Status::Ok();
+  }
+
+  /// The paper's evaluation model: Llama-3-8B-Instruct-262k
+  /// (32 layers, 32 query heads, 8 KV heads, head dim 128, bf16).
+  static ModelConfig Llama3_8B() { return ModelConfig{32, 32, 8, 128, 2}; }
+
+  /// Small geometry for unit tests.
+  static ModelConfig Tiny() { return ModelConfig{2, 4, 2, 16, 2}; }
+
+  /// Scaled-down geometry for benchmarks (keeps GQA 4:1 and the head_dim of
+  /// Llama, fewer layers/heads so CPU full-attention references stay feasible).
+  static ModelConfig Bench() { return ModelConfig{4, 8, 2, 128, 2}; }
+};
+
+}  // namespace alaya

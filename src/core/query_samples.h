@@ -1,0 +1,54 @@
+// Prefill-time query vectors, recorded per (layer, query head). RoarGraph is a
+// cross-modal index: it is trained on *query* samples so decode-time searches
+// navigate well even though queries are out-of-distribution w.r.t. keys (§7.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/model_config.h"
+#include "src/index/vector_set.h"
+
+namespace alaya {
+
+class QuerySamples {
+ public:
+  explicit QuerySamples(const ModelConfig& config) : config_(config) {
+    sets_.resize(static_cast<size_t>(config.num_layers) * config.num_q_heads);
+    for (auto& s : sets_) s.Reset(config.head_dim);
+  }
+
+  /// Records one token's query vectors for one layer
+  /// (q is [num_q_heads * head_dim], head-major).
+  void Record(uint32_t layer, const float* q) {
+    for (uint32_t h = 0; h < config_.num_q_heads; ++h) {
+      sets_[Slot(layer, h)].Append(q + static_cast<size_t>(h) * config_.head_dim);
+    }
+  }
+
+  VectorSetView View(uint32_t layer, uint32_t q_head) const {
+    return sets_[Slot(layer, q_head)].View();
+  }
+
+  VectorSet& Mutable(uint32_t layer, uint32_t q_head) { return sets_[Slot(layer, q_head)]; }
+
+  size_t NumSamples(uint32_t layer = 0) const { return sets_[Slot(layer, 0)].size(); }
+
+  const ModelConfig& config() const { return config_; }
+
+  uint64_t FloatBytes() const {
+    uint64_t b = 0;
+    for (const auto& s : sets_) b += s.MemoryBytes();
+    return b;
+  }
+
+ private:
+  size_t Slot(uint32_t layer, uint32_t q_head) const {
+    return static_cast<size_t>(layer) * config_.num_q_heads + q_head;
+  }
+
+  ModelConfig config_;
+  std::vector<VectorSet> sets_;
+};
+
+}  // namespace alaya

@@ -1,0 +1,269 @@
+#include "src/core/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/attention/attention_engine.h"
+#include "src/common/timer.h"
+#include "src/index/flat_index.h"
+#include "src/index/graph_search.h"
+#include "src/query/diprs.h"
+
+namespace alaya {
+
+Session::Session(const ModelConfig& config, const SessionOptions& options,
+                 Context* reused, size_t reused_prefix, SimEnvironment* env)
+    : config_(config),
+      options_(options),
+      context_(reused),
+      prefix_len_(reused != nullptr ? std::min(reused_prefix, reused->length()) : 0),
+      env_(env != nullptr ? env : &SimEnvironment::Global()),
+      local_(config),
+      optimizer_(options.optimizer),
+      window_(options.window),
+      gpu_reservation_(&env_->gpu_memory(), 0) {}
+
+Status Session::Update(uint32_t layer, const float* q, const float* k, const float* v) {
+  return UpdateBatch(layer, 1, q, k, v);
+}
+
+Status Session::UpdateBatch(uint32_t layer, size_t count, const float* q,
+                            const float* k, const float* v) {
+  if (layer >= config_.num_layers) return Status::OutOfRange("layer out of range");
+  if (k == nullptr || v == nullptr) return Status::InvalidArgument("null k/v");
+  local_.AppendTokens(layer, count, k, v);
+
+  if (options_.record_queries && q != nullptr) {
+    if (recorded_ == nullptr) recorded_ = std::make_unique<QuerySamples>(config_);
+    const size_t stride = static_cast<size_t>(config_.num_q_heads) * config_.head_dim;
+    for (size_t t = 0; t < count; ++t) {
+      if (recorded_->NumSamples(layer) >= options_.max_recorded_tokens) break;
+      recorded_->Record(layer, q + t * stride);
+    }
+  }
+
+  // Window + local KV are device-resident; refresh the reservation once per
+  // token (when the last layer has been updated).
+  if (layer + 1 == config_.num_layers) {
+    gpu_reservation_.ResizeTo(GpuResidentBytes());
+  }
+  return Status::Ok();
+}
+
+uint64_t Session::GpuResidentBytes() const {
+  const size_t n_local = local_.NumTokens();
+  const size_t n_total = prefix_len_ + n_local;
+  // Window tokens drawn from the reused context plus the entire local tail
+  // stay on device, per layer.
+  const size_t window_from_context =
+      std::min(window_.Size(n_total), n_total) > n_local
+          ? window_.Size(n_total) - std::min(window_.Size(n_total), n_local)
+          : 0;
+  const uint64_t tokens_on_gpu = window_from_context + n_local;
+  return tokens_on_gpu * config_.KvBytesPerToken();
+}
+
+QueryContext Session::MakeQueryContext(uint32_t layer) const {
+  QueryContext qc;
+  qc.context_length = TotalTokens(layer);
+  qc.partial_reuse = partial_reuse();
+  qc.reused_prefix_len =
+      qc.partial_reuse ? static_cast<uint32_t>(prefix_len_) : UINT32_MAX;
+  qc.gpu_budget_bytes = options_.gpu_budget_bytes;
+  qc.layer_id = static_cast<int>(layer);
+  return qc;
+}
+
+Status Session::Attention(uint32_t layer, const float* q, float* out,
+                          AttentionCallStats* stats) {
+  if (layer >= config_.num_layers) return Status::OutOfRange("layer out of range");
+  if (q == nullptr || out == nullptr) return Status::InvalidArgument("null q/out");
+  AttentionCallStats total;
+  for (uint32_t h = 0; h < config_.num_q_heads; ++h) {
+    AttentionCallStats head_stats;
+    const size_t off = static_cast<size_t>(h) * config_.head_dim;
+    ALAYA_RETURN_IF_ERROR(AttendHead(layer, h, q + off, out + off, &head_stats));
+    total.Add(head_stats);
+    total.plan_explain = head_stats.plan_explain;
+  }
+  env_->gpu_clock().Advance(total.modeled_gpu_seconds);
+  if (stats != nullptr) *stats = total;
+  return Status::Ok();
+}
+
+Status Session::AttendHead(uint32_t layer, uint32_t q_head, const float* qh,
+                           float* out_h, AttentionCallStats* stats) {
+  const uint32_t kv_head = config_.KvHeadForQuery(q_head);
+  const size_t d = config_.head_dim;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const size_t n_local = local_.NumTokens(layer);
+  const size_t n_total = prefix_len_ + n_local;
+
+  VectorSetView ctx_keys, ctx_vals;
+  if (context_ != nullptr && prefix_len_ > 0) {
+    ctx_keys = context_->kv().Keys(layer, kv_head);
+    ctx_vals = context_->kv().Values(layer, kv_head);
+  }
+  VectorSetView loc_keys = local_.Keys(layer, kv_head);
+  VectorSetView loc_vals = local_.Values(layer, kv_head);
+
+  const QueryPlan plan = optimizer_.Plan(MakeQueryContext(layer));
+  stats->plan_explain = plan.Explain();
+
+  PartialAttention state(d);
+
+  if (plan.query == QueryClass::kFullAttention) {
+    WallTimer t;
+    if (prefix_len_ > 0) {
+      KvPartition ctx_part{ctx_keys, ctx_vals, {}, 0,
+                           static_cast<uint32_t>(prefix_len_)};
+      stats->attended_tokens += AccumulatePartition(qh, ctx_part, scale, &state);
+    }
+    if (n_local > 0) {
+      KvPartition loc_part{loc_keys, loc_vals, {}, 0, static_cast<uint32_t>(n_local)};
+      stats->attended_tokens += AccumulatePartition(qh, loc_part, scale, &state);
+    }
+    state.Finalize(out_h);
+    stats->attention_seconds += t.ElapsedSeconds();
+    // In the deployed system full attention runs on GPU.
+    stats->modeled_gpu_seconds +=
+        env_->cost_model().GpuAttentionSeconds(4.0 * static_cast<double>(n_total) * d);
+    return Status::Ok();
+  }
+
+  // --- Sparse path: window ids over the combined [context | local] space. ---
+  // Local tokens are all attended (late materialization keeps them in the
+  // device window); context window ids are the initial tokens plus whatever
+  // part of the recent window reaches back into the reused prefix.
+  std::vector<uint32_t> ctx_window_ids;
+  const uint32_t init_end = static_cast<uint32_t>(
+      std::min<size_t>(prefix_len_, window_.config().initial_tokens));
+  for (uint32_t i = 0; i < init_end; ++i) ctx_window_ids.push_back(i);
+  const size_t recent = window_.config().recent_tokens;
+  if (recent > n_local && prefix_len_ > 0) {
+    const size_t reach = recent - n_local;  // Recent tokens inside the prefix.
+    const uint32_t lo = static_cast<uint32_t>(prefix_len_ > reach ? prefix_len_ - reach : 0);
+    for (uint32_t i = std::max(lo, init_end); i < prefix_len_; ++i) {
+      ctx_window_ids.push_back(i);
+    }
+  }
+
+  // Window-enhanced DIPRS prior (§7.1): best inner product over device-resident
+  // tokens (context window + local tail).
+  float prior = -1e30f;
+  WallTimer search_timer;
+  if (options_.use_window_dipr_hint) {
+    for (uint32_t id : ctx_window_ids) {
+      prior = std::max(prior, Dot(qh, ctx_keys.Vec(id), d));
+    }
+    for (uint32_t i = 0; i < n_local; ++i) {
+      prior = std::max(prior, Dot(qh, loc_keys.Vec(i), d));
+    }
+    stats->search.dist_comps += ctx_window_ids.size() + n_local;
+  }
+
+  // --- Retrieval over the reused context. ---
+  SearchResult retrieved;
+  if (prefix_len_ > 0) {
+    IdFilter filter = plan.filter;
+    switch (plan.index) {
+      case IndexClass::kCoarse: {
+        const CoarseIndex* coarse = context_->CoarseIdx(layer, kv_head);
+        if (coarse != nullptr) {
+          ALAYA_RETURN_IF_ERROR(
+              coarse->SearchTopKFiltered(qh, plan.topk, filter, &retrieved));
+          break;
+        }
+        [[fallthrough]];  // No coarse index built: degrade to fine/flat.
+      }
+      case IndexClass::kFine: {
+        const RoarGraph* fine = context_->FineIndex(layer, q_head);
+        if (fine != nullptr && fine->built()) {
+          DiprsHints hints;
+          if (options_.use_window_dipr_hint) hints.prior_best_ip = prior;
+          if (plan.query == QueryClass::kDipr) {
+            retrieved = filter.enabled()
+                            ? DiprsSearchFiltered(fine->graph(), fine->vectors(),
+                                                  fine->EntryPoint(qh), qh, plan.dipr,
+                                                  filter, hints)
+                            : DiprsSearch(fine->graph(), fine->vectors(),
+                                          fine->EntryPoint(qh), qh, plan.dipr, hints);
+          } else {
+            ALAYA_RETURN_IF_ERROR(
+                fine->SearchTopKFiltered(qh, plan.topk, filter, &retrieved));
+          }
+          break;
+        }
+        [[fallthrough]];  // No fine index: degrade to flat scan.
+      }
+      case IndexClass::kFlat: {
+        FlatIndex flat(ctx_keys);
+        if (plan.query == QueryClass::kDipr) {
+          ALAYA_RETURN_IF_ERROR(
+              flat.SearchDiprFiltered(qh, plan.dipr, filter, &retrieved));
+        } else {
+          ALAYA_RETURN_IF_ERROR(
+              flat.SearchTopKFiltered(qh, plan.topk, filter, &retrieved));
+        }
+        break;
+      }
+    }
+  }
+  stats->search_seconds += search_timer.ElapsedSeconds();
+  stats->search += retrieved.stats;
+  stats->retrieved_tokens += retrieved.hits.size();
+
+  // --- Data-centric partial attention (§7.2). ---
+  WallTimer attn_timer;
+  // Partition 1 (CPU, where the offloaded context lives): retrieved critical
+  // tokens minus those already in the device window.
+  std::vector<uint32_t> cpu_ids;
+  cpu_ids.reserve(retrieved.hits.size());
+  for (const ScoredId& hit : retrieved.hits) {
+    const bool in_window =
+        hit.id < init_end ||
+        (recent > n_local && hit.id >= prefix_len_ - std::min(prefix_len_,
+                                                              recent - n_local));
+    if (!in_window) cpu_ids.push_back(hit.id);
+  }
+  PartialAttention cpu_state(d);
+  if (!cpu_ids.empty()) {
+    KvPartition part{ctx_keys, ctx_vals, cpu_ids, 0, 0};
+    stats->attended_tokens += AccumulatePartition(qh, part, scale, &cpu_state);
+  }
+
+  // Partition 2 (GPU): context window tokens + the local tail.
+  PartialAttention gpu_state(d);
+  if (!ctx_window_ids.empty()) {
+    KvPartition part{ctx_keys, ctx_vals, ctx_window_ids, 0, 0};
+    stats->attended_tokens += AccumulatePartition(qh, part, scale, &gpu_state);
+  }
+  if (n_local > 0) {
+    KvPartition part{loc_keys, loc_vals, {}, 0, static_cast<uint32_t>(n_local)};
+    stats->attended_tokens += AccumulatePartition(qh, part, scale, &gpu_state);
+  }
+  const size_t gpu_tokens = ctx_window_ids.size() + n_local;
+  stats->modeled_gpu_seconds +=
+      env_->cost_model().GpuAttentionSeconds(4.0 * static_cast<double>(gpu_tokens) * d);
+
+  if (options_.data_centric) {
+    // Only the (max, sum, acc) triple crosses PCIe: d + 2 floats.
+    stats->modeled_gpu_seconds +=
+        env_->cost_model().TransferSeconds((d + 2) * sizeof(float));
+  } else {
+    // Gather-then-compute ablation: ship retrieved K+V to the device first.
+    const uint64_t gather_bytes = static_cast<uint64_t>(cpu_ids.size()) * 2 * d *
+                                  config_.bytes_per_scalar;
+    stats->modeled_gpu_seconds += env_->cost_model().TransferSeconds(gather_bytes);
+    stats->modeled_gpu_seconds += env_->cost_model().GpuAttentionSeconds(
+        4.0 * static_cast<double>(cpu_ids.size()) * d);
+  }
+
+  state.Merge(gpu_state);
+  state.Merge(cpu_state);
+  state.Finalize(out_h);
+  stats->attention_seconds += attn_timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+}  // namespace alaya

@@ -1,0 +1,120 @@
+// Session: connects one running inference request to its (possibly reused)
+// context (§5, Table 2). Mirrors the paper's API:
+//   Session.update(q, k, v, layer)   -> Update()      (DynamicCache-compatible)
+//   Session.attention(q, layer) -> o -> Attention()   (flash-attention drop-in)
+//
+// Newly generated KV is appended to the session-local cache and attended via
+// the window — it is only materialized into a physical index when
+// DB.Store(session) is called (late materialization, §7.2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/attention/window_cache.h"
+#include "src/core/context_store.h"
+#include "src/core/kv_cache.h"
+#include "src/core/query_samples.h"
+#include "src/device/device.h"
+#include "src/query/optimizer.h"
+
+namespace alaya {
+
+struct SessionOptions {
+  WindowConfig window;
+  OptimizerOptions optimizer;
+  /// Per-session device budget the optimizer plans against.
+  uint64_t gpu_budget_bytes = 0;
+  /// Seed DIPRS pruning with the max window inner product (§7.1).
+  bool use_window_dipr_hint = true;
+  /// Data-centric attention (§7.2): compute partial attention where KV lives
+  /// and merge. When false, models gather-then-compute (retrieved KV is
+  /// charged as a PCIe transfer before a GPU kernel) — the ablation baseline.
+  bool data_centric = true;
+  /// Record prefill queries so DB.Store() can train RoarGraph.
+  bool record_queries = true;
+  size_t max_recorded_tokens = 8192;
+};
+
+/// Per-Attention-call accounting (one layer, all query heads).
+struct AttentionCallStats {
+  size_t retrieved_tokens = 0;  ///< Critical tokens returned by retrieval.
+  size_t attended_tokens = 0;   ///< Tokens that entered softmax (incl. window).
+  SearchStats search;
+  double search_seconds = 0;
+  double attention_seconds = 0;
+  double modeled_gpu_seconds = 0;  ///< Charged device time (window part, transfers).
+  std::string plan_explain;        ///< Plan of the last head (all heads agree).
+
+  void Add(const AttentionCallStats& o) {
+    retrieved_tokens += o.retrieved_tokens;
+    attended_tokens += o.attended_tokens;
+    search += o.search;
+    search_seconds += o.search_seconds;
+    attention_seconds += o.attention_seconds;
+    modeled_gpu_seconds += o.modeled_gpu_seconds;
+  }
+};
+
+class Session {
+ public:
+  /// `reused` may be nullptr (fresh context). `reused_prefix` <=
+  /// reused->length() tokens of the stored context are visible to this session
+  /// (partial reuse engages attribute filtering, §7.1).
+  Session(const ModelConfig& config, const SessionOptions& options, Context* reused,
+          size_t reused_prefix, SimEnvironment* env = nullptr);
+
+  /// Appends one token's K/V to the session-local cache for `layer` and
+  /// (optionally) records q for index training. Compatible with
+  /// DynamicCache.update: the full K/V remains accessible via kv views.
+  Status Update(uint32_t layer, const float* q, const float* k, const float* v);
+
+  /// Batch prefill variant: `count` tokens, token-major layout.
+  Status UpdateBatch(uint32_t layer, size_t count, const float* q, const float* k,
+                     const float* v);
+
+  /// Computes one layer's attention output for the newest token.
+  /// q and out are [num_q_heads * head_dim]. Replaces flash_attn_func.
+  Status Attention(uint32_t layer, const float* q, float* out,
+                   AttentionCallStats* stats = nullptr);
+
+  // --- Introspection ---
+  size_t reused_prefix() const { return prefix_len_; }
+  bool partial_reuse() const {
+    return context_ != nullptr && prefix_len_ < context_->length();
+  }
+  size_t LocalTokens(uint32_t layer = 0) const { return local_.NumTokens(layer); }
+  size_t TotalTokens(uint32_t layer = 0) const {
+    return prefix_len_ + local_.NumTokens(layer);
+  }
+  Context* reused_context() { return context_; }
+  const Context* reused_context() const { return context_; }
+  const KvCache& local_kv() const { return local_; }
+  const QuerySamples* recorded_queries() const { return recorded_.get(); }
+  const ModelConfig& config() const { return config_; }
+  const SessionOptions& options() const { return options_; }
+  const RuleBasedOptimizer& optimizer() const { return optimizer_; }
+
+  /// Bytes currently GPU-resident for this session (window + local KV at
+  /// deployed precision, across layers).
+  uint64_t GpuResidentBytes() const;
+
+ private:
+  Status AttendHead(uint32_t layer, uint32_t q_head, const float* qh, float* out_h,
+                    AttentionCallStats* stats);
+
+  QueryContext MakeQueryContext(uint32_t layer) const;
+
+  ModelConfig config_;
+  SessionOptions options_;
+  Context* context_;
+  size_t prefix_len_;
+  SimEnvironment* env_;
+  KvCache local_;
+  std::unique_ptr<QuerySamples> recorded_;
+  RuleBasedOptimizer optimizer_;
+  WindowCache window_;
+  MemoryReservation gpu_reservation_;
+};
+
+}  // namespace alaya

@@ -1,0 +1,108 @@
+// Calibrated cost model for device-side work that this CPU-only reproduction
+// cannot execute natively (GPU kernels, PCIe transfers, NVMe I/O).
+//
+// Substitution rule (DESIGN.md §2.3): CPU-side work is executed and wall-clock
+// timed; GPU/transfer work is executed on host threads but *charged* with the
+// modeled durations below. Constants approximate an NVIDIA L20 + PCIe 4.0 x16
+// testbed like the paper's.
+#pragma once
+
+#include <cstdint>
+
+namespace alaya {
+
+/// Tunable hardware constants. All rates are "effective" (i.e., already
+/// discounted for real-world efficiency), not peak datasheet numbers.
+struct CostModel {
+  /// Effective host<->device bandwidth (PCIe 4.0 x16 ~ 24 GB/s usable).
+  double pcie_gbps = 24.0;
+  /// Effective GPU throughput for attention GEMMs (L20 bf16, ~40% MFU).
+  double gpu_attn_tflops = 24.0;
+  /// Effective GPU memory bandwidth (L20 GDDR6 864 GB/s, ~75% achievable).
+  double gpu_mem_gbps = 650.0;
+  /// KV-cache decompression throughput for the LMCache-style baseline
+  /// (CacheGen-like codecs decode a few GB/s on CPU).
+  double kv_decompress_gbps = 4.0;
+  /// GPU kNN-graph construction throughput (cuVS NN-descent; pairwise-distance
+  /// equivalent FLOP rate).
+  double gpu_knn_tflops = 12.0;
+  /// Per-kernel launch overhead.
+  double kernel_launch_seconds = 10e-6;
+  /// NVMe read bandwidth for the vector file system tier.
+  double nvme_read_gbps = 6.5;
+  /// NVMe random-read latency per request (SPDK-class user-space driver).
+  double nvme_latency_seconds = 12e-6;
+  /// Effective fraction of GPU memory bandwidth that HF-transformers-style
+  /// eager decode attention achieves (unfused kernels materialize the score
+  /// matrix and make several passes). Calibrated so full attention violates
+  /// the 0.24 s TPOT SLO past ~100K tokens, matching the paper's Table 5.
+  double hf_attention_efficiency = 0.08;
+
+  /// Seconds to move `bytes` across PCIe.
+  double TransferSeconds(uint64_t bytes) const {
+    return kernel_launch_seconds + static_cast<double>(bytes) / (pcie_gbps * 1e9);
+  }
+
+  /// Seconds for the GPU to execute `flops` of attention GEMM work.
+  double GpuAttentionSeconds(double flops) const {
+    return kernel_launch_seconds + flops / (gpu_attn_tflops * 1e12);
+  }
+
+  /// Seconds the GPU needs just to stream `bytes` from device memory
+  /// (bandwidth-bound decode attention).
+  double GpuMemoryStreamSeconds(uint64_t bytes) const {
+    return kernel_launch_seconds + static_cast<double>(bytes) / (gpu_mem_gbps * 1e9);
+  }
+
+  /// Seconds to decompress `bytes` of compressed KV cache.
+  double DecompressSeconds(uint64_t bytes) const {
+    return static_cast<double>(bytes) / (kv_decompress_gbps * 1e9);
+  }
+
+  /// Seconds for the GPU to do `flops` of kNN-construction distance work.
+  double GpuKnnSeconds(double flops) const {
+    return kernel_launch_seconds + flops / (gpu_knn_tflops * 1e12);
+  }
+
+  /// Seconds for one NVMe read of `bytes`.
+  double NvmeReadSeconds(uint64_t bytes) const {
+    return nvme_latency_seconds + static_cast<double>(bytes) / (nvme_read_gbps * 1e9);
+  }
+
+  /// Seconds for one decode step of HF-eager full attention streaming `bytes`
+  /// of KV cache (bandwidth-bound, inefficiency factored in).
+  double HfDecodeAttentionSeconds(uint64_t bytes) const {
+    return kernel_launch_seconds +
+           static_cast<double>(bytes) /
+               (gpu_mem_gbps * hf_attention_efficiency * 1e9);
+  }
+};
+
+/// FLOP count of causal full-attention prefill over n tokens
+/// (QK^T + AV per head: 2 * 2 * d * n^2/2 per head).
+inline double PrefillAttentionFlops(uint64_t n, uint64_t heads, uint64_t head_dim,
+                                    uint64_t layers) {
+  const double n2 = static_cast<double>(n) * static_cast<double>(n) / 2.0;
+  return 2.0 * 2.0 * static_cast<double>(head_dim) * n2 * static_cast<double>(heads) *
+         static_cast<double>(layers);
+}
+
+/// FLOP count of one decode step of full attention over a context of n tokens.
+inline double DecodeAttentionFlops(uint64_t n, uint64_t heads, uint64_t head_dim,
+                                   uint64_t layers) {
+  return 2.0 * 2.0 * static_cast<double>(head_dim) * static_cast<double>(n) *
+         static_cast<double>(heads) * static_cast<double>(layers);
+}
+
+/// Accumulates modeled (virtual) seconds alongside measured wall time.
+class VirtualClock {
+ public:
+  void Advance(double seconds) { seconds_ += seconds; }
+  void Reset() { seconds_ = 0.0; }
+  double Seconds() const { return seconds_; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+}  // namespace alaya

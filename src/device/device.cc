@@ -1,0 +1,10 @@
+#include "src/device/device.h"
+
+namespace alaya {
+
+SimEnvironment& SimEnvironment::Global() {
+  static SimEnvironment env;
+  return env;
+}
+
+}  // namespace alaya

@@ -1,0 +1,55 @@
+// Simulated deployment: a GPU device with tracked memory + cost model, plus
+// host and disk tiers. One SimEnvironment is shared by a DB instance.
+#pragma once
+
+#include <memory>
+
+#include "src/device/cost_model.h"
+#include "src/device/memory_tracker.h"
+
+namespace alaya {
+
+/// The simulated hardware environment (one GPU, host DRAM, NVMe).
+/// GPU-resident structures reserve bytes in gpu_memory(); modeled kernel and
+/// transfer durations accumulate in gpu_clock().
+class SimEnvironment {
+ public:
+  SimEnvironment()
+      : gpu_memory_(MemoryTier::kGpu),
+        host_memory_(MemoryTier::kHost),
+        disk_usage_(MemoryTier::kDisk) {}
+
+  MemoryTracker& gpu_memory() { return gpu_memory_; }
+  MemoryTracker& host_memory() { return host_memory_; }
+  MemoryTracker& disk_usage() { return disk_usage_; }
+  const MemoryTracker& gpu_memory() const { return gpu_memory_; }
+  const MemoryTracker& host_memory() const { return host_memory_; }
+
+  CostModel& cost_model() { return cost_model_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  VirtualClock& gpu_clock() { return gpu_clock_; }
+  const VirtualClock& gpu_clock() const { return gpu_clock_; }
+
+  /// Charges a host->device (or device->host) transfer.
+  void ChargeTransfer(uint64_t bytes) {
+    gpu_clock_.Advance(cost_model_.TransferSeconds(bytes));
+  }
+
+  /// Charges `flops` of GPU attention work.
+  void ChargeGpuAttention(double flops) {
+    gpu_clock_.Advance(cost_model_.GpuAttentionSeconds(flops));
+  }
+
+  /// Process-wide default environment.
+  static SimEnvironment& Global();
+
+ private:
+  MemoryTracker gpu_memory_;
+  MemoryTracker host_memory_;
+  MemoryTracker disk_usage_;
+  CostModel cost_model_;
+  VirtualClock gpu_clock_;
+};
+
+}  // namespace alaya

@@ -1,0 +1,24 @@
+#include "src/device/memory_tracker.h"
+
+#include "src/common/string_util.h"
+
+namespace alaya {
+
+const char* MemoryTierName(MemoryTier tier) {
+  switch (tier) {
+    case MemoryTier::kGpu:
+      return "GPU";
+    case MemoryTier::kHost:
+      return "HOST";
+    case MemoryTier::kDisk:
+      return "DISK";
+  }
+  return "?";
+}
+
+std::string MemoryTracker::ToString() const {
+  return StrFormat("%s: current=%s peak=%s", MemoryTierName(tier_),
+                   HumanBytes(current()).c_str(), HumanBytes(peak()).c_str());
+}
+
+}  // namespace alaya

@@ -1,0 +1,29 @@
+// Generic best-first (beam) search over an adjacency graph, maximizing inner
+// product. Used by index construction (connectivity enhancement), the top-k
+// query type, and as the skeleton DIPRS builds on.
+#pragma once
+
+#include "src/common/visited_set.h"
+#include "src/index/graph_common.h"
+#include "src/index/index.h"
+
+namespace alaya {
+
+/// Classic ef-bounded beam search: returns the ef best candidates found,
+/// sorted by descending inner product. `visited` may be nullptr (a local set
+/// is used); passing one amortizes allocation across queries.
+SearchResult GraphBeamSearch(const AdjacencyGraph& graph, VectorSetView vectors,
+                             uint32_t entry, const float* q, size_t ef,
+                             VisitedSet* visited = nullptr);
+
+/// Beam search returning only the top k of an ef-wide beam.
+SearchResult GraphTopK(const AdjacencyGraph& graph, VectorSetView vectors,
+                       uint32_t entry, const float* q, const TopKParams& params,
+                       VisitedSet* visited = nullptr);
+
+/// Greedy 1-best descent (used by HNSW upper layers): repeatedly moves to the
+/// best-scoring neighbor until no improvement.
+uint32_t GreedyDescend(const AdjacencyGraph& graph, VectorSetView vectors,
+                       uint32_t entry, const float* q, SearchStats* stats = nullptr);
+
+}  // namespace alaya

@@ -1,0 +1,94 @@
+// Hierarchical Navigable Small World graph (Malkov & Yashunin), specialized
+// for maximum-inner-product search over KV-cache key vectors.
+//
+// AlayaDB's default fine-grained index is RoarGraph (built from cross-modal
+// query->key kNN); HNSW is provided as the classic in-distribution graph
+// baseline (§6.1.3 cites it as a building block) and for incremental inserts.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/index/graph_common.h"
+#include "src/index/index.h"
+
+namespace alaya {
+
+/// Similarity used for both construction and search. Scores are
+/// "higher is better": inner product, or negated squared L2.
+enum class GraphMetric : int { kInnerProduct = 0, kL2 = 1 };
+
+struct HnswOptions {
+  uint32_t m = 16;                ///< Max degree on upper layers (2m on layer 0).
+  uint32_t ef_construction = 128; ///< Beam width during insertion.
+  GraphMetric metric = GraphMetric::kInnerProduct;
+  uint64_t seed = 42;
+};
+
+class Hnsw final : public VectorIndex, public SearchableGraph {
+ public:
+  /// Creates an empty index over `view` (vectors owned by the caller).
+  /// Call Build() to insert all vectors, or InsertSequential() incrementally
+  /// after Rebind()ing to a grown view.
+  Hnsw(VectorSetView view, const HnswOptions& options);
+  ~Hnsw() override;
+
+  /// Inserts vectors [0, view.n). Single-threaded (insertion mutates shared
+  /// adjacency); index construction at scale goes through RoarGraph instead.
+  Status Build();
+
+  /// Rebinds to a grown view and inserts the new tail [old_n, view.n).
+  Status AppendNewVectors(VectorSetView grown_view);
+
+  // --- VectorIndex ---
+  IndexClass index_class() const override { return IndexClass::kFine; }
+  size_t size() const override { return next_id_; }
+  uint64_t MemoryBytes() const override;
+  Status SearchTopK(const float* q, const TopKParams& params,
+                    SearchResult* out) const override;
+  Status SearchDipr(const float* q, const DiprParams& params,
+                    SearchResult* out) const override;
+  Status SearchTopKFiltered(const float* q, const TopKParams& params,
+                            const IdFilter& filter, SearchResult* out) const override;
+  Status SearchDiprFiltered(const float* q, const DiprParams& params,
+                            const IdFilter& filter, SearchResult* out) const override;
+
+  // --- SearchableGraph (base layer view for DIPRS) ---
+  const AdjacencyGraph& graph() const override { return base_; }
+  VectorSetView vectors() const override { return view_; }
+  uint32_t EntryPoint(const float* q) const override;
+
+  int max_level() const { return max_level_; }
+
+ private:
+  float Score(const float* a, const float* b) const;
+
+  /// Beam search restricted to one level; returns candidates best-first.
+  std::vector<ScoredId> SearchLevel(const float* q, uint32_t entry, size_t ef,
+                                    int level, SearchStats* stats) const;
+
+  /// HNSW neighbor-selection heuristic: prefers diverse neighbors.
+  std::vector<uint32_t> SelectNeighbors(uint32_t node,
+                                        const std::vector<ScoredId>& candidates,
+                                        uint32_t max_links) const;
+
+  void InsertNode(uint32_t id);
+  std::span<const uint32_t> NeighborsAt(uint32_t u, int level) const;
+  void PruneOverflow(uint32_t u, int level, uint32_t max_links);
+
+  VectorSetView view_;
+  HnswOptions options_;
+  Rng rng_;
+
+  uint32_t next_id_ = 0;     ///< Number of inserted nodes.
+  std::vector<int> levels_;  ///< Top level of each node.
+  AdjacencyGraph base_;      ///< Level 0 adjacency (cap 2m).
+  /// Levels >= 1: sparse adjacency.
+  std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>> upper_;
+  uint32_t entry_ = 0;
+  int max_level_ = -1;
+};
+
+}  // namespace alaya

@@ -1,0 +1,17 @@
+#include "src/index/index.h"
+
+namespace alaya {
+
+const char* IndexClassName(IndexClass c) {
+  switch (c) {
+    case IndexClass::kFlat:
+      return "flat";
+    case IndexClass::kCoarse:
+      return "coarse";
+    case IndexClass::kFine:
+      return "fine";
+  }
+  return "?";
+}
+
+}  // namespace alaya

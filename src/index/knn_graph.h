@@ -1,0 +1,37 @@
+// Exact bipartite kNN construction: for each training query vector, the k key
+// vectors with the largest inner product. This is stage (i) of RoarGraph
+// construction (§7.2); on the paper's testbed it runs on GPU via NVIDIA cuVS,
+// here it runs on the host thread pool (the simulated-GPU charging happens in
+// IndexBuilder, which owns the layer pipeline).
+#pragma once
+
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/common/vec_math.h"
+#include "src/index/vector_set.h"
+
+namespace alaya {
+
+struct BipartiteKnnOptions {
+  uint32_t k = 16;
+  /// Pool for parallel execution; nullptr -> ThreadPool::Global().
+  ThreadPool* pool = nullptr;
+  /// Run single-threaded (the "CPU baseline" of Fig. 11 builds one index at a
+  /// time with limited parallelism; exposed for benchmarking).
+  bool sequential = false;
+};
+
+/// Exact top-k (by inner product) keys for each query. queries.d must equal
+/// keys.d. Returns one descending-sorted list per query.
+std::vector<std::vector<ScoredId>> ExactBipartiteKnn(VectorSetView keys,
+                                                     VectorSetView queries,
+                                                     const BipartiteKnnOptions& options);
+
+/// FLOPs of the exact computation (for the simulated-GPU cost model).
+inline double BipartiteKnnFlops(size_t num_keys, size_t num_queries, size_t dim) {
+  return 2.0 * static_cast<double>(num_keys) * static_cast<double>(num_queries) *
+         static_cast<double>(dim);
+}
+
+}  // namespace alaya

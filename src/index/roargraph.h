@@ -1,0 +1,92 @@
+// RoarGraph: a projected bipartite graph for cross-modal (out-of-distribution)
+// approximate nearest neighbor search [Chen et al., VLDB 2024], the
+// fine-grained index AlayaDB uses for sparse attention (§7.2).
+//
+// Decode-time query vectors are *not* distributed like key vectors, so
+// in-distribution graphs (HNSW/NSG) navigate poorly. RoarGraph instead:
+//   (1) builds an exact kNN bipartite graph from sampled *query* vectors to
+//       key vectors;
+//   (2) projects it: keys co-retrieved by the same query become neighbor
+//       candidates, pruned for diversity;
+//   (3) enhances connectivity so every key is reachable from the entry point.
+#pragma once
+
+#include <memory>
+
+#include "src/common/thread_pool.h"
+#include "src/index/graph_common.h"
+#include "src/index/index.h"
+#include "src/index/knn_graph.h"
+
+namespace alaya {
+
+struct RoarGraphOptions {
+  /// Max out-degree after pruning.
+  uint32_t max_degree = 32;
+  /// Bipartite neighbors per training query.
+  uint32_t knn_per_query = 32;
+  /// Occlusion slack for diversity pruning (Vamana-style, on key-space L2).
+  float prune_alpha = 1.2f;
+  /// Beam width used during connectivity enhancement.
+  uint32_t ef_enhance = 64;
+  ThreadPool* pool = nullptr;  ///< nullptr -> ThreadPool::Global().
+  bool sequential = false;     ///< Disable parallel build (CPU baseline mode).
+};
+
+class RoarGraph final : public VectorIndex, public SearchableGraph {
+ public:
+  /// The key vectors are owned by the caller (KV cache) and must outlive the
+  /// index. Call one of the Build methods before searching.
+  RoarGraph(VectorSetView keys, const RoarGraphOptions& options);
+  ~RoarGraph() override;
+
+  /// Full pipeline: exact bipartite kNN from `queries`, then projection and
+  /// connectivity enhancement.
+  Status BuildFromQueries(VectorSetView queries);
+
+  /// Builds from precomputed bipartite kNN lists (stage (i) output) — used by
+  /// IndexBuilder, which computes the kNN on the simulated GPU.
+  Status BuildFromBipartite(const std::vector<std::vector<ScoredId>>& query_knn);
+
+  /// Adopts a previously-built adjacency (loaded from the vector file system);
+  /// recomputes the entry point and marks the index built.
+  Status AdoptGraph(AdjacencyGraph&& graph);
+
+  bool built() const { return built_; }
+
+  // --- VectorIndex ---
+  IndexClass index_class() const override { return IndexClass::kFine; }
+  size_t size() const override { return keys_.n; }
+  uint64_t MemoryBytes() const override { return graph_.MemoryBytes(); }
+  Status SearchTopK(const float* q, const TopKParams& params,
+                    SearchResult* out) const override;
+  Status SearchDipr(const float* q, const DiprParams& params,
+                    SearchResult* out) const override;
+  Status SearchTopKFiltered(const float* q, const TopKParams& params,
+                            const IdFilter& filter, SearchResult* out) const override;
+  Status SearchDiprFiltered(const float* q, const DiprParams& params,
+                            const IdFilter& filter, SearchResult* out) const override;
+
+  // --- SearchableGraph ---
+  const AdjacencyGraph& graph() const override { return graph_; }
+  VectorSetView vectors() const override { return keys_; }
+  uint32_t EntryPoint(const float* /*q*/) const override { return entry_; }
+
+  /// Fraction of nodes reachable from the entry point (1.0 after a healthy
+  /// build; exposed for tests).
+  double ReachableFraction() const;
+
+ private:
+  void ProjectBipartite(const std::vector<std::vector<ScoredId>>& query_knn);
+  void PruneNode(uint32_t u, std::vector<uint32_t>* candidates);
+  void EnhanceConnectivity();
+  void ForceEdge(uint32_t u, uint32_t v);
+
+  VectorSetView keys_;
+  RoarGraphOptions options_;
+  AdjacencyGraph graph_;
+  uint32_t entry_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace alaya

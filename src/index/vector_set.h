@@ -1,0 +1,77 @@
+// Dense row-major vector storage and non-owning views.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace alaya {
+
+/// Non-owning view over n contiguous d-dimensional float vectors.
+struct VectorSetView {
+  const float* data = nullptr;
+  size_t n = 0;
+  size_t d = 0;
+
+  const float* Vec(uint32_t id) const {
+    assert(id < n);
+    return data + static_cast<size_t>(id) * d;
+  }
+  bool empty() const { return n == 0; }
+};
+
+/// Owning, append-only vector container (one attention head's keys or values).
+class VectorSet {
+ public:
+  VectorSet() = default;
+  explicit VectorSet(size_t d) : d_(d) {}
+
+  void Reset(size_t d) {
+    d_ = d;
+    data_.clear();
+    n_ = 0;
+  }
+
+  /// Appends one vector; returns its id.
+  uint32_t Append(const float* v) {
+    data_.insert(data_.end(), v, v + d_);
+    return static_cast<uint32_t>(n_++);
+  }
+
+  /// Appends `count` vectors stored contiguously.
+  void AppendBatch(const float* v, size_t count) {
+    data_.insert(data_.end(), v, v + count * d_);
+    n_ += count;
+  }
+
+  void Reserve(size_t n) { data_.reserve(n * d_); }
+
+  const float* Vec(uint32_t id) const {
+    assert(id < n_);
+    return data_.data() + static_cast<size_t>(id) * d_;
+  }
+  float* MutableVec(uint32_t id) { return data_.data() + static_cast<size_t>(id) * d_; }
+
+  VectorSetView View() const { return VectorSetView{data_.data(), n_, d_}; }
+
+  size_t size() const { return n_; }
+  size_t dim() const { return d_; }
+  bool empty() const { return n_ == 0; }
+  uint64_t MemoryBytes() const { return data_.capacity() * sizeof(float); }
+  const float* raw() const { return data_.data(); }
+
+  /// Drops all vectors with id >= new_size (used by session rollback in tests).
+  void Truncate(size_t new_size) {
+    assert(new_size <= n_);
+    n_ = new_size;
+    data_.resize(n_ * d_);
+  }
+
+ private:
+  size_t d_ = 0;
+  size_t n_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace alaya

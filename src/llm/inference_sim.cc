@@ -1,0 +1,92 @@
+#include "src/llm/inference_sim.h"
+
+#include "src/attention/attention_engine.h"
+#include "src/llm/quality.h"
+
+namespace alaya {
+
+EvalOptions MakeScaledEvalOptions(const ModelConfig& bench_model,
+                                  double server_parallelism) {
+  const ModelConfig paper = ModelConfig::Llama3_8B();
+  EvalOptions opts;
+  opts.layer_head_scale =
+      (static_cast<double>(paper.num_layers) * paper.num_q_heads) /
+      (static_cast<double>(bench_model.num_layers) * bench_model.num_q_heads);
+  opts.server_parallelism = server_parallelism;
+  const double geom = static_cast<double>(paper.KvBytesPerToken()) /
+                      static_cast<double>(bench_model.KvBytesPerToken());
+  opts.gpu_ctx_scale = geom;
+  opts.gpu_fixed_scale = geom;
+  return opts;
+}
+
+Result<MethodEval> EvaluateMethod(const SyntheticContext& context,
+                                  MethodRunner* runner, const EvalOptions& options) {
+  const ModelConfig& m = runner->model();
+  const size_t d = m.head_dim;
+  const size_t steps =
+      options.decode_steps > 0 ? options.decode_steps : context.spec().decode_steps;
+
+  MethodEval eval;
+  eval.label = runner->spec().label;
+  eval.gpu_bytes = runner->GpuBytes();
+
+  MeanAccumulator fid, retr, attend, recov;
+  double cpu_total = 0, gpu_ctx_total = 0, gpu_fixed_total = 0;
+  std::vector<float> q(d), out(d), oracle(d);
+  std::vector<uint32_t> used_ids;
+
+  for (size_t step = 0; step < steps; ++step) {
+    for (uint32_t layer = 0; layer < m.num_layers; ++layer) {
+      for (uint32_t h = 0; h < m.num_q_heads; ++h) {
+        context.MakeDecodeQuery(step, layer, h, q.data());
+        MethodHeadStats stats;
+        ALAYA_RETURN_IF_ERROR(runner->AttendHead(
+            layer, h, q.data(), out.data(), &stats,
+            options.collect_recovery ? &used_ids : nullptr));
+        context.OracleOutput(step, layer, h, oracle.data());
+        fid.Add(CosineFidelity(out.data(), oracle.data(), d));
+        retr.Add(static_cast<double>(stats.retrieved));
+        attend.Add(static_cast<double>(stats.attended));
+        cpu_total += stats.cpu_seconds;
+        gpu_ctx_total += stats.gpu_ctx_seconds;
+        gpu_fixed_total += stats.gpu_fixed_seconds;
+        if (options.collect_recovery) {
+          const uint32_t kv_head = m.KvHeadForQuery(h);
+          VectorSetView keys = context.kv().Keys(layer, kv_head);
+          recov.Add(RecoveryRatio(q.data(), keys, keys.n, used_ids));
+        }
+      }
+    }
+  }
+
+  eval.fidelity = fid.Mean();
+  eval.mean_retrieved = retr.Mean();
+  eval.mean_attended = attend.Mean();
+  eval.recovery = recov.Mean();
+  eval.cpu_seconds_per_step = cpu_total / static_cast<double>(steps);
+  eval.gpu_modeled_per_step =
+      (gpu_ctx_total + gpu_fixed_total) / static_cast<double>(steps);
+  eval.tpot_seconds =
+      eval.cpu_seconds_per_step * options.cpu_work_scale * options.layer_head_scale /
+          options.server_parallelism +
+      gpu_ctx_total / static_cast<double>(steps) * options.gpu_ctx_scale +
+      gpu_fixed_total / static_cast<double>(steps) * options.gpu_fixed_scale;
+  eval.slo_met = eval.tpot_seconds <= options.slo_tpot_seconds;
+  return eval;
+}
+
+void AnchorScores(std::vector<MethodEval>* evals, double paper_full_score) {
+  double full_fidelity = 0;
+  for (const auto& e : *evals) {
+    if (e.label.rfind("Full", 0) == 0) full_fidelity = e.fidelity;
+  }
+  if (full_fidelity <= 0) {
+    for (const auto& e : *evals) full_fidelity = std::max(full_fidelity, e.fidelity);
+  }
+  for (auto& e : *evals) {
+    e.score = AnchoredScore(e.fidelity, full_fidelity, paper_full_score);
+  }
+}
+
+}  // namespace alaya

@@ -1,0 +1,65 @@
+// Decode-loop evaluation harness: runs a sparse-attention method over a
+// synthetic context and reports quality, TPOT, and device memory — the
+// measurement pipeline behind Table 5, Fig. 6, and Fig. 9.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/baselines/method_runner.h"
+#include "src/llm/qkv_generator.h"
+
+namespace alaya {
+
+struct EvalOptions {
+  /// Decode steps (0 -> spec.decode_steps).
+  size_t decode_steps = 0;
+  /// TPOT SLO: 0.24 s (human reading speed, §9.1).
+  double slo_tpot_seconds = 0.24;
+
+  // TPOT scaling to full-model equivalents (DESIGN.md §2.3): bench geometry is
+  // smaller than Llama-3-8B, so host work scales by the layer*head ratio
+  // (divided by server parallelism — searches run concurrently across heads).
+  // Modeled device work scales by the KV-bytes ratio; the context-linear part
+  // (full-attention streaming) additionally scales by 1/context_scale, while
+  // window/cache work is context-independent.
+  double layer_head_scale = 1.0;
+  double server_parallelism = 24.0;
+  /// Extra host-work scale: head_dim ratio (dot products are linear in d) and
+  /// graph search depth ratio (log of context ratio). Set by bench_util.
+  double cpu_work_scale = 1.0;
+  double gpu_ctx_scale = 1.0;
+  double gpu_fixed_scale = 1.0;
+
+  /// Also compute exact recovery ratios (adds an O(n) scan per head-step).
+  bool collect_recovery = false;
+};
+
+/// Scaling options mapping a bench geometry to Llama-3-8B equivalents.
+EvalOptions MakeScaledEvalOptions(const ModelConfig& bench_model,
+                                  double server_parallelism = 24.0);
+
+struct MethodEval {
+  std::string label;
+  double fidelity = 0;    ///< Mean cosine to the oracle output.
+  double score = 0;       ///< Anchored task score (fill via AnchorScores).
+  double tpot_seconds = 0;
+  double cpu_seconds_per_step = 0;
+  double gpu_modeled_per_step = 0;  ///< ctx + fixed parts, unscaled.
+  uint64_t gpu_bytes = 0;
+  double mean_retrieved = 0;
+  double mean_attended = 0;
+  double recovery = 0;
+  bool slo_met = true;
+};
+
+/// Runs the decode loop. The runner must be Prepare()d on `context`.
+Result<MethodEval> EvaluateMethod(const SyntheticContext& context,
+                                  MethodRunner* runner, const EvalOptions& options);
+
+/// Converts fidelities to anchored task scores in place. `evals` must contain
+/// a row whose label starts with "Full" to anchor against; if absent, the max
+/// fidelity anchors.
+void AnchorScores(std::vector<MethodEval>* evals, double paper_full_score);
+
+}  // namespace alaya

@@ -1,0 +1,123 @@
+// Synthetic transformer context with planted attention structure.
+//
+// Construction (DESIGN.md §2.1). For every (layer, KV head):
+//   - `num_topics` random unit "topic" directions partition a small subset of
+//     tokens into planted critical sets; per-head sizes follow a log-normal
+//     factor (Observation I) scaled by the task's critical_base
+//     (Observation II) and a layer-0 boost (Fig. 5).
+//   - a critical token's key is constructed at an exact cosine to its topic
+//     direction, so its scaled logit z = q.k/sqrt(d) lands uniformly in the
+//     task's [crit_z_min, crit_z_max] band;
+//   - background keys are scaled Gaussian noise (z ~ N(0, ~noise_z_sigma));
+//   - attention sinks: decode queries carry a fixed component along a per-head
+//     sink direction matched by the initial tokens' keys, so the max-IP key
+//     sits in the cached window (the §7.1 ~98% observation);
+//   - values encode "content": topic tokens share a topic value direction, so
+//     attention outputs reveal whether the right critical set was attended.
+//
+// Decode queries are built from the same topic directions with jitter —
+// faithfully out-of-distribution w.r.t. keys, which is exactly the regime
+// RoarGraph targets.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/core/kv_cache.h"
+#include "src/core/query_samples.h"
+#include "src/llm/workloads.h"
+
+namespace alaya {
+
+struct SyntheticContextOptions {
+  ModelConfig model = ModelConfig::Bench();
+  WorkloadSpec spec;
+  uint32_t num_topics = 8;
+  uint32_t num_sinks = 4;
+  /// Angular jitter of decode queries around the topic direction (radians-ish:
+  /// the perturbation's norm relative to the unit direction).
+  double query_jitter = 0.06;
+  /// Training queries get wider jitter so the bipartite kNN covers more of
+  /// each critical cone.
+  double training_jitter = 0.25;
+  /// Sink tokens carry near-zero value mass (they are sinks, not content —
+  /// their large softmax weight must not wash out the signal).
+  double sink_value_scale = 0.02;
+  /// Parallel generation pool (nullptr -> Global).
+  ThreadPool* pool = nullptr;
+};
+
+class SyntheticContext {
+ public:
+  explicit SyntheticContext(const SyntheticContextOptions& options);
+
+  /// Generates keys/values for all layers and heads. Deterministic in
+  /// options.spec.seed.
+  Status Generate();
+
+  const ModelConfig& model() const { return options_.model; }
+  const WorkloadSpec& spec() const { return options_.spec; }
+  size_t num_tokens() const { return options_.spec.context_tokens; }
+  const KvCache& kv() const { return *kv_; }
+  std::unique_ptr<KvCache> TakeKv() { return std::move(kv_); }
+  /// Synthetic token ids (deterministic per seed) for DB prefix matching.
+  const std::vector<int32_t>& tokens() const { return tokens_; }
+
+  /// Topic targeted by a decode step for (layer, q_head).
+  uint32_t StepTopic(size_t step, uint32_t layer, uint32_t q_head) const;
+
+  /// Writes the decode query (head_dim floats) for (step, layer, q_head).
+  void MakeDecodeQuery(size_t step, uint32_t layer, uint32_t q_head, float* q) const;
+  /// All heads of one layer: [num_q_heads * head_dim].
+  void MakeDecodeQueryLayer(size_t step, uint32_t layer, float* q) const;
+
+  /// Ground-truth critical token ids for (step, layer, q_head)'s query.
+  const std::vector<uint32_t>& CriticalSet(size_t step, uint32_t layer,
+                                           uint32_t q_head) const;
+
+  /// Planted members of (layer, kv_head, topic).
+  const std::vector<uint32_t>& TopicMembers(uint32_t layer, uint32_t kv_head,
+                                            uint32_t topic) const;
+
+  /// Per-head critical-size factor (Fig. 5 analysis).
+  double HeadFactor(uint32_t layer, uint32_t kv_head) const;
+
+  /// Oracle output: exact attention restricted to the planted critical set
+  /// plus sinks — the "right answer" quality is measured against.
+  void OracleOutput(size_t step, uint32_t layer, uint32_t q_head, float* out) const;
+
+  /// Training queries for index construction: `per_head` jittered queries per
+  /// query head, cycling over topics.
+  std::unique_ptr<QuerySamples> MakeTrainingQueries(size_t per_head) const;
+
+  uint32_t num_sinks() const { return options_.num_sinks; }
+
+ private:
+  struct HeadPlan {
+    std::vector<std::vector<uint32_t>> topic_members;
+    std::vector<float> topic_dirs;  ///< [num_topics, d], unit rows.
+    std::vector<float> sink_dir;    ///< [d], unit.
+    double head_factor = 1.0;
+  };
+
+  const HeadPlan& Plan(uint32_t layer, uint32_t kv_head) const {
+    return plans_[static_cast<size_t>(layer) * options_.model.num_kv_heads + kv_head];
+  }
+  HeadPlan& MutablePlan(uint32_t layer, uint32_t kv_head) {
+    return plans_[static_cast<size_t>(layer) * options_.model.num_kv_heads + kv_head];
+  }
+
+  void GenerateHead(uint32_t layer, uint32_t kv_head, uint64_t seed,
+                    std::vector<float>* keys, std::vector<float>* values);
+  void BuildQuery(uint32_t layer, uint32_t kv_head, uint32_t topic, Rng* rng,
+                  float* q, double jitter_scale) const;
+
+  SyntheticContextOptions options_;
+  std::unique_ptr<KvCache> kv_;
+  std::vector<HeadPlan> plans_;
+  std::vector<int32_t> tokens_;
+};
+
+}  // namespace alaya

@@ -1,0 +1,22 @@
+#include "src/llm/quality.h"
+
+#include <algorithm>
+
+#include "src/common/vec_math.h"
+
+namespace alaya {
+
+double CosineFidelity(const float* method_out, const float* oracle_out, size_t d) {
+  const double cs = CosineSim(method_out, oracle_out, d);
+  return std::clamp(cs, 0.0, 1.0);
+}
+
+double AnchoredScore(double method_fidelity, double full_fidelity,
+                     double paper_full_score, double max_boost) {
+  if (full_fidelity <= 1e-6) return 0.0;
+  const double ratio =
+      std::clamp(method_fidelity / full_fidelity, 0.0, max_boost);
+  return std::min(100.0, paper_full_score * ratio);
+}
+
+}  // namespace alaya

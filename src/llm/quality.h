@@ -1,0 +1,37 @@
+// Generation-quality proxy (DESIGN.md §2.2): attention-output fidelity against
+// the oracle (exact attention over the planted critical set), anchored to the
+// paper's Full Attention scores so *relative* method ordering is the measured
+// quantity. Sparse methods that retrieve the critical set exactly can exceed
+// full attention's fidelity (they exclude noise dilution) — reproducing the
+// paper's observation that e.g. InfLLM beats Full Attention on Retr.KV.
+#pragma once
+
+#include <cstddef>
+
+namespace alaya {
+
+/// Cosine similarity clamped to [0, 1] between a method's attention output and
+/// the oracle output.
+double CosineFidelity(const float* method_out, const float* oracle_out, size_t d);
+
+/// Anchored task score: paper_full_score * (method_fidelity / full_fidelity),
+/// clamped to [0, max_boost * paper_full_score] and to <= 100.
+double AnchoredScore(double method_fidelity, double full_fidelity,
+                     double paper_full_score, double max_boost = 2.0);
+
+/// Streaming mean.
+class MeanAccumulator {
+ public:
+  void Add(double x) {
+    sum_ += x;
+    ++count_;
+  }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  size_t count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  size_t count_ = 0;
+};
+
+}  // namespace alaya

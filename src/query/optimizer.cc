@@ -1,0 +1,61 @@
+#include "src/query/optimizer.h"
+
+#include "src/common/string_util.h"
+
+namespace alaya {
+
+std::string QueryPlan::Explain() const {
+  std::string s;
+  switch (query) {
+    case QueryClass::kFullAttention:
+      s = "full_attention";
+      break;
+    case QueryClass::kTopK:
+      s = StrFormat("topk(k=%zu) on %s index", topk.k, IndexClassName(index));
+      break;
+    case QueryClass::kDipr:
+      s = StrFormat("dipr(beta=%.1f, l0=%zu) on %s index", dipr.beta, dipr.l0,
+                    IndexClassName(index));
+      break;
+  }
+  if (filter.enabled()) {
+    s += StrFormat(" + attribute_filter(prefix<%u)", filter.prefix_len);
+  }
+  return s;
+}
+
+QueryPlan RuleBasedOptimizer::Plan(const QueryContext& ctx) const {
+  QueryPlan plan;
+  plan.topk = options_.coarse_topk;
+  plan.dipr = options_.dipr;
+
+  // Rule 1: short contexts take exact full attention.
+  if (ctx.context_length <= options_.short_context_threshold) {
+    plan.query = QueryClass::kFullAttention;
+    return plan;
+  }
+
+  // Rule 2: partial prefix reuse adds the attribute-filtering predicate.
+  if (ctx.partial_reuse) {
+    plan.filter.prefix_len = ctx.reused_prefix_len;
+  }
+
+  // Rule 3: with enough GPU memory, cache blocks on device and run top-k on
+  // the coarse index (InfLLM-style) for the lowest latency.
+  const uint64_t coarse_need = static_cast<uint64_t>(ctx.context_length) *
+                               options_.coarse_bytes_per_token;
+  if (ctx.gpu_budget_bytes >= coarse_need) {
+    plan.query = QueryClass::kTopK;
+    plan.index = IndexClass::kCoarse;
+    return plan;
+  }
+
+  // Rule 4: tight budget -> DIPR. Layer 0 needs a large dynamic critical set
+  // (Fig. 5), where a scan beats graph traversal; deeper layers use the
+  // fine-grained graph.
+  plan.query = QueryClass::kDipr;
+  plan.index = (ctx.layer_id == 0) ? IndexClass::kFlat : IndexClass::kFine;
+  return plan;
+}
+
+}  // namespace alaya

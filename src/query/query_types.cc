@@ -1,0 +1,33 @@
+#include "src/query/query_types.h"
+
+namespace alaya {
+
+const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kFullAttention:
+      return "full_attention";
+    case QueryClass::kTopK:
+      return "topk";
+    case QueryClass::kDipr:
+      return "dipr";
+  }
+  return "?";
+}
+
+bool IndexSupportsQuery(IndexClass index, QueryClass query) {
+  if (query == QueryClass::kFullAttention) return false;  // Bypasses indices.
+  switch (index) {
+    case IndexClass::kCoarse:
+      // Coarse: Top-k and Filter only — block granularity cannot answer the
+      // per-key DIPR predicate.
+      return query == QueryClass::kTopK;
+    case IndexClass::kFine:
+    case IndexClass::kFlat:
+      return query == QueryClass::kTopK || query == QueryClass::kDipr;
+  }
+  return false;
+}
+
+bool IndexSupportsFilter(IndexClass) { return true; }
+
+}  // namespace alaya

@@ -1,0 +1,29 @@
+// Query classes supported by the query processing engine (Fig. 3, §6.2).
+//
+// Both query types and index types are extensible registries: the optimizer
+// consults SupportMatrix() (Table 4) instead of hard-coding pairs, so new
+// query/index classes can be slotted in.
+#pragma once
+
+#include <string>
+
+#include "src/index/index.h"
+
+namespace alaya {
+
+/// How critical tokens are retrieved for sparse attention.
+enum class QueryClass : int {
+  kFullAttention = 0,  ///< No retrieval; attend to everything (short contexts).
+  kTopK = 1,           ///< Traditional fixed-k retrieval.
+  kDipr = 2,           ///< Dynamic inner-product range (Definition 3).
+};
+
+const char* QueryClassName(QueryClass c);
+
+/// Table 4: which index types can process which query types.
+bool IndexSupportsQuery(IndexClass index, QueryClass query);
+
+/// Table 4: whether the index supports attribute filtering (all three do).
+bool IndexSupportsFilter(IndexClass index);
+
+}  // namespace alaya

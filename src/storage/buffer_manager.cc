@@ -1,0 +1,103 @@
+#include "src/storage/buffer_manager.h"
+
+namespace alaya {
+
+Result<std::shared_ptr<const CachedBlock>> BufferManager::Fetch(
+    uint64_t file_id, uint64_t block_no, BlockType type,
+    const std::function<Status(uint8_t* dst)>& loader) {
+  const Key key = MakeKey(file_id, block_no);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+      stats_.hits++;
+      // Refresh recency: move to the back (hottest end) of its class list.
+      auto& lst = lru_[it->second.lru_class];
+      lst.splice(lst.end(), lst, it->second.lru_pos);
+      return std::shared_ptr<const CachedBlock>(it->second.block);
+    }
+    stats_.misses++;
+  }
+
+  // Load outside the lock (I/O may be slow).
+  auto block = std::make_shared<CachedBlock>();
+  block->bytes.resize(options_.block_size);
+  block->type = type;
+  ALAYA_RETURN_IF_ERROR(loader(block->bytes.data()));
+
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    // Raced with another loader; keep the installed copy.
+    return std::shared_ptr<const CachedBlock>(it->second.block);
+  }
+  const size_t capacity_blocks =
+      std::max<size_t>(1, options_.capacity_bytes / options_.block_size);
+  while (table_.size() >= capacity_blocks) {
+    if (!EvictOne()) break;  // Everything pinned; run transiently over budget.
+  }
+  Entry entry;
+  entry.block = block;
+  entry.lru_class = ClassOf(type);
+  auto& lst = lru_[entry.lru_class];
+  entry.lru_pos = lst.insert(lst.end(), key);
+  table_[key] = std::move(entry);
+  return std::shared_ptr<const CachedBlock>(block);
+}
+
+bool BufferManager::EvictOne() {
+  for (int cls = 0; cls < 2; ++cls) {
+    for (auto it = lru_[cls].begin(); it != lru_[cls].end(); ++it) {
+      auto t = table_.find(*it);
+      if (t == table_.end()) {
+        it = lru_[cls].erase(it);
+        if (it == lru_[cls].end()) break;
+        --it;
+        continue;
+      }
+      if (t->second.block.use_count() > 1) continue;  // Pinned by a reader.
+      lru_[cls].erase(it);
+      table_.erase(t);
+      stats_.evictions++;
+      return true;
+    }
+  }
+  return false;
+}
+
+void BufferManager::Invalidate(uint64_t file_id, uint64_t block_no) {
+  const Key key = MakeKey(file_id, block_no);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return;
+  lru_[it->second.lru_class].erase(it->second.lru_pos);
+  table_.erase(it);
+}
+
+void BufferManager::Install(uint64_t file_id, uint64_t block_no, BlockType type,
+                            const uint8_t* bytes) {
+  auto block = std::make_shared<CachedBlock>();
+  block->bytes.assign(bytes, bytes + options_.block_size);
+  block->type = type;
+
+  const Key key = MakeKey(file_id, block_no);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    lru_[it->second.lru_class].erase(it->second.lru_pos);
+    table_.erase(it);
+  }
+  const size_t capacity_blocks =
+      std::max<size_t>(1, options_.capacity_bytes / options_.block_size);
+  while (table_.size() >= capacity_blocks) {
+    if (!EvictOne()) break;
+  }
+  Entry entry;
+  entry.block = std::move(block);
+  entry.lru_class = ClassOf(type);
+  auto& lst = lru_[entry.lru_class];
+  entry.lru_pos = lst.insert(lst.end(), key);
+  table_[key] = std::move(entry);
+}
+
+}  // namespace alaya

@@ -1,0 +1,91 @@
+#include "src/storage/io_backend.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/string_util.h"
+
+namespace alaya {
+
+Status MemIoBackend::Write(uint64_t offset, const void* data, size_t size) {
+  if (offset + size > data_.size()) data_.resize(offset + size, '\0');
+  std::memcpy(data_.data() + offset, data, size);
+  return Status::Ok();
+}
+
+Status MemIoBackend::Read(uint64_t offset, void* data, size_t size) const {
+  if (offset + size > data_.size()) {
+    return Status::OutOfRange(
+        StrFormat("read past end: offset=%llu size=%zu file=%zu",
+                  static_cast<unsigned long long>(offset), size, data_.size()));
+  }
+  std::memcpy(data, data_.data() + offset, size);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<PosixIoBackend>> PosixIoBackend::Open(const std::string& path,
+                                                             bool create) {
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("open(%s): %s", path.c_str(), strerror(errno)));
+  }
+  return std::unique_ptr<PosixIoBackend>(new PosixIoBackend(fd, path));
+}
+
+PosixIoBackend::~PosixIoBackend() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PosixIoBackend::Write(uint64_t offset, const void* data, size_t size) {
+  size_t done = 0;
+  const char* p = static_cast<const char*>(data);
+  while (done < size) {
+    const ssize_t n = ::pwrite(fd_, p + done, size - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StrFormat("pwrite(%s): %s", path_.c_str(), strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status PosixIoBackend::Read(uint64_t offset, void* data, size_t size) const {
+  size_t done = 0;
+  char* p = static_cast<char*>(data);
+  while (done < size) {
+    const ssize_t n =
+        ::pread(fd_, p + done, size - done, static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StrFormat("pread(%s): %s", path_.c_str(), strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::OutOfRange(StrFormat("read past EOF in %s", path_.c_str()));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+uint64_t PosixIoBackend::Size() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status PosixIoBackend::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(StrFormat("fsync(%s): %s", path_.c_str(), strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace alaya

@@ -1,0 +1,194 @@
+#include "src/storage/vector_file.h"
+
+#include <cstring>
+
+#include "src/common/string_util.h"
+
+namespace alaya {
+
+Result<std::unique_ptr<VectorFile>> VectorFile::Create(
+    std::unique_ptr<IoBackend> backend, const VectorFileOptions& options,
+    BufferManager* buffer, uint64_t file_id) {
+  if (options.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  const size_t payload = options.block_size - kBlockHeaderSize;
+  const size_t vec_bytes = options.dim * sizeof(float);
+  const size_t entry_bytes = (1 + options.max_degree) * sizeof(uint32_t);
+  if (vec_bytes > payload || entry_bytes > payload) {
+    return Status::InvalidArgument(
+        StrFormat("block_size %u too small for dim %u / degree %u",
+                  options.block_size, options.dim, options.max_degree));
+  }
+  auto file =
+      std::unique_ptr<VectorFile>(new VectorFile(std::move(backend), buffer, file_id));
+  file->header_.block_size = options.block_size;
+  file->header_.dim = options.dim;
+  file->header_.max_degree = options.max_degree;
+  file->header_.vecs_per_block = static_cast<uint32_t>(payload / vec_bytes);
+  file->header_.nodes_per_block = static_cast<uint32_t>(payload / entry_bytes);
+  ALAYA_RETURN_IF_ERROR(file->WriteHeader());
+  return file;
+}
+
+Result<std::unique_ptr<VectorFile>> VectorFile::Open(std::unique_ptr<IoBackend> backend,
+                                                     BufferManager* buffer,
+                                                     uint64_t file_id) {
+  auto file =
+      std::unique_ptr<VectorFile>(new VectorFile(std::move(backend), buffer, file_id));
+  FileHeader h;
+  ALAYA_RETURN_IF_ERROR(file->backend_->Read(0, &h, sizeof(h)));
+  if (h.magic != kMagic) return Status::Corruption("bad magic in vector file");
+  if (h.version != kVersion) return Status::NotSupported("vector file version");
+  file->header_ = h;
+  ALAYA_RETURN_IF_ERROR(file->LoadBlockMaps());
+  return file;
+}
+
+Status VectorFile::WriteHeader() {
+  // The header occupies logical block -1 (offset 0), padded to block_size.
+  std::vector<uint8_t> buf(header_.block_size, 0);
+  std::memcpy(buf.data(), &header_, sizeof(header_));
+  return backend_->Write(0, buf.data(), buf.size());
+}
+
+Status VectorFile::LoadBlockMaps() {
+  data_blocks_.clear();
+  index_blocks_.clear();
+  for (uint32_t b = 0; b < header_.num_blocks; ++b) {
+    BlockHeader bh;
+    ALAYA_RETURN_IF_ERROR(backend_->Read(BlockOffset(b), &bh, sizeof(bh)));
+    auto& map = (static_cast<BlockType>(bh.type) == BlockType::kData) ? data_blocks_
+                                                                      : index_blocks_;
+    if (bh.seq >= map.size()) map.resize(bh.seq + 1, UINT32_MAX);
+    map[bh.seq] = b;
+  }
+  return Status::Ok();
+}
+
+uint32_t VectorFile::PhysicalBlock(BlockType type, uint32_t seq) const {
+  const auto& map = (type == BlockType::kData) ? data_blocks_ : index_blocks_;
+  if (seq >= map.size()) return UINT32_MAX;
+  return map[seq];
+}
+
+Result<uint32_t> VectorFile::EnsureBlock(BlockType type, uint32_t seq) {
+  uint32_t physical = PhysicalBlock(type, seq);
+  if (physical != UINT32_MAX) return physical;
+  // Allocate at the tail and persist an initialized (zeroed) block.
+  physical = header_.num_blocks++;
+  auto& map = (type == BlockType::kData) ? data_blocks_ : index_blocks_;
+  if (seq >= map.size()) map.resize(seq + 1, UINT32_MAX);
+  map[seq] = physical;
+  std::vector<uint8_t> buf(header_.block_size, 0);
+  BlockHeader bh;
+  bh.type = static_cast<uint32_t>(type);
+  bh.seq = seq;
+  std::memcpy(buf.data(), &bh, sizeof(bh));
+  ALAYA_RETURN_IF_ERROR(backend_->Write(BlockOffset(physical), buf.data(), buf.size()));
+  if (buffer_ != nullptr) buffer_->Install(file_id_, physical, type, buf.data());
+  ALAYA_RETURN_IF_ERROR(WriteHeader());
+  return physical;
+}
+
+Status VectorFile::ReadBlock(uint32_t physical, BlockType type,
+                             std::shared_ptr<const CachedBlock>* out) const {
+  if (buffer_ != nullptr) {
+    ALAYA_ASSIGN_OR_RETURN(
+        *out, buffer_->Fetch(file_id_, physical, type, [&](uint8_t* dst) {
+          return backend_->Read(BlockOffset(physical), dst, header_.block_size);
+        }));
+    return Status::Ok();
+  }
+  auto block = std::make_shared<CachedBlock>();
+  block->bytes.resize(header_.block_size);
+  block->type = type;
+  ALAYA_RETURN_IF_ERROR(
+      backend_->Read(BlockOffset(physical), block->bytes.data(), header_.block_size));
+  *out = std::move(block);
+  return Status::Ok();
+}
+
+Status VectorFile::WriteBlock(uint32_t physical, BlockType type,
+                              const uint8_t* payload) {
+  ALAYA_RETURN_IF_ERROR(
+      backend_->Write(BlockOffset(physical), payload, header_.block_size));
+  if (buffer_ != nullptr) buffer_->Install(file_id_, physical, type, payload);
+  return Status::Ok();
+}
+
+Result<uint32_t> VectorFile::AppendVector(const float* vec) {
+  const uint32_t id = header_.num_vectors;
+  const uint32_t seq = id / header_.vecs_per_block;
+  const uint32_t slot = id % header_.vecs_per_block;
+  ALAYA_ASSIGN_OR_RETURN(uint32_t physical, EnsureBlock(BlockType::kData, seq));
+
+  // Read-modify-write the block (tail block is hot in the buffer manager).
+  std::shared_ptr<const CachedBlock> block;
+  ALAYA_RETURN_IF_ERROR(ReadBlock(physical, BlockType::kData, &block));
+  std::vector<uint8_t> buf = block->bytes;
+  std::memcpy(buf.data() + kBlockHeaderSize + slot * header_.dim * sizeof(float), vec,
+              header_.dim * sizeof(float));
+  BlockHeader* bh = reinterpret_cast<BlockHeader*>(buf.data());
+  bh->used = slot + 1;
+  ALAYA_RETURN_IF_ERROR(WriteBlock(physical, BlockType::kData, buf.data()));
+
+  header_.num_vectors++;
+  ALAYA_RETURN_IF_ERROR(WriteHeader());
+  return id;
+}
+
+Status VectorFile::ReadVector(uint32_t id, float* out) const {
+  if (id >= header_.num_vectors) return Status::OutOfRange("vector id out of range");
+  const uint32_t seq = id / header_.vecs_per_block;
+  const uint32_t slot = id % header_.vecs_per_block;
+  const uint32_t physical = PhysicalBlock(BlockType::kData, seq);
+  if (physical == UINT32_MAX) return Status::Corruption("missing data block");
+  std::shared_ptr<const CachedBlock> block;
+  ALAYA_RETURN_IF_ERROR(ReadBlock(physical, BlockType::kData, &block));
+  std::memcpy(out, block->bytes.data() + kBlockHeaderSize + slot * header_.dim * sizeof(float),
+              header_.dim * sizeof(float));
+  return Status::Ok();
+}
+
+Status VectorFile::WriteAdjacency(uint32_t id, std::span<const uint32_t> neighbors) {
+  if (id >= header_.num_vectors) return Status::OutOfRange("node id out of range");
+  const uint32_t degree = static_cast<uint32_t>(
+      neighbors.size() > header_.max_degree ? header_.max_degree : neighbors.size());
+  const uint32_t seq = id / header_.nodes_per_block;
+  const uint32_t slot = id % header_.nodes_per_block;
+  ALAYA_ASSIGN_OR_RETURN(uint32_t physical, EnsureBlock(BlockType::kIndex, seq));
+
+  std::shared_ptr<const CachedBlock> block;
+  ALAYA_RETURN_IF_ERROR(ReadBlock(physical, BlockType::kIndex, &block));
+  std::vector<uint8_t> buf = block->bytes;
+  const size_t entry_bytes = (1 + header_.max_degree) * sizeof(uint32_t);
+  uint8_t* entry = buf.data() + kBlockHeaderSize + slot * entry_bytes;
+  std::memcpy(entry, &degree, sizeof(uint32_t));
+  std::memcpy(entry + sizeof(uint32_t), neighbors.data(), degree * sizeof(uint32_t));
+  return WriteBlock(physical, BlockType::kIndex, buf.data());
+}
+
+Status VectorFile::ReadAdjacency(uint32_t id, std::vector<uint32_t>* neighbors) const {
+  if (id >= header_.num_vectors) return Status::OutOfRange("node id out of range");
+  neighbors->clear();
+  const uint32_t seq = id / header_.nodes_per_block;
+  const uint32_t slot = id % header_.nodes_per_block;
+  const uint32_t physical = PhysicalBlock(BlockType::kIndex, seq);
+  if (physical == UINT32_MAX) return Status::Ok();  // No adjacency written yet.
+  std::shared_ptr<const CachedBlock> block;
+  ALAYA_RETURN_IF_ERROR(ReadBlock(physical, BlockType::kIndex, &block));
+  const size_t entry_bytes = (1 + header_.max_degree) * sizeof(uint32_t);
+  const uint8_t* entry = block->bytes.data() + kBlockHeaderSize + slot * entry_bytes;
+  uint32_t degree = 0;
+  std::memcpy(&degree, entry, sizeof(uint32_t));
+  if (degree > header_.max_degree) return Status::Corruption("degree exceeds cap");
+  neighbors->resize(degree);
+  std::memcpy(neighbors->data(), entry + sizeof(uint32_t), degree * sizeof(uint32_t));
+  return Status::Ok();
+}
+
+Status VectorFile::Flush() {
+  ALAYA_RETURN_IF_ERROR(WriteHeader());
+  return backend_->Sync();
+}
+
+}  // namespace alaya

@@ -1,0 +1,124 @@
+// The vector file system's per-head file format (§7.3).
+//
+// Each vector file stores one attention head's vectors for one layer, in
+// fixed-size blocks. Vector *data* and vector *index* (graph adjacency) live
+// in different block types; adjacency entries reference node ids whose
+// neighbor lists live in other index blocks, so index blocks form the linked
+// graph structure the paper describes. Vectors append without restructuring
+// the file: new blocks are allocated at the tail, a block-type tag makes the
+// layout self-describing on reopen.
+//
+// Layout:
+//   block 0:             file header
+//   blocks 1..N:         data / index blocks in allocation order, each with a
+//                        16-byte BlockHeader{type, seq}
+//   data block seq i:    vectors [i*vecs_per_block, ...)
+//   index block seq j:   adjacency entries (1 + max_degree u32s each) for
+//                        nodes [j*nodes_per_block, ...)
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/storage/buffer_manager.h"
+#include "src/storage/io_backend.h"
+
+namespace alaya {
+
+struct VectorFileOptions {
+  uint32_t block_size = 4096;
+  uint32_t dim = 0;
+  uint32_t max_degree = 32;
+};
+
+class VectorFile {
+ public:
+  /// Creates a new file (writes the header). `buffer` may be nullptr
+  /// (reads bypass caching). `file_id` keys the buffer manager.
+  static Result<std::unique_ptr<VectorFile>> Create(std::unique_ptr<IoBackend> backend,
+                                                    const VectorFileOptions& options,
+                                                    BufferManager* buffer = nullptr,
+                                                    uint64_t file_id = 0);
+
+  /// Opens an existing file, rebuilding block maps from block headers.
+  static Result<std::unique_ptr<VectorFile>> Open(std::unique_ptr<IoBackend> backend,
+                                                  BufferManager* buffer = nullptr,
+                                                  uint64_t file_id = 0);
+
+  /// Appends one vector; returns its id.
+  Result<uint32_t> AppendVector(const float* vec);
+
+  /// Reads vector `id` into `out` (dim floats), through the buffer manager.
+  Status ReadVector(uint32_t id, float* out) const;
+
+  /// Writes node `id`'s adjacency (id must be < num_vectors; degree capped at
+  /// max_degree).
+  Status WriteAdjacency(uint32_t id, std::span<const uint32_t> neighbors);
+
+  /// Reads node `id`'s adjacency.
+  Status ReadAdjacency(uint32_t id, std::vector<uint32_t>* neighbors) const;
+
+  /// Flushes buffered tail blocks and the header.
+  Status Flush();
+
+  uint32_t num_vectors() const { return header_.num_vectors; }
+  uint32_t dim() const { return header_.dim; }
+  uint32_t max_degree() const { return header_.max_degree; }
+  uint32_t vecs_per_block() const { return header_.vecs_per_block; }
+  uint32_t nodes_per_block() const { return header_.nodes_per_block; }
+  uint64_t file_bytes() const { return backend_->Size(); }
+
+ private:
+  static constexpr uint64_t kMagic = 0x414C415941564653ULL;  // "ALAYAVFS"
+  static constexpr uint32_t kVersion = 1;
+
+  struct FileHeader {
+    uint64_t magic = kMagic;
+    uint32_t version = kVersion;
+    uint32_t block_size = 0;
+    uint32_t dim = 0;
+    uint32_t max_degree = 0;
+    uint32_t num_vectors = 0;
+    uint32_t vecs_per_block = 0;
+    uint32_t nodes_per_block = 0;
+    uint32_t num_blocks = 0;  ///< Allocated payload blocks (excl. header).
+  };
+
+  struct BlockHeader {
+    uint32_t type = 0;  ///< BlockType.
+    uint32_t seq = 0;   ///< Sequence number within its type.
+    uint32_t used = 0;
+    uint32_t reserved = 0;
+  };
+  static constexpr size_t kBlockHeaderSize = sizeof(BlockHeader);
+
+  VectorFile(std::unique_ptr<IoBackend> backend, BufferManager* buffer,
+             uint64_t file_id)
+      : backend_(std::move(backend)), buffer_(buffer), file_id_(file_id) {}
+
+  uint64_t BlockOffset(uint32_t physical_block) const {
+    return static_cast<uint64_t>(physical_block + 1) * header_.block_size;
+  }
+
+  Status WriteHeader();
+  Status LoadBlockMaps();
+
+  /// Physical block currently mapped for (type, seq); allocates on demand for
+  /// writes. Returns UINT32_MAX if absent (reads).
+  uint32_t PhysicalBlock(BlockType type, uint32_t seq) const;
+  Result<uint32_t> EnsureBlock(BlockType type, uint32_t seq);
+
+  Status ReadBlock(uint32_t physical, BlockType type,
+                   std::shared_ptr<const CachedBlock>* out) const;
+  Status WriteBlock(uint32_t physical, BlockType type, const uint8_t* payload);
+
+  std::unique_ptr<IoBackend> backend_;
+  BufferManager* buffer_;
+  uint64_t file_id_;
+  FileHeader header_;
+  std::vector<uint32_t> data_blocks_;   ///< seq -> physical.
+  std::vector<uint32_t> index_blocks_;  ///< seq -> physical.
+};
+
+}  // namespace alaya

@@ -1,0 +1,110 @@
+#include "src/storage/vector_file_system.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/string_util.h"
+
+namespace alaya {
+
+VectorFileSystem::VectorFileSystem(const Options& options)
+    : options_(options), buffer_(options.buffer) {
+  if (!options_.in_memory) {
+    ::mkdir(options_.dir.c_str(), 0755);  // Best effort; Create reports errors.
+  }
+}
+
+std::string VectorFileSystem::PathFor(const std::string& name) const {
+  return options_.dir + "/" + name + ".vf";
+}
+
+Result<std::unique_ptr<IoBackend>> VectorFileSystem::MakeBackend(
+    const std::string& name, bool create) {
+  if (options_.in_memory) {
+    return std::unique_ptr<IoBackend>(std::make_unique<MemIoBackend>());
+  }
+  ALAYA_ASSIGN_OR_RETURN(auto posix, PosixIoBackend::Open(PathFor(name), create));
+  return std::unique_ptr<IoBackend>(std::move(posix));
+}
+
+Result<VectorFile*> VectorFileSystem::CreateFile(const std::string& name) {
+  ALAYA_ASSIGN_OR_RETURN(auto backend, MakeBackend(name, /*create=*/true));
+  std::lock_guard<std::mutex> lk(mu_);
+  ALAYA_ASSIGN_OR_RETURN(
+      auto file, VectorFile::Create(std::move(backend), options_.file, &buffer_,
+                                    next_file_id_));
+  ++next_file_id_;
+  VectorFile* ptr = file.get();
+  files_[name] = std::move(file);
+  return ptr;
+}
+
+Result<VectorFile*> VectorFileSystem::OpenFile(const std::string& name) {
+  if (options_.in_memory) {
+    return Status::NotSupported("reopen is only meaningful for POSIX-backed files");
+  }
+  ALAYA_ASSIGN_OR_RETURN(auto backend, MakeBackend(name, /*create=*/false));
+  std::lock_guard<std::mutex> lk(mu_);
+  ALAYA_ASSIGN_OR_RETURN(
+      auto file, VectorFile::Open(std::move(backend), &buffer_, next_file_id_));
+  ++next_file_id_;
+  VectorFile* ptr = file.get();
+  files_[name] = std::move(file);
+  return ptr;
+}
+
+VectorFile* VectorFileSystem::GetFile(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(name);
+  return it == files_.end() ? nullptr : it->second.get();
+}
+
+size_t VectorFileSystem::num_files() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return files_.size();
+}
+
+Status VectorFileSystem::PersistHead(const std::string& name, VectorSetView keys,
+                                     const AdjacencyGraph* graph) {
+  ALAYA_ASSIGN_OR_RETURN(VectorFile * file, CreateFile(name));
+  for (uint32_t i = 0; i < keys.n; ++i) {
+    ALAYA_ASSIGN_OR_RETURN(uint32_t id, file->AppendVector(keys.Vec(i)));
+    if (id != i) return Status::Internal("unexpected id during persist");
+  }
+  if (graph != nullptr) {
+    for (uint32_t i = 0; i < graph->size(); ++i) {
+      auto nbrs = graph->Neighbors(i);
+      ALAYA_RETURN_IF_ERROR(
+          file->WriteAdjacency(i, {nbrs.data(), nbrs.size()}));
+    }
+  }
+  return file->Flush();
+}
+
+Status VectorFileSystem::LoadHead(const std::string& name, VectorSet* keys,
+                                  AdjacencyGraph* graph) {
+  VectorFile* file = GetFile(name);
+  if (file == nullptr) {
+    ALAYA_ASSIGN_OR_RETURN(file, OpenFile(name));
+  }
+  keys->Reset(file->dim());
+  std::vector<float> buf(file->dim());
+  for (uint32_t i = 0; i < file->num_vectors(); ++i) {
+    ALAYA_RETURN_IF_ERROR(file->ReadVector(i, buf.data()));
+    keys->Append(buf.data());
+  }
+  if (graph != nullptr) {
+    graph->Reset(file->num_vectors(), file->max_degree());
+    std::vector<uint32_t> nbrs;
+    for (uint32_t i = 0; i < file->num_vectors(); ++i) {
+      ALAYA_RETURN_IF_ERROR(file->ReadAdjacency(i, &nbrs));
+      graph->SetNeighbors(i, nbrs);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace alaya

@@ -1,0 +1,152 @@
+#include "src/storage/buffer_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+namespace alaya {
+namespace {
+
+BufferManager::Options SmallOptions(size_t blocks, bool type_aware = true) {
+  BufferManager::Options o;
+  o.block_size = 64;
+  o.capacity_bytes = blocks * 64;
+  o.type_aware = type_aware;
+  return o;
+}
+
+std::function<Status(uint8_t*)> FillWith(uint8_t value, int* load_count = nullptr) {
+  return [value, load_count](uint8_t* dst) {
+    if (load_count != nullptr) ++*load_count;
+    std::memset(dst, value, 64);
+    return Status::Ok();
+  };
+}
+
+TEST(BufferManagerTest, MissThenHit) {
+  BufferManager bm(SmallOptions(4));
+  int loads = 0;
+  auto r1 = bm.Fetch(1, 0, BlockType::kData, FillWith(7, &loads));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value()->bytes[0], 7);
+  auto r2 = bm.Fetch(1, 0, BlockType::kData, FillWith(9, &loads));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value()->bytes[0], 7);  // Served from cache, not reloaded.
+  EXPECT_EQ(loads, 1);
+  auto stats = bm.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_NEAR(stats.HitRate(), 0.5, 1e-9);
+}
+
+TEST(BufferManagerTest, EvictsWhenFull) {
+  BufferManager bm(SmallOptions(2));
+  for (uint64_t b = 0; b < 5; ++b) {
+    ASSERT_TRUE(bm.Fetch(1, b, BlockType::kData, FillWith(uint8_t(b))).ok());
+  }
+  EXPECT_LE(bm.cached_blocks(), 2u);
+  EXPECT_GE(bm.stats().evictions, 3u);
+}
+
+TEST(BufferManagerTest, TypeAwareKeepsIndexBlocks) {
+  BufferManager bm(SmallOptions(4, /*type_aware=*/true));
+  // Two index blocks, then flood with data blocks.
+  ASSERT_TRUE(bm.Fetch(1, 100, BlockType::kIndex, FillWith(1)).ok());
+  ASSERT_TRUE(bm.Fetch(1, 101, BlockType::kIndex, FillWith(2)).ok());
+  for (uint64_t b = 0; b < 20; ++b) {
+    ASSERT_TRUE(bm.Fetch(1, b, BlockType::kData, FillWith(uint8_t(b))).ok());
+  }
+  // Index blocks survive: fetching them again must be hits.
+  const uint64_t hits_before = bm.stats().hits;
+  ASSERT_TRUE(bm.Fetch(1, 100, BlockType::kIndex, FillWith(0)).ok());
+  ASSERT_TRUE(bm.Fetch(1, 101, BlockType::kIndex, FillWith(0)).ok());
+  EXPECT_EQ(bm.stats().hits, hits_before + 2);
+}
+
+TEST(BufferManagerTest, PlainLruEvictsIndexBlocksToo) {
+  BufferManager bm(SmallOptions(4, /*type_aware=*/false));
+  ASSERT_TRUE(bm.Fetch(1, 100, BlockType::kIndex, FillWith(1)).ok());
+  for (uint64_t b = 0; b < 20; ++b) {
+    ASSERT_TRUE(bm.Fetch(1, b, BlockType::kData, FillWith(uint8_t(b))).ok());
+  }
+  const uint64_t misses_before = bm.stats().misses;
+  ASSERT_TRUE(bm.Fetch(1, 100, BlockType::kIndex, FillWith(1)).ok());
+  EXPECT_EQ(bm.stats().misses, misses_before + 1);  // Was evicted.
+}
+
+TEST(BufferManagerTest, PinnedBlocksNotEvicted) {
+  BufferManager bm(SmallOptions(2));
+  auto pinned = bm.Fetch(1, 0, BlockType::kData, FillWith(42)).TakeValue();
+  for (uint64_t b = 1; b < 10; ++b) {
+    ASSERT_TRUE(bm.Fetch(1, b, BlockType::kData, FillWith(uint8_t(b))).ok());
+  }
+  // The pinned block must still hit.
+  const uint64_t hits = bm.stats().hits;
+  auto again = bm.Fetch(1, 0, BlockType::kData, FillWith(0)).TakeValue();
+  EXPECT_EQ(bm.stats().hits, hits + 1);
+  EXPECT_EQ(again->bytes[0], 42);
+}
+
+TEST(BufferManagerTest, InvalidateForcesReload) {
+  BufferManager bm(SmallOptions(4));
+  int loads = 0;
+  ASSERT_TRUE(bm.Fetch(1, 0, BlockType::kData, FillWith(1, &loads)).ok());
+  bm.Invalidate(1, 0);
+  ASSERT_TRUE(bm.Fetch(1, 0, BlockType::kData, FillWith(2, &loads)).ok());
+  EXPECT_EQ(loads, 2);
+}
+
+TEST(BufferManagerTest, InstallServesSubsequentReads) {
+  BufferManager bm(SmallOptions(4));
+  std::vector<uint8_t> payload(64, 0xAB);
+  bm.Install(2, 7, BlockType::kIndex, payload.data());
+  int loads = 0;
+  auto r = bm.Fetch(2, 7, BlockType::kIndex, FillWith(0, &loads));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(loads, 0);
+  EXPECT_EQ(r.value()->bytes[0], 0xAB);
+}
+
+TEST(BufferManagerTest, DistinctFilesDistinctKeys) {
+  BufferManager bm(SmallOptions(8));
+  ASSERT_TRUE(bm.Fetch(1, 0, BlockType::kData, FillWith(1)).ok());
+  ASSERT_TRUE(bm.Fetch(2, 0, BlockType::kData, FillWith(2)).ok());
+  auto a = bm.Fetch(1, 0, BlockType::kData, FillWith(0)).TakeValue();
+  auto b = bm.Fetch(2, 0, BlockType::kData, FillWith(0)).TakeValue();
+  EXPECT_EQ(a->bytes[0], 1);
+  EXPECT_EQ(b->bytes[0], 2);
+}
+
+TEST(BufferManagerTest, LoaderFailurePropagates) {
+  BufferManager bm(SmallOptions(4));
+  auto r = bm.Fetch(1, 0, BlockType::kData,
+                    [](uint8_t*) { return Status::IoError("disk on fire"); });
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIoError());
+  // A later good load works (failure not cached).
+  EXPECT_TRUE(bm.Fetch(1, 0, BlockType::kData, FillWith(5)).ok());
+}
+
+TEST(BufferManagerTest, ConcurrentFetchesAreSafe) {
+  BufferManager bm(SmallOptions(16));
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&bm, &errors] {
+      for (uint64_t i = 0; i < 500; ++i) {
+        auto r = bm.Fetch(1, i % 32, BlockType::kData,
+                          [&](uint8_t* dst) {
+                            std::memset(dst, int(i % 32), 64);
+                            return Status::Ok();
+                          });
+        if (!r.ok() || r.value()->bytes[0] != uint8_t(i % 32)) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace alaya

@@ -1,0 +1,131 @@
+#include "src/core/context_serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/query/diprs.h"
+
+namespace alaya {
+namespace {
+
+struct SerializerFixture {
+  ModelConfig model = ModelConfig::Tiny();  // dim 16; VFS files use dim 16.
+  VectorFileSystem vfs;
+
+  SerializerFixture() : vfs(MakeVfsOptions()) {}
+
+  static VectorFileSystem::Options MakeVfsOptions() {
+    VectorFileSystem::Options o;
+    o.in_memory = true;
+    o.file.dim = 16;
+    o.file.max_degree = 32;
+    o.file.block_size = 4096;
+    return o;
+  }
+
+  std::unique_ptr<Context> MakeContext(size_t tokens, uint64_t seed,
+                                       bool build_indices) {
+    auto kv = std::make_unique<KvCache>(model);
+    Rng rng(seed);
+    const size_t stride = model.num_kv_heads * model.head_dim;
+    std::vector<float> k(stride), v(stride);
+    std::vector<int32_t> ids(tokens);
+    for (uint32_t layer = 0; layer < model.num_layers; ++layer) {
+      for (size_t t = 0; t < tokens; ++t) {
+        rng.FillGaussian(k.data(), stride);
+        rng.FillGaussian(v.data(), stride);
+        kv->AppendToken(layer, k.data(), v.data());
+      }
+    }
+    for (size_t t = 0; t < tokens; ++t) ids[t] = static_cast<int32_t>(100 + t);
+    auto ctx = std::make_unique<Context>(1, std::move(ids), std::move(kv));
+    if (build_indices) {
+      EXPECT_TRUE(ctx->BuildFineIndices(IndexBuildOptions{}, nullptr, nullptr).ok());
+    }
+    return ctx;
+  }
+};
+
+TEST(ContextSerializerTest, RoundtripKvAndTokens) {
+  SerializerFixture fx;
+  auto original = fx.MakeContext(120, 1, /*build_indices=*/false);
+  ContextSerializer ser(&fx.vfs);
+  ASSERT_TRUE(ser.Persist(*original, "ctx1").ok());
+
+  auto loaded = ser.Load("ctx1", 7, fx.model, RoarGraphOptions{});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Context& ctx = *loaded.value();
+  EXPECT_EQ(ctx.id(), 7u);
+  EXPECT_EQ(ctx.tokens(), original->tokens());
+  EXPECT_EQ(ctx.kv().NumTokens(), 120u);
+  EXPECT_FALSE(ctx.HasFineIndices());
+  for (uint32_t layer = 0; layer < fx.model.num_layers; ++layer) {
+    for (uint32_t h = 0; h < fx.model.num_kv_heads; ++h) {
+      for (uint32_t t = 0; t < 120; t += 17) {
+        for (uint32_t j = 0; j < fx.model.head_dim; ++j) {
+          EXPECT_EQ(ctx.kv().Keys(layer, h).Vec(t)[j],
+                    original->kv().Keys(layer, h).Vec(t)[j]);
+          EXPECT_EQ(ctx.kv().Values(layer, h).Vec(t)[j],
+                    original->kv().Values(layer, h).Vec(t)[j]);
+        }
+      }
+    }
+  }
+}
+
+TEST(ContextSerializerTest, RoundtripWithFineIndices) {
+  SerializerFixture fx;
+  auto original = fx.MakeContext(200, 2, /*build_indices=*/true);
+  ContextSerializer ser(&fx.vfs);
+  ASSERT_TRUE(ser.Persist(*original, "ctx2").ok());
+
+  auto loaded = ser.Load("ctx2", 9, fx.model, RoarGraphOptions{});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Context& ctx = *loaded.value();
+  ASSERT_TRUE(ctx.HasFineIndices());
+
+  // Adjacency restored exactly for every (layer, kv head).
+  for (uint32_t layer = 0; layer < fx.model.num_layers; ++layer) {
+    for (uint32_t h = 0; h < fx.model.num_kv_heads; ++h) {
+      const RoarGraph* a = original->FineIndex(layer, h * fx.model.GroupSize());
+      const RoarGraph* b = ctx.FineIndex(layer, h * fx.model.GroupSize());
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      ASSERT_EQ(a->graph().size(), b->graph().size());
+      for (uint32_t u = 0; u < a->graph().size(); u += 13) {
+        auto na = a->graph().Neighbors(u);
+        auto nb = b->graph().Neighbors(u);
+        ASSERT_EQ(na.size(), nb.size()) << "node " << u;
+        for (size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+      }
+    }
+  }
+
+  // The restored index answers searches (smoke: DIPR runs and returns hits).
+  const RoarGraph* fine = ctx.FineIndex(1, 0);
+  std::vector<float> q(fx.model.head_dim, 0.5f);
+  SearchResult res;
+  ASSERT_TRUE(fine->SearchDipr(q.data(), DiprParams{1e6f, 16, 0}, &res).ok());
+  EXPECT_GT(res.hits.size(), 0u);
+}
+
+TEST(ContextSerializerTest, GeometryMismatchRejected) {
+  SerializerFixture fx;
+  auto original = fx.MakeContext(50, 3, false);
+  ContextSerializer ser(&fx.vfs);
+  ASSERT_TRUE(ser.Persist(*original, "ctx3").ok());
+  ModelConfig other = fx.model;
+  other.num_layers += 1;
+  auto loaded = ser.Load("ctx3", 1, other, RoarGraphOptions{});
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST(ContextSerializerTest, MissingContextFails) {
+  SerializerFixture fx;
+  ContextSerializer ser(&fx.vfs);
+  EXPECT_FALSE(ser.Load("ghost", 1, fx.model, RoarGraphOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace alaya

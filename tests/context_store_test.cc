@@ -1,0 +1,119 @@
+#include "src/core/context_store.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace alaya {
+namespace {
+
+std::unique_ptr<KvCache> MakeKv(const ModelConfig& m, size_t tokens, uint64_t seed) {
+  auto kv = std::make_unique<KvCache>(m);
+  Rng rng(seed);
+  const size_t stride = m.num_kv_heads * m.head_dim;
+  std::vector<float> k(stride), v(stride);
+  for (uint32_t layer = 0; layer < m.num_layers; ++layer) {
+    for (size_t t = 0; t < tokens; ++t) {
+      rng.FillGaussian(k.data(), stride);
+      rng.FillGaussian(v.data(), stride);
+      kv->AppendToken(layer, k.data(), v.data());
+    }
+  }
+  return kv;
+}
+
+std::vector<int32_t> Tokens(std::initializer_list<int32_t> l) { return l; }
+
+TEST(ContextStoreTest, AddFindRemove) {
+  ContextStore store;
+  ModelConfig m = ModelConfig::Tiny();
+  auto ctx = std::make_unique<Context>(0, Tokens({1, 2, 3}), MakeKv(m, 3, 1));
+  const uint64_t id = store.Add(std::move(ctx));
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_NE(store.Find(id), nullptr);
+  EXPECT_EQ(store.Find(id)->length(), 3u);
+  EXPECT_EQ(store.Find(id + 100), nullptr);
+  EXPECT_TRUE(store.Remove(id));
+  EXPECT_FALSE(store.Remove(id));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ContextStoreTest, BestPrefixMatch) {
+  ContextStore store;
+  ModelConfig m = ModelConfig::Tiny();
+  store.Add(std::make_unique<Context>(0, Tokens({1, 2, 3, 4, 5}), MakeKv(m, 5, 2)));
+  store.Add(std::make_unique<Context>(0, Tokens({1, 2, 9}), MakeKv(m, 3, 3)));
+
+  auto match = store.BestPrefixMatch(Tokens({1, 2, 3, 7}));
+  ASSERT_NE(match.context, nullptr);
+  EXPECT_EQ(match.matched, 3u);
+  EXPECT_EQ(match.context->length(), 5u);
+  EXPECT_FALSE(match.full());
+
+  match = store.BestPrefixMatch(Tokens({1, 2, 9, 9}));
+  EXPECT_EQ(match.matched, 3u);
+  EXPECT_EQ(match.context->length(), 3u);
+  EXPECT_TRUE(match.full());
+
+  match = store.BestPrefixMatch(Tokens({8, 8}));
+  EXPECT_EQ(match.context, nullptr);
+  EXPECT_EQ(match.matched, 0u);
+}
+
+TEST(ContextStoreTest, IdsAndTotals) {
+  ContextStore store;
+  ModelConfig m = ModelConfig::Tiny();
+  store.Add(std::make_unique<Context>(0, Tokens({1}), MakeKv(m, 1, 4)));
+  store.Add(std::make_unique<Context>(0, Tokens({2, 3}), MakeKv(m, 2, 5)));
+  EXPECT_EQ(store.Ids().size(), 2u);
+  EXPECT_EQ(store.TotalKvBytes(), 3u * m.KvBytesPerToken());
+}
+
+TEST(ContextTest, BuildFineIndicesSharedMapping) {
+  ModelConfig m = ModelConfig::Tiny();  // 2 layers, 4 q heads, 2 kv heads.
+  Context ctx(1, std::vector<int32_t>(300, 7), MakeKv(m, 300, 6));
+  IndexBuildOptions opts;
+  opts.share_gqa_group = true;
+  IndexBuildStats stats;
+  ASSERT_TRUE(ctx.BuildFineIndices(opts, nullptr, &stats).ok());
+  EXPECT_TRUE(ctx.HasFineIndices());
+  EXPECT_EQ(stats.num_indices, m.num_layers * m.num_kv_heads);
+  // Query heads 0,1 share KV head 0's index; heads 2,3 share KV head 1's.
+  EXPECT_EQ(ctx.FineIndex(0, 0), ctx.FineIndex(0, 1));
+  EXPECT_EQ(ctx.FineIndex(0, 2), ctx.FineIndex(0, 3));
+  EXPECT_NE(ctx.FineIndex(0, 0), ctx.FineIndex(0, 2));
+  EXPECT_NE(ctx.FineIndex(0, 0), ctx.FineIndex(1, 0));
+  EXPECT_GT(ctx.IndexBytes(), 0u);
+}
+
+TEST(ContextTest, BuildFineIndicesUnshared) {
+  ModelConfig m = ModelConfig::Tiny();
+  Context ctx(1, std::vector<int32_t>(200, 7), MakeKv(m, 200, 7));
+  IndexBuildOptions opts;
+  opts.share_gqa_group = false;
+  ASSERT_TRUE(ctx.BuildFineIndices(opts, nullptr, nullptr).ok());
+  EXPECT_NE(ctx.FineIndex(0, 0), ctx.FineIndex(0, 1));
+}
+
+TEST(ContextTest, BuildCoarseIndices) {
+  ModelConfig m = ModelConfig::Tiny();
+  Context ctx(1, std::vector<int32_t>(256, 7), MakeKv(m, 256, 8));
+  CoarseIndexOptions copts;
+  copts.block_size = 32;
+  ASSERT_TRUE(ctx.BuildCoarseIndices(copts).ok());
+  EXPECT_TRUE(ctx.HasCoarseIndices());
+  const CoarseIndex* c = ctx.CoarseIdx(1, 1);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->num_blocks(), 8u);
+  EXPECT_EQ(ctx.CoarseIdx(0, 0)->size(), 256u);
+}
+
+TEST(ContextTest, MissingIndicesReturnNull) {
+  ModelConfig m = ModelConfig::Tiny();
+  Context ctx(1, Tokens({1, 2}), MakeKv(m, 2, 9));
+  EXPECT_EQ(ctx.FineIndex(0, 0), nullptr);
+  EXPECT_EQ(ctx.CoarseIdx(0, 0), nullptr);
+}
+
+}  // namespace
+}  // namespace alaya

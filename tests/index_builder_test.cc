@@ -1,0 +1,135 @@
+#include "src/index/index_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace alaya {
+namespace {
+
+struct LayerFixture {
+  std::vector<VectorSet> keys;     // Per KV head.
+  std::vector<VectorSet> queries;  // Per query head.
+  std::vector<VectorSetView> key_views;
+  std::vector<VectorSetView> query_views;
+
+  LayerFixture(uint32_t h_kv, uint32_t group, size_t n, size_t d, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<float> v(d);
+    for (uint32_t h = 0; h < h_kv; ++h) {
+      keys.emplace_back(d);
+      for (size_t i = 0; i < n; ++i) {
+        rng.FillGaussian(v.data(), d);
+        keys.back().Append(v.data());
+      }
+    }
+    for (uint32_t g = 0; g < h_kv * group; ++g) {
+      queries.emplace_back(d);
+      for (size_t i = 0; i < n / 2; ++i) {
+        rng.FillGaussian(v.data(), d);
+        queries.back().Append(v.data());
+      }
+    }
+    for (auto& k : keys) key_views.push_back(k.View());
+    for (auto& q : queries) query_views.push_back(q.View());
+  }
+};
+
+TEST(IndexBuilderTest, SharedBuildsOneIndexPerKvHead) {
+  LayerFixture fx(2, 4, 600, 16, 1);
+  IndexBuildOptions opts;
+  opts.share_gqa_group = true;
+  std::vector<std::unique_ptr<RoarGraph>> out;
+  IndexBuildStats stats;
+  ASSERT_TRUE(BuildLayerIndices(fx.key_views, fx.query_views, 4, opts, &out, &stats).ok());
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(stats.num_indices, 2u);
+  for (auto& g : out) {
+    EXPECT_TRUE(g->built());
+    EXPECT_EQ(g->size(), 600u);
+  }
+}
+
+TEST(IndexBuilderTest, UnsharedBuildsOneIndexPerQueryHead) {
+  LayerFixture fx(2, 4, 400, 16, 2);
+  IndexBuildOptions opts;
+  opts.share_gqa_group = false;
+  std::vector<std::unique_ptr<RoarGraph>> out;
+  IndexBuildStats stats;
+  ASSERT_TRUE(BuildLayerIndices(fx.key_views, fx.query_views, 4, opts, &out, &stats).ok());
+  EXPECT_EQ(out.size(), 8u);
+}
+
+TEST(IndexBuilderTest, SharingReducesIndexBytes) {
+  LayerFixture fx(2, 4, 500, 16, 3);
+  std::vector<std::unique_ptr<RoarGraph>> shared, unshared;
+  IndexBuildStats s1, s2;
+  IndexBuildOptions opts;
+  opts.share_gqa_group = true;
+  ASSERT_TRUE(BuildLayerIndices(fx.key_views, fx.query_views, 4, opts, &shared, &s1).ok());
+  opts.share_gqa_group = false;
+  ASSERT_TRUE(
+      BuildLayerIndices(fx.key_views, fx.query_views, 4, opts, &unshared, &s2).ok());
+  // 4x fewer indices -> ~4x less index memory (Fig. 11b).
+  EXPECT_LT(s1.index_bytes * 3, s2.index_bytes);
+}
+
+TEST(IndexBuilderTest, GpuPathReportsPipelinedTime) {
+  LayerFixture fx(2, 2, 400, 16, 4);
+  IndexBuildOptions opts;
+  opts.use_sim_gpu_knn = true;
+  std::vector<std::unique_ptr<RoarGraph>> out;
+  IndexBuildStats stats;
+  ASSERT_TRUE(BuildLayerIndices(fx.key_views, fx.query_views, 2, opts, &out, &stats).ok());
+  EXPECT_GT(stats.modeled_gpu_seconds, 0.0);
+  EXPECT_GT(stats.modeled_transfer_seconds, 0.0);
+  EXPECT_GT(stats.reported_seconds, 0.0);
+  EXPECT_GT(stats.training_queries, 0u);
+}
+
+TEST(IndexBuilderTest, CpuBaselineSlowerThanReportedGpu) {
+  LayerFixture fx(2, 2, 1500, 32, 5);
+  std::vector<std::unique_ptr<RoarGraph>> out;
+  IndexBuildStats gpu_stats, cpu_stats;
+  IndexBuildOptions gpu_opts;
+  gpu_opts.use_sim_gpu_knn = true;
+  ASSERT_TRUE(
+      BuildLayerIndices(fx.key_views, fx.query_views, 2, gpu_opts, &out, &gpu_stats).ok());
+  IndexBuildOptions cpu_opts;
+  cpu_opts.use_sim_gpu_knn = false;
+  cpu_opts.sequential_cpu_baseline = true;
+  cpu_opts.share_gqa_group = false;
+  ASSERT_TRUE(
+      BuildLayerIndices(fx.key_views, fx.query_views, 2, cpu_opts, &out, &cpu_stats).ok());
+  EXPECT_GT(cpu_stats.reported_seconds, gpu_stats.modeled_gpu_seconds);
+}
+
+TEST(IndexBuilderTest, MismatchedHeadCountsRejected) {
+  LayerFixture fx(2, 4, 100, 8, 6);
+  IndexBuildOptions opts;
+  std::vector<std::unique_ptr<RoarGraph>> out;
+  // Claim group size 2 while 8 query heads / 2 kv heads = 4.
+  EXPECT_TRUE(BuildLayerIndices(fx.key_views, fx.query_views, 2, opts, &out, nullptr)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      BuildLayerIndices(fx.key_views, fx.query_views, 0, opts, &out, nullptr)
+          .IsInvalidArgument());
+}
+
+TEST(IndexBuilderTest, SampleQueriesRespectsCount) {
+  Rng rng(7);
+  VectorSet queries(8);
+  std::vector<float> v(8);
+  for (int i = 0; i < 100; ++i) {
+    rng.FillGaussian(v.data(), 8);
+    queries.Append(v.data());
+  }
+  Rng sample_rng(8);
+  VectorSet s = SampleQueries(queries.View(), 30, &sample_rng);
+  EXPECT_EQ(s.size(), 30u);
+  VectorSet all = SampleQueries(queries.View(), 1000, &sample_rng);
+  EXPECT_EQ(all.size(), 100u);  // Capped at available.
+}
+
+}  // namespace
+}  // namespace alaya

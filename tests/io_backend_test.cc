@@ -1,0 +1,87 @@
+#include "src/storage/io_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace alaya {
+namespace {
+
+TEST(MemIoBackendTest, WriteReadRoundtrip) {
+  MemIoBackend io;
+  const std::string data = "hello vector world";
+  ASSERT_TRUE(io.Write(10, data.data(), data.size()).ok());
+  EXPECT_EQ(io.Size(), 10 + data.size());
+  std::string out(data.size(), '\0');
+  ASSERT_TRUE(io.Read(10, out.data(), out.size()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(MemIoBackendTest, ReadPastEndFails) {
+  MemIoBackend io;
+  char buf[4];
+  EXPECT_TRUE(io.Read(0, buf, 4).code() == StatusCode::kOutOfRange);
+  ASSERT_TRUE(io.Write(0, "ab", 2).ok());
+  EXPECT_FALSE(io.Read(0, buf, 4).ok());
+}
+
+TEST(MemIoBackendTest, SparseWriteZeroFills) {
+  MemIoBackend io;
+  ASSERT_TRUE(io.Write(100, "x", 1).ok());
+  char c = 'z';
+  ASSERT_TRUE(io.Read(50, &c, 1).ok());
+  EXPECT_EQ(c, '\0');
+}
+
+class PosixIoBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/alaya_io_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".bin";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(PosixIoBackendTest, CreateWriteReadSync) {
+  auto r = PosixIoBackend::Open(path_, /*create=*/true);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto io = r.TakeValue();
+  const std::string data(8192, 'q');
+  ASSERT_TRUE(io->Write(0, data.data(), data.size()).ok());
+  ASSERT_TRUE(io->Sync().ok());
+  EXPECT_EQ(io->Size(), 8192u);
+  std::string out(100, '\0');
+  ASSERT_TRUE(io->Read(4000, out.data(), out.size()).ok());
+  EXPECT_EQ(out, std::string(100, 'q'));
+}
+
+TEST_F(PosixIoBackendTest, ReopenSeesData) {
+  {
+    auto io = PosixIoBackend::Open(path_, true).TakeValue();
+    ASSERT_TRUE(io->Write(0, "persist", 7).ok());
+  }
+  auto r = PosixIoBackend::Open(path_, false);
+  ASSERT_TRUE(r.ok());
+  char buf[7];
+  ASSERT_TRUE(r.value()->Read(0, buf, 7).ok());
+  EXPECT_EQ(std::string(buf, 7), "persist");
+}
+
+TEST_F(PosixIoBackendTest, OpenMissingWithoutCreateFails) {
+  auto r = PosixIoBackend::Open(path_, /*create=*/false);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIoError());
+}
+
+TEST_F(PosixIoBackendTest, ReadPastEofFails) {
+  auto io = PosixIoBackend::Open(path_, true).TakeValue();
+  ASSERT_TRUE(io->Write(0, "ab", 2).ok());
+  char buf[8];
+  EXPECT_FALSE(io->Read(0, buf, 8).ok());
+}
+
+}  // namespace
+}  // namespace alaya

@@ -1,0 +1,95 @@
+#include "src/index/knn_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace alaya {
+namespace {
+
+using testutil::BruteTopK;
+
+TEST(KnnGraphTest, ExactMatchesBruteForce) {
+  Rng rng(1);
+  VectorSet keys(16), queries(16);
+  std::vector<float> v(16);
+  for (int i = 0; i < 300; ++i) {
+    rng.FillGaussian(v.data(), 16);
+    keys.Append(v.data());
+  }
+  for (int i = 0; i < 20; ++i) {
+    rng.FillGaussian(v.data(), 16);
+    queries.Append(v.data());
+  }
+  BipartiteKnnOptions opts;
+  opts.k = 7;
+  auto lists = ExactBipartiteKnn(keys.View(), queries.View(), opts);
+  ASSERT_EQ(lists.size(), 20u);
+  for (uint32_t qi = 0; qi < 20; ++qi) {
+    auto expected = BruteTopK(keys.View(), queries.Vec(qi), 7);
+    ASSERT_EQ(lists[qi].size(), 7u);
+    for (size_t j = 0; j < 7; ++j) {
+      EXPECT_EQ(lists[qi][j].id, expected[j].id) << "q=" << qi << " j=" << j;
+    }
+  }
+}
+
+TEST(KnnGraphTest, SequentialEqualsParallel) {
+  Rng rng(2);
+  VectorSet keys(8), queries(8);
+  std::vector<float> v(8);
+  for (int i = 0; i < 500; ++i) {
+    rng.FillGaussian(v.data(), 8);
+    keys.Append(v.data());
+  }
+  for (int i = 0; i < 64; ++i) {
+    rng.FillGaussian(v.data(), 8);
+    queries.Append(v.data());
+  }
+  BipartiteKnnOptions seq;
+  seq.k = 5;
+  seq.sequential = true;
+  BipartiteKnnOptions par;
+  par.k = 5;
+  auto a = ExactBipartiteKnn(keys.View(), queries.View(), seq);
+  auto b = ExactBipartiteKnn(keys.View(), queries.View(), par);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (size_t j = 0; j < a[i].size(); ++j) EXPECT_EQ(a[i][j].id, b[i][j].id);
+  }
+}
+
+TEST(KnnGraphTest, EmptyInputs) {
+  VectorSet keys(8), queries(8);
+  BipartiteKnnOptions opts;
+  EXPECT_TRUE(ExactBipartiteKnn(keys.View(), queries.View(), opts).empty());
+  std::vector<float> v(8, 1.f);
+  queries.Append(v.data());
+  auto lists = ExactBipartiteKnn(keys.View(), queries.View(), opts);
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_TRUE(lists[0].empty());
+}
+
+TEST(KnnGraphTest, KLargerThanKeyCount) {
+  Rng rng(3);
+  VectorSet keys(8), queries(8);
+  std::vector<float> v(8);
+  for (int i = 0; i < 5; ++i) {
+    rng.FillGaussian(v.data(), 8);
+    keys.Append(v.data());
+  }
+  rng.FillGaussian(v.data(), 8);
+  queries.Append(v.data());
+  BipartiteKnnOptions opts;
+  opts.k = 100;
+  auto lists = ExactBipartiteKnn(keys.View(), queries.View(), opts);
+  EXPECT_EQ(lists[0].size(), 5u);
+}
+
+TEST(KnnGraphTest, FlopsFormula) {
+  EXPECT_DOUBLE_EQ(BipartiteKnnFlops(100, 10, 8), 2.0 * 100 * 10 * 8);
+}
+
+}  // namespace
+}  // namespace alaya

@@ -1,0 +1,149 @@
+#include "src/core/kv_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/query_samples.h"
+
+namespace alaya {
+namespace {
+
+TEST(ModelConfigTest, ValidationAndDerived) {
+  ModelConfig m = ModelConfig::Tiny();
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_EQ(m.GroupSize(), 2u);
+  EXPECT_EQ(m.KvHeadForQuery(0), 0u);
+  EXPECT_EQ(m.KvHeadForQuery(1), 0u);
+  EXPECT_EQ(m.KvHeadForQuery(2), 1u);
+  EXPECT_EQ(m.KvHeadForQuery(3), 1u);
+
+  ModelConfig llama = ModelConfig::Llama3_8B();
+  EXPECT_TRUE(llama.Validate().ok());
+  EXPECT_EQ(llama.GroupSize(), 4u);
+  // bf16 KV bytes/token: 2 * 8 heads * 128 dim * 2 B * 32 layers = 131072.
+  EXPECT_EQ(llama.KvBytesPerToken(), 131072u);
+
+  ModelConfig bad = ModelConfig::Tiny();
+  bad.num_q_heads = 3;  // Not a multiple of 2 KV heads.
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = ModelConfig::Tiny();
+  bad.head_dim = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(KvCacheTest, AppendTokenAndViews) {
+  ModelConfig m = ModelConfig::Tiny();  // 2 layers, 2 kv heads, dim 16.
+  KvCache kv(m);
+  Rng rng(1);
+  std::vector<float> k(m.num_kv_heads * m.head_dim), v(k.size());
+  rng.FillGaussian(k.data(), k.size());
+  rng.FillGaussian(v.data(), v.size());
+  kv.AppendToken(0, k.data(), v.data());
+  kv.AppendToken(1, k.data(), v.data());
+  EXPECT_EQ(kv.NumTokens(0), 1u);
+  EXPECT_EQ(kv.NumTokens(1), 1u);
+  // Head 1's key is the second d-sized slice.
+  VectorSetView keys = kv.Keys(0, 1);
+  ASSERT_EQ(keys.n, 1u);
+  for (uint32_t j = 0; j < m.head_dim; ++j) {
+    EXPECT_EQ(keys.Vec(0)[j], k[m.head_dim + j]);
+  }
+}
+
+TEST(KvCacheTest, AppendTokensBatch) {
+  ModelConfig m = ModelConfig::Tiny();
+  KvCache kv(m);
+  Rng rng(2);
+  const size_t count = 10;
+  const size_t stride = m.num_kv_heads * m.head_dim;
+  std::vector<float> k(count * stride), v(count * stride);
+  rng.FillGaussian(k.data(), k.size());
+  rng.FillGaussian(v.data(), v.size());
+  kv.AppendTokens(0, count, k.data(), v.data());
+  EXPECT_EQ(kv.NumTokens(0), count);
+  // Token 7, head 0 matches slice 7.
+  VectorSetView keys = kv.Keys(0, 0);
+  for (uint32_t j = 0; j < m.head_dim; ++j) {
+    EXPECT_EQ(keys.Vec(7)[j], k[7 * stride + j]);
+  }
+}
+
+TEST(KvCacheTest, PrefixCloneMatches) {
+  ModelConfig m = ModelConfig::Tiny();
+  KvCache src(m);
+  Rng rng(3);
+  const size_t stride = m.num_kv_heads * m.head_dim;
+  std::vector<float> k(stride), v(stride);
+  for (uint32_t layer = 0; layer < m.num_layers; ++layer) {
+    for (int t = 0; t < 20; ++t) {
+      rng.FillGaussian(k.data(), stride);
+      rng.FillGaussian(v.data(), stride);
+      src.AppendToken(layer, k.data(), v.data());
+    }
+  }
+  KvCache dst(m);
+  ASSERT_TRUE(dst.AppendPrefixFrom(src, 12).ok());
+  EXPECT_EQ(dst.NumTokens(0), 12u);
+  EXPECT_EQ(dst.NumTokens(1), 12u);
+  for (uint32_t h = 0; h < m.num_kv_heads; ++h) {
+    for (uint32_t t = 0; t < 12; ++t) {
+      for (uint32_t j = 0; j < m.head_dim; ++j) {
+        EXPECT_EQ(dst.Keys(1, h).Vec(t)[j], src.Keys(1, h).Vec(t)[j]);
+      }
+    }
+  }
+}
+
+TEST(KvCacheTest, PrefixCloneErrors) {
+  KvCache a(ModelConfig::Tiny());
+  KvCache b(ModelConfig::Tiny());
+  EXPECT_TRUE(b.AppendPrefixFrom(a, 5).code() == StatusCode::kOutOfRange);
+  ModelConfig other = ModelConfig::Tiny();
+  other.head_dim = 32;
+  KvCache c(other);
+  EXPECT_TRUE(c.AppendPrefixFrom(a, 0).IsInvalidArgument());
+}
+
+TEST(KvCacheTest, DeployedBytesUsesModelPrecision) {
+  ModelConfig m = ModelConfig::Tiny();
+  KvCache kv(m);
+  std::vector<float> k(m.num_kv_heads * m.head_dim, 1.f);
+  for (uint32_t layer = 0; layer < m.num_layers; ++layer) {
+    for (int t = 0; t < 10; ++t) kv.AppendToken(layer, k.data(), k.data());
+  }
+  EXPECT_EQ(kv.DeployedBytes(), 10u * m.KvBytesPerToken());
+  EXPECT_GT(kv.FloatBytes(), 0u);
+}
+
+TEST(QuerySamplesTest, RecordAndView) {
+  ModelConfig m = ModelConfig::Tiny();
+  QuerySamples qs(m);
+  Rng rng(4);
+  std::vector<float> q(m.num_q_heads * m.head_dim);
+  rng.FillGaussian(q.data(), q.size());
+  qs.Record(0, q.data());
+  qs.Record(0, q.data());
+  EXPECT_EQ(qs.NumSamples(0), 2u);
+  EXPECT_EQ(qs.NumSamples(1), 0u);
+  VectorSetView view = qs.View(0, 3);
+  ASSERT_EQ(view.n, 2u);
+  for (uint32_t j = 0; j < m.head_dim; ++j) {
+    EXPECT_EQ(view.Vec(0)[j], q[3 * m.head_dim + j]);
+  }
+  EXPECT_GT(qs.FloatBytes(), 0u);
+}
+
+TEST(VectorSetTest, TruncateAndReserve) {
+  VectorSet set(4);
+  std::vector<float> v = {1, 2, 3, 4};
+  set.Reserve(10);
+  set.Append(v.data());
+  set.Append(v.data());
+  EXPECT_EQ(set.size(), 2u);
+  set.Truncate(1);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.Vec(0)[0], 1.f);
+}
+
+}  // namespace
+}  // namespace alaya

@@ -1,0 +1,94 @@
+#include "src/device/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace alaya {
+namespace {
+
+TEST(MemoryTrackerTest, AllocateFreeAndPeak) {
+  MemoryTracker t(MemoryTier::kGpu);
+  t.Allocate(100);
+  t.Allocate(50);
+  EXPECT_EQ(t.current(), 150u);
+  EXPECT_EQ(t.peak(), 150u);
+  t.Free(120);
+  EXPECT_EQ(t.current(), 30u);
+  EXPECT_EQ(t.peak(), 150u);
+  t.Allocate(10);
+  EXPECT_EQ(t.peak(), 150u);  // Peak unchanged below the high-water mark.
+}
+
+TEST(MemoryTrackerTest, ResetPeak) {
+  MemoryTracker t(MemoryTier::kHost);
+  t.Allocate(100);
+  t.Free(90);
+  t.ResetPeak();
+  EXPECT_EQ(t.peak(), 10u);
+}
+
+TEST(MemoryTrackerTest, ConcurrentUpdatesBalance) {
+  MemoryTracker t(MemoryTier::kGpu);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 10000; ++j) {
+        t.Allocate(3);
+        t.Free(3);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.current(), 0u);
+}
+
+TEST(MemoryTrackerTest, TierNames) {
+  EXPECT_STREQ(MemoryTierName(MemoryTier::kGpu), "GPU");
+  EXPECT_STREQ(MemoryTierName(MemoryTier::kHost), "HOST");
+  EXPECT_STREQ(MemoryTierName(MemoryTier::kDisk), "DISK");
+  MemoryTracker t(MemoryTier::kGpu);
+  t.Allocate(2048);
+  EXPECT_NE(t.ToString().find("GPU"), std::string::npos);
+}
+
+TEST(MemoryReservationTest, RaiiFreesOnDestruction) {
+  MemoryTracker t(MemoryTier::kGpu);
+  {
+    MemoryReservation r(&t, 1000);
+    EXPECT_EQ(t.current(), 1000u);
+  }
+  EXPECT_EQ(t.current(), 0u);
+}
+
+TEST(MemoryReservationTest, MoveTransfersOwnership) {
+  MemoryTracker t(MemoryTier::kGpu);
+  MemoryReservation a(&t, 500);
+  MemoryReservation b = std::move(a);
+  EXPECT_EQ(t.current(), 500u);
+  EXPECT_EQ(b.bytes(), 500u);
+  EXPECT_EQ(a.bytes(), 0u);
+  b.Release();
+  EXPECT_EQ(t.current(), 0u);
+}
+
+TEST(MemoryReservationTest, ResizeGrowsAndShrinks) {
+  MemoryTracker t(MemoryTier::kGpu);
+  MemoryReservation r(&t, 100);
+  r.ResizeTo(250);
+  EXPECT_EQ(t.current(), 250u);
+  r.ResizeTo(50);
+  EXPECT_EQ(t.current(), 50u);
+  r.ResizeTo(50);
+  EXPECT_EQ(t.current(), 50u);
+}
+
+TEST(MemoryReservationTest, DefaultIsEmpty) {
+  MemoryReservation r;
+  EXPECT_EQ(r.bytes(), 0u);
+  r.Release();  // No-op, no crash.
+}
+
+}  // namespace
+}  // namespace alaya

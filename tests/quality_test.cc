@@ -1,0 +1,46 @@
+#include "src/llm/quality.h"
+
+#include <gtest/gtest.h>
+
+namespace alaya {
+namespace {
+
+TEST(QualityTest, CosineFidelityClamped) {
+  const float a[] = {1.f, 0.f};
+  const float b[] = {1.f, 0.f};
+  const float c[] = {-1.f, 0.f};
+  EXPECT_NEAR(CosineFidelity(a, b, 2), 1.0, 1e-6);
+  EXPECT_EQ(CosineFidelity(a, c, 2), 0.0);  // Negative cosine clamps to 0.
+}
+
+TEST(QualityTest, AnchoredScoreAtFullEqualsPaperScore) {
+  EXPECT_DOUBLE_EQ(AnchoredScore(0.8, 0.8, 55.9), 55.9);
+}
+
+TEST(QualityTest, AnchoredScoreScalesRelatively) {
+  EXPECT_NEAR(AnchoredScore(0.4, 0.8, 50.0), 25.0, 1e-9);
+  // Better-than-full fidelity can exceed the anchor (sparse beats full).
+  EXPECT_NEAR(AnchoredScore(0.9, 0.8, 50.0), 56.25, 1e-9);
+}
+
+TEST(QualityTest, AnchoredScoreCapsAtBoostAndHundred) {
+  EXPECT_NEAR(AnchoredScore(10.0, 1.0, 40.0, 2.0), 80.0, 1e-9);  // Boost cap.
+  EXPECT_NEAR(AnchoredScore(1.0, 0.5, 90.0), 100.0, 1e-9);        // Score cap.
+}
+
+TEST(QualityTest, AnchoredScoreZeroFullFidelity) {
+  EXPECT_EQ(AnchoredScore(0.5, 0.0, 50.0), 0.0);
+}
+
+TEST(QualityTest, MeanAccumulator) {
+  MeanAccumulator acc;
+  EXPECT_EQ(acc.Mean(), 0.0);
+  acc.Add(1.0);
+  acc.Add(2.0);
+  acc.Add(3.0);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 2.0);
+  EXPECT_EQ(acc.count(), 3u);
+}
+
+}  // namespace
+}  // namespace alaya

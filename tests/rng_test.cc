@@ -1,0 +1,136 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace alaya {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformInt(17);
+    EXPECT_LT(v, 17u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u);  // All residues hit.
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(99);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.LogNormal(0.0, 2.0), 0.0);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(11);
+  for (size_t n : {10u, 100u, 1000u}) {
+    for (size_t k : {1u, 5u, 10u}) {
+      if (k > n) continue;
+      auto picks = rng.SampleWithoutReplacement(n, k);
+      EXPECT_EQ(picks.size(), k);
+      std::set<size_t> s(picks.begin(), picks.end());
+      EXPECT_EQ(s.size(), k);
+      for (size_t p : picks) EXPECT_LT(p, n);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(13);
+  auto picks = rng.SampleWithoutReplacement(64, 64);
+  std::set<size_t> s(picks.begin(), picks.end());
+  EXPECT_EQ(s.size(), 64u);
+}
+
+TEST(RngTest, SampleWithoutReplacementCoversUniformly) {
+  // Every index should be picked with roughly equal frequency.
+  Rng rng(17);
+  std::vector<int> counts(20, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t p : rng.SampleWithoutReplacement(20, 5)) counts[p]++;
+  }
+  const double expected = trials * 5.0 / 20.0;
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.25);
+}
+
+TEST(RngTest, FillGaussianFillsAll) {
+  Rng rng(3);
+  std::vector<float> v(257, 0.f);
+  rng.FillGaussian(v.data(), v.size());
+  int zeros = 0;
+  for (float x : v) {
+    if (x == 0.f) ++zeros;
+  }
+  EXPECT_EQ(zeros, 0);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  // The child should not replay the parent's stream.
+  Rng parent2(42);
+  parent2.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.Next() == parent.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(21);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto orig = v;
+  rng.Shuffle(&v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);  // Same multiset.
+  EXPECT_NE(v, orig);       // Actually shuffled (overwhelmingly likely).
+}
+
+}  // namespace
+}  // namespace alaya

@@ -1,0 +1,146 @@
+#include "src/index/roargraph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace alaya {
+namespace {
+
+using testutil::BruteTopK;
+using testutil::MakeTrainingQueries;
+using testutil::PlantedMips;
+
+TEST(RoarGraphTest, BuildsAndIsFullyReachable) {
+  PlantedMips data(2000, 32, 50, 1);
+  RoarGraph graph(data.keys.View(), RoarGraphOptions{});
+  VectorSet training = MakeTrainingQueries(data, 400, 2);
+  ASSERT_TRUE(graph.BuildFromQueries(training.View()).ok());
+  EXPECT_TRUE(graph.built());
+  EXPECT_DOUBLE_EQ(graph.ReachableFraction(), 1.0);
+  EXPECT_EQ(graph.size(), 2000u);
+  EXPECT_GT(graph.MemoryBytes(), 0u);
+  EXPECT_EQ(graph.index_class(), IndexClass::kFine);
+}
+
+TEST(RoarGraphTest, DegreeBounded) {
+  PlantedMips data(1000, 16, 30, 3);
+  RoarGraphOptions opts;
+  opts.max_degree = 12;
+  RoarGraph graph(data.keys.View(), opts);
+  VectorSet training = MakeTrainingQueries(data, 300, 4);
+  ASSERT_TRUE(graph.BuildFromQueries(training.View()).ok());
+  for (uint32_t u = 0; u < graph.graph().size(); ++u) {
+    EXPECT_LE(graph.graph().degree(u), 12u);
+  }
+}
+
+TEST(RoarGraphTest, TopKRecallOnPlantedData) {
+  PlantedMips data(4000, 32, 100, 5);
+  RoarGraph graph(data.keys.View(), RoarGraphOptions{});
+  VectorSet training = MakeTrainingQueries(data, 800, 6);
+  ASSERT_TRUE(graph.BuildFromQueries(training.View()).ok());
+
+  SearchResult res;
+  TopKParams params{50, 128};
+  ASSERT_TRUE(graph.SearchTopK(data.query.data(), params, &res).ok());
+  ASSERT_EQ(res.hits.size(), 50u);
+  auto exact = BruteTopK(data.keys.View(), data.query.data(), 50);
+  std::vector<bool> got(4000, false);
+  for (const auto& h : res.hits) got[h.id] = true;
+  size_t inter = 0;
+  for (const auto& e : exact) {
+    if (got[e.id]) ++inter;
+  }
+  EXPECT_GE(inter, 45u);  // >= 90% recall@50.
+}
+
+TEST(RoarGraphTest, SearchBeforeBuildFails) {
+  PlantedMips data(100, 16, 10, 7);
+  RoarGraph graph(data.keys.View(), RoarGraphOptions{});
+  SearchResult res;
+  EXPECT_EQ(graph.SearchTopK(data.query.data(), TopKParams{5, 0}, &res).code(),
+            StatusCode::kFailedPrecondition);
+  DiprParams dp;
+  EXPECT_EQ(graph.SearchDipr(data.query.data(), dp, &res).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RoarGraphTest, DimensionMismatchRejected) {
+  PlantedMips data(100, 16, 10, 9);
+  RoarGraph graph(data.keys.View(), RoarGraphOptions{});
+  VectorSet wrong(8);
+  std::vector<float> v(8, 1.f);
+  wrong.Append(v.data());
+  EXPECT_TRUE(graph.BuildFromQueries(wrong.View()).IsInvalidArgument());
+}
+
+TEST(RoarGraphTest, EmptyKeysRejected) {
+  VectorSet empty(16);
+  RoarGraph graph(empty.View(), RoarGraphOptions{});
+  VectorSet training(16);
+  std::vector<float> v(16, 1.f);
+  training.Append(v.data());
+  EXPECT_TRUE(graph.BuildFromQueries(training.View()).IsInvalidArgument());
+}
+
+TEST(RoarGraphTest, EntryPointIsMaxNormKey) {
+  VectorSet keys(8);
+  Rng rng(10);
+  std::vector<float> v(8);
+  for (int i = 0; i < 50; ++i) {
+    rng.FillGaussian(v.data(), 8);
+    NormalizeInPlace(v.data(), 8);
+    keys.Append(v.data());
+  }
+  std::vector<float> big(8, 3.f);  // Norm ~8.5, clearly the max.
+  keys.Append(big.data());
+  RoarGraph graph(keys.View(), RoarGraphOptions{});
+  VectorSet training(8);
+  for (int i = 0; i < 20; ++i) {
+    rng.FillGaussian(v.data(), 8);
+    training.Append(v.data());
+  }
+  ASSERT_TRUE(graph.BuildFromQueries(training.View()).ok());
+  EXPECT_EQ(graph.EntryPoint(nullptr), 50u);
+}
+
+TEST(RoarGraphTest, FilteredTopKRespectsPredicate) {
+  PlantedMips data(1000, 16, 60, 11);
+  RoarGraph graph(data.keys.View(), RoarGraphOptions{});
+  VectorSet training = MakeTrainingQueries(data, 300, 12);
+  ASSERT_TRUE(graph.BuildFromQueries(training.View()).ok());
+  IdFilter filter;
+  filter.prefix_len = 500;
+  SearchResult res;
+  ASSERT_TRUE(graph
+                  .SearchTopKFiltered(data.query.data(), TopKParams{20, 64}, filter,
+                                      &res)
+                  .ok());
+  for (const auto& h : res.hits) EXPECT_LT(h.id, 500u);
+}
+
+TEST(RoarGraphTest, SequentialBuildMatchesParallelStructureQuality) {
+  PlantedMips data(1500, 16, 60, 13);
+  VectorSet training = MakeTrainingQueries(data, 400, 14);
+
+  RoarGraphOptions seq_opts;
+  seq_opts.sequential = true;
+  RoarGraph seq(data.keys.View(), seq_opts);
+  ASSERT_TRUE(seq.BuildFromQueries(training.View()).ok());
+
+  RoarGraph par(data.keys.View(), RoarGraphOptions{});
+  ASSERT_TRUE(par.BuildFromQueries(training.View()).ok());
+
+  // Both graphs should recall the planted set under DIPRS.
+  DiprParams params;
+  params.beta = 11.f;
+  SearchResult a, b;
+  ASSERT_TRUE(seq.SearchDipr(data.query.data(), params, &a).ok());
+  ASSERT_TRUE(par.SearchDipr(data.query.data(), params, &b).ok());
+  EXPECT_GE(data.Recall(a.hits), 0.8);
+  EXPECT_GE(data.Recall(b.hits), 0.8);
+}
+
+}  // namespace
+}  // namespace alaya

@@ -1,0 +1,107 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace alaya {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  Status s = Status::NotFound("missing context");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "missing context");
+  EXPECT_EQ(s.ToString(), "NotFound: missing context");
+}
+
+TEST(StatusTest, Predicates) {
+  EXPECT_TRUE(Status::NotFound("").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::IoError("").IsIoError());
+  EXPECT_TRUE(Status::Corruption("").IsCorruption());
+  EXPECT_FALSE(Status::Ok().IsNotFound());
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status::Ok());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(StatusTest, CodeNamesCoverAllCodes) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "Ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotSupported), "NotSupported");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.ValueOr(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, TakeValueMoves) {
+  Result<std::string> r(std::string(1000, 'x'));
+  ASSERT_TRUE(r.ok());
+  std::string v = r.TakeValue();
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status Chain(int x) {
+  ALAYA_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+Result<int> Doubled(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return 2 * x;
+}
+
+Result<int> ChainAssign(int x) {
+  ALAYA_ASSIGN_OR_RETURN(int y, Doubled(x));
+  return y + 1;
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_EQ(Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  Result<int> ok = ChainAssign(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 11);
+  Result<int> bad = ChainAssign(-5);
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace alaya

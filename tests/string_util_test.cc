@@ -1,0 +1,41 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace alaya {
+namespace {
+
+TEST(StringUtilTest, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(StrFormat("%s", "hello"), "hello");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, StrFormatLongOutput) {
+  std::string long_str(500, 'a');
+  EXPECT_EQ(StrFormat("%s", long_str.c_str()).size(), 500u);
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(17), "17 B");
+  EXPECT_EQ(HumanBytes(1024), "1.00 KB");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KB");
+  EXPECT_EQ(HumanBytes(1ull << 20), "1.00 MB");
+  EXPECT_EQ(HumanBytes(3ull << 30), "3.00 GB");
+}
+
+TEST(StringUtilTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(2.5), "2.500 s");
+  EXPECT_EQ(HumanSeconds(0.0025), "2.500 ms");
+  EXPECT_EQ(HumanSeconds(2.5e-6), "2.5 us");
+  EXPECT_EQ(HumanSeconds(5e-9), "5 ns");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+}  // namespace
+}  // namespace alaya

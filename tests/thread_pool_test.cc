@@ -1,0 +1,97 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace alaya {
+namespace {
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(5, 5, [&](size_t) { count.fetch_add(1); });
+  pool.ParallelFor(7, 3, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, 4, [&](size_t i) {
+    EXPECT_EQ(i, 3u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForComputesCorrectSum) {
+  ThreadPool pool(8);
+  const size_t n = 100000;
+  std::vector<uint64_t> out(n);
+  pool.ParallelFor(0, n, [&](size_t i) { out[i] = i * 2; });
+  uint64_t sum = std::accumulate(out.begin(), out.end(), uint64_t{0});
+  EXPECT_EQ(sum, uint64_t(n) * (n - 1));
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  pool.ParallelForChunked(0, 777, 10, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  std::atomic<int> count{0};
+  ThreadPool::Global().ParallelFor(0, 50, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+  EXPECT_GE(ThreadPool::Global().num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+}  // namespace
+}  // namespace alaya

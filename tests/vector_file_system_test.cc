@@ -1,0 +1,110 @@
+#include "src/storage/vector_file_system.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace alaya {
+namespace {
+
+VectorFileSystem::Options MemVfs() {
+  VectorFileSystem::Options o;
+  o.in_memory = true;
+  o.file.dim = 16;
+  o.file.max_degree = 8;
+  o.file.block_size = 512;
+  return o;
+}
+
+TEST(VectorFileSystemTest, CreateAndGet) {
+  VectorFileSystem vfs(MemVfs());
+  auto r = vfs.CreateFile("layer0_head0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(vfs.GetFile("layer0_head0"), nullptr);
+  EXPECT_EQ(vfs.GetFile("nope"), nullptr);
+  EXPECT_EQ(vfs.num_files(), 1u);
+}
+
+TEST(VectorFileSystemTest, PersistAndLoadHeadWithGraph) {
+  VectorFileSystem vfs(MemVfs());
+  Rng rng(1);
+  VectorSet keys(16);
+  std::vector<float> v(16);
+  for (int i = 0; i < 40; ++i) {
+    rng.FillGaussian(v.data(), 16);
+    keys.Append(v.data());
+  }
+  AdjacencyGraph graph(40, 8);
+  for (uint32_t u = 0; u + 1 < 40; ++u) {
+    graph.AddEdge(u, u + 1);
+    graph.AddEdge(u + 1, u);
+  }
+  ASSERT_TRUE(vfs.PersistHead("l1_h0", keys.View(), &graph).ok());
+
+  VectorSet loaded_keys;
+  AdjacencyGraph loaded_graph;
+  ASSERT_TRUE(vfs.LoadHead("l1_h0", &loaded_keys, &loaded_graph).ok());
+  ASSERT_EQ(loaded_keys.size(), 40u);
+  for (uint32_t i = 0; i < 40; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      EXPECT_EQ(loaded_keys.Vec(i)[j], keys.Vec(i)[j]);
+    }
+  }
+  ASSERT_EQ(loaded_graph.size(), 40u);
+  for (uint32_t u = 0; u < 40; ++u) {
+    auto a = graph.Neighbors(u);
+    auto b = loaded_graph.Neighbors(u);
+    ASSERT_EQ(a.size(), b.size()) << "node " << u;
+    for (size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+}
+
+TEST(VectorFileSystemTest, PersistWithoutGraph) {
+  VectorFileSystem vfs(MemVfs());
+  VectorSet keys(16);
+  std::vector<float> v(16, 3.f);
+  keys.Append(v.data());
+  ASSERT_TRUE(vfs.PersistHead("solo", keys.View(), nullptr).ok());
+  VectorSet loaded;
+  ASSERT_TRUE(vfs.LoadHead("solo", &loaded, nullptr).ok());
+  EXPECT_EQ(loaded.size(), 1u);
+}
+
+TEST(VectorFileSystemTest, PosixModeRoundtrip) {
+  VectorFileSystem::Options o = MemVfs();
+  o.in_memory = false;
+  o.dir = testing::TempDir() + "/alaya_vfs_test";
+  VectorFileSystem vfs(o);
+  Rng rng(2);
+  VectorSet keys(16);
+  std::vector<float> v(16);
+  for (int i = 0; i < 25; ++i) {
+    rng.FillGaussian(v.data(), 16);
+    keys.Append(v.data());
+  }
+  ASSERT_TRUE(vfs.PersistHead("disk_head", keys.View(), nullptr).ok());
+
+  // A second VFS instance reopens the file from disk.
+  VectorFileSystem vfs2(o);
+  VectorSet loaded;
+  ASSERT_TRUE(vfs2.LoadHead("disk_head", &loaded, nullptr).ok());
+  EXPECT_EQ(loaded.size(), 25u);
+  for (int j = 0; j < 16; ++j) EXPECT_EQ(loaded.Vec(24)[j], keys.Vec(24)[j]);
+}
+
+TEST(VectorFileSystemTest, SharedBufferManagerAcrossFiles) {
+  VectorFileSystem vfs(MemVfs());
+  VectorSet keys(16);
+  std::vector<float> v(16, 1.f);
+  for (int i = 0; i < 10; ++i) keys.Append(v.data());
+  ASSERT_TRUE(vfs.PersistHead("a", keys.View(), nullptr).ok());
+  ASSERT_TRUE(vfs.PersistHead("b", keys.View(), nullptr).ok());
+  VectorSet la, lb;
+  ASSERT_TRUE(vfs.LoadHead("a", &la, nullptr).ok());
+  ASSERT_TRUE(vfs.LoadHead("b", &lb, nullptr).ok());
+  EXPECT_GT(vfs.buffer_manager().stats().hits + vfs.buffer_manager().stats().misses,
+            0u);
+}
+
+}  // namespace
+}  // namespace alaya

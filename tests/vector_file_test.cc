@@ -1,0 +1,151 @@
+#include "src/storage/vector_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+
+namespace alaya {
+namespace {
+
+VectorFileOptions SmallFile() {
+  VectorFileOptions o;
+  o.block_size = 512;
+  o.dim = 16;
+  o.max_degree = 8;
+  return o;
+}
+
+TEST(VectorFileTest, AppendAndReadVectors) {
+  auto file =
+      VectorFile::Create(std::make_unique<MemIoBackend>(), SmallFile()).TakeValue();
+  Rng rng(1);
+  std::vector<std::vector<float>> vecs;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<float> v(16);
+    rng.FillGaussian(v.data(), 16);
+    vecs.push_back(v);
+    auto r = file->AppendVector(v.data());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(file->num_vectors(), 100u);
+  std::vector<float> out(16);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(file->ReadVector(i, out.data()).ok());
+    for (int j = 0; j < 16; ++j) EXPECT_EQ(out[j], vecs[i][j]);
+  }
+}
+
+TEST(VectorFileTest, AdjacencyRoundtrip) {
+  auto file =
+      VectorFile::Create(std::make_unique<MemIoBackend>(), SmallFile()).TakeValue();
+  std::vector<float> v(16, 1.f);
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(file->AppendVector(v.data()).ok());
+
+  std::vector<uint32_t> nbrs = {1, 5, 9, 13};
+  ASSERT_TRUE(file->WriteAdjacency(3, nbrs).ok());
+  std::vector<uint32_t> got;
+  ASSERT_TRUE(file->ReadAdjacency(3, &got).ok());
+  EXPECT_EQ(got, nbrs);
+  // Unwritten nodes have empty adjacency.
+  ASSERT_TRUE(file->ReadAdjacency(4, &got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(VectorFileTest, AdjacencyDegreeCapped) {
+  auto file =
+      VectorFile::Create(std::make_unique<MemIoBackend>(), SmallFile()).TakeValue();
+  std::vector<float> v(16, 1.f);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(file->AppendVector(v.data()).ok());
+  std::vector<uint32_t> too_many(20);
+  for (uint32_t i = 0; i < 20; ++i) too_many[i] = i;
+  ASSERT_TRUE(file->WriteAdjacency(0, too_many).ok());
+  std::vector<uint32_t> got;
+  ASSERT_TRUE(file->ReadAdjacency(0, &got).ok());
+  EXPECT_EQ(got.size(), 8u);  // max_degree.
+}
+
+TEST(VectorFileTest, OutOfRangeRejected) {
+  auto file =
+      VectorFile::Create(std::make_unique<MemIoBackend>(), SmallFile()).TakeValue();
+  std::vector<float> v(16, 1.f);
+  ASSERT_TRUE(file->AppendVector(v.data()).ok());
+  std::vector<float> out(16);
+  EXPECT_FALSE(file->ReadVector(5, out.data()).ok());
+  EXPECT_FALSE(file->WriteAdjacency(5, std::vector<uint32_t>{0}).ok());
+  std::vector<uint32_t> nbrs;
+  EXPECT_FALSE(file->ReadAdjacency(5, &nbrs).ok());
+}
+
+TEST(VectorFileTest, BlockSizeTooSmallRejected) {
+  VectorFileOptions o;
+  o.block_size = 64;
+  o.dim = 64;  // 256 bytes per vector > 48-byte payload.
+  auto r = VectorFile::Create(std::make_unique<MemIoBackend>(), o);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(VectorFileTest, ReopenFromPosixFile) {
+  const std::string path = testing::TempDir() + "/alaya_vf_test.vf";
+  std::remove(path.c_str());
+  Rng rng(2);
+  std::vector<std::vector<float>> vecs;
+  {
+    auto backend = PosixIoBackend::Open(path, true).TakeValue();
+    auto file = VectorFile::Create(std::move(backend), SmallFile()).TakeValue();
+    for (int i = 0; i < 60; ++i) {
+      std::vector<float> v(16);
+      rng.FillGaussian(v.data(), 16);
+      vecs.push_back(v);
+      ASSERT_TRUE(file->AppendVector(v.data()).ok());
+    }
+    ASSERT_TRUE(file->WriteAdjacency(7, std::vector<uint32_t>{1, 2, 3}).ok());
+    ASSERT_TRUE(file->Flush().ok());
+  }
+  {
+    auto backend = PosixIoBackend::Open(path, false).TakeValue();
+    auto r = VectorFile::Open(std::move(backend));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    auto file = r.TakeValue();
+    EXPECT_EQ(file->num_vectors(), 60u);
+    EXPECT_EQ(file->dim(), 16u);
+    std::vector<float> out(16);
+    for (int i = 0; i < 60; ++i) {
+      ASSERT_TRUE(file->ReadVector(i, out.data()).ok());
+      for (int j = 0; j < 16; ++j) EXPECT_EQ(out[j], vecs[i][j]);
+    }
+    std::vector<uint32_t> nbrs;
+    ASSERT_TRUE(file->ReadAdjacency(7, &nbrs).ok());
+    EXPECT_EQ(nbrs, (std::vector<uint32_t>{1, 2, 3}));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(VectorFileTest, OpenRejectsBadMagic) {
+  auto backend = std::make_unique<MemIoBackend>();
+  const std::string garbage(1024, 'g');
+  ASSERT_TRUE(backend->Write(0, garbage.data(), garbage.size()).ok());
+  auto r = VectorFile::Open(std::move(backend));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(VectorFileTest, BufferManagerCachesReads) {
+  BufferManager::Options bo;
+  bo.block_size = 512;
+  bo.capacity_bytes = 64 * 512;
+  BufferManager bm(bo);
+  auto file = VectorFile::Create(std::make_unique<MemIoBackend>(), SmallFile(), &bm, 3)
+                  .TakeValue();
+  std::vector<float> v(16, 2.f), out(16);
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(file->AppendVector(v.data()).ok());
+  const auto before = bm.stats();
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(file->ReadVector(i, out.data()).ok());
+  const auto after = bm.stats();
+  EXPECT_GT(after.hits, before.hits);  // Blocks served from cache.
+}
+
+}  // namespace
+}  // namespace alaya

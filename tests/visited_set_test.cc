@@ -1,0 +1,48 @@
+#include "src/common/visited_set.h"
+
+#include <gtest/gtest.h>
+
+namespace alaya {
+namespace {
+
+TEST(VisitedSetTest, VisitMarksOnce) {
+  VisitedSet vs(10);
+  vs.Reset();
+  EXPECT_TRUE(vs.Visit(3));
+  EXPECT_FALSE(vs.Visit(3));
+  EXPECT_TRUE(vs.IsVisited(3));
+  EXPECT_FALSE(vs.IsVisited(4));
+}
+
+TEST(VisitedSetTest, ResetClearsMarks) {
+  VisitedSet vs(10);
+  vs.Reset();
+  vs.Visit(1);
+  vs.Visit(2);
+  vs.Reset();
+  EXPECT_FALSE(vs.IsVisited(1));
+  EXPECT_FALSE(vs.IsVisited(2));
+  EXPECT_TRUE(vs.Visit(1));
+}
+
+TEST(VisitedSetTest, ResizeKeepsCapacity) {
+  VisitedSet vs(4);
+  vs.Resize(100);
+  EXPECT_GE(vs.capacity(), 100u);
+  vs.Reset();
+  EXPECT_TRUE(vs.Visit(99));
+  vs.Resize(50);  // Shrink requests are ignored.
+  EXPECT_GE(vs.capacity(), 100u);
+}
+
+TEST(VisitedSetTest, ManyEpochsStayCorrect) {
+  VisitedSet vs(8);
+  for (int epoch = 0; epoch < 10000; ++epoch) {
+    vs.Reset();
+    EXPECT_FALSE(vs.IsVisited(epoch % 8));
+    EXPECT_TRUE(vs.Visit(epoch % 8));
+  }
+}
+
+}  // namespace
+}  // namespace alaya

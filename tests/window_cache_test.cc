@@ -1,0 +1,87 @@
+#include "src/attention/window_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+
+namespace alaya {
+namespace {
+
+TEST(WindowCacheTest, ContainsInitialAndRecent) {
+  WindowCache wc(WindowConfig{4, 8});
+  const size_t n = 100;
+  EXPECT_TRUE(wc.Contains(0, n));
+  EXPECT_TRUE(wc.Contains(3, n));
+  EXPECT_FALSE(wc.Contains(4, n));
+  EXPECT_FALSE(wc.Contains(91, n));
+  EXPECT_TRUE(wc.Contains(92, n));
+  EXPECT_TRUE(wc.Contains(99, n));
+}
+
+TEST(WindowCacheTest, SizeMatchesCollectedIds) {
+  for (size_t n : {2u, 4u, 10u, 12u, 13u, 100u}) {
+    WindowCache wc(WindowConfig{4, 8});
+    std::vector<uint32_t> ids;
+    wc.CollectIds(n, &ids);
+    EXPECT_EQ(ids.size(), wc.Size(n)) << "n=" << n;
+    // No duplicates, all in range, and each satisfies Contains().
+    std::set<uint32_t> s(ids.begin(), ids.end());
+    EXPECT_EQ(s.size(), ids.size());
+    for (uint32_t id : ids) {
+      EXPECT_LT(id, n);
+      EXPECT_TRUE(wc.Contains(id, n));
+    }
+  }
+}
+
+TEST(WindowCacheTest, ShortContextIsFullyWindowed) {
+  WindowCache wc(WindowConfig{128, 512});
+  EXPECT_EQ(wc.Size(100), 100u);
+  std::vector<uint32_t> ids;
+  wc.CollectIds(100, &ids);
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(WindowCacheTest, MaxWindowInnerProductFindsPlantedMax) {
+  const size_t d = 16, n = 200;
+  VectorSet keys(d);
+  Rng rng(1);
+  std::vector<float> v(d);
+  for (size_t i = 0; i < n; ++i) {
+    rng.FillGaussian(v.data(), d);
+    NormalizeInPlace(v.data(), d);
+    keys.Append(v.data());
+  }
+  // Plant a huge key at position 1 (inside the initial window).
+  std::vector<float> big(d, 0.f);
+  big[0] = 100.f;
+  std::copy(big.begin(), big.end(), keys.MutableVec(1));
+
+  WindowCache wc(WindowConfig{4, 8});
+  std::vector<float> q(d, 0.f);
+  q[0] = 1.f;
+  const float prior = wc.MaxWindowInnerProduct(q.data(), keys.View(), n);
+  EXPECT_NEAR(prior, 100.f, 1e-3);
+}
+
+TEST(WindowCacheTest, GpuBytesScaleWithGeometry) {
+  WindowCache wc(WindowConfig{128, 512});
+  const uint64_t b1 = wc.GpuBytes(100000, 8, 128, 2);
+  EXPECT_EQ(b1, 640ull * 8 * 128 * 2 * 2);
+  EXPECT_EQ(wc.GpuBytes(100000, 8, 128, 4), 2 * b1);
+}
+
+TEST(WindowCacheTest, OverlappingInitialAndRecent) {
+  // Context shorter than initial+recent: window covers everything exactly once.
+  WindowCache wc(WindowConfig{10, 10});
+  std::vector<uint32_t> ids;
+  wc.CollectIds(15, &ids);
+  std::set<uint32_t> s(ids.begin(), ids.end());
+  EXPECT_EQ(s.size(), 15u);
+  EXPECT_EQ(wc.Size(15), 15u);
+}
+
+}  // namespace
+}  // namespace alaya
