@@ -1,0 +1,125 @@
+// Serving throughput: aggregate decode tokens/sec as the number of concurrent
+// sessions grows — the multi-tenant dimension the paper's MaaS scenario (§2)
+// adds on top of per-query latency. Each tenant decodes over its own imported
+// context; the engine batches every step's (session, layer, head) DIPRS
+// queries across sessions onto the shared pool, and the scheduler keeps the
+// set of admitted sessions under the GPU memory budget.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/string_util.h"
+#include "src/common/timer.h"
+#include "src/server/serving_engine.h"
+
+using namespace alaya;
+
+namespace {
+
+struct Tenant {
+  std::unique_ptr<SyntheticContext> doc;
+};
+
+ServingRequest MakeRequest(const SyntheticContext& doc, size_t steps) {
+  ServingRequest r;
+  r.prompt = doc.tokens();
+  r.max_new_tokens = steps;
+  const ModelConfig model = doc.model();
+  const SyntheticContext* d = &doc;
+  r.fill_step = [d, model](size_t step, uint32_t layer, float* q, float* k,
+                           float* v) {
+    d->MakeDecodeQueryLayer(step, layer, q);
+    // Decoded K/V: derived deterministically from the decode query so the
+    // local tail is well-defined without running a real FFN.
+    Rng rng(0xC0FFEE ^ (step * 1315423911ull + layer));
+    rng.FillGaussian(k, static_cast<size_t>(model.num_kv_heads) * model.head_dim);
+    rng.FillGaussian(v, static_cast<size_t>(model.num_kv_heads) * model.head_dim);
+  };
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const ModelConfig model = bench::BenchModel();
+  const auto suite = InfinityBenchSuite(0.04);
+  const char* tasks[] = {"En.QA", "En.MC", "Code.D", "Math.F"};
+  constexpr size_t kTenants = 4;
+  constexpr size_t kSteps = 16;
+
+  std::printf("=== serving throughput: concurrent sessions over shared AlayaDB ===\n");
+  std::printf("model: %u layers, %u q-heads, %u kv-heads, d=%u; %zu decode steps/request\n\n",
+              model.num_layers, model.num_q_heads, model.num_kv_heads, model.head_dim,
+              kSteps);
+
+  ThreadPool pool(4);
+
+  std::printf("%12s %10s %12s %14s %12s %12s\n", "concurrency", "requests",
+              "tokens/sec", "wall-seconds", "peak-gpu", "peak-conc");
+  double sequential_tps = 0;
+  for (size_t concurrency : {size_t{1}, size_t{2}, kTenants}) {
+    // Fresh DB per run so context stores and virtual clocks are comparable.
+    SimEnvironment env;
+    DbOptions options;
+    options.model = model;
+    options.session.optimizer.short_context_threshold = 512;
+    options.session.window = WindowConfig{32, 128};
+    AlayaDB db(options, &env);
+
+    std::vector<Tenant> tenants;
+    for (size_t i = 0; i < kTenants; ++i) {
+      SyntheticContextOptions copts;
+      copts.model = model;
+      copts.spec = FindTask(suite, tasks[i]);
+      copts.spec.seed += i * 1000;  // Sequential suite seeds: avoid collisions.
+      copts.pool = &pool;
+      auto doc = std::make_unique<SyntheticContext>(copts);
+      if (!doc->Generate().ok()) return 1;
+      auto kv = std::make_unique<KvCache>(model);
+      if (!kv->AppendAllFrom(doc->kv()).ok()) return 1;
+      auto training = doc->MakeTrainingQueries(128);
+      if (!db.Import(doc->tokens(), std::move(kv), training.get()).ok()) return 1;
+      tenants.push_back(Tenant{std::move(doc)});
+    }
+
+    ServingEngineOptions eopts;
+    eopts.scheduler.max_concurrent_sessions = concurrency;
+    eopts.pool = &pool;
+    ServingEngine engine(&db, eopts);
+    for (size_t i = 0; i < kTenants; ++i) {
+      auto id = engine.Submit(MakeRequest(*tenants[i].doc, kSteps));
+      if (!id.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n", id.status().ToString().c_str());
+        return 1;
+      }
+    }
+    if (Status s = engine.RunToCompletion(); !s.ok()) {
+      std::fprintf(stderr, "serving failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const ServingSnapshot snap = engine.snapshot();
+    if (concurrency == 1) sequential_tps = snap.tokens_per_second;
+    std::printf("%12zu %10zu %12.1f %14.3f %12s %12zu\n", concurrency,
+                snap.completed, snap.tokens_per_second, snap.serve_wall_seconds,
+                HumanBytes(snap.peak_gpu_bytes).c_str(),
+                snap.peak_concurrent_sessions);
+    if (snap.completed != kTenants || snap.tokens_decoded != kTenants * kSteps) {
+      std::fprintf(stderr, "FAIL: expected %zu requests x %zu tokens, got %zu x %zu\n",
+                   kTenants, kSteps, snap.completed, snap.tokens_decoded);
+      return 1;
+    }
+    if (concurrency > 1 && snap.peak_concurrent_sessions < 2) {
+      std::fprintf(stderr, "FAIL: expected >1 concurrent session\n");
+      return 1;
+    }
+  }
+
+  std::printf("\nnote: per-head batching already saturates the pool at "
+              "concurrency 1 on few-core hosts, so aggregate tok/s stays "
+              "roughly flat while in-flight sessions multiply; gains appear "
+              "as worker count grows (sequential baseline %.1f tok/s)\n",
+              sequential_tps);
+  std::printf("bench_serving_throughput OK\n");
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 namespace alaya {
 
@@ -59,6 +60,39 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+// Shared state of one ParallelFor call. Heap-allocated and reference-counted
+// because helper tasks may still be queued (and never grab a chunk) after the
+// caller has returned; they must find live atomics, not a dead stack frame.
+struct ParallelForState {
+  std::atomic<size_t> next;
+  std::atomic<size_t> chunks_done{0};
+  size_t end = 0;
+  size_t chunk_size = 0;
+  size_t total_chunks = 0;
+  const std::function<void(size_t)>* fn = nullptr;  ///< Valid until chunks_done == total.
+  std::mutex mu;
+  std::condition_variable cv;
+
+  /// Grabs and executes chunks until none remain; completion is signaled via
+  /// chunks_done/cv when the last chunk finishes.
+  void RunChunks() {
+    for (;;) {
+      const size_t lo = next.fetch_add(chunk_size);
+      if (lo >= end) return;
+      const size_t hi = std::min(end, lo + chunk_size);
+      for (size_t i = lo; i < hi; ++i) (*fn)(i);
+      if (chunks_done.fetch_add(1) + 1 == total_chunks) {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn, size_t min_grain) {
   if (begin >= end) return;
@@ -71,30 +105,23 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // Dynamic chunking: ~4 chunks per worker bounds scheduling overhead while
   // keeping load balance for skewed work.
   const size_t chunks = std::min(n, nthreads * 4);
-  std::atomic<size_t> next{begin};
-  std::atomic<size_t> done_chunks{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  const size_t chunk_size = (n + chunks - 1) / chunks;
-  size_t actual_chunks = (n + chunk_size - 1) / chunk_size;
-  for (size_t c = 0; c < actual_chunks; ++c) {
-    Submit([&, this] {
-      (void)this;
-      for (;;) {
-        size_t lo = next.fetch_add(chunk_size);
-        if (lo >= end) break;
-        size_t hi = std::min(end, lo + chunk_size);
-        for (size_t i = lo; i < hi; ++i) fn(i);
-      }
-      size_t d = done_chunks.fetch_add(1) + 1;
-      if (d == actual_chunks) {
-        std::unique_lock<std::mutex> lk(done_mu);
-        done_cv.notify_all();
-      }
-    });
+  auto state = std::make_shared<ParallelForState>();
+  state->next.store(begin);
+  state->end = end;
+  state->chunk_size = (n + chunks - 1) / chunks;
+  state->total_chunks = (n + state->chunk_size - 1) / state->chunk_size;
+  state->fn = &fn;
+  // One helper per extra chunk; the caller is itself a participant. The caller
+  // executing chunks (instead of sleeping on a condvar) is what makes nested
+  // ParallelFor calls — e.g. an index build issued from inside a serving-engine
+  // pool task — deadlock-free: every caller is guaranteed forward progress on
+  // its own work even when all workers are busy.
+  for (size_t c = 1; c < state->total_chunks; ++c) {
+    Submit([state] { state->RunChunks(); });
   }
-  std::unique_lock<std::mutex> lk(done_mu);
-  done_cv.wait(lk, [&] { return done_chunks.load() == actual_chunks; });
+  state->RunChunks();
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->cv.wait(lk, [&] { return state->chunks_done.load() == state->total_chunks; });
 }
 
 void ThreadPool::ParallelForChunked(size_t begin, size_t end, size_t num_chunks,
@@ -103,23 +130,13 @@ void ThreadPool::ParallelForChunked(size_t begin, size_t end, size_t num_chunks,
   const size_t n = end - begin;
   num_chunks = std::max<size_t>(1, std::min(num_chunks, n));
   const size_t chunk = (n + num_chunks - 1) / num_chunks;
-  std::atomic<size_t> done{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  size_t actual = 0;
-  for (size_t lo = begin; lo < end; lo += chunk) ++actual;
-  for (size_t lo = begin; lo < end; lo += chunk) {
-    const size_t hi = std::min(end, lo + chunk);
-    Submit([&, lo, hi] {
-      fn(lo, hi);
-      if (done.fetch_add(1) + 1 == actual) {
-        std::unique_lock<std::mutex> lk(done_mu);
-        done_cv.notify_all();
-      }
-    });
-  }
-  std::unique_lock<std::mutex> lk(done_mu);
-  done_cv.wait(lk, [&] { return done.load() == actual; });
+  const size_t total = (n + chunk - 1) / chunk;
+  // One ParallelFor iteration per chunk index: reuses the caller-participates
+  // scheme instead of duplicating it.
+  ParallelFor(0, total, [&](size_t c) {
+    const size_t lo = begin + c * chunk;
+    fn(lo, std::min(end, lo + chunk));
+  });
 }
 
 ThreadPool& ThreadPool::Global() {

@@ -15,6 +15,7 @@ Result<AlayaDB::SessionCreation> AlayaDB::CreateSession(
     reused = match.context;
     out.reused_prefix = match.matched;
     out.context_id = match.context->id();
+    out.context_ref = match.ref;
   }
   out.truncated_prompt.assign(prompt.begin() + static_cast<long>(out.reused_prefix),
                               prompt.end());

@@ -37,6 +37,10 @@ class AlayaDB {
     std::vector<int32_t> truncated_prompt;
     size_t reused_prefix = 0;
     uint64_t context_id = 0;  ///< 0 when no stored context matched.
+    /// Pins the reused context for the session's lifetime: a concurrent
+    /// ContextStore::Remove unregisters it but cannot free it underneath a
+    /// running session. Keep this alive as long as `session` is.
+    std::shared_ptr<Context> context_ref;
   };
 
   /// DB.create_session(prompts): finds the stored context sharing the longest

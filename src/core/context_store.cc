@@ -110,29 +110,35 @@ uint64_t Context::IndexBytes() const {
 }
 
 uint64_t ContextStore::Add(std::unique_ptr<Context> context) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::shared_mutex> lk(mu_);
   const uint64_t id = context->id() != 0 ? context->id() : next_id_;
   context->set_id(id);
   next_id_ = std::max(next_id_, id + 1);
-  contexts_[id] = std::move(context);
+  contexts_[id] = std::shared_ptr<Context>(std::move(context));
   return id;
 }
 
 Context* ContextStore::Find(uint64_t id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = contexts_.find(id);
   return it == contexts_.end() ? nullptr : it->second.get();
 }
 
 const Context* ContextStore::Find(uint64_t id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = contexts_.find(id);
   return it == contexts_.end() ? nullptr : it->second.get();
 }
 
+std::shared_ptr<Context> ContextStore::FindShared(uint64_t id) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = contexts_.find(id);
+  return it == contexts_.end() ? nullptr : it->second;
+}
+
 ContextStore::PrefixMatch ContextStore::BestPrefixMatch(
     std::span<const int32_t> tokens) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> lk(mu_);
   PrefixMatch best;
   for (const auto& [id, ctx] : contexts_) {
     const auto& stored = ctx->tokens();
@@ -142,23 +148,24 @@ ContextStore::PrefixMatch ContextStore::BestPrefixMatch(
     if (m > best.matched) {
       best.matched = m;
       best.context = ctx.get();
+      best.ref = ctx;
     }
   }
   return best;
 }
 
 bool ContextStore::Remove(uint64_t id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::shared_mutex> lk(mu_);
   return contexts_.erase(id) > 0;
 }
 
 size_t ContextStore::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> lk(mu_);
   return contexts_.size();
 }
 
 std::vector<uint64_t> ContextStore::Ids() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> lk(mu_);
   std::vector<uint64_t> ids;
   ids.reserve(contexts_.size());
   for (const auto& [id, _] : contexts_) ids.push_back(id);
@@ -166,14 +173,14 @@ std::vector<uint64_t> ContextStore::Ids() const {
 }
 
 uint64_t ContextStore::TotalKvBytes() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> lk(mu_);
   uint64_t b = 0;
   for (const auto& [_, ctx] : contexts_) b += ctx->kv().DeployedBytes();
   return b;
 }
 
 uint64_t ContextStore::TotalIndexBytes() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> lk(mu_);
   uint64_t b = 0;
   for (const auto& [_, ctx] : contexts_) b += ctx->IndexBytes();
   return b;

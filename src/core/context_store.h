@@ -6,7 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -72,11 +72,19 @@ class Context {
 };
 
 /// Registry of stored contexts with longest-common-prefix lookup.
-/// Thread-safe for concurrent Add/Find/BestPrefixMatch.
+///
+/// Thread-safety: all methods may be called concurrently (reader/writer lock;
+/// lookups take shared locks, Add/Remove exclusive ones). Contexts are
+/// reference-counted: `FindShared` / `PrefixMatch::ref` pin the context, so a
+/// concurrent `Remove` unregisters it from the store but the storage stays
+/// alive until the last running session drops its reference — the invariant
+/// the multi-session serving engine relies on.
 class ContextStore {
  public:
   struct PrefixMatch {
     Context* context = nullptr;
+    /// Lifetime pin for `context`; hold it as long as the raw pointer is used.
+    std::shared_ptr<Context> ref;
     size_t matched = 0;  ///< Tokens of shared prefix.
     bool full() const { return context != nullptr && matched == context->length(); }
   };
@@ -84,8 +92,13 @@ class ContextStore {
   /// Takes ownership; returns the context id.
   uint64_t Add(std::unique_ptr<Context> context);
 
+  /// Borrowed lookup. The pointer is only safe while no concurrent Remove can
+  /// run; concurrent callers should prefer FindShared.
   Context* Find(uint64_t id);
   const Context* Find(uint64_t id) const;
+
+  /// Owning lookup: keeps the context alive across a concurrent Remove.
+  std::shared_ptr<Context> FindShared(uint64_t id) const;
 
   /// The stored context sharing the longest common prefix with `tokens`.
   /// Linear scan over contexts (stores hold few, large contexts; a token trie
@@ -101,8 +114,8 @@ class ContextStore {
   uint64_t TotalIndexBytes() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<uint64_t, std::unique_ptr<Context>> contexts_;
+  mutable std::shared_mutex mu_;
+  std::map<uint64_t, std::shared_ptr<Context>> contexts_;
   uint64_t next_id_ = 1;
 };
 

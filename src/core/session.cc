@@ -91,6 +91,10 @@ Status Session::Attention(uint32_t layer, const float* q, float* out,
   return Status::Ok();
 }
 
+void Session::ChargeModeledGpuSeconds(double seconds) {
+  env_->gpu_clock().Advance(seconds);
+}
+
 Status Session::AttendHead(uint32_t layer, uint32_t q_head, const float* qh,
                            float* out_h, AttentionCallStats* stats) {
   const uint32_t kv_head = config_.KvHeadForQuery(q_head);

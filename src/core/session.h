@@ -78,6 +78,21 @@ class Session {
   Status Attention(uint32_t layer, const float* q, float* out,
                    AttentionCallStats* stats = nullptr);
 
+  /// One (layer, q_head) attention call — the unit the serving engine batches
+  /// across concurrent sessions. `qh`/`out_h` are this head's [head_dim]
+  /// slices; `stats` must be non-null.
+  ///
+  /// Unlike Attention(), this does NOT advance the environment's GPU clock:
+  /// batching callers aggregate stats->modeled_gpu_seconds across heads and
+  /// call ChargeModeledGpuSeconds once. Reentrancy: safe to call concurrently
+  /// for distinct heads of the same session (all session state it touches is
+  /// read-only), provided no Update/UpdateBatch runs concurrently.
+  Status AttendHead(uint32_t layer, uint32_t q_head, const float* qh, float* out_h,
+                    AttentionCallStats* stats);
+
+  /// Advances the shared environment's modeled GPU clock (thread-safe).
+  void ChargeModeledGpuSeconds(double seconds);
+
   // --- Introspection ---
   size_t reused_prefix() const { return prefix_len_; }
   bool partial_reuse() const {
@@ -100,9 +115,6 @@ class Session {
   uint64_t GpuResidentBytes() const;
 
  private:
-  Status AttendHead(uint32_t layer, uint32_t q_head, const float* qh, float* out_h,
-                    AttentionCallStats* stats);
-
   QueryContext MakeQueryContext(uint32_t layer) const;
 
   ModelConfig config_;

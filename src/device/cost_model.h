@@ -7,6 +7,7 @@
 // testbed like the paper's.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace alaya {
@@ -95,14 +96,21 @@ inline double DecodeAttentionFlops(uint64_t n, uint64_t heads, uint64_t head_dim
 }
 
 /// Accumulates modeled (virtual) seconds alongside measured wall time.
+/// Thread-safe: concurrent sessions sharing one SimEnvironment all charge
+/// modeled device time to the same clock.
 class VirtualClock {
  public:
-  void Advance(double seconds) { seconds_ += seconds; }
-  void Reset() { seconds_ = 0.0; }
-  double Seconds() const { return seconds_; }
+  void Advance(double seconds) {
+    double cur = seconds_.load(std::memory_order_relaxed);
+    while (!seconds_.compare_exchange_weak(cur, cur + seconds,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+  void Reset() { seconds_.store(0.0); }
+  double Seconds() const { return seconds_.load(); }
 
  private:
-  double seconds_ = 0.0;
+  std::atomic<double> seconds_{0.0};
 };
 
 }  // namespace alaya

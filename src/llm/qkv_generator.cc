@@ -58,10 +58,18 @@ Status SyntheticContext::Generate() {
   kv_ = std::make_unique<KvCache>(m);
   plans_.assign(static_cast<size_t>(m.num_layers) * m.num_kv_heads, HeadPlan{});
 
-  // Synthetic token ids: deterministic per seed so different contexts share no
-  // accidental prefixes, while re-generation with one seed is reproducible.
+  // Synthetic token ids: deterministic per (task, seed) so different contexts
+  // share no accidental prefixes, while re-generation is reproducible. The
+  // task name is folded in because suite seeds are sequential per task — two
+  // tasks offset by a per-tenant index can collide on the same numeric seed,
+  // which would give distinct documents identical token ids (and make the DB
+  // silently "reuse" one tenant's KV for another's prompt).
   tokens_.resize(n);
-  Rng token_rng(spec.seed ^ 0x746f6b656e734964ULL);
+  uint64_t name_hash = 0xcbf29ce484222325ULL;  // FNV-1a.
+  for (char c : spec.name) {
+    name_hash = (name_hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  Rng token_rng(spec.seed ^ name_hash ^ 0x746f6b656e734964ULL);
   const int32_t base = static_cast<int32_t>(token_rng.UniformInt(1u << 20)) + 1;
   for (size_t i = 0; i < n; ++i) {
     tokens_[i] = base + static_cast<int32_t>(i);

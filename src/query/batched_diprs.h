@@ -1,0 +1,44 @@
+// Batched DIPRS execution for multi-session serving.
+//
+// One decode step of one session issues a DIPRS (or top-k / full-attention)
+// retrieval per (layer, q_head). When many sessions decode concurrently, the
+// per-head calls are independent read-only searches over shared indices, so
+// the serving engine flattens all sessions' (session, layer, head) queries of
+// the current step into one batch and executes it with a single ParallelFor —
+// one scheduling round instead of per-session head loops, and load balancing
+// across heads whose DIPRS exploration sizes differ (Observation I).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/session.h"
+
+namespace alaya {
+
+/// One (session, layer, q_head) attention query of the current decode step.
+/// `q` and `out` are this head's [head_dim] slices; `stats` must be non-null
+/// and unique per job (jobs run concurrently).
+struct HeadAttentionJob {
+  Session* session = nullptr;
+  uint32_t layer = 0;
+  uint32_t q_head = 0;
+  const float* q = nullptr;
+  float* out = nullptr;
+  AttentionCallStats* stats = nullptr;
+};
+
+/// Executes every job on `pool` (nullptr -> ThreadPool::Global()). Jobs may
+/// mix sessions and layers; all referenced sessions must be quiescent (no
+/// concurrent Update). Always drains the whole batch. With `per_job` set, each
+/// job's Status lands at the matching index and the call returns Ok — callers
+/// isolate failures per job (the serving engine fails one session, not the
+/// fleet). Without it, returns the first error encountered. Does not advance
+/// any GPU clock — callers aggregate per-job stats and charge each session
+/// once per batch.
+Status ExecuteHeadJobs(std::span<HeadAttentionJob> jobs, ThreadPool* pool = nullptr,
+                       std::vector<Status>* per_job = nullptr);
+
+}  // namespace alaya

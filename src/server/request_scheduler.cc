@@ -1,0 +1,121 @@
+#include "src/server/request_scheduler.h"
+
+#include <algorithm>
+
+namespace alaya {
+
+RequestScheduler::RequestScheduler(const ModelConfig& model,
+                                   const WindowConfig& window, const CostModel& cost,
+                                   const RequestSchedulerOptions& options)
+    : model_(model), window_(window), cost_(cost), options_(options) {
+  // A zero cap would deadlock Admit; one session must always be able to run.
+  options_.max_concurrent_sessions = std::max<size_t>(1, options_.max_concurrent_sessions);
+}
+
+AdmissionEstimate RequestScheduler::Estimate(const ServingRequest& request) const {
+  AdmissionEstimate e;
+  const size_t total = request.prompt.size() + request.max_new_tokens;
+  // Device-resident tokens at completion: the window over the full context,
+  // plus whatever part of the decoded tail the window does not already cover
+  // (the local tail always stays on device under late materialization).
+  const size_t window_tokens = window_.Size(total);
+  const size_t gpu_tokens =
+      std::min(total, std::max(window_tokens, request.max_new_tokens));
+  e.gpu_bytes = static_cast<uint64_t>(gpu_tokens) * model_.KvBytesPerToken();
+
+  // Per-step modeled device time at completion, mirroring the sparse path in
+  // Session::AttendHead: one window+tail attention kernel per (layer, head)
+  // plus the data-centric partial-state transfer.
+  const double per_head =
+      cost_.GpuAttentionSeconds(4.0 * static_cast<double>(gpu_tokens) *
+                                model_.head_dim) +
+      cost_.TransferSeconds((model_.head_dim + 2) * sizeof(float));
+  e.step_gpu_seconds = per_head * model_.num_q_heads * model_.num_layers;
+  return e;
+}
+
+bool RequestScheduler::FitsLocked(const AdmissionEstimate& e) const {
+  if (active_.size() >= options_.max_concurrent_sessions) return false;
+  if (options_.gpu_budget_bytes > 0 &&
+      reserved_bytes_ + e.gpu_bytes > options_.gpu_budget_bytes) {
+    return false;
+  }
+  if (options_.tpot_slo_seconds > 0 && !active_.empty() &&
+      reserved_seconds_ + e.step_gpu_seconds > options_.tpot_slo_seconds) {
+    return false;
+  }
+  return true;
+}
+
+Result<uint64_t> RequestScheduler::Enqueue(ServingRequest request) {
+  if (request.fill_step == nullptr) {
+    return Status::InvalidArgument("request has no fill_step");
+  }
+  if (request.max_new_tokens == 0) {
+    return Status::InvalidArgument("max_new_tokens must be positive");
+  }
+  AdmissionEstimate e = Estimate(request);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (options_.gpu_budget_bytes > 0 && e.gpu_bytes > options_.gpu_budget_bytes) {
+    return Status::ResourceExhausted(
+        "request footprint exceeds the GPU budget even running alone");
+  }
+  if (pending_.size() >= options_.max_queue_depth) {
+    return Status::ResourceExhausted("admission queue is full");
+  }
+  Admitted item;
+  item.id = next_id_++;
+  item.request = std::move(request);
+  item.estimate = e;
+  const uint64_t id = item.id;
+  pending_.push_back(std::move(item));
+  return id;
+}
+
+std::vector<RequestScheduler::Admitted> RequestScheduler::Admit() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Admitted> out;
+  while (!pending_.empty()) {
+    Admitted& head = pending_.front();
+    // Enqueue guarantees every queued request fits an idle system, so the head
+    // is always admissible once the system drains: no starvation.
+    if (!FitsLocked(head.estimate)) break;  // FIFO: no bypass past a blocked head.
+    reserved_bytes_ += head.estimate.gpu_bytes;
+    reserved_seconds_ += head.estimate.step_gpu_seconds;
+    active_[head.id] = head.estimate;
+    out.push_back(std::move(head));
+    pending_.pop_front();
+  }
+  return out;
+}
+
+void RequestScheduler::Release(uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  reserved_bytes_ -= it->second.gpu_bytes;
+  reserved_seconds_ -= it->second.step_gpu_seconds;
+  active_.erase(it);
+}
+
+size_t RequestScheduler::queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_.size();
+}
+
+size_t RequestScheduler::active() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return active_.size();
+}
+
+uint64_t RequestScheduler::reserved_gpu_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return reserved_bytes_;
+}
+
+double RequestScheduler::reserved_step_seconds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return reserved_seconds_;
+}
+
+}  // namespace alaya

@@ -1,0 +1,124 @@
+// Admission control and queueing for the multi-session serving engine.
+//
+// Every prompt request carries a projected device footprint (window + decoded
+// tail at deployed KV precision) and a projected per-step modeled device time
+// (CostModel). The scheduler admits requests FIFO while the aggregate stays
+// under the GPU memory budget (and, optionally, a per-step TPOT SLO), and
+// queues the rest — the provider-side knob the paper's MaaS scenario needs
+// ("heavy traffic", §2): memory decides *whether* a session may run, the cost
+// model decides *how many* may run at once.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/attention/window_cache.h"
+#include "src/common/status.h"
+#include "src/core/model_config.h"
+#include "src/device/cost_model.h"
+
+namespace alaya {
+
+/// One prompt request submitted to the serving front door.
+struct ServingRequest {
+  /// Full prompt tokens; the engine routes them through DB.create_session for
+  /// prefix reuse against the context store.
+  std::vector<int32_t> prompt;
+  /// Decode steps to run (tokens to generate).
+  size_t max_new_tokens = 1;
+  /// Fills one decode step's inputs: q is [num_q_heads * head_dim], k and v
+  /// are [num_kv_heads * head_dim]. Must be deterministic in (step, layer) —
+  /// concurrent and sequential schedules then produce identical outputs.
+  std::function<void(size_t step, uint32_t layer, float* q, float* k, float* v)>
+      fill_step;
+  /// Token id appended at `step` (used when store_on_finish materializes the
+  /// session into a new context). Optional; defaults to synthetic ids.
+  std::function<int32_t(size_t step)> token_at;
+  /// DB.store(session) on completion (late materialization, §7.2).
+  bool store_on_finish = false;
+  /// Keep every step's final-layer attention output in the result (tests and
+  /// determinism checks; costs steps * num_q_heads * head_dim floats).
+  bool record_outputs = false;
+};
+
+/// Projected steady-state resource usage of one request, computed up front.
+struct AdmissionEstimate {
+  /// Device-resident KV bytes at completion: window over the full context plus
+  /// the session-local decoded tail (mirrors Session::GpuResidentBytes).
+  uint64_t gpu_bytes = 0;
+  /// Modeled device seconds per decode step at completion (all layers/heads).
+  double step_gpu_seconds = 0;
+};
+
+struct RequestSchedulerOptions {
+  /// Aggregate device budget for admitted sessions (0 = unlimited).
+  uint64_t gpu_budget_bytes = 0;
+  /// Hard cap on concurrently decoding sessions.
+  size_t max_concurrent_sessions = 8;
+  /// Enqueue fails with ResourceExhausted beyond this backlog.
+  size_t max_queue_depth = 256;
+  /// When > 0: stop admitting once the summed projected per-step device time
+  /// of active sessions would exceed this bound (a request exceeding it on its
+  /// own still runs, alone — rejecting it outright would starve it forever).
+  double tpot_slo_seconds = 0;
+};
+
+/// Thread-safe FIFO admission queue. Enqueue may race with the engine's
+/// Admit/Release loop (a front door accepting requests mid-flight).
+class RequestScheduler {
+ public:
+  RequestScheduler(const ModelConfig& model, const WindowConfig& window,
+                   const CostModel& cost, const RequestSchedulerOptions& options);
+
+  /// Projected footprint of `request` (no lock needed; pure computation).
+  AdmissionEstimate Estimate(const ServingRequest& request) const;
+
+  /// Queues a request, failing fast when the backlog is full or the request
+  /// could never fit the memory budget even running alone. Returns request id.
+  Result<uint64_t> Enqueue(ServingRequest request);
+
+  struct Admitted {
+    uint64_t id = 0;
+    ServingRequest request;
+    AdmissionEstimate estimate;
+  };
+
+  /// Pops every queued request admissible under the current load, FIFO with no
+  /// head-of-line bypass (keeps the admission order deterministic). An
+  /// admissible request fits the remaining memory budget and the TPOT SLO, or
+  /// is the head while nothing is active (guaranteed progress).
+  std::vector<Admitted> Admit();
+
+  /// Returns a finished (or failed) request's reservation to the pool.
+  void Release(uint64_t id);
+
+  size_t queued() const;
+  size_t active() const;
+  /// Sum of admitted requests' projected device bytes.
+  uint64_t reserved_gpu_bytes() const;
+  /// Sum of admitted requests' projected per-step device seconds.
+  double reserved_step_seconds() const;
+
+  const RequestSchedulerOptions& options() const { return options_; }
+
+ private:
+  bool FitsLocked(const AdmissionEstimate& e) const;
+
+  ModelConfig model_;
+  WindowCache window_;
+  CostModel cost_;
+  RequestSchedulerOptions options_;
+
+  mutable std::mutex mu_;
+  std::deque<Admitted> pending_;
+  std::map<uint64_t, AdmissionEstimate> active_;
+  uint64_t next_id_ = 1;
+  uint64_t reserved_bytes_ = 0;
+  double reserved_seconds_ = 0;
+};
+
+}  // namespace alaya

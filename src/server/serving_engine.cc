@@ -1,0 +1,249 @@
+#include "src/server/serving_engine.h"
+
+#include <algorithm>
+
+#include "src/common/timer.h"
+#include "src/query/batched_diprs.h"
+
+namespace alaya {
+
+ServingEngine::ServingEngine(AlayaDB* db, const ServingEngineOptions& options)
+    : db_(db),
+      options_(options),
+      scheduler_(db->options().model, db->options().session.window,
+                 db->env().cost_model(), options.scheduler),
+      pool_(options.pool != nullptr ? options.pool : &ThreadPool::Global()) {}
+
+Result<uint64_t> ServingEngine::Submit(ServingRequest request) {
+  Result<uint64_t> id = scheduler_.Enqueue(std::move(request));
+  if (id.ok()) {
+    submitted_.fetch_add(1);
+  } else {
+    rejected_.fetch_add(1);
+  }
+  return id;
+}
+
+void ServingEngine::AdmitPending() {
+  for (RequestScheduler::Admitted& adm : scheduler_.Admit()) {
+    auto active = std::make_unique<ActiveSession>();
+    active->id = adm.id;
+    active->request = std::move(adm.request);
+    active->result.id = adm.id;
+
+    Result<AlayaDB::SessionCreation> created =
+        db_->CreateSession(active->request.prompt);
+    if (!created.ok()) {
+      active->result.status = created.status();
+      active->failed = true;
+    } else if (!created.value().truncated_prompt.empty()) {
+      // The engine is decode-only for now: serving a prompt whose suffix was
+      // never prefilled would silently attend to a context missing those
+      // tokens. Fail honestly instead (prefill is a ROADMAP item).
+      active->result.status = Status::NotSupported(
+          "prompt extends past every stored context; batched prefill is not "
+          "implemented — Import the full context first");
+      active->failed = true;
+    } else {
+      AlayaDB::SessionCreation& sc = created.value();
+      active->session = std::move(sc.session);
+      active->context_ref = std::move(sc.context_ref);
+      active->result.reused_prefix = sc.reused_prefix;
+      active->result.reused_context_id = sc.context_id;
+    }
+
+    const ModelConfig& model = db_->options().model;
+    const size_t qdim = static_cast<size_t>(model.num_q_heads) * model.head_dim;
+    const size_t kvdim = static_cast<size_t>(model.num_kv_heads) * model.head_dim;
+    active->q.resize(qdim);
+    active->k.resize(kvdim);
+    active->v.resize(kvdim);
+    active->out.resize(qdim);
+    active->head_stats.resize(model.num_q_heads);
+    if (active->request.record_outputs) {
+      active->result.outputs.reserve(active->request.max_new_tokens * qdim);
+    }
+    active_.push_back(std::move(active));
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  snapshot_.peak_concurrent_sessions =
+      std::max(snapshot_.peak_concurrent_sessions, active_.size());
+}
+
+Status ServingEngine::StepActiveSessions() {
+  const ModelConfig& model = db_->options().model;
+  const size_t d = model.head_dim;
+
+  // Sessions still decoding this step (stable submit order for determinism).
+  std::vector<ActiveSession*> live;
+  live.reserve(active_.size());
+  for (auto& a : active_) {
+    if (!a->failed && a->step < a->request.max_new_tokens) live.push_back(a.get());
+  }
+  if (live.empty()) return Status::Ok();
+
+  size_t step_tokens = 0;
+  std::vector<HeadAttentionJob> jobs;
+  std::vector<ActiveSession*> job_owner;
+  std::vector<Status> job_status;
+  jobs.reserve(live.size() * model.num_q_heads);
+  job_owner.reserve(live.size() * model.num_q_heads);
+
+  for (uint32_t layer = 0; layer < model.num_layers; ++layer) {
+    // Phase 1 — Update: append this step's K/V to each session-local cache.
+    // Sessions are independent, so this fans out across the pool; within a
+    // session the call is exclusive (no attention runs yet).
+    pool_->ParallelFor(0, live.size(), [&](size_t i) {
+      ActiveSession* a = live[i];
+      if (a->failed) return;  // Failed at an earlier layer of this step.
+      a->request.fill_step(a->step, layer, a->q.data(), a->k.data(), a->v.data());
+      Status s = a->session->Update(layer, a->q.data(), a->k.data(), a->v.data());
+      if (!s.ok()) {
+        a->result.status = s;
+        a->failed = true;
+      }
+    });
+
+    // Phase 2 — batched attention: flatten every live session's (session,
+    // q_head) DIPRS/attention query of this layer into one pool batch. A
+    // job's failure fails its own session, never the fleet.
+    jobs.clear();
+    job_owner.clear();
+    for (ActiveSession* a : live) {
+      if (a->failed) continue;
+      for (uint32_t h = 0; h < model.num_q_heads; ++h) {
+        a->head_stats[h] = AttentionCallStats{};
+        jobs.push_back(HeadAttentionJob{a->session.get(), layer, h,
+                                        a->q.data() + static_cast<size_t>(h) * d,
+                                        a->out.data() + static_cast<size_t>(h) * d,
+                                        &a->head_stats[h]});
+        job_owner.push_back(a);
+      }
+    }
+    ALAYA_RETURN_IF_ERROR(ExecuteHeadJobs(jobs, pool_, &job_status));
+    for (size_t j = 0; j < job_status.size(); ++j) {
+      if (!job_status[j].ok() && !job_owner[j]->failed) {
+        job_owner[j]->result.status = job_status[j];
+        job_owner[j]->failed = true;
+      }
+    }
+
+    // Phase 3 — per-session accounting: fold head stats, charge the modeled
+    // device clock once per session-layer (AttendHead leaves it untouched).
+    for (ActiveSession* a : live) {
+      if (a->failed) continue;
+      AttentionCallStats layer_stats;
+      for (const AttentionCallStats& hs : a->head_stats) layer_stats.Add(hs);
+      a->session->ChargeModeledGpuSeconds(layer_stats.modeled_gpu_seconds);
+      a->result.stats.Add(layer_stats);
+      if (layer + 1 == model.num_layers) {
+        if (a->request.record_outputs) {
+          a->result.outputs.insert(a->result.outputs.end(), a->out.begin(),
+                                   a->out.end());
+        }
+        ++a->result.steps_completed;
+        ++a->step;
+        ++step_tokens;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  snapshot_.tokens_decoded += step_tokens;
+  snapshot_.peak_gpu_bytes =
+      std::max(snapshot_.peak_gpu_bytes, db_->env().gpu_memory().current());
+  return Status::Ok();
+}
+
+void ServingEngine::FinishSession(ActiveSession* active) {
+  if (!active->failed && active->request.store_on_finish) {
+    std::vector<int32_t> new_tokens;
+    new_tokens.reserve(active->step);
+    for (size_t s = 0; s < active->step; ++s) {
+      // Default ids are salted with the request id: two sessions storing over
+      // the same base context must not produce identical token sequences with
+      // different KV, or later prompts would silently match the wrong one.
+      new_tokens.push_back(
+          active->request.token_at != nullptr
+              ? active->request.token_at(s)
+              : static_cast<int32_t>(1'000'000 +
+                                     (active->id % 20'000) * 100'000 + s));
+    }
+    Result<uint64_t> stored = db_->Store(active->session.get(), new_tokens);
+    if (stored.ok()) {
+      active->result.stored_context_id = stored.value();
+    } else {
+      active->result.status = stored.status();
+    }
+  }
+  // Free the session (and its device reservation) before returning the
+  // admission reservation, so the next admit sees consistent accounting.
+  active->session.reset();
+  active->context_ref.reset();
+  scheduler_.Release(active->id);
+  std::lock_guard<std::mutex> lk(mu_);
+  ++snapshot_.completed;
+  results_[active->id] = std::move(active->result);
+}
+
+void ServingEngine::RetireFinished() {
+  auto it = active_.begin();
+  while (it != active_.end()) {
+    ActiveSession* a = it->get();
+    if (a->failed || a->step >= a->request.max_new_tokens) {
+      FinishSession(a);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status ServingEngine::RunToCompletion() {
+  WallTimer timer;
+  for (;;) {
+    AdmitPending();
+    if (active_.empty()) {
+      if (scheduler_.queued() == 0) break;
+      // A concurrent Submit may have landed between Admit() and queued();
+      // having observed a non-empty queue on an idle system, a second Admit()
+      // must pull its head (Enqueue guarantees it fits). If even that admits
+      // nothing, it's an internal accounting bug — fail loudly, don't spin.
+      AdmitPending();
+      if (active_.empty()) {
+        if (scheduler_.queued() == 0) break;
+        return Status::Internal("queued requests but none admissible on idle system");
+      }
+    }
+    WallTimer step_timer;
+    ALAYA_RETURN_IF_ERROR(StepActiveSessions());
+    const double step_seconds = step_timer.ElapsedSeconds();
+    for (auto& a : active_) {
+      if (!a->failed) a->result.decode_wall_seconds += step_seconds;
+    }
+    RetireFinished();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  snapshot_.serve_wall_seconds += timer.ElapsedSeconds();
+  snapshot_.tokens_per_second =
+      snapshot_.serve_wall_seconds > 0
+          ? static_cast<double>(snapshot_.tokens_decoded) / snapshot_.serve_wall_seconds
+          : 0;
+  return Status::Ok();
+}
+
+const RequestResult* ServingEngine::result(uint64_t id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = results_.find(id);
+  // Map nodes are stable and never erased: the pointer outlives the lock.
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+ServingSnapshot ServingEngine::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServingSnapshot out = snapshot_;
+  out.submitted = submitted_.load();
+  out.rejected = rejected_.load();
+  return out;
+}
+
+}  // namespace alaya

@@ -1,0 +1,134 @@
+// Concurrent multi-session serving engine — the front door that turns the
+// single-query reproduction into a multi-tenant server skeleton (§2's MaaS
+// scenario: one data foundation, many decoding sessions).
+//
+// Submit() queues prompt requests; RunToCompletion() drives them:
+//   1. the RequestScheduler admits requests under the GPU memory budget
+//      (projected window + decoded-tail footprint) and optional TPOT SLO;
+//   2. each admitted request becomes a Session via DB.create_session —
+//      concurrent requests over the same document share the stored context
+//      and its indices (prefix reuse, §7.1);
+//   3. active sessions decode in lockstep steps: per layer, every session's
+//      Update runs, then all sessions' (session, q_head) DIPRS/attention
+//      queries are flattened into ONE batch on the shared ThreadPool
+//      (src/query/batched_diprs.h) — cross-session batching of retrieval;
+//   4. finished sessions optionally DB.store() their context (late
+//      materialization) and release their admission reservation, letting the
+//      scheduler pull the next queued request mid-run.
+//
+// Determinism: with deterministic fill_step callbacks, a concurrent schedule
+// produces bit-identical outputs to a sequential one — each session's state
+// evolves only from its own inputs; batching changes scheduling, not math.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/alaya_db.h"
+#include "src/server/request_scheduler.h"
+
+namespace alaya {
+
+struct ServingEngineOptions {
+  RequestSchedulerOptions scheduler;
+  /// Worker pool for cross-session batches (nullptr -> ThreadPool::Global()).
+  ThreadPool* pool = nullptr;
+};
+
+/// Terminal state of one request.
+struct RequestResult {
+  uint64_t id = 0;
+  Status status;
+  size_t reused_prefix = 0;
+  uint64_t reused_context_id = 0;  ///< 0 when no stored context matched.
+  uint64_t stored_context_id = 0;  ///< Set when store_on_finish succeeded.
+  size_t steps_completed = 0;
+  /// record_outputs: concatenated final-layer outputs, one
+  /// [num_q_heads * head_dim] block per step.
+  std::vector<float> outputs;
+  AttentionCallStats stats;  ///< Summed over all steps/layers/heads.
+  double decode_wall_seconds = 0;
+};
+
+/// Aggregate serving metrics over one engine lifetime.
+struct ServingSnapshot {
+  size_t submitted = 0;
+  size_t rejected = 0;   ///< Failed at Enqueue (backlog full / can never fit).
+  size_t completed = 0;  ///< Finished decoding (status may still be an error).
+  size_t tokens_decoded = 0;
+  double serve_wall_seconds = 0;   ///< Wall time inside RunToCompletion.
+  double tokens_per_second = 0;    ///< Aggregate decode throughput.
+  size_t peak_concurrent_sessions = 0;
+  uint64_t peak_gpu_bytes = 0;  ///< Max device residency observed at step ends.
+};
+
+class ServingEngine {
+ public:
+  /// `db` must outlive the engine. The scheduler plans against the DB's model
+  /// geometry, session window config, and environment cost model.
+  ServingEngine(AlayaDB* db, const ServingEngineOptions& options);
+
+  /// Queues a request (thread-safe; may race with a running RunToCompletion).
+  /// Fails fast when the backlog is full or the request can never fit the
+  /// memory budget. Returns the request id.
+  Result<uint64_t> Submit(ServingRequest request);
+
+  /// Drives every queued request to completion (single driver thread; decode
+  /// work fans out over the pool). Returns the first engine-level error;
+  /// per-request failures land in their RequestResult instead.
+  Status RunToCompletion();
+
+  /// Result lookup (nullptr while still in flight). Thread-safe: monitoring
+  /// threads may poll while RunToCompletion runs; a returned pointer stays
+  /// valid for the engine's lifetime (results are never erased).
+  const RequestResult* result(uint64_t id) const;
+
+  /// Aggregate metrics so far. Thread-safe snapshot (consistent at step
+  /// granularity while a run is in flight).
+  ServingSnapshot snapshot() const;
+  RequestScheduler& scheduler() { return scheduler_; }
+
+ private:
+  struct ActiveSession {
+    uint64_t id = 0;
+    ServingRequest request;
+    std::unique_ptr<Session> session;
+    std::shared_ptr<Context> context_ref;  ///< Pins the reused context.
+    RequestResult result;
+    size_t step = 0;
+    // Per-step scratch, reused across steps.
+    std::vector<float> q;    ///< [num_q_heads * head_dim]
+    std::vector<float> k;    ///< [num_kv_heads * head_dim]
+    std::vector<float> v;    ///< [num_kv_heads * head_dim]
+    std::vector<float> out;  ///< [num_q_heads * head_dim]
+    std::vector<AttentionCallStats> head_stats;  ///< One per q_head.
+    bool failed = false;
+  };
+
+  void AdmitPending();
+  Status StepActiveSessions();
+  void RetireFinished();
+  void FinishSession(ActiveSession* active);
+
+  AlayaDB* db_;
+  ServingEngineOptions options_;
+  RequestScheduler scheduler_;
+  ThreadPool* pool_;
+
+  std::vector<std::unique_ptr<ActiveSession>> active_;  ///< Driver-thread-only.
+
+  // Submit and monitoring threads may race with the driver: submit counters
+  // are atomic; results_ and the rest of the snapshot are guarded by mu_
+  // (the driver takes it briefly at step/retire boundaries).
+  std::atomic<size_t> submitted_{0};
+  std::atomic<size_t> rejected_{0};
+  mutable std::mutex mu_;
+  std::map<uint64_t, RequestResult> results_;
+  ServingSnapshot snapshot_;
+};
+
+}  // namespace alaya

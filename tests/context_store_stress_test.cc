@@ -1,0 +1,160 @@
+// Concurrency stress for ContextStore and the DB front door: parallel
+// Import / CreateSession / Store / Remove from the thread pool, locking in the
+// guarantees the multi-session serving engine relies on (reader/writer lock +
+// reference-counted context lifetime). Run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/core/alaya_db.h"
+
+namespace alaya {
+namespace {
+
+std::unique_ptr<KvCache> MakeKv(const ModelConfig& model, size_t tokens,
+                                uint64_t seed) {
+  auto kv = std::make_unique<KvCache>(model);
+  Rng rng(seed);
+  const size_t stride = model.num_kv_heads * model.head_dim;
+  std::vector<float> k(stride), v(stride);
+  for (uint32_t layer = 0; layer < model.num_layers; ++layer) {
+    for (size_t t = 0; t < tokens; ++t) {
+      rng.FillGaussian(k.data(), stride);
+      rng.FillGaussian(v.data(), stride);
+      kv->AppendToken(layer, k.data(), v.data());
+    }
+  }
+  return kv;
+}
+
+std::vector<int32_t> TokenRange(int32_t start, size_t count) {
+  std::vector<int32_t> t(count);
+  for (size_t i = 0; i < count; ++i) t[i] = start + static_cast<int32_t>(i);
+  return t;
+}
+
+TEST(ContextStoreStressTest, ParallelAddFindMatchRemove) {
+  const ModelConfig model = ModelConfig::Tiny();
+  ContextStore store;
+  ThreadPool pool(4);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 8;
+  std::atomic<int> found{0};
+
+  for (int w = 0; w < kWriters; ++w) {
+    pool.Submit([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const int32_t base = w * 1000 + i * 50;
+        auto ctx = std::make_unique<Context>(0, TokenRange(base, 24),
+                                             MakeKv(model, 24, w * 100 + i));
+        const uint64_t id = store.Add(std::move(ctx));
+        // Interleave reads with other writers' adds/removes.
+        if (store.FindShared(id) != nullptr) found.fetch_add(1);
+        auto match = store.BestPrefixMatch(TokenRange(base, 30));
+        EXPECT_GE(match.matched, 24u);
+        store.Ids();
+        store.TotalKvBytes();
+        if (i % 3 == 2) store.Remove(id);
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(found.load(), kWriters * kPerWriter);
+  // Each writer removed every third of its contexts.
+  const size_t removed_per_writer = kPerWriter / 3;
+  EXPECT_EQ(store.size(), kWriters * (kPerWriter - removed_per_writer));
+
+  // Ids are unique even under concurrent assignment.
+  std::vector<uint64_t> ids = store.Ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(ContextStoreStressTest, RemoveDoesNotFreePinnedContext) {
+  const ModelConfig model = ModelConfig::Tiny();
+  ContextStore store;
+  auto ctx = std::make_unique<Context>(0, TokenRange(7, 16), MakeKv(model, 16, 9));
+  const uint64_t id = store.Add(std::move(ctx));
+
+  std::shared_ptr<Context> pinned = store.FindShared(id);
+  ASSERT_NE(pinned, nullptr);
+  ASSERT_TRUE(store.Remove(id));
+  EXPECT_EQ(store.Find(id), nullptr);
+  // The pin keeps the storage alive: reads remain valid after Remove.
+  EXPECT_EQ(pinned->length(), 16u);
+  EXPECT_EQ(pinned->tokens().front(), 7);
+  EXPECT_EQ(pinned->kv().NumTokens(), 16u);
+}
+
+TEST(ContextStoreStressTest, ParallelImportCreateSessionStore) {
+  const ModelConfig model = ModelConfig::Tiny();
+  SimEnvironment env;
+  DbOptions options;
+  options.model = model;
+  options.session.optimizer.short_context_threshold = 16;
+  options.session.window = WindowConfig{4, 8};
+  AlayaDB db(options, &env);
+
+  ThreadPool pool(4);
+  constexpr int kTenants = 4;
+  std::atomic<int> failures{0};
+
+  for (int w = 0; w < kTenants; ++w) {
+    pool.Submit([&, w] {
+      const int32_t base = w * 10000;
+      // Import a tenant document.
+      auto imported = db.Import(TokenRange(base, 48), MakeKv(model, 48, 7 + w));
+      if (!imported.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      // Open a session over it while other tenants import/store concurrently.
+      auto created = db.CreateSession(TokenRange(base, 48));
+      if (!created.ok() || created.value().reused_prefix != 48) {
+        failures.fetch_add(1);
+        return;
+      }
+      Session& session = *created.value().session;
+      Rng rng(100 + w);
+      const size_t qdim = static_cast<size_t>(model.num_q_heads) * model.head_dim;
+      const size_t kvdim = static_cast<size_t>(model.num_kv_heads) * model.head_dim;
+      std::vector<float> q(qdim), k(kvdim), v(kvdim), o(qdim);
+      std::vector<int32_t> new_tokens;
+      for (int step = 0; step < 3; ++step) {
+        for (uint32_t layer = 0; layer < model.num_layers; ++layer) {
+          rng.FillGaussian(q.data(), qdim);
+          rng.FillGaussian(k.data(), kvdim);
+          rng.FillGaussian(v.data(), kvdim);
+          if (!session.Update(layer, q.data(), k.data(), v.data()).ok() ||
+              !session.Attention(layer, q.data(), o.data()).ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+        new_tokens.push_back(base + 1000 + step);
+      }
+      // Materialize the extended context back into the shared store.
+      if (!db.Store(&session, new_tokens).ok()) failures.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(failures.load(), 0);
+  // Every tenant imported one context and stored one extension.
+  EXPECT_EQ(db.contexts().size(), static_cast<size_t>(2 * kTenants));
+  // All stored contexts remain individually reusable.
+  for (uint64_t id : db.contexts().Ids()) {
+    const Context* ctx = db.contexts().Find(id);
+    ASSERT_NE(ctx, nullptr);
+    auto again = db.CreateSession(ctx->tokens());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().reused_prefix, ctx->length());
+  }
+}
+
+}  // namespace
+}  // namespace alaya

@@ -74,6 +74,35 @@ TEST(ThreadPoolTest, NestedSubmitFromTask) {
   EXPECT_EQ(count.load(), 10);
 }
 
+TEST(ThreadPoolTest, NestedParallelForFromTasks) {
+  // Every worker issues its own ParallelFor: the caller-participates scheme
+  // must make progress even when all workers are simultaneously inside one
+  // (the serving engine nests index builds inside pool tasks).
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int t = 0; t < 8; ++t) {
+    pool.Submit([&] {
+      pool.ParallelFor(0, 100, [&](size_t) { total.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPoolTest, NestedParallelForChunkedFromTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int t = 0; t < 8; ++t) {
+    pool.Submit([&] {
+      pool.ParallelForChunked(0, 90, 6, [&](size_t lo, size_t hi) {
+        total.fetch_add(static_cast<int>(hi - lo));
+      });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(total.load(), 720);
+}
+
 TEST(ThreadPoolTest, GlobalPoolIsUsable) {
   std::atomic<int> count{0};
   ThreadPool::Global().ParallelFor(0, 50, [&](size_t) { count.fetch_add(1); });
