@@ -4,7 +4,14 @@
 // context; the engine batches every step's (session, layer, head) DIPRS
 // queries across sessions onto the shared pool, and the scheduler keeps the
 // set of admitted sessions under the GPU memory budget.
+//
+// --prefill-fraction <f> (default 0) imports only the first (1-f) of each
+// tenant's document and prompts with the full document, so f of every prompt
+// flows through the engine's batched prefill phase before decode — the
+// partial-prefix-reuse serving path (§7.1).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -19,14 +26,15 @@ namespace {
 
 struct Tenant {
   std::unique_ptr<SyntheticContext> doc;
+  size_t imported_tokens = 0;
 };
 
-ServingRequest MakeRequest(const SyntheticContext& doc, size_t steps) {
+ServingRequest MakeRequest(const Tenant& tenant, size_t steps) {
   ServingRequest r;
-  r.prompt = doc.tokens();
+  r.prompt = tenant.doc->tokens();
   r.max_new_tokens = steps;
-  const ModelConfig model = doc.model();
-  const SyntheticContext* d = &doc;
+  const ModelConfig model = tenant.doc->model();
+  const SyntheticContext* d = tenant.doc.get();
   r.fill_step = [d, model](size_t step, uint32_t layer, float* q, float* k,
                            float* v) {
     d->MakeDecodeQueryLayer(step, layer, q);
@@ -36,12 +44,49 @@ ServingRequest MakeRequest(const SyntheticContext& doc, size_t steps) {
     rng.FillGaussian(k, static_cast<size_t>(model.num_kv_heads) * model.head_dim);
     rng.FillGaussian(v, static_cast<size_t>(model.num_kv_heads) * model.head_dim);
   };
+  // Prompt tokens past the imported prefix prefill with the document's own
+  // K/V rows (so prefilled sessions see exactly the document content) and a
+  // deterministic synthetic query.
+  r.fill_prompt = [d, model](size_t token, uint32_t layer, float* q, float* k,
+                             float* v) {
+    Rng rng(0x9E3779B9 ^ (token * 2654435761ull + layer));
+    rng.FillGaussian(q, static_cast<size_t>(model.num_q_heads) * model.head_dim);
+    for (uint32_t h = 0; h < model.num_kv_heads; ++h) {
+      const float* kk = d->kv().Keys(layer, h).Vec(static_cast<uint32_t>(token));
+      const float* vv = d->kv().Values(layer, h).Vec(static_cast<uint32_t>(token));
+      std::memcpy(k + static_cast<size_t>(h) * model.head_dim, kk,
+                  model.head_dim * sizeof(float));
+      std::memcpy(v + static_cast<size_t>(h) * model.head_dim, vv,
+                  model.head_dim * sizeof(float));
+    }
+  };
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  double prefill_fraction = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--prefill-fraction") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      prefill_fraction = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--prefill-fraction: not a number: %s\n", argv[i]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--prefill-fraction f]   (0 <= f < 1)\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  // Negated form so NaN (which fails every comparison) is rejected too.
+  if (!(prefill_fraction >= 0.0 && prefill_fraction < 1.0)) {
+    std::fprintf(stderr, "--prefill-fraction must be in [0, 1)\n");
+    return 2;
+  }
+
   const ModelConfig model = bench::BenchModel();
   const auto suite = InfinityBenchSuite(0.04);
   const char* tasks[] = {"En.QA", "En.MC", "Code.D", "Math.F"};
@@ -49,14 +94,15 @@ int main() {
   constexpr size_t kSteps = 16;
 
   std::printf("=== serving throughput: concurrent sessions over shared AlayaDB ===\n");
-  std::printf("model: %u layers, %u q-heads, %u kv-heads, d=%u; %zu decode steps/request\n\n",
+  std::printf("model: %u layers, %u q-heads, %u kv-heads, d=%u; %zu decode steps/request, "
+              "prefill fraction %.2f\n\n",
               model.num_layers, model.num_q_heads, model.num_kv_heads, model.head_dim,
-              kSteps);
+              kSteps, prefill_fraction);
 
   ThreadPool pool(4);
 
-  std::printf("%12s %10s %12s %14s %12s %12s\n", "concurrency", "requests",
-              "tokens/sec", "wall-seconds", "peak-gpu", "peak-conc");
+  std::printf("%12s %10s %12s %12s %14s %12s %12s\n", "concurrency", "requests",
+              "prefilled", "tokens/sec", "wall-seconds", "peak-gpu", "peak-conc");
   double sequential_tps = 0;
   for (size_t concurrency : {size_t{1}, size_t{2}, kTenants}) {
     // Fresh DB per run so context stores and virtual clocks are comparable.
@@ -67,6 +113,7 @@ int main() {
     options.session.window = WindowConfig{32, 128};
     AlayaDB db(options, &env);
 
+    size_t expected_prefill = 0;
     std::vector<Tenant> tenants;
     for (size_t i = 0; i < kTenants; ++i) {
       SyntheticContextOptions copts;
@@ -76,11 +123,18 @@ int main() {
       copts.pool = &pool;
       auto doc = std::make_unique<SyntheticContext>(copts);
       if (!doc->Generate().ok()) return 1;
+      // Import only the reusable prefix; the rest of the prompt must prefill.
+      const size_t import_tokens = static_cast<size_t>(
+          static_cast<double>(doc->num_tokens()) * (1.0 - prefill_fraction));
       auto kv = std::make_unique<KvCache>(model);
-      if (!kv->AppendAllFrom(doc->kv()).ok()) return 1;
+      if (!kv->AppendPrefixFrom(doc->kv(), import_tokens).ok()) return 1;
+      std::vector<int32_t> tokens(doc->tokens().begin(),
+                                  doc->tokens().begin() +
+                                      static_cast<long>(import_tokens));
       auto training = doc->MakeTrainingQueries(128);
-      if (!db.Import(doc->tokens(), std::move(kv), training.get()).ok()) return 1;
-      tenants.push_back(Tenant{std::move(doc)});
+      if (!db.Import(std::move(tokens), std::move(kv), training.get()).ok()) return 1;
+      expected_prefill += doc->num_tokens() - import_tokens;
+      tenants.push_back(Tenant{std::move(doc), import_tokens});
     }
 
     ServingEngineOptions eopts;
@@ -88,7 +142,7 @@ int main() {
     eopts.pool = &pool;
     ServingEngine engine(&db, eopts);
     for (size_t i = 0; i < kTenants; ++i) {
-      auto id = engine.Submit(MakeRequest(*tenants[i].doc, kSteps));
+      auto id = engine.Submit(MakeRequest(tenants[i], kSteps));
       if (!id.ok()) {
         std::fprintf(stderr, "submit failed: %s\n", id.status().ToString().c_str());
         return 1;
@@ -100,13 +154,18 @@ int main() {
     }
     const ServingSnapshot snap = engine.snapshot();
     if (concurrency == 1) sequential_tps = snap.tokens_per_second;
-    std::printf("%12zu %10zu %12.1f %14.3f %12s %12zu\n", concurrency,
-                snap.completed, snap.tokens_per_second, snap.serve_wall_seconds,
-                HumanBytes(snap.peak_gpu_bytes).c_str(),
+    std::printf("%12zu %10zu %12zu %12.1f %14.3f %12s %12zu\n", concurrency,
+                snap.completed, snap.tokens_prefilled, snap.tokens_per_second,
+                snap.serve_wall_seconds, HumanBytes(snap.peak_gpu_bytes).c_str(),
                 snap.peak_concurrent_sessions);
     if (snap.completed != kTenants || snap.tokens_decoded != kTenants * kSteps) {
       std::fprintf(stderr, "FAIL: expected %zu requests x %zu tokens, got %zu x %zu\n",
                    kTenants, kSteps, snap.completed, snap.tokens_decoded);
+      return 1;
+    }
+    if (snap.tokens_prefilled != expected_prefill) {
+      std::fprintf(stderr, "FAIL: expected %zu prefilled tokens, got %zu\n",
+                   expected_prefill, snap.tokens_prefilled);
       return 1;
     }
     if (concurrency > 1 && snap.peak_concurrent_sessions < 2) {

@@ -3,7 +3,10 @@
 // under a GPU memory budget, the ServingEngine decodes all admitted sessions
 // concurrently (per-step DIPRS retrieval batched across sessions on the shared
 // pool), and finished sessions materialize their extended contexts back into
-// the store for future reuse (late materialization, §7.2).
+// the store for future reuse (late materialization, §7.2). The fourth tenant's
+// prompt extends past its stored context: the engine prefills the unmatched
+// suffix (batched UpdateBatch chunks, §7.1's partial prefix reuse) before it
+// joins lockstep decode.
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -47,19 +50,34 @@ int main() {
     docs.push_back(std::move(doc));
   }
 
-  // The front door: all three tenants decode concurrently under one budget.
+  // The front door: all four tenants decode concurrently under one budget.
   ServingEngineOptions eopts;
-  eopts.scheduler.max_concurrent_sessions = 3;
+  eopts.scheduler.max_concurrent_sessions = 4;
   eopts.scheduler.gpu_budget_bytes = 64ull << 20;
   eopts.pool = &pool;
   ServingEngine engine(&db, eopts);
 
+  constexpr size_t kPrefillSuffix = 24;
   std::vector<uint64_t> ids;
-  for (int i = 0; i < 3; ++i) {
+  for (int i = 0; i < 4; ++i) {
+    // Tenant 3 asks about tenant 0's document *plus* a fresh follow-up: only
+    // the stored prefix is reused, the suffix goes through batched prefill.
+    const SyntheticContext* doc = docs[i == 3 ? 0 : i].get();
     ServingRequest req;
-    req.prompt = docs[i]->tokens();
+    req.prompt = doc->tokens();
+    if (i == 3) {
+      for (size_t t = 0; t < kPrefillSuffix; ++t) {
+        req.prompt.push_back(static_cast<int32_t>(5'000'000 + t));
+      }
+      req.fill_prompt = [model](size_t token, uint32_t layer, float* q, float* k,
+                                float* v) {
+        Rng rng(0xF111 ^ (token * 2654435761ull + layer));
+        rng.FillGaussian(q, static_cast<size_t>(model.num_q_heads) * model.head_dim);
+        rng.FillGaussian(k, static_cast<size_t>(model.num_kv_heads) * model.head_dim);
+        rng.FillGaussian(v, static_cast<size_t>(model.num_kv_heads) * model.head_dim);
+      };
+    }
     req.max_new_tokens = 8;
-    const SyntheticContext* doc = docs[i].get();
     req.fill_step = [doc, model](size_t step, uint32_t layer, float* q, float* k,
                                  float* v) {
       doc->MakeDecodeQueryLayer(step, layer, q);
@@ -82,26 +100,31 @@ int main() {
     return 1;
   }
 
-  for (int i = 0; i < 3; ++i) {
+  for (int i = 0; i < 4; ++i) {
     const RequestResult* r = engine.result(ids[i]);
     if (r == nullptr || !r->status.ok()) {
       std::printf("tenant %d failed\n", i);
       return 1;
     }
-    std::printf("tenant %d: reused %zu-token prefix of context %llu, decoded %zu "
-                "tokens, mean retrieved/step %.1f%s\n",
+    std::printf("tenant %d: reused %zu-token prefix of context %llu, prefilled "
+                "%zu, decoded %zu tokens, mean retrieved/step %.1f%s\n",
                 i, r->reused_prefix,
                 static_cast<unsigned long long>(r->reused_context_id),
-                r->steps_completed,
+                r->prefilled_tokens, r->steps_completed,
                 static_cast<double>(r->stats.retrieved_tokens) /
                     static_cast<double>(r->steps_completed),
                 r->stored_context_id != 0 ? " (context stored)" : "");
   }
+  if (engine.result(ids[3])->prefilled_tokens != kPrefillSuffix) {
+    std::printf("FAIL: tenant 3 should have prefilled %zu tokens\n", kPrefillSuffix);
+    return 1;
+  }
 
   const ServingSnapshot snap = engine.snapshot();
-  std::printf("aggregate: %zu tokens at %.1f tok/s, peak %zu concurrent sessions, "
-              "peak GPU %s | host (offloaded KV + indices): %s\n",
-              snap.tokens_decoded, snap.tokens_per_second,
+  std::printf("aggregate: %zu prefilled + %zu decoded tokens at %.1f tok/s, peak "
+              "%zu concurrent sessions, peak GPU %s | host (offloaded KV + "
+              "indices): %s\n",
+              snap.tokens_prefilled, snap.tokens_decoded, snap.tokens_per_second,
               snap.peak_concurrent_sessions, HumanBytes(snap.peak_gpu_bytes).c_str(),
               HumanBytes(env.host_memory().current()).c_str());
   std::printf("contexts in store after serving: %zu\n", db.contexts().size());

@@ -154,6 +154,13 @@ ContextStore::PrefixMatch ContextStore::BestPrefixMatch(
   return best;
 }
 
+size_t ContextStore::BestPrefixMatchLength(std::span<const int32_t> tokens) const {
+  // Delegates so probe-based admission estimates can never diverge from the
+  // matching semantics session creation uses; the pin the full match takes is
+  // dropped on return.
+  return BestPrefixMatch(tokens).matched;
+}
+
 bool ContextStore::Remove(uint64_t id) {
   std::unique_lock<std::shared_mutex> lk(mu_);
   return contexts_.erase(id) > 0;

@@ -105,6 +105,13 @@ class ContextStore {
   /// is an obvious extension and noted in DESIGN.md).
   PrefixMatch BestPrefixMatch(std::span<const int32_t> tokens) const;
 
+  /// Length of the longest stored prefix of `tokens`, without pinning the
+  /// matched context — the cheap probe admission control uses to project how
+  /// many prompt tokens a request would have to prefill. The store may change
+  /// before the session is actually created; callers treat this as an
+  /// estimate, not a reservation.
+  size_t BestPrefixMatchLength(std::span<const int32_t> tokens) const;
+
   bool Remove(uint64_t id);
   size_t size() const;
   std::vector<uint64_t> Ids() const;

@@ -1,34 +1,18 @@
 #include "src/query/batched_diprs.h"
 
-#include <atomic>
+#include "src/query/batched_execution.h"
 
 namespace alaya {
 
 Status ExecuteHeadJobs(std::span<HeadAttentionJob> jobs, ThreadPool* pool,
                        std::vector<Status>* per_job) {
-  if (per_job != nullptr) per_job->assign(jobs.size(), Status::Ok());
-  if (jobs.empty()) return Status::Ok();
-  if (pool == nullptr) pool = &ThreadPool::Global();
-
-  std::vector<Status> local;
-  std::vector<Status>& statuses = per_job != nullptr ? *per_job : local;
-  if (per_job == nullptr) statuses.assign(jobs.size(), Status::Ok());
-  pool->ParallelFor(0, jobs.size(), [&](size_t i) {
-    HeadAttentionJob& job = jobs[i];
+  return ExecuteJobBatch(jobs, pool, per_job, [](HeadAttentionJob& job) {
     if (job.session == nullptr || job.q == nullptr || job.out == nullptr ||
         job.stats == nullptr) {
-      statuses[i] = Status::InvalidArgument("incomplete head attention job");
-      return;
+      return Status::InvalidArgument("incomplete head attention job");
     }
-    statuses[i] =
-        job.session->AttendHead(job.layer, job.q_head, job.q, job.out, job.stats);
+    return job.session->AttendHead(job.layer, job.q_head, job.q, job.out, job.stats);
   });
-
-  if (per_job != nullptr) return Status::Ok();
-  for (const Status& s : statuses) {
-    if (!s.ok()) return s;
-  }
-  return Status::Ok();
 }
 
 }  // namespace alaya

@@ -1,0 +1,41 @@
+// Shared dispatch/fold contract for cross-session job batches (decode-side
+// head attention in batched_diprs.h, prompt-side prefill chunks in
+// batched_prefill.h): run every job on the pool, always drain the whole
+// batch, and either report per-job statuses (caller isolates failures per
+// session) or return the first error. Centralized so the two batch kinds can
+// never drift apart on these semantics — the serving engine relies on the
+// per-job mode returning Ok unconditionally.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+
+namespace alaya {
+
+/// Executes `run(job)` for every job on `pool` (nullptr ->
+/// ThreadPool::Global()). With `per_job` set, each job's Status lands at the
+/// matching index and the call returns Ok. Without it, returns the first
+/// error encountered (the batch still drains fully).
+template <typename Job, typename RunFn>
+Status ExecuteJobBatch(std::span<Job> jobs, ThreadPool* pool,
+                       std::vector<Status>* per_job, RunFn run) {
+  if (per_job != nullptr) per_job->assign(jobs.size(), Status::Ok());
+  if (jobs.empty()) return Status::Ok();
+  if (pool == nullptr) pool = &ThreadPool::Global();
+
+  std::vector<Status> local;
+  std::vector<Status>& statuses = per_job != nullptr ? *per_job : local;
+  if (per_job == nullptr) statuses.assign(jobs.size(), Status::Ok());
+  pool->ParallelFor(0, jobs.size(), [&](size_t i) { statuses[i] = run(jobs[i]); });
+
+  if (per_job != nullptr) return Status::Ok();
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace alaya

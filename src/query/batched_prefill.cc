@@ -1,0 +1,37 @@
+#include "src/query/batched_prefill.h"
+
+#include "src/query/batched_execution.h"
+
+namespace alaya {
+
+Status RunPrefillJob(const SessionPrefillJob& job) {
+  if (job.session == nullptr || job.fill == nullptr) {
+    return Status::InvalidArgument("incomplete prefill job: null session or fill");
+  }
+  if (job.q_scratch == nullptr || job.k_scratch == nullptr ||
+      job.v_scratch == nullptr) {
+    return Status::InvalidArgument("incomplete prefill job: null scratch buffer");
+  }
+  if (job.count == 0) return Status::Ok();
+
+  const ModelConfig& model = job.session->config();
+  const size_t qdim = static_cast<size_t>(model.num_q_heads) * model.head_dim;
+  const size_t kvdim = static_cast<size_t>(model.num_kv_heads) * model.head_dim;
+  for (uint32_t layer = 0; layer < model.num_layers; ++layer) {
+    for (size_t t = 0; t < job.count; ++t) {
+      job.fill(job.first_token + t, layer, job.q_scratch + t * qdim,
+               job.k_scratch + t * kvdim, job.v_scratch + t * kvdim);
+    }
+    ALAYA_RETURN_IF_ERROR(job.session->UpdateBatch(layer, job.count, job.q_scratch,
+                                                   job.k_scratch, job.v_scratch));
+  }
+  return Status::Ok();
+}
+
+Status ExecutePrefillJobs(std::span<SessionPrefillJob> jobs, ThreadPool* pool,
+                          std::vector<Status>* per_job) {
+  return ExecuteJobBatch(jobs, pool, per_job,
+                         [](const SessionPrefillJob& job) { return RunPrefillJob(job); });
+}
+
+}  // namespace alaya

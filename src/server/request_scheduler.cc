@@ -10,17 +10,23 @@ RequestScheduler::RequestScheduler(const ModelConfig& model,
     : model_(model), window_(window), cost_(cost), options_(options) {
   // A zero cap would deadlock Admit; one session must always be able to run.
   options_.max_concurrent_sessions = std::max<size_t>(1, options_.max_concurrent_sessions);
+  options_.prefill_chunk_tokens = std::max<size_t>(1, options_.prefill_chunk_tokens);
 }
 
-AdmissionEstimate RequestScheduler::Estimate(const ServingRequest& request) const {
+AdmissionEstimate RequestScheduler::Estimate(const ServingRequest& request,
+                                             size_t reused_prefix) const {
   AdmissionEstimate e;
   const size_t total = request.prompt.size() + request.max_new_tokens;
+  reused_prefix = std::min(reused_prefix, request.prompt.size());
+  e.prefill_tokens = request.prompt.size() - reused_prefix;
+
   // Device-resident tokens at completion: the window over the full context,
-  // plus whatever part of the decoded tail the window does not already cover
-  // (the local tail always stays on device under late materialization).
+  // plus whatever part of the session-local tail the window does not already
+  // cover. The local tail is the prefilled prompt suffix plus every decoded
+  // token — late materialization keeps all of it on device.
+  const size_t local_tokens = e.prefill_tokens + request.max_new_tokens;
   const size_t window_tokens = window_.Size(total);
-  const size_t gpu_tokens =
-      std::min(total, std::max(window_tokens, request.max_new_tokens));
+  const size_t gpu_tokens = std::min(total, std::max(window_tokens, local_tokens));
   e.gpu_bytes = static_cast<uint64_t>(gpu_tokens) * model_.KvBytesPerToken();
 
   // Per-step modeled device time at completion, mirroring the sparse path in
@@ -31,7 +37,27 @@ AdmissionEstimate RequestScheduler::Estimate(const ServingRequest& request) cons
                                 model_.head_dim) +
       cost_.TransferSeconds((model_.head_dim + 2) * sizeof(float));
   e.step_gpu_seconds = per_head * model_.num_q_heads * model_.num_layers;
+
+  // Prefill phase: each prompt token costs one full-attention pass over the
+  // context visible at that point; project with the final prompt length as the
+  // (tight for long prompts) upper bound. Per engine step the session pushes
+  // one chunk, so that is its per-step contribution while prefilling.
+  if (e.prefill_tokens > 0) {
+    const double per_token =
+        cost_.GpuAttentionSeconds(4.0 * static_cast<double>(request.prompt.size()) *
+                                  model_.head_dim) *
+        model_.num_q_heads * model_.num_layers;
+    const size_t chunk = std::min(options_.prefill_chunk_tokens, e.prefill_tokens);
+    e.prefill_step_gpu_seconds = per_token * static_cast<double>(chunk);
+    e.prefill_total_gpu_seconds = per_token * static_cast<double>(e.prefill_tokens);
+  }
   return e;
+}
+
+AdmissionEstimate RequestScheduler::Estimate(const ServingRequest& request) const {
+  const size_t reused =
+      options_.prefix_probe != nullptr ? options_.prefix_probe(request.prompt) : 0;
+  return Estimate(request, reused);
 }
 
 bool RequestScheduler::FitsLocked(const AdmissionEstimate& e) const {
@@ -41,7 +67,7 @@ bool RequestScheduler::FitsLocked(const AdmissionEstimate& e) const {
     return false;
   }
   if (options_.tpot_slo_seconds > 0 && !active_.empty() &&
-      reserved_seconds_ + e.step_gpu_seconds > options_.tpot_slo_seconds) {
+      reserved_seconds_ + e.EffectiveStepSeconds() > options_.tpot_slo_seconds) {
     return false;
   }
   return true;
@@ -58,7 +84,8 @@ Result<uint64_t> RequestScheduler::Enqueue(ServingRequest request) {
   std::lock_guard<std::mutex> lk(mu_);
   if (options_.gpu_budget_bytes > 0 && e.gpu_bytes > options_.gpu_budget_bytes) {
     return Status::ResourceExhausted(
-        "request footprint exceeds the GPU budget even running alone");
+        "request footprint (prefilled prompt suffix + window + decoded tail) "
+        "exceeds the GPU budget even running alone");
   }
   if (pending_.size() >= options_.max_queue_depth) {
     return Status::ResourceExhausted("admission queue is full");
@@ -81,7 +108,7 @@ std::vector<RequestScheduler::Admitted> RequestScheduler::Admit() {
     // is always admissible once the system drains: no starvation.
     if (!FitsLocked(head.estimate)) break;  // FIFO: no bypass past a blocked head.
     reserved_bytes_ += head.estimate.gpu_bytes;
-    reserved_seconds_ += head.estimate.step_gpu_seconds;
+    reserved_seconds_ += head.estimate.EffectiveStepSeconds();
     active_[head.id] = head.estimate;
     out.push_back(std::move(head));
     pending_.pop_front();
@@ -94,7 +121,7 @@ void RequestScheduler::Release(uint64_t id) {
   auto it = active_.find(id);
   if (it == active_.end()) return;
   reserved_bytes_ -= it->second.gpu_bytes;
-  reserved_seconds_ -= it->second.step_gpu_seconds;
+  reserved_seconds_ -= it->second.EffectiveStepSeconds();
   active_.erase(it);
 }
 

@@ -1,10 +1,12 @@
 // Admission control and queueing for the multi-session serving engine.
 //
-// Every prompt request carries a projected device footprint (window + decoded
-// tail at deployed KV precision) and a projected per-step modeled device time
-// (CostModel). The scheduler admits requests FIFO while the aggregate stays
-// under the GPU memory budget (and, optionally, a per-step TPOT SLO), and
-// queues the rest — the provider-side knob the paper's MaaS scenario needs
+// Every prompt request carries a projected device footprint (prefilled prompt
+// suffix + window + decoded tail at deployed KV precision) and projected
+// per-step modeled device times for both of its phases: a chunked prefill
+// phase over the prompt tokens no stored context covers, then steady-state
+// decode (CostModel). The scheduler admits requests FIFO while the aggregate
+// stays under the GPU memory budget (and, optionally, a per-step TPOT SLO),
+// and queues the rest — the provider-side knob the paper's MaaS scenario needs
 // ("heavy traffic", §2): memory decides *whether* a session may run, the cost
 // model decides *how many* may run at once.
 #pragma once
@@ -14,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "src/attention/window_cache.h"
@@ -26,7 +29,8 @@ namespace alaya {
 /// One prompt request submitted to the serving front door.
 struct ServingRequest {
   /// Full prompt tokens; the engine routes them through DB.create_session for
-  /// prefix reuse against the context store.
+  /// prefix reuse against the context store. The suffix no stored context
+  /// covers is prefilled via `fill_prompt` before decoding starts.
   std::vector<int32_t> prompt;
   /// Decode steps to run (tokens to generate).
   size_t max_new_tokens = 1;
@@ -35,6 +39,13 @@ struct ServingRequest {
   /// concurrent and sequential schedules then produce identical outputs.
   std::function<void(size_t step, uint32_t layer, float* q, float* k, float* v)>
       fill_step;
+  /// Fills one *prompt* token's inputs during the prefill phase; `token` is
+  /// the token's absolute position in `prompt` (independent of how much prefix
+  /// was reused). Same layout and determinism contract as fill_step. Requests
+  /// that leave this null fail honestly when their prompt extends past every
+  /// stored context.
+  std::function<void(size_t token, uint32_t layer, float* q, float* k, float* v)>
+      fill_prompt;
   /// Token id appended at `step` (used when store_on_finish materializes the
   /// session into a new context). Optional; defaults to synthetic ids.
   std::function<int32_t(size_t step)> token_at;
@@ -48,10 +59,28 @@ struct ServingRequest {
 /// Projected steady-state resource usage of one request, computed up front.
 struct AdmissionEstimate {
   /// Device-resident KV bytes at completion: window over the full context plus
-  /// the session-local decoded tail (mirrors Session::GpuResidentBytes).
+  /// the session-local tail — prefilled prompt suffix AND decoded tokens, both
+  /// of which stay on device under late materialization (mirrors
+  /// Session::GpuResidentBytes).
   uint64_t gpu_bytes = 0;
   /// Modeled device seconds per decode step at completion (all layers/heads).
   double step_gpu_seconds = 0;
+  /// Prompt tokens no stored context covered when the request was enqueued
+  /// (projected; the store may change before admission).
+  size_t prefill_tokens = 0;
+  /// Modeled device seconds one engine step costs while this request prefills
+  /// (one chunk of prefill_chunk_tokens pushed through all layers).
+  double prefill_step_gpu_seconds = 0;
+  /// Projected total prefill latency (all prefill tokens).
+  double prefill_total_gpu_seconds = 0;
+
+  /// Per-engine-step device time this request contributes while active: the
+  /// prefill phase and the decode phase alternate never — a session is in one
+  /// or the other — so the reservation is the worse of the two.
+  double EffectiveStepSeconds() const {
+    return prefill_step_gpu_seconds > step_gpu_seconds ? prefill_step_gpu_seconds
+                                                       : step_gpu_seconds;
+  }
 };
 
 struct RequestSchedulerOptions {
@@ -64,7 +93,19 @@ struct RequestSchedulerOptions {
   /// When > 0: stop admitting once the summed projected per-step device time
   /// of active sessions would exceed this bound (a request exceeding it on its
   /// own still runs, alone — rejecting it outright would starve it forever).
+  /// Prefilling sessions are charged their per-chunk prefill time, so a
+  /// prefill-heavy request whose projected chunk time blows the budget decodes
+  /// alone instead of dragging every co-resident session past its TPOT.
   double tpot_slo_seconds = 0;
+  /// Prompt tokens one prefilling session pushes through all layers per engine
+  /// step. Smaller chunks interleave more fairly with decoding sessions (lower
+  /// TPOT impact); larger chunks finish prefill in fewer steps.
+  size_t prefill_chunk_tokens = 32;
+  /// Probe returning the longest stored-context prefix of a prompt (the
+  /// serving engine wires this to ContextStore::BestPrefixMatchLength). Null
+  /// means no reuse information: every prompt token is assumed to need
+  /// prefill, the conservative upper bound.
+  std::function<size_t(std::span<const int32_t>)> prefix_probe;
 };
 
 /// Thread-safe FIFO admission queue. Enqueue may race with the engine's
@@ -74,18 +115,23 @@ class RequestScheduler {
   RequestScheduler(const ModelConfig& model, const WindowConfig& window,
                    const CostModel& cost, const RequestSchedulerOptions& options);
 
-  /// Projected footprint of `request` (no lock needed; pure computation).
-  AdmissionEstimate Estimate(const ServingRequest& request) const;
+  /// Projected footprint of `request` assuming `reused_prefix` of its prompt
+  /// tokens are covered by a stored context (no lock needed; pure computation).
+  AdmissionEstimate Estimate(const ServingRequest& request,
+                             size_t reused_prefix) const;
 
-  /// Queues a request, failing fast when the backlog is full or the request
-  /// could never fit the memory budget even running alone. Returns request id.
-  Result<uint64_t> Enqueue(ServingRequest request);
+  /// Projected footprint using the prefix probe (or zero reuse without one).
+  AdmissionEstimate Estimate(const ServingRequest& request) const;
 
   struct Admitted {
     uint64_t id = 0;
     ServingRequest request;
     AdmissionEstimate estimate;
   };
+
+  /// Queues a request, failing fast when the backlog is full or the request
+  /// could never fit the memory budget even running alone. Returns request id.
+  Result<uint64_t> Enqueue(ServingRequest request);
 
   /// Pops every queued request admissible under the current load, FIFO with no
   /// head-of-line bypass (keeps the admission order deterministic). An
@@ -100,7 +146,8 @@ class RequestScheduler {
   size_t active() const;
   /// Sum of admitted requests' projected device bytes.
   uint64_t reserved_gpu_bytes() const;
-  /// Sum of admitted requests' projected per-step device seconds.
+  /// Sum of admitted requests' projected per-step device seconds (each at its
+  /// EffectiveStepSeconds, i.e. the worse of its prefill and decode phases).
   double reserved_step_seconds() const;
 
   const RequestSchedulerOptions& options() const { return options_; }

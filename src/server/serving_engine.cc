@@ -1,17 +1,33 @@
 #include "src/server/serving_engine.h"
 
 #include <algorithm>
+#include <latch>
 
 #include "src/common/timer.h"
 #include "src/query/batched_diprs.h"
 
 namespace alaya {
 
+namespace {
+
+/// Defaults the scheduler's prefix probe to the DB's context store, so
+/// admission projects prefill work from what is actually stored.
+RequestSchedulerOptions WithDefaultProbe(AlayaDB* db, RequestSchedulerOptions o) {
+  if (o.prefix_probe == nullptr) {
+    o.prefix_probe = [db](std::span<const int32_t> tokens) {
+      return db->contexts().BestPrefixMatchLength(tokens);
+    };
+  }
+  return o;
+}
+
+}  // namespace
+
 ServingEngine::ServingEngine(AlayaDB* db, const ServingEngineOptions& options)
     : db_(db),
       options_(options),
       scheduler_(db->options().model, db->options().session.window,
-                 db->env().cost_model(), options.scheduler),
+                 db->env().cost_model(), WithDefaultProbe(db, options.scheduler)),
       pool_(options.pool != nullptr ? options.pool : &ThreadPool::Global()) {}
 
 Result<uint64_t> ServingEngine::Submit(ServingRequest request) {
@@ -25,6 +41,9 @@ Result<uint64_t> ServingEngine::Submit(ServingRequest request) {
 }
 
 void ServingEngine::AdmitPending() {
+  const ModelConfig& model = db_->options().model;
+  const size_t qdim = static_cast<size_t>(model.num_q_heads) * model.head_dim;
+  const size_t kvdim = static_cast<size_t>(model.num_kv_heads) * model.head_dim;
   for (RequestScheduler::Admitted& adm : scheduler_.Admit()) {
     auto active = std::make_unique<ActiveSession>();
     active->id = adm.id;
@@ -36,13 +55,14 @@ void ServingEngine::AdmitPending() {
     if (!created.ok()) {
       active->result.status = created.status();
       active->failed = true;
-    } else if (!created.value().truncated_prompt.empty()) {
-      // The engine is decode-only for now: serving a prompt whose suffix was
-      // never prefilled would silently attend to a context missing those
-      // tokens. Fail honestly instead (prefill is a ROADMAP item).
+    } else if (!created.value().truncated_prompt.empty() &&
+               active->request.fill_prompt == nullptr) {
+      // The unmatched prompt suffix must be prefilled before decoding, and
+      // only the caller knows its QKV. Fail honestly instead of silently
+      // attending to a context missing those tokens.
       active->result.status = Status::NotSupported(
-          "prompt extends past every stored context; batched prefill is not "
-          "implemented — Import the full context first");
+          "prompt extends past every stored context and the request has no "
+          "fill_prompt callback to prefill the suffix");
       active->failed = true;
     } else {
       AlayaDB::SessionCreation& sc = created.value();
@@ -50,11 +70,16 @@ void ServingEngine::AdmitPending() {
       active->context_ref = std::move(sc.context_ref);
       active->result.reused_prefix = sc.reused_prefix;
       active->result.reused_context_id = sc.context_id;
+      if (!sc.truncated_prompt.empty()) {
+        active->phase = Phase::kPrefilling;
+        active->prefill_pos = sc.reused_prefix;
+        const size_t chunk = scheduler_.options().prefill_chunk_tokens;
+        active->pq.resize(chunk * qdim);
+        active->pk.resize(chunk * kvdim);
+        active->pv.resize(chunk * kvdim);
+      }
     }
 
-    const ModelConfig& model = db_->options().model;
-    const size_t qdim = static_cast<size_t>(model.num_q_heads) * model.head_dim;
-    const size_t kvdim = static_cast<size_t>(model.num_kv_heads) * model.head_dim;
     active->q.resize(qdim);
     active->k.resize(kvdim);
     active->v.resize(kvdim);
@@ -74,27 +99,75 @@ Status ServingEngine::StepActiveSessions() {
   const ModelConfig& model = db_->options().model;
   const size_t d = model.head_dim;
 
-  // Sessions still decoding this step (stable submit order for determinism).
-  std::vector<ActiveSession*> live;
-  live.reserve(active_.size());
+  // Sessions with work this step (stable submit order for determinism), split
+  // by phase: prefilling sessions push one prompt chunk, decoding sessions
+  // run one lockstep token.
+  std::vector<ActiveSession*> decoding, prefilling;
   for (auto& a : active_) {
-    if (!a->failed && a->step < a->request.max_new_tokens) live.push_back(a.get());
+    if (a->failed) continue;
+    if (a->phase == Phase::kPrefilling) {
+      prefilling.push_back(a.get());
+    } else if (a->step < a->request.max_new_tokens) {
+      decoding.push_back(a.get());
+    }
   }
-  if (live.empty()) return Status::Ok();
+  if (decoding.empty() && prefilling.empty()) return Status::Ok();
+
+  // One prefill chunk per prefilling session; a job spans all layers.
+  const size_t chunk_cap = scheduler_.options().prefill_chunk_tokens;
+  std::vector<SessionPrefillJob> prefill_jobs(prefilling.size());
+  std::vector<Status> prefill_status(prefilling.size(), Status::Ok());
+  for (size_t i = 0; i < prefilling.size(); ++i) {
+    ActiveSession* a = prefilling[i];
+    SessionPrefillJob& job = prefill_jobs[i];
+    job.session = a->session.get();
+    job.first_token = a->prefill_pos;
+    job.count = std::min(chunk_cap, a->request.prompt.size() - a->prefill_pos);
+    job.fill = a->request.fill_prompt;
+    job.q_scratch = a->pq.data();
+    job.k_scratch = a->pk.data();
+    job.v_scratch = a->pv.data();
+  }
+
+  // Launch the prefill chunks. Prefilling and decoding sessions are disjoint,
+  // so on mixed steps the chunks are submitted asynchronously and overlap the
+  // entire decode layer loop below (joined before accounting) instead of
+  // stalling every decoder's first layer behind the slowest chunk. On
+  // prefill-only steps the driver participates via the blocking batch helper.
+  // The detached tasks capture this frame's locals, so every exit path below
+  // MUST pass the prefill_done.wait() join — decode errors are deferred, not
+  // returned from inside the loop.
+  std::latch prefill_done(static_cast<std::ptrdiff_t>(prefill_jobs.size()));
+  if (decoding.empty()) {
+    ExecutePrefillJobs(prefill_jobs, pool_, &prefill_status);
+    if (!prefill_jobs.empty()) {
+      prefill_done.count_down(static_cast<std::ptrdiff_t>(prefill_jobs.size()));
+    }
+  } else {
+    for (size_t j = 0; j < prefill_jobs.size(); ++j) {
+      pool_->Submit([&, j] {
+        prefill_status[j] = RunPrefillJob(prefill_jobs[j]);
+        prefill_done.count_down();
+      });
+    }
+  }
 
   size_t step_tokens = 0;
+  size_t step_prefilled = 0;
+  Status decode_status;  // Engine-level decode error, deferred past the join.
   std::vector<HeadAttentionJob> jobs;
   std::vector<ActiveSession*> job_owner;
   std::vector<Status> job_status;
-  jobs.reserve(live.size() * model.num_q_heads);
-  job_owner.reserve(live.size() * model.num_q_heads);
+  jobs.reserve(decoding.size() * model.num_q_heads);
+  job_owner.reserve(decoding.size() * model.num_q_heads);
 
-  for (uint32_t layer = 0; layer < model.num_layers; ++layer) {
+  for (uint32_t layer = 0; decoding.size() > 0 && layer < model.num_layers;
+       ++layer) {
     // Phase 1 — Update: append this step's K/V to each session-local cache.
     // Sessions are independent, so this fans out across the pool; within a
     // session the call is exclusive (no attention runs yet).
-    pool_->ParallelFor(0, live.size(), [&](size_t i) {
-      ActiveSession* a = live[i];
+    pool_->ParallelFor(0, decoding.size(), [&](size_t i) {
+      ActiveSession* a = decoding[i];
       if (a->failed) return;  // Failed at an earlier layer of this step.
       a->request.fill_step(a->step, layer, a->q.data(), a->k.data(), a->v.data());
       Status s = a->session->Update(layer, a->q.data(), a->k.data(), a->v.data());
@@ -104,12 +177,12 @@ Status ServingEngine::StepActiveSessions() {
       }
     });
 
-    // Phase 2 — batched attention: flatten every live session's (session,
+    // Phase 2 — batched attention: flatten every decoding session's (session,
     // q_head) DIPRS/attention query of this layer into one pool batch. A
     // job's failure fails its own session, never the fleet.
     jobs.clear();
     job_owner.clear();
-    for (ActiveSession* a : live) {
+    for (ActiveSession* a : decoding) {
       if (a->failed) continue;
       for (uint32_t h = 0; h < model.num_q_heads; ++h) {
         a->head_stats[h] = AttentionCallStats{};
@@ -120,7 +193,11 @@ Status ServingEngine::StepActiveSessions() {
         job_owner.push_back(a);
       }
     }
-    ALAYA_RETURN_IF_ERROR(ExecuteHeadJobs(jobs, pool_, &job_status));
+    // With a non-null per-job vector ExecuteHeadJobs only returns Ok, but do
+    // not return early on principle: the detached prefill tasks still hold
+    // references into this frame until the join below.
+    decode_status = ExecuteHeadJobs(jobs, pool_, &job_status);
+    if (!decode_status.ok()) break;
     for (size_t j = 0; j < job_status.size(); ++j) {
       if (!job_status[j].ok() && !job_owner[j]->failed) {
         job_owner[j]->result.status = job_status[j];
@@ -130,7 +207,7 @@ Status ServingEngine::StepActiveSessions() {
 
     // Phase 3 — per-session accounting: fold head stats, charge the modeled
     // device clock once per session-layer (AttendHead leaves it untouched).
-    for (ActiveSession* a : live) {
+    for (ActiveSession* a : decoding) {
       if (a->failed) continue;
       AttentionCallStats layer_stats;
       for (const AttentionCallStats& hs : a->head_stats) layer_stats.Add(hs);
@@ -147,8 +224,49 @@ Status ServingEngine::StepActiveSessions() {
       }
     }
   }
+
+  // Join the prefill chunks (unconditionally — see the launch comment), then
+  // propagate any deferred decode error, then fold the prefill results and
+  // charge the modeled device cost: each prompt token is one full-attention
+  // pass over the context visible at its position (per layer and query head)
+  // — the prefill analogue of the decode-side per-step charge.
+  prefill_done.wait();
+  ALAYA_RETURN_IF_ERROR(decode_status);
+  const CostModel& cost = db_->env().cost_model();
+  for (size_t i = 0; i < prefilling.size(); ++i) {
+    ActiveSession* a = prefilling[i];
+    if (!prefill_status[i].ok()) {
+      a->result.status = prefill_status[i];
+      a->failed = true;
+      continue;
+    }
+    double modeled = 0;
+    for (size_t t = 0; t < prefill_jobs[i].count; ++t) {
+      const double visible = static_cast<double>(a->prefill_pos + t + 1);
+      modeled += cost.GpuAttentionSeconds(4.0 * visible * d);
+    }
+    modeled *= static_cast<double>(model.num_q_heads) * model.num_layers;
+    a->session->ChargeModeledGpuSeconds(modeled);
+    a->result.stats.modeled_gpu_seconds += modeled;
+    a->prefill_pos += prefill_jobs[i].count;
+    a->result.prefilled_tokens += prefill_jobs[i].count;
+    step_prefilled += prefill_jobs[i].count;
+    if (a->prefill_pos == a->request.prompt.size()) {
+      a->phase = Phase::kDecoding;  // Decode starts next engine step.
+      // The chunk scratch is dead weight for the whole decode phase; free it
+      // (jobs referencing it were joined above).
+      a->pq = {};
+      a->pk = {};
+      a->pv = {};
+    }
+  }
+
   std::lock_guard<std::mutex> lk(mu_);
   snapshot_.tokens_decoded += step_tokens;
+  snapshot_.tokens_prefilled += step_prefilled;
+  // Sampled on every step — prefill-only steps included, so residency grown by
+  // UpdateBatch (the prompt suffix landing in session-local KV) is observed
+  // even when no session decoded this step.
   snapshot_.peak_gpu_bytes =
       std::max(snapshot_.peak_gpu_bytes, db_->env().gpu_memory().current());
   return Status::Ok();
@@ -156,8 +274,17 @@ Status ServingEngine::StepActiveSessions() {
 
 void ServingEngine::FinishSession(ActiveSession* active) {
   if (!active->failed && active->request.store_on_finish) {
+    // DB.Store expects ids for every session-local token: the prefilled prompt
+    // suffix first (its ids are right there in the request), then the decoded
+    // tail.
+    const std::vector<int32_t>& prompt = active->request.prompt;
+    const size_t suffix_begin = active->result.reused_prefix;
+    const size_t suffix_end = suffix_begin + active->result.prefilled_tokens;
     std::vector<int32_t> new_tokens;
-    new_tokens.reserve(active->step);
+    new_tokens.reserve(active->result.prefilled_tokens + active->step);
+    new_tokens.insert(new_tokens.end(),
+                      prompt.begin() + static_cast<long>(suffix_begin),
+                      prompt.begin() + static_cast<long>(suffix_end));
     for (size_t s = 0; s < active->step; ++s) {
       // Default ids are salted with the request id: two sessions storing over
       // the same base context must not produce identical token sequences with
@@ -189,7 +316,8 @@ void ServingEngine::RetireFinished() {
   auto it = active_.begin();
   while (it != active_.end()) {
     ActiveSession* a = it->get();
-    if (a->failed || a->step >= a->request.max_new_tokens) {
+    if (a->failed || (a->phase == Phase::kDecoding &&
+                      a->step >= a->request.max_new_tokens)) {
       FinishSession(a);
       it = active_.erase(it);
     } else {
@@ -214,19 +342,29 @@ Status ServingEngine::RunToCompletion() {
         return Status::Internal("queued requests but none admissible on idle system");
       }
     }
+    for (auto& a : active_) a->was_prefilling = a->phase == Phase::kPrefilling;
     WallTimer step_timer;
     ALAYA_RETURN_IF_ERROR(StepActiveSessions());
     const double step_seconds = step_timer.ElapsedSeconds();
     for (auto& a : active_) {
-      if (!a->failed) a->result.decode_wall_seconds += step_seconds;
+      if (a->failed) continue;
+      if (a->was_prefilling) {
+        a->result.prefill_wall_seconds += step_seconds;
+      } else {
+        a->result.decode_wall_seconds += step_seconds;
+      }
     }
     RetireFinished();
   }
   std::lock_guard<std::mutex> lk(mu_);
   snapshot_.serve_wall_seconds += timer.ElapsedSeconds();
+  // Instant runs can round the wall clock to zero even though tokens were
+  // decoded; clamp the denominator so the reported throughput stays finite
+  // (and zero only when nothing was decoded).
   snapshot_.tokens_per_second =
-      snapshot_.serve_wall_seconds > 0
-          ? static_cast<double>(snapshot_.tokens_decoded) / snapshot_.serve_wall_seconds
+      snapshot_.tokens_decoded > 0
+          ? static_cast<double>(snapshot_.tokens_decoded) /
+                std::max(snapshot_.serve_wall_seconds, 1e-9)
           : 0;
   return Status::Ok();
 }

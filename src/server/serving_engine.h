@@ -4,21 +4,30 @@
 //
 // Submit() queues prompt requests; RunToCompletion() drives them:
 //   1. the RequestScheduler admits requests under the GPU memory budget
-//      (projected window + decoded-tail footprint) and optional TPOT SLO;
+//      (prefilled prompt suffix + projected window + decoded-tail footprint)
+//      and optional TPOT SLO that also accounts for projected prefill time;
 //   2. each admitted request becomes a Session via DB.create_session —
 //      concurrent requests over the same document share the stored context
-//      and its indices (prefix reuse, §7.1);
-//   3. active sessions decode in lockstep steps: per layer, every session's
-//      Update runs, then all sessions' (session, q_head) DIPRS/attention
-//      queries are flattened into ONE batch on the shared ThreadPool
-//      (src/query/batched_diprs.h) — cross-session batching of retrieval;
+//      and its indices (prefix reuse, §7.1); a prompt that extends past every
+//      stored context enters a PREFILL phase first: per engine step, one chunk
+//      of the unmatched suffix is pushed through Session::UpdateBatch for all
+//      layers (QKV from the request's fill_prompt callback, queries recorded
+//      for index training), with all prefilling sessions' chunks batched onto
+//      the shared ThreadPool where they overlap the decoding sessions' layer
+//      loop (src/query/batched_prefill.h);
+//   3. sessions whose prompt is fully resident decode in lockstep steps: per
+//      layer, every session's Update runs, then all sessions' (session,
+//      q_head) DIPRS/attention queries are flattened into ONE batch on the
+//      shared ThreadPool (src/query/batched_diprs.h) — cross-session batching
+//      of retrieval;
 //   4. finished sessions optionally DB.store() their context (late
 //      materialization) and release their admission reservation, letting the
 //      scheduler pull the next queued request mid-run.
 //
-// Determinism: with deterministic fill_step callbacks, a concurrent schedule
-// produces bit-identical outputs to a sequential one — each session's state
-// evolves only from its own inputs; batching changes scheduling, not math.
+// Determinism: with deterministic fill_step/fill_prompt callbacks, a
+// concurrent schedule produces bit-identical outputs to a sequential one —
+// each session's state evolves only from its own inputs; batching changes
+// scheduling, not math.
 #pragma once
 
 #include <atomic>
@@ -29,6 +38,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/core/alaya_db.h"
+#include "src/query/batched_prefill.h"
 #include "src/server/request_scheduler.h"
 
 namespace alaya {
@@ -46,11 +56,13 @@ struct RequestResult {
   size_t reused_prefix = 0;
   uint64_t reused_context_id = 0;  ///< 0 when no stored context matched.
   uint64_t stored_context_id = 0;  ///< Set when store_on_finish succeeded.
+  size_t prefilled_tokens = 0;     ///< Prompt tokens pushed through prefill.
   size_t steps_completed = 0;
   /// record_outputs: concatenated final-layer outputs, one
   /// [num_q_heads * head_dim] block per step.
   std::vector<float> outputs;
   AttentionCallStats stats;  ///< Summed over all steps/layers/heads.
+  double prefill_wall_seconds = 0;
   double decode_wall_seconds = 0;
 };
 
@@ -59,17 +71,21 @@ struct ServingSnapshot {
   size_t submitted = 0;
   size_t rejected = 0;   ///< Failed at Enqueue (backlog full / can never fit).
   size_t completed = 0;  ///< Finished decoding (status may still be an error).
+  size_t tokens_prefilled = 0;  ///< Prompt tokens pushed through prefill.
   size_t tokens_decoded = 0;
   double serve_wall_seconds = 0;   ///< Wall time inside RunToCompletion.
   double tokens_per_second = 0;    ///< Aggregate decode throughput.
   size_t peak_concurrent_sessions = 0;
-  uint64_t peak_gpu_bytes = 0;  ///< Max device residency observed at step ends.
+  uint64_t peak_gpu_bytes = 0;  ///< Max device residency observed at step ends
+                                ///< (sampled during prefill and decode alike).
 };
 
 class ServingEngine {
  public:
   /// `db` must outlive the engine. The scheduler plans against the DB's model
-  /// geometry, session window config, and environment cost model.
+  /// geometry, session window config, and environment cost model; unless the
+  /// caller supplies one, its prefix probe is wired to the DB's context store
+  /// so admission projects prefill work from live store contents.
   ServingEngine(AlayaDB* db, const ServingEngineOptions& options);
 
   /// Queues a request (thread-safe; may race with a running RunToCompletion).
@@ -93,18 +109,26 @@ class ServingEngine {
   RequestScheduler& scheduler() { return scheduler_; }
 
  private:
+  /// A session either prefills its prompt suffix or decodes — never both in
+  /// one step; the transition happens when prefill_pos reaches the prompt end.
+  enum class Phase { kPrefilling, kDecoding };
+
   struct ActiveSession {
     uint64_t id = 0;
     ServingRequest request;
     std::unique_ptr<Session> session;
     std::shared_ptr<Context> context_ref;  ///< Pins the reused context.
     RequestResult result;
+    Phase phase = Phase::kDecoding;
+    size_t prefill_pos = 0;  ///< Next prompt token to prefill (absolute).
     size_t step = 0;
+    bool was_prefilling = false;  ///< Phase at the start of the current step.
     // Per-step scratch, reused across steps.
     std::vector<float> q;    ///< [num_q_heads * head_dim]
     std::vector<float> k;    ///< [num_kv_heads * head_dim]
     std::vector<float> v;    ///< [num_kv_heads * head_dim]
     std::vector<float> out;  ///< [num_q_heads * head_dim]
+    std::vector<float> pq, pk, pv;  ///< Prefill chunk scratch (token-major).
     std::vector<AttentionCallStats> head_stats;  ///< One per q_head.
     bool failed = false;
   };

@@ -240,11 +240,15 @@ TEST(ServingEngineTest, UnprefillablePromptFailsThatRequestOnly) {
   ServingEngine engine(fx.db.get(), opts);
 
   // One healthy request, one whose prompt extends past every stored context
-  // (the engine is decode-only; it must fail honestly, not serve garbage).
+  // but carries no fill_prompt callback — the engine cannot prefill the
+  // suffix, so it must fail honestly, not serve garbage. (With fill_prompt
+  // set, the same prompt serves through the prefill phase; see
+  // serving_prefill_test.cc.)
   auto good = engine.Submit(fx.MakeRequest(81, 2));
   ASSERT_TRUE(good.ok());
   ServingRequest bad_req = fx.MakeRequest(82, 2);
   bad_req.prompt.push_back(-42);  // Unmatched suffix -> needs prefill.
+  ASSERT_EQ(bad_req.fill_prompt, nullptr);
   auto bad = engine.Submit(std::move(bad_req));
   ASSERT_TRUE(bad.ok());
 

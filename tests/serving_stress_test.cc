@@ -1,0 +1,257 @@
+// Concurrency stress for the serving engine's prefill + decode pipeline:
+// multiple threads submit a mix of full-reuse, partial-prefix (prefill), and
+// no-match (full prefill) requests while a driver thread runs the engine.
+// Every request's outputs must be bit-identical to the same request run alone
+// on an identical store — per-request isolation, and the concurrent run
+// matching its sequential schedule. Runs under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/server/serving_engine.h"
+
+namespace alaya {
+namespace {
+
+constexpr size_t kStored = 128;   // Tokens in the imported context.
+constexpr size_t kSuffix = 24;    // Extra prompt tokens of the partial class.
+constexpr size_t kNoMatch = 40;   // Prompt length of the no-match class.
+constexpr size_t kSteps = 3;
+
+enum class Kind { kFullReuse, kPartialPrefix, kNoMatch };
+
+struct RequestKind {
+  Kind kind;
+  uint64_t seed;
+};
+
+const RequestKind kKinds[] = {
+    {Kind::kFullReuse, 71},    {Kind::kFullReuse, 72},
+    {Kind::kPartialPrefix, 73}, {Kind::kPartialPrefix, 74},
+    {Kind::kNoMatch, 75},      {Kind::kNoMatch, 76},
+};
+
+void FillPromptToken(const ModelConfig& m, size_t token, uint32_t layer, float* q,
+                     float* k, float* v) {
+  Rng rng(0xBEEF * 2654435761ull + token * 9176ull + layer * 97ull);
+  rng.FillGaussian(q, static_cast<size_t>(m.num_q_heads) * m.head_dim);
+  rng.FillGaussian(k, static_cast<size_t>(m.num_kv_heads) * m.head_dim);
+  rng.FillGaussian(v, static_cast<size_t>(m.num_kv_heads) * m.head_dim);
+}
+
+int32_t PromptTokenId(size_t i) { return 900 + static_cast<int32_t>(i); }
+
+struct StressFixture {
+  ModelConfig model = ModelConfig::Tiny();
+  SimEnvironment env;
+  DbOptions options;
+  std::unique_ptr<AlayaDB> db;
+  ThreadPool pool{4};
+
+  StressFixture() {
+    options.model = model;
+    // Small threshold: the sparse DIPRS path engages over the stored context
+    // (the stress must cover retrieval, not just full attention).
+    options.session.optimizer.short_context_threshold = 64;
+    options.session.window = WindowConfig{8, 16};
+    db = std::make_unique<AlayaDB>(options, &env);
+
+    auto kv = std::make_unique<KvCache>(model);
+    const size_t qdim = static_cast<size_t>(model.num_q_heads) * model.head_dim;
+    const size_t kvdim = static_cast<size_t>(model.num_kv_heads) * model.head_dim;
+    std::vector<float> q(qdim), k(kvdim), v(kvdim);
+    for (uint32_t layer = 0; layer < model.num_layers; ++layer) {
+      for (size_t t = 0; t < kStored; ++t) {
+        FillPromptToken(model, t, layer, q.data(), k.data(), v.data());
+        kv->AppendToken(layer, k.data(), v.data());
+      }
+    }
+    std::vector<int32_t> tokens(kStored);
+    for (size_t i = 0; i < kStored; ++i) tokens[i] = PromptTokenId(i);
+    auto imported = db->Import(std::move(tokens), std::move(kv));
+    EXPECT_TRUE(imported.ok()) << imported.status().ToString();
+  }
+
+  ServingEngineOptions EngineOptions(size_t max_concurrent) {
+    ServingEngineOptions o;
+    o.scheduler.max_concurrent_sessions = max_concurrent;
+    o.pool = &pool;
+    return o;
+  }
+
+  ServingRequest MakeRequest(const RequestKind& rk) const {
+    ServingRequest r;
+    size_t prompt_tokens = 0;
+    switch (rk.kind) {
+      case Kind::kFullReuse:
+        prompt_tokens = kStored;
+        break;
+      case Kind::kPartialPrefix:
+        prompt_tokens = kStored + kSuffix;
+        break;
+      case Kind::kNoMatch:
+        prompt_tokens = kNoMatch;
+        break;
+    }
+    r.prompt.resize(prompt_tokens);
+    for (size_t i = 0; i < prompt_tokens; ++i) {
+      // No-match prompts live in a disjoint id space: zero shared prefix.
+      r.prompt[i] = rk.kind == Kind::kNoMatch ? PromptTokenId(i) + 1'000'000
+                                              : PromptTokenId(i);
+    }
+    r.max_new_tokens = kSteps;
+    r.record_outputs = true;
+    const ModelConfig m = model;
+    r.fill_prompt = [m](size_t token, uint32_t layer, float* q, float* k, float* v) {
+      FillPromptToken(m, token, layer, q, k, v);
+    };
+    const uint64_t seed = rk.seed;
+    r.fill_step = [m, seed](size_t step, uint32_t layer, float* q, float* k,
+                            float* v) {
+      Rng rng(seed * 1000003ull + step * 131ull + layer);
+      rng.FillGaussian(q, static_cast<size_t>(m.num_q_heads) * m.head_dim);
+      rng.FillGaussian(k, static_cast<size_t>(m.num_kv_heads) * m.head_dim);
+      rng.FillGaussian(v, static_cast<size_t>(m.num_kv_heads) * m.head_dim);
+    };
+    return r;
+  }
+
+  size_t ExpectedPrefill(Kind kind) const {
+    switch (kind) {
+      case Kind::kFullReuse:
+        return 0;
+      case Kind::kPartialPrefix:
+        return kSuffix;
+      case Kind::kNoMatch:
+        return kNoMatch;
+    }
+    return 0;
+  }
+};
+
+TEST(ServingStressTest, ThreadedMixedWorkloadMatchesSequentialSchedule) {
+  // Goldens: each request kind run alone on an identical store — the
+  // sequential schedule every concurrent result must match bit for bit.
+  std::vector<std::vector<float>> golden(std::size(kKinds));
+  for (size_t i = 0; i < std::size(kKinds); ++i) {
+    StressFixture fx;
+    ServingEngine engine(fx.db.get(), fx.EngineOptions(1));
+    auto id = engine.Submit(fx.MakeRequest(kKinds[i]));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ASSERT_TRUE(engine.RunToCompletion().ok());
+    const RequestResult* r = engine.result(id.value());
+    ASSERT_NE(r, nullptr);
+    ASSERT_TRUE(r->status.ok()) << r->status.ToString();
+    ASSERT_EQ(r->prefilled_tokens, fx.ExpectedPrefill(kKinds[i].kind));
+    ASSERT_FALSE(r->outputs.empty());
+    golden[i] = r->outputs;
+  }
+
+  constexpr size_t kThreads = 3;
+  StressFixture fx;
+  ServingEngine engine(fx.db.get(), fx.EngineOptions(4));
+
+  // Driver: keep running until every submitter has finished and the queue has
+  // drained. RunToCompletion races with Submit by design.
+  std::atomic<bool> submitters_done{false};
+  std::mutex status_mu;
+  std::vector<Status> run_statuses;
+  std::thread driver([&] {
+    for (;;) {
+      Status s = engine.RunToCompletion();
+      {
+        std::lock_guard<std::mutex> lk(status_mu);
+        run_statuses.push_back(s);
+      }
+      if (!s.ok()) return;
+      if (submitters_done.load() && engine.scheduler().queued() == 0) return;
+      std::this_thread::yield();
+    }
+  });
+
+  // Submitters: each thread pushes every kind, interleaved with the driver.
+  std::mutex ids_mu;
+  std::vector<std::pair<size_t, uint64_t>> ids;  // (kind index, request id).
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t i = 0; i < std::size(kKinds); ++i) {
+        const size_t kind = (i + t) % std::size(kKinds);  // Stagger per thread.
+        auto id = engine.Submit(fx.MakeRequest(kKinds[kind]));
+        EXPECT_TRUE(id.ok()) << id.status().ToString();
+        if (id.ok()) {
+          std::lock_guard<std::mutex> lk(ids_mu);
+          ids.emplace_back(kind, id.value());
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  submitters_done.store(true);
+  driver.join();
+  for (const Status& s : run_statuses) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  // Per-request isolation: every concurrent result is bit-identical to its
+  // kind's solo (sequential-schedule) golden.
+  ASSERT_EQ(ids.size(), kThreads * std::size(kKinds));
+  size_t expected_prefilled = 0;
+  for (const auto& [kind, id] : ids) {
+    const RequestResult* r = engine.result(id);
+    ASSERT_NE(r, nullptr) << "request " << id << " has no result";
+    ASSERT_TRUE(r->status.ok()) << r->status.ToString();
+    EXPECT_EQ(r->prefilled_tokens, fx.ExpectedPrefill(kKinds[kind].kind));
+    EXPECT_EQ(r->steps_completed, kSteps);
+    EXPECT_EQ(r->outputs, golden[kind]) << "kind " << kind << ", request " << id;
+    expected_prefilled += fx.ExpectedPrefill(kKinds[kind].kind);
+  }
+
+  const ServingSnapshot snap = engine.snapshot();
+  EXPECT_EQ(snap.submitted, ids.size());
+  EXPECT_EQ(snap.completed, ids.size());
+  EXPECT_EQ(snap.tokens_decoded, ids.size() * kSteps);
+  EXPECT_EQ(snap.tokens_prefilled, expected_prefilled);
+  EXPECT_EQ(engine.scheduler().active(), 0u);
+  EXPECT_EQ(engine.scheduler().queued(), 0u);
+  EXPECT_GT(snap.peak_gpu_bytes, 0u);
+}
+
+TEST(ServingStressTest, MonitoringSnapshotRacesWithDriver) {
+  StressFixture fx;
+  ServingEngine engine(fx.db.get(), fx.EngineOptions(3));
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < std::size(kKinds); ++i) {
+    auto id = engine.Submit(fx.MakeRequest(kKinds[i]));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+
+  // A monitoring thread polls snapshot() and result() while the driver runs —
+  // the read side TSan must see as clean.
+  std::atomic<bool> stop{false};
+  std::thread monitor([&] {
+    while (!stop.load()) {
+      const ServingSnapshot snap = engine.snapshot();
+      EXPECT_LE(snap.completed, ids.size());
+      for (uint64_t id : ids) {
+        const RequestResult* r = engine.result(id);
+        if (r != nullptr) EXPECT_EQ(r->steps_completed, kSteps);
+      }
+      std::this_thread::yield();
+    }
+  });
+  ASSERT_TRUE(engine.RunToCompletion().ok());
+  stop.store(true);
+  monitor.join();
+  EXPECT_EQ(engine.snapshot().completed, ids.size());
+}
+
+}  // namespace
+}  // namespace alaya
