@@ -9,6 +9,12 @@
 // tenant's document and prompts with the full document, so f of every prompt
 // flows through the engine's batched prefill phase before decode — the
 // partial-prefix-reuse serving path (§7.1).
+//
+// --store-fraction <f> (default 0) marks f of the requests store_on_finish,
+// so their retirement hands the session off to the background materialization
+// queue (DB.store_async) — the late-materialization serving path (§7.2). A
+// retire-path stall (a store blocking the step loop) shows up directly in the
+// reported wall seconds, which is why CI smoke-runs this flag.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,10 +35,11 @@ struct Tenant {
   size_t imported_tokens = 0;
 };
 
-ServingRequest MakeRequest(const Tenant& tenant, size_t steps) {
+ServingRequest MakeRequest(const Tenant& tenant, size_t steps, bool store) {
   ServingRequest r;
   r.prompt = tenant.doc->tokens();
   r.max_new_tokens = steps;
+  r.store_on_finish = store;
   const ModelConfig model = tenant.doc->model();
   const SyntheticContext* d = tenant.doc.get();
   r.fill_step = [d, model](size_t step, uint32_t layer, float* q, float* k,
@@ -67,6 +74,7 @@ ServingRequest MakeRequest(const Tenant& tenant, size_t steps) {
 
 int main(int argc, char** argv) {
   double prefill_fraction = 0.0;
+  double store_fraction = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--prefill-fraction") == 0 && i + 1 < argc) {
       char* end = nullptr;
@@ -75,8 +83,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--prefill-fraction: not a number: %s\n", argv[i]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--store-fraction") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      store_fraction = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--store-fraction: not a number: %s\n", argv[i]);
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--prefill-fraction f]   (0 <= f < 1)\n",
+      std::fprintf(stderr,
+                   "usage: %s [--prefill-fraction f] [--store-fraction f]"
+                   "   (0 <= f < 1, 0 <= store <= 1)\n",
                    argv[0]);
       return 2;
     }
@@ -84,6 +101,10 @@ int main(int argc, char** argv) {
   // Negated form so NaN (which fails every comparison) is rejected too.
   if (!(prefill_fraction >= 0.0 && prefill_fraction < 1.0)) {
     std::fprintf(stderr, "--prefill-fraction must be in [0, 1)\n");
+    return 2;
+  }
+  if (!(store_fraction >= 0.0 && store_fraction <= 1.0)) {
+    std::fprintf(stderr, "--store-fraction must be in [0, 1]\n");
     return 2;
   }
 
@@ -95,14 +116,17 @@ int main(int argc, char** argv) {
 
   std::printf("=== serving throughput: concurrent sessions over shared AlayaDB ===\n");
   std::printf("model: %u layers, %u q-heads, %u kv-heads, d=%u; %zu decode steps/request, "
-              "prefill fraction %.2f\n\n",
+              "prefill fraction %.2f, store fraction %.2f\n\n",
               model.num_layers, model.num_q_heads, model.num_kv_heads, model.head_dim,
-              kSteps, prefill_fraction);
+              kSteps, prefill_fraction, store_fraction);
 
   ThreadPool pool(4);
+  const size_t expected_stores =
+      static_cast<size_t>(store_fraction * static_cast<double>(kTenants) + 0.5);
 
-  std::printf("%12s %10s %12s %12s %14s %12s %12s\n", "concurrency", "requests",
-              "prefilled", "tokens/sec", "wall-seconds", "peak-gpu", "peak-conc");
+  std::printf("%12s %10s %12s %12s %14s %12s %12s %10s\n", "concurrency", "requests",
+              "prefilled", "tokens/sec", "wall-seconds", "peak-gpu", "peak-conc",
+              "stored");
   double sequential_tps = 0;
   for (size_t concurrency : {size_t{1}, size_t{2}, kTenants}) {
     // Fresh DB per run so context stores and virtual clocks are comparable.
@@ -111,6 +135,7 @@ int main(int argc, char** argv) {
     options.model = model;
     options.session.optimizer.short_context_threshold = 512;
     options.session.window = WindowConfig{32, 128};
+    options.materialize_pool = &pool;
     AlayaDB db(options, &env);
 
     size_t expected_prefill = 0;
@@ -142,7 +167,7 @@ int main(int argc, char** argv) {
     eopts.pool = &pool;
     ServingEngine engine(&db, eopts);
     for (size_t i = 0; i < kTenants; ++i) {
-      auto id = engine.Submit(MakeRequest(tenants[i], kSteps));
+      auto id = engine.Submit(MakeRequest(tenants[i], kSteps, i < expected_stores));
       if (!id.ok()) {
         std::fprintf(stderr, "submit failed: %s\n", id.status().ToString().c_str());
         return 1;
@@ -154,10 +179,10 @@ int main(int argc, char** argv) {
     }
     const ServingSnapshot snap = engine.snapshot();
     if (concurrency == 1) sequential_tps = snap.tokens_per_second;
-    std::printf("%12zu %10zu %12zu %12.1f %14.3f %12s %12zu\n", concurrency,
+    std::printf("%12zu %10zu %12zu %12.1f %14.3f %12s %12zu %10zu\n", concurrency,
                 snap.completed, snap.tokens_prefilled, snap.tokens_per_second,
                 snap.serve_wall_seconds, HumanBytes(snap.peak_gpu_bytes).c_str(),
-                snap.peak_concurrent_sessions);
+                snap.peak_concurrent_sessions, snap.materializations_completed);
     if (snap.completed != kTenants || snap.tokens_decoded != kTenants * kSteps) {
       std::fprintf(stderr, "FAIL: expected %zu requests x %zu tokens, got %zu x %zu\n",
                    kTenants, kSteps, snap.completed, snap.tokens_decoded);
@@ -166,6 +191,25 @@ int main(int argc, char** argv) {
     if (snap.tokens_prefilled != expected_prefill) {
       std::fprintf(stderr, "FAIL: expected %zu prefilled tokens, got %zu\n",
                    expected_prefill, snap.tokens_prefilled);
+      return 1;
+    }
+    // Every store_on_finish retire must have materialized by the end of the
+    // run (RunToCompletion drains the queue), and none may have failed — a
+    // retire-path stall or a lost store is a regression, not noise.
+    if (snap.materializations_completed != expected_stores ||
+        snap.materializations_pending != 0 || snap.materializations_failed != 0) {
+      std::fprintf(stderr,
+                   "FAIL: expected %zu materializations, got %zu completed / "
+                   "%zu pending / %zu failed\n",
+                   expected_stores, snap.materializations_completed,
+                   snap.materializations_pending, snap.materializations_failed);
+      return 1;
+    }
+    if (db.contexts().size() != kTenants + expected_stores ||
+        db.contexts().pending() != 0) {
+      std::fprintf(stderr, "FAIL: store holds %zu contexts (%zu pending), want %zu\n",
+                   db.contexts().size(), db.contexts().pending(),
+                   kTenants + expected_stores);
       return 1;
     }
     if (concurrency > 1 && snap.peak_concurrent_sessions < 2) {

@@ -5,6 +5,18 @@ namespace alaya {
 LmCacheStore::LmCacheStore(const LmCacheOptions& options, SimEnvironment* env)
     : options_(options), env_(env != nullptr ? env : &SimEnvironment::Global()) {}
 
+LmCacheStore::~LmCacheStore() {
+  for (const auto& [_, e] : entries_) env_->host_memory().Free(e.compressed_bytes);
+}
+
+bool LmCacheStore::RemoveContext(uint64_t id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  env_->host_memory().Free(it->second.compressed_bytes);
+  entries_.erase(it);
+  return true;
+}
+
 Status LmCacheStore::StoreContext(uint64_t id, const KvCache& kv) {
   return StoreContextBytes(id, kv.NumTokens(),
                            kv.NumTokens() > 0 ? kv.DeployedBytes() / kv.NumTokens()
@@ -18,6 +30,9 @@ Status LmCacheStore::StoreContextBytes(uint64_t id, size_t tokens,
   e.compressed_bytes = static_cast<uint64_t>(static_cast<double>(e.raw_bytes) /
                                              options_.compression_ratio);
   e.tokens = tokens;
+  if (auto it = entries_.find(id); it != entries_.end()) {
+    env_->host_memory().Free(it->second.compressed_bytes);  // Re-store: swap.
+  }
   entries_[id] = e;
   env_->host_memory().Allocate(e.compressed_bytes);
   return Status::Ok();

@@ -24,9 +24,19 @@ class LmCacheStore {
  public:
   explicit LmCacheStore(const LmCacheOptions& options = LmCacheOptions{},
                         SimEnvironment* env = nullptr);
+  /// Returns every live entry's compressed bytes to the host tracker.
+  ~LmCacheStore();
+
+  LmCacheStore(const LmCacheStore&) = delete;
+  LmCacheStore& operator=(const LmCacheStore&) = delete;
 
   /// Registers a context's KV (bytes accounted compressed, host-resident).
   Status StoreContext(uint64_t id, const KvCache& kv);
+
+  /// Drops a stored context, freeing its compressed host bytes — the
+  /// symmetric counterpart of StoreContext*, so host accounting returns to
+  /// baseline across store/remove cycles. Returns false for unknown ids.
+  bool RemoveContext(uint64_t id);
 
   /// Accounting-only registration for modeled experiments: `tokens` of context
   /// at `bytes_per_token` deployed KV bytes (e.g. ModelConfig::KvBytesPerToken).

@@ -11,6 +11,19 @@
 
 namespace alaya {
 
+/// SplitMix64 finalizer: a high-quality, stateless 64->64-bit mixer. Use it to
+/// hash small structured inputs (ids, step counters) into well-spread values —
+/// e.g. Mix64(Mix64(a) ^ b) for a two-field hash — instead of ad-hoc
+/// multiply/modulo schemes, which collide on regular inputs.
+constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 /// xoshiro256** generator with SplitMix64 seeding. Not thread-safe; create one
 /// per thread (see Fork()).
 class Rng {

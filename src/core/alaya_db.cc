@@ -2,8 +2,37 @@
 
 namespace alaya {
 
+namespace {
+
+/// Composes the stored token sequence: the reused prefix's ids followed by the
+/// session-appended tail.
+std::vector<int32_t> ComposeTokens(const Context* reused, size_t reused_prefix,
+                                   std::span<const int32_t> new_tokens) {
+  std::vector<int32_t> tokens;
+  tokens.reserve(reused_prefix + new_tokens.size());
+  if (reused != nullptr) {
+    const auto& src = reused->tokens();
+    tokens.insert(tokens.end(), src.begin(),
+                  src.begin() + static_cast<long>(reused_prefix));
+  }
+  tokens.insert(tokens.end(), new_tokens.begin(), new_tokens.end());
+  return tokens;
+}
+
+}  // namespace
+
 AlayaDB::AlayaDB(const DbOptions& options, SimEnvironment* env)
     : options_(options), env_(env != nullptr ? env : &SimEnvironment::Global()) {}
+
+AlayaDB::~AlayaDB() {
+  // In-flight jobs capture `this`; they must finish before members die.
+  (void)WaitForMaterialization();
+}
+
+ThreadPool* AlayaDB::MaterializePool() const {
+  return options_.materialize_pool != nullptr ? options_.materialize_pool
+                                              : &ThreadPool::Global();
+}
 
 Result<AlayaDB::SessionCreation> AlayaDB::CreateSession(
     const std::vector<int32_t>& prompt) {
@@ -24,9 +53,12 @@ Result<AlayaDB::SessionCreation> AlayaDB::CreateSession(
   return out;
 }
 
-Status AlayaDB::BuildIndices(Context* context, const QuerySamples* queries) {
+Status AlayaDB::BuildIndices(Context* context, const QuerySamples* queries,
+                             const Context* base, size_t base_prefix) {
   if (options_.build_fine_indices) {
-    ALAYA_RETURN_IF_ERROR(context->BuildFineIndices(options_.index_build, queries));
+    ALAYA_RETURN_IF_ERROR(context->BuildFineIndices(options_.index_build, queries,
+                                                    /*total_stats=*/nullptr, base,
+                                                    base_prefix));
   }
   if (options_.build_coarse_indices) {
     CoarseIndexOptions copts = options_.coarse;
@@ -50,43 +82,162 @@ Result<uint64_t> AlayaDB::Import(std::vector<int32_t> tokens,
   const uint64_t kv_bytes = kv->DeployedBytes();
   auto context = std::make_unique<Context>(0, std::move(tokens), std::move(kv));
   ALAYA_RETURN_IF_ERROR(BuildIndices(context.get(), queries));
-  env_->host_memory().Allocate(kv_bytes);  // Offloaded KV lives in host DRAM.
+  // Offloaded KV lives in host DRAM; the context owns the reservation so the
+  // bytes are returned when it is released (store/remove symmetry).
+  context->AttachHostReservation(MemoryReservation(&env_->host_memory(), kv_bytes));
   return contexts_.Add(std::move(context));
+}
+
+Result<std::unique_ptr<Context>> AlayaDB::MaterializeContext(
+    std::vector<int32_t> tokens, const Context* reused, size_t reused_prefix,
+    const KvCache& local_kv, const QuerySamples* queries) {
+  // Clone KV: context prefix + local tail (materialization happens here, not
+  // during decoding — late materialization, §7.2).
+  auto kv = std::make_unique<KvCache>(options_.model);
+  if (reused != nullptr) {
+    ALAYA_RETURN_IF_ERROR(kv->AppendPrefixFrom(reused->kv(), reused_prefix));
+  }
+  ALAYA_RETURN_IF_ERROR(kv->AppendAllFrom(local_kv));
+
+  const uint64_t kv_bytes = kv->DeployedBytes();
+  auto context = std::make_unique<Context>(0, std::move(tokens), std::move(kv));
+  // Decode-time queries recorded by the session are the ideal training set
+  // (they are exactly the distribution future searches come from). When the
+  // session fully reused `reused`, its graphs are extended with the suffix
+  // instead of rebuilt (index sharing; see Context::BuildFineIndices).
+  ALAYA_RETURN_IF_ERROR(BuildIndices(context.get(), queries, reused, reused_prefix));
+  context->AttachHostReservation(MemoryReservation(&env_->host_memory(), kv_bytes));
+  return context;
 }
 
 Result<uint64_t> AlayaDB::Store(Session* session,
                                 std::span<const int32_t> new_tokens) {
   if (session == nullptr) return Status::InvalidArgument("null session");
+  if (session->detached()) {
+    return Status::FailedPrecondition("session was already detached for store");
+  }
+  if (new_tokens.size() != session->LocalTokens()) {
+    return Status::InvalidArgument(
+        "new_tokens must cover exactly the session-local tokens");
+  }
+  const Context* reused = session->reused_context();
+  const size_t prefix = session->reused_prefix();
+  Result<std::unique_ptr<Context>> built =
+      MaterializeContext(ComposeTokens(reused, prefix, new_tokens), reused, prefix,
+                         session->local_kv(), session->recorded_queries());
+  ALAYA_RETURN_IF_ERROR(built.status());
+  return contexts_.Add(std::move(built.value()));
+}
+
+Result<uint64_t> AlayaDB::StoreAsync(Session* session,
+                                     std::vector<int32_t> new_tokens,
+                                     std::shared_ptr<Context> context_ref) {
+  if (session == nullptr) return Status::InvalidArgument("null session");
+  if (session->detached()) {
+    return Status::FailedPrecondition("session was already detached for store");
+  }
   if (new_tokens.size() != session->LocalTokens()) {
     return Status::InvalidArgument(
         "new_tokens must cover exactly the session-local tokens");
   }
 
-  // Compose the full token sequence: reused prefix + session-local tail.
-  std::vector<int32_t> tokens;
-  tokens.reserve(session->reused_prefix() + new_tokens.size());
-  if (const Context* reused = session->reused_context(); reused != nullptr) {
-    const auto& src = reused->tokens();
-    tokens.insert(tokens.end(), src.begin(),
-                  src.begin() + static_cast<long>(session->reused_prefix()));
-  }
-  tokens.insert(tokens.end(), new_tokens.begin(), new_tokens.end());
+  Session::DetachedState det = session->DetachForStore();
+  std::vector<int32_t> tokens =
+      ComposeTokens(det.reused_context, det.reused_prefix, new_tokens);
 
-  // Clone KV: context prefix + local tail (materialization happens here, not
-  // during decoding — late materialization, §7.2).
-  auto kv = std::make_unique<KvCache>(options_.model);
-  if (const Context* reused = session->reused_context(); reused != nullptr) {
-    ALAYA_RETURN_IF_ERROR(kv->AppendPrefixFrom(reused->kv(), session->reused_prefix()));
+  // The background job reads the reused context's tokens/KV/graphs: it must
+  // be pinned for the job's lifetime, not just the session's.
+  if (det.reused_context != nullptr && context_ref.get() != det.reused_context) {
+    context_ref = contexts_.FindShared(det.reused_context->id());
   }
-  ALAYA_RETURN_IF_ERROR(kv->AppendAllFrom(session->local_kv()));
+  const uint64_t id = contexts_.ReservePending();
 
-  const uint64_t kv_bytes = kv->DeployedBytes();
-  auto context = std::make_unique<Context>(0, std::move(tokens), std::move(kv));
-  // Decode-time queries recorded by the session are the ideal training set
-  // (they are exactly the distribution future searches come from).
-  ALAYA_RETURN_IF_ERROR(BuildIndices(context.get(), session->recorded_queries()));
-  env_->host_memory().Allocate(kv_bytes);
-  return contexts_.Add(std::move(context));
+  if (det.reused_context != nullptr && context_ref == nullptr) {
+    // The reused context is no longer in the store and the caller provided no
+    // pin: there is no way to guarantee it outlives a background job, so
+    // materialize inline (still publishing through the pending id, and still
+    // counted — the completed/failed totals reconcile against store contents
+    // regardless of which path a StoreAsync took).
+    Result<std::unique_ptr<Context>> built =
+        MaterializeContext(std::move(tokens), det.reused_context, det.reused_prefix,
+                           det.local_kv, det.recorded.get());
+    Status status = built.ok() ? contexts_.Publish(id, std::move(built.value()))
+                               : built.status();
+    if (!status.ok()) contexts_.AbortPending(id);
+    RecordMaterializationOutcome(id, status, /*was_queued=*/false);
+    ALAYA_RETURN_IF_ERROR(status);
+    return id;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mat_mu_);
+    ++mat_pending_;
+  }
+  // ThreadPool tasks must be copyable std::functions; park the moved-in state
+  // behind a shared_ptr.
+  struct Job {
+    std::vector<int32_t> tokens;
+    Session::DetachedState det;
+    std::shared_ptr<Context> pin;
+    uint64_t id;
+  };
+  auto job = std::make_shared<Job>(Job{std::move(tokens), std::move(det),
+                                       std::move(context_ref), id});
+  MaterializePool()->Submit([this, job] {
+    Status status;
+    {
+      Result<std::unique_ptr<Context>> built = MaterializeContext(
+          std::move(job->tokens), job->det.reused_context, job->det.reused_prefix,
+          job->det.local_kv, job->det.recorded.get());
+      status = built.ok() ? contexts_.Publish(job->id, std::move(built.value()))
+                          : built.status();
+      if (!status.ok()) contexts_.AbortPending(job->id);
+      // Drop the base-context pin (and, via this scope, any failed build)
+      // BEFORE signalling completion: releasing the last pin frees host
+      // bytes against the environment, and callers are free to tear the
+      // environment down the moment the drain barrier lifts. The rest of the
+      // job state (KV buffers, recorded queries) is plain heap memory, safe
+      // to destroy whenever the worker gets to it.
+      job->pin.reset();
+    }
+    RecordMaterializationOutcome(job->id, status, /*was_queued=*/true);
+  });
+  return id;
+}
+
+void AlayaDB::RecordMaterializationOutcome(uint64_t id, const Status& status,
+                                           bool was_queued) {
+  std::lock_guard<std::mutex> lk(mat_mu_);
+  if (was_queued) --mat_pending_;
+  if (status.ok()) {
+    ++mat_completed_;
+  } else {
+    ++mat_failed_;
+    if (mat_first_error_.ok()) mat_first_error_ = status;
+    mat_errors_[id] = status;
+  }
+  if (was_queued) mat_cv_.notify_all();
+}
+
+Status AlayaDB::WaitForMaterialization() {
+  std::unique_lock<std::mutex> lk(mat_mu_);
+  mat_cv_.wait(lk, [&] { return mat_pending_ == 0; });
+  return mat_first_error_;
+}
+
+AlayaDB::MaterializationStats AlayaDB::materialization_stats() const {
+  std::lock_guard<std::mutex> lk(mat_mu_);
+  MaterializationStats out;
+  out.pending = mat_pending_;
+  out.completed = mat_completed_;
+  out.failed = mat_failed_;
+  out.first_error = mat_first_error_;
+  return out;
+}
+
+std::map<uint64_t, Status> AlayaDB::materialization_errors() const {
+  std::lock_guard<std::mutex> lk(mat_mu_);
+  return mat_errors_;
 }
 
 }  // namespace alaya

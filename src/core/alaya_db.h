@@ -3,12 +3,17 @@
 //   DB.create_session(prompts) -> Session, truncated prompts
 //   DB.import(prompts, kv_cache)
 //   DB.store(session)
+//   DB.store_async(session) -> context id, materialization off the hot path
 #pragma once
 
+#include <condition_variable>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/core/context_store.h"
 #include "src/core/session.h"
 
@@ -24,11 +29,19 @@ struct DbOptions {
   /// budget to burn; InfLLM-in-AlayaDB, Fig. 8).
   bool build_coarse_indices = false;
   CoarseIndexOptions coarse;
+  /// Worker pool background materializations (StoreAsync) run on
+  /// (nullptr -> ThreadPool::Global()).
+  ThreadPool* materialize_pool = nullptr;
 };
 
 class AlayaDB {
  public:
   explicit AlayaDB(const DbOptions& options, SimEnvironment* env = nullptr);
+  /// Drains every in-flight materialization before tearing the DB down.
+  ~AlayaDB();
+
+  AlayaDB(const AlayaDB&) = delete;
+  AlayaDB& operator=(const AlayaDB&) = delete;
 
   /// Result of create_session: the session plus the non-reused (truncated)
   /// suffix of the prompt, which the inference engine must still prefill.
@@ -55,8 +68,48 @@ class AlayaDB {
   /// DB.store(session): materializes the session (reused prefix + local KV)
   /// into a new reusable context — the late-materialization endpoint (§7.2).
   /// `new_tokens` are the token ids the session appended
-  /// (|new_tokens| == session->LocalTokens()).
+  /// (|new_tokens| == session->LocalTokens()). Synchronous: blocks the caller
+  /// for the full KV clone + index build; the session stays usable.
   Result<uint64_t> Store(Session* session, std::span<const int32_t> new_tokens);
+
+  /// DB.store_async(session): same materialization, off the caller's path.
+  /// Detaches the session's local KV and recorded queries (the session is
+  /// dead afterwards — the serving engine retires it immediately), reserves a
+  /// context id, and schedules the KV clone + index build on the materialize
+  /// pool. The returned id becomes visible to CreateSession/BestPrefixMatch
+  /// only when the context is fully built (ContextStore::Publish); no lookup
+  /// can ever observe it half-built. `context_ref` pins the session's reused
+  /// context for the job's lifetime; when omitted it is re-pinned from the
+  /// store (and if that fails — the context was already removed — the
+  /// materialization runs inline before returning, the only safe fallback).
+  ///
+  /// Produces a context bit-identical to Store() on the same session state:
+  /// both run the same materialization code; only the thread differs.
+  Result<uint64_t> StoreAsync(Session* session, std::vector<int32_t> new_tokens,
+                              std::shared_ptr<Context> context_ref = nullptr);
+
+  /// Background-materialization accounting (pending counts queued + running
+  /// jobs; completed/failed are lifetime totals; first_error is sticky).
+  struct MaterializationStats {
+    size_t pending = 0;
+    size_t completed = 0;
+    size_t failed = 0;
+    Status first_error;
+  };
+
+  /// Blocks until every scheduled materialization has published (or failed);
+  /// returns the sticky first failure. The barrier RunToCompletion and tests
+  /// use to observe Store completion.
+  Status WaitForMaterialization();
+  /// Alias for WaitForMaterialization().
+  Status Drain() { return WaitForMaterialization(); }
+  MaterializationStats materialization_stats() const;
+
+  /// Per-reservation failures: reserved context id -> why its materialization
+  /// never published. Lets callers that recorded a StoreAsync ticket (e.g. the
+  /// serving engine's RequestResult) map an aggregate failure count back to
+  /// the specific store that was lost. Sticky for the DB's lifetime.
+  std::map<uint64_t, Status> materialization_errors() const;
 
   ContextStore& contexts() { return contexts_; }
   const ContextStore& contexts() const { return contexts_; }
@@ -64,11 +117,37 @@ class AlayaDB {
   const DbOptions& options() const { return options_; }
 
  private:
-  Status BuildIndices(Context* context, const QuerySamples* queries);
+  Status BuildIndices(Context* context, const QuerySamples* queries,
+                      const Context* base = nullptr, size_t base_prefix = 0);
+
+  /// The one materialization path (Store, StoreAsync and its inline fallback
+  /// all funnel here — the bit-identical guarantee): clones prefix + local KV,
+  /// builds indices (extending from `reused`'s graphs when it fully covers
+  /// the prefix), and attaches the host-memory reservation for the offloaded
+  /// KV. `tokens` is the full composed sequence.
+  Result<std::unique_ptr<Context>> MaterializeContext(
+      std::vector<int32_t> tokens, const Context* reused, size_t reused_prefix,
+      const KvCache& local_kv, const QuerySamples* queries);
+
+  ThreadPool* MaterializePool() const;
+
+  /// Folds one materialization's outcome into the counters/error map; the
+  /// single bookkeeping point for the background job and the inline fallback.
+  /// `was_queued` jobs also decrement the pending count and wake Drain().
+  void RecordMaterializationOutcome(uint64_t id, const Status& status,
+                                    bool was_queued);
 
   DbOptions options_;
   SimEnvironment* env_;
   ContextStore contexts_;
+
+  mutable std::mutex mat_mu_;
+  std::condition_variable mat_cv_;
+  size_t mat_pending_ = 0;
+  size_t mat_completed_ = 0;
+  size_t mat_failed_ = 0;
+  Status mat_first_error_;
+  std::map<uint64_t, Status> mat_errors_;  ///< Reserved id -> failure.
 };
 
 }  // namespace alaya

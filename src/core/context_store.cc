@@ -6,11 +6,44 @@ namespace alaya {
 
 Status Context::BuildFineIndices(const IndexBuildOptions& options,
                                  const QuerySamples* queries,
-                                 IndexBuildStats* total_stats) {
+                                 IndexBuildStats* total_stats,
+                                 const Context* base, size_t base_prefix) {
   const ModelConfig& cfg = kv_->config();
   fine_.clear();
   fine_shared_ = options.share_gqa_group;
   IndexBuildStats total;
+
+  // Extend-from-base: reuse the base context's per-head graphs for the shared
+  // prefix and insert only the suffix vectors. Only sound when the base's
+  // WHOLE sequence is this context's prefix (its graphs then cover exactly
+  // rows [0, base_prefix) of every head's key set) and the index layouts
+  // agree; anything else falls back to the scratch build below.
+  const bool can_extend =
+      base != nullptr && base != this && base->HasFineIndices() &&
+      base->fine_shared_ && options.share_gqa_group && base_prefix > 0 &&
+      base_prefix == base->length() && base_prefix <= kv_->NumTokens() &&
+      base->fine_.size() ==
+          static_cast<size_t>(cfg.num_layers) * cfg.num_kv_heads;
+  if (can_extend) {
+    for (uint32_t layer = 0; layer < cfg.num_layers; ++layer) {
+      std::vector<VectorSetView> head_keys;
+      std::vector<const RoarGraph*> base_indices;
+      for (uint32_t h = 0; h < cfg.num_kv_heads; ++h) {
+        head_keys.push_back(kv_->Keys(layer, h));
+        base_indices.push_back(
+            base->fine_[static_cast<size_t>(layer) * cfg.num_kv_heads + h].get());
+      }
+      std::vector<std::unique_ptr<RoarGraph>> layer_indices;
+      IndexBuildStats stats;
+      ALAYA_RETURN_IF_ERROR(ExtendLayerIndices(head_keys, base_indices, base_prefix,
+                                               options, &layer_indices, &stats));
+      total.Accumulate(stats);
+      for (auto& idx : layer_indices) fine_.push_back(std::move(idx));
+    }
+    build_stats_ = total;
+    if (total_stats != nullptr) *total_stats = total;
+    return Status::Ok();
+  }
 
   // Keys trained on themselves when no prefill queries were recorded.
   std::unique_ptr<QuerySamples> self_train;
@@ -40,14 +73,7 @@ Status Context::BuildFineIndices(const IndexBuildOptions& options,
     IndexBuildStats stats;
     ALAYA_RETURN_IF_ERROR(BuildLayerIndices(head_keys, head_queries, cfg.GroupSize(),
                                             options, &layer_indices, &stats));
-    total.knn_wall_seconds += stats.knn_wall_seconds;
-    total.project_wall_seconds += stats.project_wall_seconds;
-    total.modeled_gpu_seconds += stats.modeled_gpu_seconds;
-    total.modeled_transfer_seconds += stats.modeled_transfer_seconds;
-    total.reported_seconds += stats.reported_seconds;
-    total.index_bytes += stats.index_bytes;
-    total.num_indices += stats.num_indices;
-    total.training_queries += stats.training_queries;
+    total.Accumulate(stats);
     for (auto& idx : layer_indices) fine_.push_back(std::move(idx));
   }
   build_stats_ = total;
@@ -111,11 +137,43 @@ uint64_t Context::IndexBytes() const {
 
 uint64_t ContextStore::Add(std::unique_ptr<Context> context) {
   std::unique_lock<std::shared_mutex> lk(mu_);
-  const uint64_t id = context->id() != 0 ? context->id() : next_id_;
+  uint64_t id = context->id() != 0 ? context->id() : next_id_;
+  // A preset id (the serializer-restore path) must not collide with a pending
+  // reservation: the later Publish would silently overwrite this context.
+  // Treat such ids as taken and allocate a fresh one instead.
+  if (pending_.count(id) > 0) id = next_id_;
   context->set_id(id);
   next_id_ = std::max(next_id_, id + 1);
   contexts_[id] = std::shared_ptr<Context>(std::move(context));
   return id;
+}
+
+uint64_t ContextStore::ReservePending() {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  const uint64_t id = next_id_++;
+  pending_.insert(id);
+  return id;
+}
+
+Status ContextStore::Publish(uint64_t id, std::unique_ptr<Context> context) {
+  if (context == nullptr) return Status::InvalidArgument("null context");
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  if (pending_.erase(id) == 0) {
+    return Status::FailedPrecondition("context id was not reserved as pending");
+  }
+  context->set_id(id);
+  contexts_[id] = std::shared_ptr<Context>(std::move(context));
+  return Status::Ok();
+}
+
+bool ContextStore::AbortPending(uint64_t id) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  return pending_.erase(id) > 0;
+}
+
+size_t ContextStore::pending() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return pending_.size();
 }
 
 Context* ContextStore::Find(uint64_t id) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -13,6 +14,7 @@
 
 #include "src/core/kv_cache.h"
 #include "src/core/query_samples.h"
+#include "src/device/memory_tracker.h"
 #include "src/index/coarse_index.h"
 #include "src/index/index_builder.h"
 #include "src/index/roargraph.h"
@@ -36,8 +38,18 @@ class Context {
   /// Builds the fine-grained (RoarGraph) indices for all layers, trained on
   /// `queries` (prefill query samples). Pass nullptr to train on keys
   /// themselves (functional, but cross-modal navigation degrades).
+  ///
+  /// Extend-from-base (index sharing across near-duplicate contexts): when
+  /// `base` is a stored context whose ENTIRE token sequence is the first
+  /// `base_prefix` tokens of this one and it has compatible fine indices,
+  /// each (layer, head) graph is seeded from the base's graph and only the
+  /// suffix vectors are inserted — the prefix is never rebuilt (provable via
+  /// build_stats().reused_base_nodes). Any incompatibility (partial prefix,
+  /// unshared layout, missing indices) silently falls back to a scratch
+  /// build. `base` is only read during this call; it need not outlive it.
   Status BuildFineIndices(const IndexBuildOptions& options, const QuerySamples* queries,
-                          IndexBuildStats* total_stats = nullptr);
+                          IndexBuildStats* total_stats = nullptr,
+                          const Context* base = nullptr, size_t base_prefix = 0);
 
   /// Builds coarse (block) indices for all layers/KV heads.
   Status BuildCoarseIndices(const CoarseIndexOptions& options);
@@ -58,10 +70,19 @@ class Context {
   uint64_t IndexBytes() const;
   const IndexBuildStats& build_stats() const { return build_stats_; }
 
+  /// Hands the context ownership of its offloaded KV's host-memory
+  /// reservation: the tracker bytes are freed when the context is destroyed
+  /// (i.e. once removed from the store AND unpinned by every session), keeping
+  /// host accounting symmetric across store/remove cycles.
+  void AttachHostReservation(MemoryReservation reservation) {
+    host_kv_reservation_ = std::move(reservation);
+  }
+
  private:
   uint64_t id_;
   std::vector<int32_t> tokens_;
   std::unique_ptr<KvCache> kv_;
+  MemoryReservation host_kv_reservation_;
 
   /// fine_[layer * indices_per_layer + slot]; slot is kv_head (shared) or
   /// q_head (unshared).
@@ -91,6 +112,28 @@ class ContextStore {
 
   /// Takes ownership; returns the context id.
   uint64_t Add(std::unique_ptr<Context> context);
+
+  // --- Pending-context lifecycle (background materialization) ---
+  //
+  // A context being materialized off the decode path must never be observable
+  // half-built: ReservePending allocates its id without making anything
+  // visible; Publish atomically flips the finished context into the store
+  // (from that point Find/BestPrefixMatch can return it); AbortPending
+  // abandons a reservation whose materialization failed. Every lookup,
+  // Ids(), size() and the byte totals see only published contexts.
+
+  /// Allocates an id for a context whose materialization is still running.
+  uint64_t ReservePending();
+
+  /// Publishes the finished context under its reserved id.
+  Status Publish(uint64_t id, std::unique_ptr<Context> context);
+
+  /// Drops a reservation whose materialization failed. Returns false when the
+  /// id was not pending.
+  bool AbortPending(uint64_t id);
+
+  /// Number of reserved-but-unpublished contexts.
+  size_t pending() const;
 
   /// Borrowed lookup. The pointer is only safe while no concurrent Remove can
   /// run; concurrent callers should prefer FindShared.
@@ -123,6 +166,7 @@ class ContextStore {
  private:
   mutable std::shared_mutex mu_;
   std::map<uint64_t, std::shared_ptr<Context>> contexts_;
+  std::set<uint64_t> pending_;  ///< Reserved ids, invisible to all lookups.
   uint64_t next_id_ = 1;
 };
 

@@ -29,6 +29,7 @@ Status Session::Update(uint32_t layer, const float* q, const float* k, const flo
 
 Status Session::UpdateBatch(uint32_t layer, size_t count, const float* q,
                             const float* k, const float* v) {
+  if (detached_) return Status::FailedPrecondition("session was detached for store");
   if (layer >= config_.num_layers) return Status::OutOfRange("layer out of range");
   if (k == nullptr || v == nullptr) return Status::InvalidArgument("null k/v");
   local_.AppendTokens(layer, count, k, v);
@@ -95,8 +96,20 @@ void Session::ChargeModeledGpuSeconds(double seconds) {
   env_->gpu_clock().Advance(seconds);
 }
 
+Session::DetachedState Session::DetachForStore() {
+  DetachedState out{std::move(local_), std::move(recorded_), prefix_len_, context_};
+  detached_ = true;
+  // Leave the session in a valid (but dead) state: an empty local cache, no
+  // recorded queries, and no device residency — retiring IS the offload.
+  local_ = KvCache(config_);
+  recorded_.reset();
+  gpu_reservation_.ResizeTo(0);
+  return out;
+}
+
 Status Session::AttendHead(uint32_t layer, uint32_t q_head, const float* qh,
                            float* out_h, AttentionCallStats* stats) {
+  if (detached_) return Status::FailedPrecondition("session was detached for store");
   const uint32_t kv_head = config_.KvHeadForQuery(q_head);
   const size_t d = config_.head_dim;
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));

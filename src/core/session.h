@@ -93,6 +93,25 @@ class Session {
   /// Advances the shared environment's modeled GPU clock (thread-safe).
   void ChargeModeledGpuSeconds(double seconds);
 
+  /// Everything DB.Store needs, severed from the live session — the ownership
+  /// handoff that lets the serving engine retire a session immediately while
+  /// materialization runs in the background. `reused_context` is a borrowed
+  /// pointer: the caller must keep its pin (shared_ptr) alive for as long as
+  /// the detached state references it.
+  struct DetachedState {
+    KvCache local_kv;
+    std::unique_ptr<QuerySamples> recorded;
+    size_t reused_prefix = 0;
+    Context* reused_context = nullptr;
+  };
+
+  /// Moves the session-local KV and recorded queries out and releases the
+  /// session's device reservation (retire == the KV leaves the device under
+  /// late materialization). The session is dead afterwards: Update/Attention
+  /// fail with FailedPrecondition, LocalTokens() reads zero.
+  DetachedState DetachForStore();
+  bool detached() const { return detached_; }
+
   // --- Introspection ---
   size_t reused_prefix() const { return prefix_len_; }
   bool partial_reuse() const {
@@ -127,6 +146,7 @@ class Session {
   RuleBasedOptimizer optimizer_;
   WindowCache window_;
   MemoryReservation gpu_reservation_;
+  bool detached_ = false;
 };
 
 }  // namespace alaya

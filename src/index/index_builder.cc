@@ -131,4 +131,54 @@ Status BuildLayerIndices(const std::vector<VectorSetView>& head_keys,
   return Status::Ok();
 }
 
+Status ExtendLayerIndices(const std::vector<VectorSetView>& head_keys,
+                          const std::vector<const RoarGraph*>& base_indices,
+                          size_t base_tokens, const IndexBuildOptions& options,
+                          std::vector<std::unique_ptr<RoarGraph>>* out,
+                          IndexBuildStats* stats) {
+  if (out == nullptr) return Status::InvalidArgument("null output");
+  if (head_keys.size() != base_indices.size()) {
+    return Status::InvalidArgument("one base index per KV head required");
+  }
+  out->clear();
+  IndexBuildStats local_stats;
+  WallTimer timer;
+
+  const size_t h_kv = head_keys.size();
+  std::vector<std::unique_ptr<RoarGraph>> built(h_kv);
+  std::vector<Status> statuses(h_kv, Status::Ok());
+  auto extend_one = [&](size_t h) {
+    if (base_indices[h] == nullptr) {
+      statuses[h] = Status::InvalidArgument("null base index");
+      return;
+    }
+    RoarGraphOptions ropts = options.roar;
+    ropts.sequential = true;  // Parallelism comes from batching heads.
+    ropts.pool = options.pool;
+    auto index = std::make_unique<RoarGraph>(head_keys[h], ropts);
+    statuses[h] = index->ExtendFromBase(*base_indices[h], base_tokens);
+    built[h] = std::move(index);
+  };
+  if (options.sequential_cpu_baseline) {
+    for (size_t h = 0; h < h_kv; ++h) extend_one(h);
+  } else {
+    ThreadPool* pool = options.pool != nullptr ? options.pool : &ThreadPool::Global();
+    pool->ParallelFor(0, h_kv, extend_one);
+  }
+
+  for (size_t h = 0; h < h_kv; ++h) {
+    ALAYA_RETURN_IF_ERROR(statuses[h]);
+    local_stats.index_bytes += built[h]->MemoryBytes();
+    local_stats.extended_indices += 1;
+    local_stats.reused_base_nodes += base_tokens;
+    local_stats.inserted_suffix_nodes += head_keys[h].n - base_tokens;
+    out->push_back(std::move(built[h]));
+  }
+  local_stats.num_indices = out->size();
+  local_stats.project_wall_seconds = timer.ElapsedSeconds();
+  local_stats.reported_seconds = local_stats.project_wall_seconds;
+  if (stats != nullptr) *stats = local_stats;
+  return Status::Ok();
+}
+
 }  // namespace alaya

@@ -48,6 +48,29 @@ struct IndexBuildStats {
   uint64_t index_bytes = 0;
   size_t num_indices = 0;
   size_t training_queries = 0;
+  /// Extend-from-base accounting (index sharing across near-duplicate
+  /// contexts): indices seeded from a stored context's graphs instead of
+  /// rebuilt, graph nodes adopted verbatim from those bases, and suffix
+  /// vectors inserted incrementally. A pure from-scratch build leaves all
+  /// three at zero — the counter tests use to prove a prefix was NOT rebuilt.
+  size_t extended_indices = 0;
+  size_t reused_base_nodes = 0;
+  size_t inserted_suffix_nodes = 0;
+
+  /// Folds another (e.g. per-layer) stats block into this one.
+  void Accumulate(const IndexBuildStats& o) {
+    knn_wall_seconds += o.knn_wall_seconds;
+    project_wall_seconds += o.project_wall_seconds;
+    modeled_gpu_seconds += o.modeled_gpu_seconds;
+    modeled_transfer_seconds += o.modeled_transfer_seconds;
+    reported_seconds += o.reported_seconds;
+    index_bytes += o.index_bytes;
+    num_indices += o.num_indices;
+    training_queries += o.training_queries;
+    extended_indices += o.extended_indices;
+    reused_base_nodes += o.reused_base_nodes;
+    inserted_suffix_nodes += o.inserted_suffix_nodes;
+  }
 };
 
 /// Builds the fine-grained indices for ONE transformer layer.
@@ -63,6 +86,22 @@ Status BuildLayerIndices(const std::vector<VectorSetView>& head_keys,
                          uint32_t gqa_group_size, const IndexBuildOptions& options,
                          std::vector<std::unique_ptr<RoarGraph>>* out,
                          IndexBuildStats* stats);
+
+/// Extends ONE layer's fine indices from a base context's graphs instead of
+/// rebuilding them (index sharing across near-duplicate contexts, the
+/// DB.Store path for sessions that fully reuse a stored prefix).
+///
+/// `head_keys[h]` are the NEW context's key vectors of KV head h (prefix +
+/// suffix); `base_indices[h]` is the base context's graph for the same head,
+/// built over exactly the first `base_tokens` rows of `head_keys[h]`. Only
+/// the suffix rows [base_tokens, n) are inserted (RoarGraph::ExtendFromBase);
+/// the prefix adjacency is adopted verbatim. GQA-shared layout only — one
+/// index per KV head.
+Status ExtendLayerIndices(const std::vector<VectorSetView>& head_keys,
+                          const std::vector<const RoarGraph*>& base_indices,
+                          size_t base_tokens, const IndexBuildOptions& options,
+                          std::vector<std::unique_ptr<RoarGraph>>* out,
+                          IndexBuildStats* stats);
 
 /// Samples `count` query vectors (rows) from `queries` into a new VectorSet.
 VectorSet SampleQueries(VectorSetView queries, size_t count, Rng* rng);

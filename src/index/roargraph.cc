@@ -48,6 +48,60 @@ Status RoarGraph::BuildFromBipartite(
   return Status::Ok();
 }
 
+Status RoarGraph::ExtendFromBase(const RoarGraph& base, size_t base_count) {
+  if (!base.built()) return Status::FailedPrecondition("base RoarGraph not built");
+  if (base.keys_.d != keys_.d) {
+    return Status::InvalidArgument("base/extended key dimension mismatch");
+  }
+  if (base.size() != base_count || base_count == 0 || base_count > keys_.n) {
+    return Status::InvalidArgument(
+        "base graph must cover exactly the first base_count keys");
+  }
+
+  // Adopt the base adjacency verbatim (truncated only if this index was
+  // configured with a smaller degree cap than the base was built with).
+  graph_.Reset(static_cast<uint32_t>(keys_.n), options_.max_degree);
+  std::vector<uint32_t> nbrs;
+  for (uint32_t u = 0; u < base_count; ++u) {
+    auto span = base.graph_.Neighbors(u);
+    nbrs.assign(span.begin(), span.end());
+    graph_.SetNeighbors(u, nbrs);
+  }
+  entry_ = base.entry_;
+  float entry_norm = Dot(keys_.Vec(entry_), keys_.Vec(entry_), keys_.d);
+
+  // Insert the suffix keys one at a time: beam-search the growing graph for
+  // each new key, expand the hits by one hop, and diversity-prune exactly like
+  // a projection candidate list. Reverse edges are best-effort (a saturated
+  // neighbor is skipped); the connectivity pass below repairs any node that is
+  // left unreachable.
+  VisitedSet visited(keys_.n);
+  std::vector<uint32_t> candidates;
+  for (uint32_t u = static_cast<uint32_t>(base_count); u < keys_.n; ++u) {
+    SearchResult res = GraphBeamSearch(graph_, keys_, entry_, keys_.Vec(u),
+                                       options_.ef_enhance, &visited);
+    candidates.clear();
+    for (const ScoredId& hit : res.hits) {
+      if (hit.id == u) continue;
+      candidates.push_back(hit.id);
+      for (uint32_t v : graph_.Neighbors(hit.id)) {
+        if (v != u) candidates.push_back(v);
+      }
+    }
+    PruneNode(u, &candidates);
+    for (uint32_t v : graph_.Neighbors(u)) graph_.AddEdge(v, u);
+    // Preserve the max-norm entry invariant as the key set grows.
+    const float n2 = Dot(keys_.Vec(u), keys_.Vec(u), keys_.d);
+    if (n2 > entry_norm) {
+      entry_norm = n2;
+      entry_ = u;
+    }
+  }
+  built_ = true;  // EnhanceConnectivity's beam searches need a built graph.
+  if (keys_.n > base_count) EnhanceConnectivity();
+  return Status::Ok();
+}
+
 Status RoarGraph::AdoptGraph(AdjacencyGraph&& graph) {
   if (graph.size() != keys_.n) {
     return Status::InvalidArgument("adopted graph size does not match keys");

@@ -52,6 +52,16 @@ class RoarGraph final : public VectorIndex, public SearchableGraph {
   /// recomputes the entry point and marks the index built.
   Status AdoptGraph(AdjacencyGraph&& graph);
 
+  /// Seeds this index from `base` — built over exactly the first `base_count`
+  /// rows of this index's key set — and incrementally inserts the remaining
+  /// keys [base_count, n): each new key is attached via a beam search over the
+  /// growing graph, diversity-pruned like a projection candidate, and given
+  /// best-effort reverse edges; a final connectivity pass restores full
+  /// reachability. The base adjacency is adopted verbatim, never rebuilt —
+  /// the index-sharing path DB.Store takes when a session extends a stored
+  /// context (the base must stay alive only for the duration of this call).
+  Status ExtendFromBase(const RoarGraph& base, size_t base_count);
+
   bool built() const { return built_; }
 
   // --- VectorIndex ---

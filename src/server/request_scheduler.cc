@@ -116,6 +116,17 @@ std::vector<RequestScheduler::Admitted> RequestScheduler::Admit() {
   return out;
 }
 
+void RequestScheduler::UpdateReservation(uint64_t id, const AdmissionEstimate& actual) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  reserved_bytes_ -= it->second.gpu_bytes;
+  reserved_seconds_ -= it->second.EffectiveStepSeconds();
+  it->second = actual;
+  reserved_bytes_ += actual.gpu_bytes;
+  reserved_seconds_ += actual.EffectiveStepSeconds();
+}
+
 void RequestScheduler::Release(uint64_t id) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = active_.find(id);

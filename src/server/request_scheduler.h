@@ -142,6 +142,17 @@ class RequestScheduler {
   /// Returns a finished (or failed) request's reservation to the pool.
   void Release(uint64_t id);
 
+  /// Replaces an admitted request's reservation with `actual` — the estimate
+  /// recomputed against the prefix reuse DB.create_session really found. The
+  /// enqueue-time probe is a TOCTOU estimate: the store can change between
+  /// Enqueue and Admit (guaranteed to under background Store), so the engine
+  /// re-estimates at session-creation time and calls this so reservations
+  /// never diverge from real footprints. The request stays admitted even if
+  /// the fresh estimate exceeds the budget (its session already exists;
+  /// aborting it would strand work) — subsequent admissions simply see the
+  /// corrected, larger reservation. No-op for unknown/released ids.
+  void UpdateReservation(uint64_t id, const AdmissionEstimate& actual);
+
   size_t queued() const;
   size_t active() const;
   /// Sum of admitted requests' projected device bytes.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <latch>
 
+#include "src/common/rng.h"
 #include "src/common/timer.h"
 #include "src/query/batched_diprs.h"
 
@@ -22,6 +23,12 @@ RequestSchedulerOptions WithDefaultProbe(AlayaDB* db, RequestSchedulerOptions o)
 }
 
 }  // namespace
+
+int32_t SyntheticStoredTokenId(uint64_t request_id, size_t step) {
+  const uint64_t h = Mix64(Mix64(request_id) ^ static_cast<uint64_t>(step));
+  return static_cast<int32_t>(UINT32_C(0x40000000) |
+                              (static_cast<uint32_t>(h >> 33) & UINT32_C(0x3FFFFFFF)));
+}
 
 ServingEngine::ServingEngine(AlayaDB* db, const ServingEngineOptions& options)
     : db_(db),
@@ -70,6 +77,12 @@ void ServingEngine::AdmitPending() {
       active->context_ref = std::move(sc.context_ref);
       active->result.reused_prefix = sc.reused_prefix;
       active->result.reused_context_id = sc.context_id;
+      // The enqueue-time prefix probe was an estimate; the store may have
+      // changed since (it will, under background materialization). Re-anchor
+      // the admission reservation to the reuse the session actually got, so
+      // reserved bytes/seconds track real footprints.
+      scheduler_.UpdateReservation(
+          adm.id, scheduler_.Estimate(active->request, sc.reused_prefix));
       if (!sc.truncated_prompt.empty()) {
         active->phase = Phase::kPrefilling;
         active->prefill_pos = sc.reused_prefix;
@@ -289,13 +302,19 @@ void ServingEngine::FinishSession(ActiveSession* active) {
       // Default ids are salted with the request id: two sessions storing over
       // the same base context must not produce identical token sequences with
       // different KV, or later prompts would silently match the wrong one.
-      new_tokens.push_back(
-          active->request.token_at != nullptr
-              ? active->request.token_at(s)
-              : static_cast<int32_t>(1'000'000 +
-                                     (active->id % 20'000) * 100'000 + s));
+      new_tokens.push_back(active->request.token_at != nullptr
+                               ? active->request.token_at(s)
+                               : SyntheticStoredTokenId(active->id, s));
     }
-    Result<uint64_t> stored = db_->Store(active->session.get(), new_tokens);
+    // Background (default): hand the session's KV, ids and recorded queries
+    // to a materialization job and retire immediately — the index build never
+    // blocks the step loop. The reserved context id is reported right away;
+    // it becomes matchable once the job publishes (observe via Drain()).
+    Result<uint64_t> stored =
+        options_.background_store
+            ? db_->StoreAsync(active->session.get(), std::move(new_tokens),
+                              active->context_ref)
+            : db_->Store(active->session.get(), new_tokens);
     if (stored.ok()) {
       active->result.stored_context_id = stored.value();
     } else {
@@ -356,7 +375,25 @@ Status ServingEngine::RunToCompletion() {
     }
     RetireFinished();
   }
+  // Barrier: every store_on_finish materialization handed off during the run
+  // must publish before the engine reports completion — callers (and tests)
+  // observe a store whose contexts are all fully built. A failed
+  // materialization loses one context, never the run: it is reconciled into
+  // the owning request's result below (matching the synchronous path, where
+  // a store error lands in result.status at retire) and counted in
+  // snapshot().materializations_failed — not returned as an engine error.
+  (void)db_->Drain();
+  const std::map<uint64_t, Status> mat_errors = db_->materialization_errors();
   std::lock_guard<std::mutex> lk(mu_);
+  if (!mat_errors.empty()) {
+    for (auto& [rid, res] : results_) {
+      if (res.stored_context_id == 0) continue;
+      auto it = mat_errors.find(res.stored_context_id);
+      if (it == mat_errors.end()) continue;
+      if (res.status.ok()) res.status = it->second;
+      res.stored_context_id = 0;  // The reserved id will never publish.
+    }
+  }
   snapshot_.serve_wall_seconds += timer.ElapsedSeconds();
   // Instant runs can round the wall clock to zero even though tokens were
   // decoded; clamp the denominator so the reported throughput stays finite
@@ -377,10 +414,14 @@ const RequestResult* ServingEngine::result(uint64_t id) const {
 }
 
 ServingSnapshot ServingEngine::snapshot() const {
+  const AlayaDB::MaterializationStats mat = db_->materialization_stats();
   std::lock_guard<std::mutex> lk(mu_);
   ServingSnapshot out = snapshot_;
   out.submitted = submitted_.load();
   out.rejected = rejected_.load();
+  out.materializations_pending = mat.pending;
+  out.materializations_completed = mat.completed;
+  out.materializations_failed = mat.failed;
   return out;
 }
 

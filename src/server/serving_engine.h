@@ -20,9 +20,14 @@
 //      q_head) DIPRS/attention queries are flattened into ONE batch on the
 //      shared ThreadPool (src/query/batched_diprs.h) — cross-session batching
 //      of retrieval;
-//   4. finished sessions optionally DB.store() their context (late
+//   4. finished sessions optionally store their context (late
 //      materialization) and release their admission reservation, letting the
-//      scheduler pull the next queued request mid-run.
+//      scheduler pull the next queued request mid-run. By default the store
+//      is a DB.store_async() handoff: retire detaches the session's local KV,
+//      token ids and recorded queries into a materialization job on the
+//      shared pool and returns immediately — the KV clone + index build never
+//      stalls the step loop. RunToCompletion drains the queue before
+//      returning (DB.Drain()); snapshots report pending/completed counts.
 //
 // Determinism: with deterministic fill_step/fill_prompt callbacks, a
 // concurrent schedule produces bit-identical outputs to a sequential one —
@@ -47,7 +52,22 @@ struct ServingEngineOptions {
   RequestSchedulerOptions scheduler;
   /// Worker pool for cross-session batches (nullptr -> ThreadPool::Global()).
   ThreadPool* pool = nullptr;
+  /// Retire store_on_finish sessions through DB.store_async (non-blocking;
+  /// materialization overlaps subsequent steps). When false, retire blocks on
+  /// the synchronous DB.store — the pre-background-store behavior, kept for
+  /// the bit-identical equivalence tests and as an ablation knob.
+  bool background_store = true;
 };
+
+/// Synthetic id for the `step`-th decoded token of request `request_id`, used
+/// when a store_on_finish request supplies no token_at callback. Two sessions
+/// storing over the same base context must not produce identical token
+/// sequences with different KV (later prompts would silently match the wrong
+/// one), so (request_id, step) is mixed through a 64-bit hash into
+/// [2^30, 2^31): always positive, disjoint from small hand-rolled test ids,
+/// and collision-free in practice — unlike the old `(id % 20'000) * 100'000`
+/// salt, which deterministically collided for request ids 20'000 apart.
+int32_t SyntheticStoredTokenId(uint64_t request_id, size_t step);
 
 /// Terminal state of one request.
 struct RequestResult {
@@ -78,6 +98,11 @@ struct ServingSnapshot {
   size_t peak_concurrent_sessions = 0;
   uint64_t peak_gpu_bytes = 0;  ///< Max device residency observed at step ends
                                 ///< (sampled during prefill and decode alike).
+  /// Background materialization (store_on_finish under background_store):
+  /// jobs still queued/running, and lifetime completed/failed totals.
+  size_t materializations_pending = 0;
+  size_t materializations_completed = 0;
+  size_t materializations_failed = 0;
 };
 
 class ServingEngine {

@@ -153,6 +153,45 @@ TEST(AlayaDbTest, StoreValidatesTokenCount) {
   EXPECT_FALSE(db.Store(nullptr, {}).ok());
 }
 
+TEST(AlayaDbTest, HostMemorySymmetricAcrossStoreRemoveCycles) {
+  DbFixture fx;
+  fx.options.build_fine_indices = false;  // Isolate the KV accounting.
+  AlayaDB db(fx.options, &fx.env);
+  const uint64_t baseline = fx.env.host_memory().current();
+
+  // Import/remove cycles must return the tracker to baseline every time —
+  // the accounting used to grow monotonically (Allocate without Free).
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    auto id = db.Import(fx.TokenRange(cycle * 1000, 50), fx.MakeKv(50, 20 + cycle));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(fx.env.host_memory().current() - baseline,
+              50u * fx.model.KvBytesPerToken());
+    ASSERT_TRUE(db.contexts().Remove(id.value()));
+    EXPECT_EQ(fx.env.host_memory().current(), baseline) << "cycle " << cycle;
+  }
+}
+
+TEST(AlayaDbTest, HostMemoryFreedOnlyWhenLastPinDrops) {
+  DbFixture fx;
+  fx.options.build_fine_indices = false;
+  AlayaDB db(fx.options, &fx.env);
+  const uint64_t baseline = fx.env.host_memory().current();
+  auto id = db.Import(fx.TokenRange(0, 40), fx.MakeKv(40, 30));
+  ASSERT_TRUE(id.ok());
+
+  // A running session pins the context: Remove unregisters it but its host
+  // bytes stay accounted until the pin drops (the storage is still alive).
+  auto created = db.CreateSession(fx.TokenRange(0, 40));
+  ASSERT_TRUE(created.ok());
+  ASSERT_NE(created.value().context_ref, nullptr);
+  ASSERT_TRUE(db.contexts().Remove(id.value()));
+  EXPECT_GT(fx.env.host_memory().current(), baseline);
+
+  created.value().session.reset();
+  created.value().context_ref.reset();
+  EXPECT_EQ(fx.env.host_memory().current(), baseline);
+}
+
 TEST(AlayaDbTest, CoarseIndicesBuiltWhenRequested) {
   DbFixture fx;
   fx.options.build_coarse_indices = true;

@@ -115,5 +115,77 @@ TEST(ContextTest, MissingIndicesReturnNull) {
   EXPECT_EQ(ctx.CoarseIdx(0, 0), nullptr);
 }
 
+// --- Pending-context lifecycle: a reserved id is invisible to every lookup
+// --- until the fully-built context is published (background Store).
+
+TEST(ContextStoreTest, PendingIdInvisibleUntilPublished) {
+  ContextStore store;
+  ModelConfig m = ModelConfig::Tiny();
+  const std::vector<int32_t> tokens = {5, 6, 7};
+
+  const uint64_t id = store.ReservePending();
+  EXPECT_EQ(store.pending(), 1u);
+  // Nothing observable yet: not by id, not by prefix, not in totals.
+  EXPECT_EQ(store.Find(id), nullptr);
+  EXPECT_EQ(store.FindShared(id), nullptr);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.Ids().empty());
+  EXPECT_EQ(store.BestPrefixMatch(tokens).context, nullptr);
+  EXPECT_EQ(store.TotalKvBytes(), 0u);
+  EXPECT_FALSE(store.Remove(id));  // Pending ids are not removable contexts.
+
+  ASSERT_TRUE(
+      store.Publish(id, std::make_unique<Context>(0, tokens, MakeKv(m, 3, 10))).ok());
+  EXPECT_EQ(store.pending(), 0u);
+  ASSERT_NE(store.Find(id), nullptr);
+  EXPECT_EQ(store.Find(id)->id(), id);
+  EXPECT_EQ(store.BestPrefixMatch(tokens).matched, 3u);
+}
+
+TEST(ContextStoreTest, ReservedIdsNeverCollideWithAdds) {
+  ContextStore store;
+  ModelConfig m = ModelConfig::Tiny();
+  const uint64_t pending_id = store.ReservePending();
+  const uint64_t added_id =
+      store.Add(std::make_unique<Context>(0, Tokens({1}), MakeKv(m, 1, 11)));
+  EXPECT_NE(pending_id, added_id);
+  ASSERT_TRUE(
+      store.Publish(pending_id, std::make_unique<Context>(0, Tokens({2}), MakeKv(m, 1, 12)))
+          .ok());
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(ContextStoreTest, PresetIdCollidingWithPendingIsReassigned) {
+  // The serializer-restore path Adds contexts with preserved ids; one that
+  // collides with an in-flight reservation must not be overwritten by the
+  // later Publish — the store reassigns it instead.
+  ContextStore store;
+  ModelConfig m = ModelConfig::Tiny();
+  const uint64_t pending_id = store.ReservePending();
+  const uint64_t got =
+      store.Add(std::make_unique<Context>(pending_id, Tokens({9}), MakeKv(m, 1, 14)));
+  EXPECT_NE(got, pending_id);
+  ASSERT_TRUE(
+      store.Publish(pending_id, std::make_unique<Context>(0, Tokens({8}), MakeKv(m, 1, 15)))
+          .ok());
+  EXPECT_EQ(store.Find(pending_id)->tokens(), Tokens({8}));
+  EXPECT_EQ(store.Find(got)->tokens(), Tokens({9}));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(ContextStoreTest, AbortPendingDropsReservation) {
+  ContextStore store;
+  ModelConfig m = ModelConfig::Tiny();
+  const uint64_t id = store.ReservePending();
+  EXPECT_TRUE(store.AbortPending(id));
+  EXPECT_FALSE(store.AbortPending(id));
+  EXPECT_EQ(store.pending(), 0u);
+  // Publishing an aborted (or never-reserved) id is refused.
+  EXPECT_EQ(store.Publish(id, std::make_unique<Context>(0, Tokens({3}), MakeKv(m, 1, 13)))
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.size(), 0u);
+}
+
 }  // namespace
 }  // namespace alaya

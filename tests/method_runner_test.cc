@@ -175,5 +175,28 @@ TEST(LmCacheTest, LoadCostsScaleWithContextLength) {
   EXPECT_GT(store.DecodeStepSeconds(2), store.DecodeStepSeconds(1));
 }
 
+TEST(LmCacheTest, HostMemorySymmetricAcrossStoreRemoveCycles) {
+  SimEnvironment env;
+  const uint64_t baseline = env.host_memory().current();
+  {
+    LmCacheStore store(LmCacheOptions{}, &env);
+    ModelConfig m = ModelConfig::Tiny();
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      ASSERT_TRUE(store.StoreContextBytes(1, 1000, m.KvBytesPerToken()).ok());
+      EXPECT_GT(env.host_memory().current(), baseline);
+      EXPECT_TRUE(store.RemoveContext(1));
+      EXPECT_EQ(env.host_memory().current(), baseline) << "cycle " << cycle;
+    }
+    EXPECT_FALSE(store.RemoveContext(1));  // Already gone.
+
+    // Re-storing an id swaps the accounting instead of leaking the old entry.
+    ASSERT_TRUE(store.StoreContextBytes(2, 1000, m.KvBytesPerToken()).ok());
+    ASSERT_TRUE(store.StoreContextBytes(2, 500, m.KvBytesPerToken()).ok());
+    EXPECT_EQ(env.host_memory().current() - baseline, store.StoredBytes());
+    // Entries alive at destruction are returned by the destructor.
+  }
+  EXPECT_EQ(env.host_memory().current(), baseline);
+}
+
 }  // namespace
 }  // namespace alaya

@@ -183,6 +183,44 @@ TEST(RequestSchedulerTest, PrefillTimeBlocksCoAdmissionUnderTpotSlo) {
   EXPECT_EQ(sched.queued(), 0u);
 }
 
+TEST(RequestSchedulerTest, UpdateReservationReanchorsToActualMatch) {
+  // The enqueue-time probe is a TOCTOU estimate: the store can change before
+  // admission (guaranteed under background Store). The engine re-estimates at
+  // session-creation time and calls UpdateReservation so reserved bytes and
+  // step-seconds track the reuse the session really got.
+  SchedulerFixture fx;
+  RequestSchedulerOptions options;
+  // Probe promises full reuse at enqueue...
+  options.prefix_probe = [](std::span<const int32_t> tokens) { return tokens.size(); };
+  RequestScheduler sched = fx.Make(options);
+  const ServingRequest req = fx.MakeRequest(/*prompt_tokens=*/200, /*steps=*/4);
+
+  auto id = sched.Enqueue(fx.MakeRequest(200, 4));
+  ASSERT_TRUE(id.ok());
+  auto admitted = sched.Admit();
+  ASSERT_EQ(admitted.size(), 1u);
+  const AdmissionEstimate promised = admitted[0].estimate;
+  EXPECT_EQ(promised.prefill_tokens, 0u);
+  EXPECT_EQ(sched.reserved_gpu_bytes(), promised.gpu_bytes);
+
+  // ...but by admit time the matching context is gone: the session actually
+  // has to prefill everything. The reservation must grow to the real footprint.
+  const AdmissionEstimate actual = sched.Estimate(req, /*reused_prefix=*/0);
+  ASSERT_GT(actual.gpu_bytes, promised.gpu_bytes);
+  sched.UpdateReservation(admitted[0].id, actual);
+  EXPECT_EQ(sched.reserved_gpu_bytes(), actual.gpu_bytes);
+  EXPECT_DOUBLE_EQ(sched.reserved_step_seconds(), actual.EffectiveStepSeconds());
+
+  // Release returns exactly the updated reservation — no divergence leaks.
+  sched.Release(admitted[0].id);
+  EXPECT_EQ(sched.reserved_gpu_bytes(), 0u);
+  EXPECT_NEAR(sched.reserved_step_seconds(), 0.0, 1e-15);
+
+  // Unknown ids are a no-op (the request may have already been released).
+  sched.UpdateReservation(9999, actual);
+  EXPECT_EQ(sched.reserved_gpu_bytes(), 0u);
+}
+
 TEST(RequestSchedulerTest, ReleaseRestoresPrefillAwareReservation) {
   SchedulerFixture fx;
   RequestSchedulerOptions options;

@@ -142,5 +142,133 @@ TEST(RoarGraphTest, SequentialBuildMatchesParallelStructureQuality) {
   EXPECT_GE(data.Recall(b.hits), 0.8);
 }
 
+// --- ExtendFromBase: the index-sharing path DB.Store takes when a session
+// --- extends a stored context (prefix graphs adopted, suffix inserted).
+
+/// Asserts two graphs are node-for-node identical (adjacency and entry).
+void ExpectGraphsIdentical(const RoarGraph& a, const RoarGraph& b) {
+  ASSERT_EQ(a.graph().size(), b.graph().size());
+  for (uint32_t u = 0; u < a.graph().size(); ++u) {
+    auto na = a.graph().Neighbors(u);
+    auto nb = b.graph().Neighbors(u);
+    ASSERT_EQ(na.size(), nb.size()) << "node " << u;
+    for (size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]) << "node " << u;
+  }
+  EXPECT_EQ(a.EntryPoint(nullptr), b.EntryPoint(nullptr));
+}
+
+TEST(RoarGraphTest, ExtendWithEmptySuffixIsBitIdenticalToBase) {
+  PlantedMips data(800, 16, 40, 21);
+  RoarGraph base(data.keys.View(), RoarGraphOptions{});
+  VectorSet training = MakeTrainingQueries(data, 200, 22);
+  ASSERT_TRUE(base.BuildFromQueries(training.View()).ok());
+
+  RoarGraph extended(data.keys.View(), RoarGraphOptions{});
+  ASSERT_TRUE(extended.ExtendFromBase(base, 800).ok());
+  EXPECT_TRUE(extended.built());
+  ExpectGraphsIdentical(base, extended);
+}
+
+TEST(RoarGraphTest, ExtendIsDeterministic) {
+  PlantedMips data(1200, 16, 60, 23);
+  VectorSet training = MakeTrainingQueries(data, 300, 24);
+  VectorSetView prefix_keys{data.keys.View().data, 900, 16};
+  RoarGraph base(prefix_keys, RoarGraphOptions{});
+  ASSERT_TRUE(base.BuildFromQueries(training.View()).ok());
+
+  RoarGraph a(data.keys.View(), RoarGraphOptions{});
+  RoarGraph b(data.keys.View(), RoarGraphOptions{});
+  ASSERT_TRUE(a.ExtendFromBase(base, 900).ok());
+  ASSERT_TRUE(b.ExtendFromBase(base, 900).ok());
+  ExpectGraphsIdentical(a, b);
+}
+
+TEST(RoarGraphTest, ExtendInsertsSuffixAndStaysFullyReachable) {
+  constexpr size_t kPrefix = 1000, kTotal = 1400;
+  PlantedMips data(kTotal, 16, 80, 25);
+  VectorSet training = MakeTrainingQueries(data, 300, 26);
+  VectorSetView prefix_keys{data.keys.View().data, kPrefix, 16};
+  RoarGraph base(prefix_keys, RoarGraphOptions{});
+  ASSERT_TRUE(base.BuildFromQueries(training.View()).ok());
+
+  RoarGraph extended(data.keys.View(), RoarGraphOptions{});
+  ASSERT_TRUE(extended.ExtendFromBase(base, kPrefix).ok());
+  EXPECT_EQ(extended.size(), kTotal);
+  // Every node — adopted prefix and inserted suffix alike — is reachable.
+  EXPECT_DOUBLE_EQ(extended.ReachableFraction(), 1.0);
+  // Suffix nodes got real out-edges from insertion, not just repair edges.
+  size_t suffix_edges = 0;
+  for (uint32_t u = kPrefix; u < kTotal; ++u) {
+    suffix_edges += extended.graph().degree(u);
+  }
+  EXPECT_GT(suffix_edges, (kTotal - kPrefix));  // > 1 edge/node on average.
+}
+
+TEST(RoarGraphTest, ExtendedSearchMatchesScratchOnSharedPrefix) {
+  // The shared-prefix guarantee: retrieval over an extended graph finds the
+  // planted critical set (which lives in the prefix by construction) just as
+  // a from-scratch build over the full key set does.
+  constexpr size_t kPrefix = 1500, kTotal = 1900;
+  PlantedMips data(kTotal, 16, 80, 27);
+  // Plant every critical id inside the prefix so prefix retrieval is the test.
+  PlantedMips prefix_data(kPrefix, 16, 80, 27);
+  VectorSet training = MakeTrainingQueries(prefix_data, 400, 28);
+
+  RoarGraph base(prefix_data.keys.View(), RoarGraphOptions{});
+  ASSERT_TRUE(base.BuildFromQueries(training.View()).ok());
+
+  // New key set = prefix keys + background suffix (reuse data's tail rows).
+  VectorSet full(16);
+  full.AppendBatch(prefix_data.keys.View().data, kPrefix);
+  full.AppendBatch(data.keys.View().Vec(kPrefix), kTotal - kPrefix);
+
+  RoarGraph extended(full.View(), RoarGraphOptions{});
+  ASSERT_TRUE(extended.ExtendFromBase(base, kPrefix).ok());
+  RoarGraph scratch(full.View(), RoarGraphOptions{});
+  ASSERT_TRUE(scratch.BuildFromQueries(training.View()).ok());
+
+  // Recall of the prefix-planted critical set. Hits may carry suffix ids
+  // (>= kPrefix, background by construction); only prefix ids can score.
+  auto prefix_recall = [&](const SearchResult& res) {
+    std::vector<bool> found(kPrefix, false);
+    for (const auto& h : res.hits) {
+      if (h.id < kPrefix) found[h.id] = true;
+    }
+    size_t hit = 0;
+    for (uint32_t id : prefix_data.critical) hit += found[id] ? 1 : 0;
+    return static_cast<double>(hit) /
+           static_cast<double>(prefix_data.critical.size());
+  };
+
+  DiprParams params;
+  params.beta = 11.f;
+  SearchResult ext_res, scr_res, base_res;
+  ASSERT_TRUE(extended.SearchDipr(prefix_data.query.data(), params, &ext_res).ok());
+  ASSERT_TRUE(scratch.SearchDipr(prefix_data.query.data(), params, &scr_res).ok());
+  ASSERT_TRUE(base.SearchDipr(prefix_data.query.data(), params, &base_res).ok());
+  const double ext_recall = prefix_recall(ext_res);
+  const double scr_recall = prefix_recall(scr_res);
+  EXPECT_GE(ext_recall, 0.8);
+  EXPECT_GE(ext_recall, scr_recall - 0.1);  // No quality cliff vs rebuild.
+  EXPECT_GE(ext_recall, prefix_recall(base_res) - 0.05);
+}
+
+TEST(RoarGraphTest, ExtendValidatesBase) {
+  PlantedMips data(200, 16, 10, 29);
+  VectorSet training = MakeTrainingQueries(data, 60, 30);
+  VectorSetView prefix_keys{data.keys.View().data, 100, 16};
+
+  RoarGraph unbuilt(prefix_keys, RoarGraphOptions{});
+  RoarGraph target(data.keys.View(), RoarGraphOptions{});
+  EXPECT_EQ(target.ExtendFromBase(unbuilt, 100).code(),
+            StatusCode::kFailedPrecondition);
+
+  RoarGraph base(prefix_keys, RoarGraphOptions{});
+  ASSERT_TRUE(base.BuildFromQueries(training.View()).ok());
+  // base.size() must equal base_count.
+  EXPECT_TRUE(target.ExtendFromBase(base, 50).IsInvalidArgument());
+  EXPECT_TRUE(target.ExtendFromBase(base, 0).IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace alaya
