@@ -15,10 +15,21 @@
 // queue (DB.store_async) — the late-materialization serving path (§7.2). A
 // retire-path stall (a store blocking the step loop) shows up directly in the
 // reported wall seconds, which is why CI smoke-runs this flag.
+//
+// --open-loop <arrivals/s> switches to an open-loop run against the LIVE
+// engine API: Start() brings up the always-on driver, then requests arrive on
+// a Poisson process (seeded RNG — reproducible) and are admitted at step
+// boundaries while earlier ones decode. Reports per-request p50/p99 TTFT
+// (Submit -> first decoded block, from RequestResult::ttft_seconds) and TPOT
+// (decode wall seconds per token) — the latency axes a closed-loop run hides.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -70,11 +81,128 @@ ServingRequest MakeRequest(const Tenant& tenant, size_t steps, bool store) {
   return r;
 }
 
+/// Nearest-rank percentile (q in [0, 1]) of an unsorted sample.
+double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t rank = std::min(
+      v.size() - 1, static_cast<size_t>(q * static_cast<double>(v.size() - 1) + 0.5));
+  return v[rank];
+}
+
+/// Open-loop mode: Poisson arrivals into the live engine. Returns 0 on
+/// success; validates that every request completed with a measured TTFT.
+int RunOpenLoop(double arrivals_per_sec) {
+  const ModelConfig model = bench::BenchModel();
+  const auto suite = InfinityBenchSuite(0.04);
+  const char* tasks[] = {"En.QA", "En.MC", "Code.D", "Math.F"};
+  constexpr size_t kTenants = 4;
+  constexpr size_t kRequests = 24;
+  constexpr size_t kSteps = 12;
+
+  ThreadPool pool(4);
+  SimEnvironment env;
+  DbOptions options;
+  options.model = model;
+  options.session.optimizer.short_context_threshold = 512;
+  options.session.window = WindowConfig{32, 128};
+  options.materialize_pool = &pool;
+  AlayaDB db(options, &env);
+
+  std::vector<Tenant> tenants;
+  for (size_t i = 0; i < kTenants; ++i) {
+    SyntheticContextOptions copts;
+    copts.model = model;
+    copts.spec = FindTask(suite, tasks[i]);
+    copts.spec.seed += i * 1000;
+    copts.pool = &pool;
+    auto doc = std::make_unique<SyntheticContext>(copts);
+    if (!doc->Generate().ok()) return 1;
+    auto kv = std::make_unique<KvCache>(model);
+    if (!kv->AppendAllFrom(doc->kv()).ok()) return 1;
+    auto training = doc->MakeTrainingQueries(128);
+    if (!db.Import(doc->tokens(), std::move(kv), training.get()).ok()) return 1;
+    const size_t imported = doc->num_tokens();
+    tenants.push_back(Tenant{std::move(doc), imported});
+  }
+
+  std::printf("=== open-loop serving: Poisson arrivals at %.0f req/s into the "
+              "live engine ===\n",
+              arrivals_per_sec);
+  ServingEngineOptions eopts;
+  eopts.scheduler.max_concurrent_sessions = 3;  // < kRequests: queueing shows.
+  eopts.pool = &pool;
+  ServingEngine engine(&db, eopts);
+  if (Status s = engine.Start(); !s.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Seeded exponential interarrivals: the trace is identical run to run, so
+  // latency regressions are attributable to the engine, not the workload.
+  Rng rng(0x09E17007);
+  WallTimer wall;
+  std::vector<RequestHandle> handles;
+  for (size_t i = 0; i < kRequests; ++i) {
+    if (i > 0) {
+      const double gap = -std::log(1.0 - rng.Uniform()) / arrivals_per_sec;
+      std::this_thread::sleep_for(std::chrono::duration<double>(gap));
+    }
+    auto h = engine.Submit(MakeRequest(tenants[i % kTenants], kSteps, false));
+    if (!h.ok()) {
+      // kBacklogFull would be the retryable branch of a real client; at this
+      // queue depth (256) it cannot trigger here, so any rejection is fatal.
+      std::fprintf(stderr, "submit %zu failed: %s\n", i, h.status().ToString().c_str());
+      return 1;
+    }
+    handles.push_back(h.value());
+  }
+
+  std::vector<double> ttft_s, tpot_s;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const RequestResult* r = handles[i].Wait();
+    if (r == nullptr || !r->status.ok()) {
+      std::fprintf(stderr, "request %zu failed: %s\n", i,
+                   r != nullptr ? r->status.ToString().c_str() : "(null)");
+      return 1;
+    }
+    if (r->steps_completed != kSteps || r->ttft_seconds <= 0) {
+      std::fprintf(stderr, "FAIL: request %zu: %zu steps, ttft %.9f\n", i,
+                   r->steps_completed, r->ttft_seconds);
+      return 1;
+    }
+    ttft_s.push_back(r->ttft_seconds);
+    tpot_s.push_back(r->decode_wall_seconds / static_cast<double>(r->steps_completed));
+  }
+  const double serve_seconds = wall.ElapsedSeconds();
+  if (Status s = engine.Shutdown(); !s.ok()) {
+    std::fprintf(stderr, "shutdown failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const ServingSnapshot snap = engine.snapshot();
+  if (snap.completed != kRequests || snap.tokens_decoded != kRequests * kSteps) {
+    std::fprintf(stderr, "FAIL: %zu completed, %zu tokens\n", snap.completed,
+                 snap.tokens_decoded);
+    return 1;
+  }
+  std::printf("%10s %12s %12s %12s %12s %12s %12s\n", "requests", "ttft-p50",
+              "ttft-p99", "tpot-p50", "tpot-p99", "tokens/sec", "peak-conc");
+  std::printf("%10zu %10.2fms %10.2fms %10.2fms %10.2fms %12.1f %12zu\n",
+              kRequests, Percentile(ttft_s, 0.5) * 1e3, Percentile(ttft_s, 0.99) * 1e3,
+              Percentile(tpot_s, 0.5) * 1e3, Percentile(tpot_s, 0.99) * 1e3,
+              static_cast<double>(snap.tokens_decoded) / std::max(serve_seconds, 1e-9),
+              snap.peak_concurrent_sessions);
+  std::printf("bench_serving_throughput OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double prefill_fraction = 0.0;
   double store_fraction = 0.0;
+  double open_loop_rate = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--prefill-fraction") == 0 && i + 1 < argc) {
       char* end = nullptr;
@@ -90,13 +218,28 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--store-fraction: not a number: %s\n", argv[i]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--open-loop") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      open_loop_rate = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "--open-loop: not a number: %s\n", argv[i]);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--prefill-fraction f] [--store-fraction f]"
-                   "   (0 <= f < 1, 0 <= store <= 1)\n",
+                   "usage: %s [--prefill-fraction f] [--store-fraction f] "
+                   "[--open-loop arrivals_per_sec]"
+                   "   (0 <= f < 1, 0 <= store <= 1, arrivals > 0)\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (open_loop_rate != 0.0) {
+    if (!(open_loop_rate > 0.0)) {
+      std::fprintf(stderr, "--open-loop must be positive\n");
+      return 2;
+    }
+    return RunOpenLoop(open_loop_rate);
   }
   // Negated form so NaN (which fails every comparison) is rejected too.
   if (!(prefill_fraction >= 0.0 && prefill_fraction < 1.0)) {

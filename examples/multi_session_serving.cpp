@@ -1,14 +1,19 @@
-// MaaS-style serving through the real serving engine: several tenants submit
-// prompt requests to one AlayaDB front door; the RequestScheduler admits them
-// under a GPU memory budget, the ServingEngine decodes all admitted sessions
-// concurrently (per-step DIPRS retrieval batched across sessions on the shared
-// pool), and finished sessions materialize their extended contexts back into
-// the store for future reuse (late materialization, §7.2). The fourth tenant's
-// prompt extends past its stored context: the engine prefills the unmatched
-// suffix (batched UpdateBatch chunks, §7.1's partial prefix reuse) before it
-// joins lockstep decode.
+// MaaS-style serving through the live serving engine: Start() brings up the
+// always-on driver, several tenants submit prompt requests to one AlayaDB
+// front door and get back RequestHandles; the RequestScheduler admits them
+// under a GPU memory budget at step boundaries, the ServingEngine decodes all
+// admitted sessions concurrently (per-step DIPRS retrieval batched across
+// sessions on the shared pool), and finished sessions materialize their
+// extended contexts back into the store for future reuse (late
+// materialization, §7.2). Tenant 0 streams its decoded output blocks through
+// on_token; the fourth tenant's prompt extends past its stored context, so
+// the engine prefills the unmatched suffix (batched UpdateBatch chunks,
+// §7.1's partial prefix reuse) before it joins lockstep decode. Shutdown()
+// drains gracefully.
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/common/string_util.h"
@@ -51,13 +56,18 @@ int main() {
   }
 
   // The front door: all four tenants decode concurrently under one budget.
+  // Live lifecycle — Start() first, then submit into the running engine;
+  // requests are admitted at step boundaries as they arrive.
   ServingEngineOptions eopts;
   eopts.scheduler.max_concurrent_sessions = 4;
   eopts.scheduler.gpu_budget_bytes = 64ull << 20;
   eopts.pool = &pool;
   ServingEngine engine(&db, eopts);
+  if (!engine.Start().ok()) return 1;
 
   constexpr size_t kPrefillSuffix = 24;
+  std::atomic<size_t> streamed{0};
+  std::vector<RequestHandle> handles;
   std::vector<uint64_t> ids;
   for (int i = 0; i < 4; ++i) {
     // Tenant 3 asks about tenant 0's document *plus* a fresh follow-up: only
@@ -87,15 +97,32 @@ int main() {
     };
     // The third tenant saves its extended context for future prefix reuse.
     req.store_on_finish = (i == 2);
+    // The first tenant streams: each decoded output block is delivered from
+    // the step loop as it completes, instead of waiting for the full result.
+    if (i == 0) {
+      req.on_token = [&streamed](size_t, std::span<const float>) {
+        streamed.fetch_add(1);
+      };
+    }
     auto id = engine.Submit(std::move(req));
     if (!id.ok()) {
       std::printf("submit failed: %s\n", id.status().ToString().c_str());
       return 1;
     }
-    ids.push_back(id.value());
+    handles.push_back(id.value());
+    ids.push_back(id.value().id());
   }
 
-  if (Status s = engine.RunToCompletion(); !s.ok()) {
+  // Live API: the engine is already running (Start above), so every request
+  // was admitted at a step boundary as it arrived; Wait() blocks per handle.
+  for (const RequestHandle& h : handles) {
+    const RequestResult* r = h.Wait();
+    if (r == nullptr) return 1;
+  }
+  std::printf("tenant 0 streamed %zu token blocks (first at ttft %.0f us)\n",
+              streamed.load(),
+              engine.result(ids[0])->ttft_seconds * 1e6);
+  if (Status s = engine.Shutdown(); !s.ok()) {
     std::printf("serving failed: %s\n", s.ToString().c_str());
     return 1;
   }
@@ -117,6 +144,11 @@ int main() {
   }
   if (engine.result(ids[3])->prefilled_tokens != kPrefillSuffix) {
     std::printf("FAIL: tenant 3 should have prefilled %zu tokens\n", kPrefillSuffix);
+    return 1;
+  }
+  if (streamed.load() != engine.result(ids[0])->steps_completed) {
+    std::printf("FAIL: tenant 0 streamed %zu blocks, decoded %zu\n",
+                streamed.load(), engine.result(ids[0])->steps_completed);
     return 1;
   }
 

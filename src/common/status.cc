@@ -26,6 +26,14 @@ const char* StatusCodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kBacklogFull:
+      return "BacklogFull";
+    case StatusCode::kNeverFits:
+      return "NeverFits";
   }
   return "Unknown";
 }

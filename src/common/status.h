@@ -21,6 +21,10 @@ enum class StatusCode : int {
   kFailedPrecondition = 8,
   kAborted = 9,
   kInternal = 10,
+  kCancelled = 11,          ///< Caller-requested cancellation (RequestHandle).
+  kDeadlineExceeded = 12,   ///< Request deadline expired before completion.
+  kBacklogFull = 13,        ///< Admission queue at capacity; retry later.
+  kNeverFits = 14,          ///< Request exceeds a hard budget even running alone.
 };
 
 /// Human-readable name for a status code ("Ok", "InvalidArgument", ...).
@@ -66,6 +70,22 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Retryable admission rejection: the queue is full right now; backing off
+  /// and resubmitting can succeed.
+  static Status BacklogFull(std::string msg) {
+    return Status(StatusCode::kBacklogFull, std::move(msg));
+  }
+  /// Permanent admission rejection: the request exceeds a hard budget even
+  /// running alone; retrying can never succeed.
+  static Status NeverFits(std::string msg) {
+    return Status(StatusCode::kNeverFits, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +95,10 @@ class Status {
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const { return code_ == StatusCode::kDeadlineExceeded; }
+  bool IsBacklogFull() const { return code_ == StatusCode::kBacklogFull; }
+  bool IsNeverFits() const { return code_ == StatusCode::kNeverFits; }
 
   /// "Ok" or "<CodeName>: <message>".
   std::string ToString() const;

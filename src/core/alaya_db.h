@@ -4,6 +4,15 @@
 //   DB.import(prompts, kv_cache)
 //   DB.store(session)
 //   DB.store_async(session) -> context id, materialization off the hot path
+//
+// Callers serving live traffic sit one layer up, behind ServingEngine
+// (src/server/serving_engine.h): an always-on driver thread that turns these
+// primitives into a request lifecycle — non-blocking Submit returning a
+// RequestHandle, continuous admission at step boundaries, per-step streaming,
+// cancellation/deadlines, graceful Shutdown draining this DB's
+// materialization queue. Prefix lookups that route create_session's reuse are
+// trie-indexed (ContextStore::BestPrefixMatch — O(match length), independent
+// of store size).
 #pragma once
 
 #include <condition_variable>

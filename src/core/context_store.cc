@@ -144,6 +144,13 @@ uint64_t ContextStore::Add(std::unique_ptr<Context> context) {
   if (pending_.count(id) > 0) id = next_id_;
   context->set_id(id);
   next_id_ = std::max(next_id_, id + 1);
+  // A preset id may also overwrite an already-published context (restore into
+  // a populated store); the displaced sequence must leave the prefix index or
+  // lookups would chase a dead id.
+  if (auto it = contexts_.find(id); it != contexts_.end()) {
+    prefix_index_.Erase(id, it->second->tokens());
+  }
+  prefix_index_.Insert(id, context->tokens());
   contexts_[id] = std::shared_ptr<Context>(std::move(context));
   return id;
 }
@@ -162,6 +169,7 @@ Status ContextStore::Publish(uint64_t id, std::unique_ptr<Context> context) {
     return Status::FailedPrecondition("context id was not reserved as pending");
   }
   context->set_id(id);
+  prefix_index_.Insert(id, context->tokens());
   contexts_[id] = std::shared_ptr<Context>(std::move(context));
   return Status::Ok();
 }
@@ -198,30 +206,35 @@ ContextStore::PrefixMatch ContextStore::BestPrefixMatch(
     std::span<const int32_t> tokens) const {
   std::shared_lock<std::shared_mutex> lk(mu_);
   PrefixMatch best;
-  for (const auto& [id, ctx] : contexts_) {
-    const auto& stored = ctx->tokens();
-    const size_t limit = std::min(stored.size(), tokens.size());
-    size_t m = 0;
-    while (m < limit && stored[m] == tokens[m]) ++m;
-    if (m > best.matched) {
-      best.matched = m;
-      best.context = ctx.get();
-      best.ref = ctx;
-    }
-  }
+  const TokenTrie::Best hit = prefix_index_.BestPrefix(tokens);
+  if (hit.matched == 0) return best;
+  auto it = contexts_.find(hit.id);
+  if (it == contexts_.end()) return best;  // Unreachable while coherent.
+  best.matched = hit.matched;
+  best.context = it->second.get();
+  best.ref = it->second;
   return best;
 }
 
 size_t ContextStore::BestPrefixMatchLength(std::span<const int32_t> tokens) const {
-  // Delegates so probe-based admission estimates can never diverge from the
-  // matching semantics session creation uses; the pin the full match takes is
-  // dropped on return.
-  return BestPrefixMatch(tokens).matched;
+  // Same trie walk session creation's match uses, minus the pin — probe-based
+  // admission estimates can never diverge from the matching semantics.
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return prefix_index_.BestPrefix(tokens).matched;
 }
 
 bool ContextStore::Remove(uint64_t id) {
   std::unique_lock<std::shared_mutex> lk(mu_);
-  return contexts_.erase(id) > 0;
+  auto it = contexts_.find(id);
+  if (it == contexts_.end()) return false;
+  prefix_index_.Erase(id, it->second->tokens());
+  contexts_.erase(it);
+  return true;
+}
+
+size_t ContextStore::PrefixIndexNodes() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return prefix_index_.node_count();
 }
 
 size_t ContextStore::size() const {

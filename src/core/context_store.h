@@ -14,6 +14,7 @@
 
 #include "src/core/kv_cache.h"
 #include "src/core/query_samples.h"
+#include "src/core/token_trie.h"
 #include "src/device/memory_tracker.h"
 #include "src/index/coarse_index.h"
 #include "src/index/index_builder.h"
@@ -144,8 +145,12 @@ class ContextStore {
   std::shared_ptr<Context> FindShared(uint64_t id) const;
 
   /// The stored context sharing the longest common prefix with `tokens`.
-  /// Linear scan over contexts (stores hold few, large contexts; a token trie
-  /// is an obvious extension and noted in DESIGN.md).
+  /// Served by a compressed token trie over published sequences: cost is
+  /// O(match length), independent of how many contexts the store holds, and
+  /// the winner on ties (lowest id among the maxima) is bit-compatible with
+  /// the linear scan this replaced. The trie indexes exactly the published
+  /// set — Add/Publish insert, Remove erases, pending reservations are
+  /// invisible until published.
   PrefixMatch BestPrefixMatch(std::span<const int32_t> tokens) const;
 
   /// Length of the longest stored prefix of `tokens`, without pinning the
@@ -163,10 +168,17 @@ class ContextStore {
   uint64_t TotalKvBytes() const;
   uint64_t TotalIndexBytes() const;
 
+  /// Trie nodes the prefix lookups walk (observability for tests/benches).
+  size_t PrefixIndexNodes() const;
+
  private:
   mutable std::shared_mutex mu_;
   std::map<uint64_t, std::shared_ptr<Context>> contexts_;
   std::set<uint64_t> pending_;  ///< Reserved ids, invisible to all lookups.
+  /// Prefix index over published contexts' token sequences, kept coherent
+  /// under mu_: every path that makes a context visible (Add, Publish)
+  /// inserts it, Remove erases it, pending ids never enter.
+  TokenTrie prefix_index_;
   uint64_t next_id_ = 1;
 };
 

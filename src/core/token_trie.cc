@@ -1,0 +1,132 @@
+#include "src/core/token_trie.h"
+
+#include <algorithm>
+
+namespace alaya {
+
+namespace {
+
+/// Length of the common prefix of `label` and `tokens`.
+size_t CommonLength(std::span<const int32_t> label, std::span<const int32_t> tokens) {
+  const size_t limit = std::min(label.size(), tokens.size());
+  size_t k = 0;
+  while (k < limit && label[k] == tokens[k]) ++k;
+  return k;
+}
+
+}  // namespace
+
+void TokenTrie::Insert(uint64_t id, std::span<const int32_t> tokens) {
+  ++size_;
+  Node* node = &root_;
+  node->ids.insert(id);
+  size_t pos = 0;
+  while (pos < tokens.size()) {
+    auto it = node->children.find(tokens[pos]);
+    if (it == node->children.end()) {
+      // No edge starts with this token: the whole remainder becomes one leaf.
+      auto leaf = std::make_unique<Node>();
+      leaf->label.assign(tokens.begin() + static_cast<long>(pos), tokens.end());
+      leaf->ids.insert(id);
+      node->children.emplace(tokens[pos], std::move(leaf));
+      ++node_count_;
+      return;
+    }
+    Node* child = it->second.get();
+    const size_t k = CommonLength(child->label, tokens.subspan(pos));
+    if (k == child->label.size()) {
+      // Full edge consumed; descend.
+      child->ids.insert(id);
+      node = child;
+      pos += k;
+      continue;
+    }
+    // Diverged (or the sequence ends) mid-edge: split the edge at k. The
+    // intermediate node inherits the child's subtree plus this sequence.
+    auto intermediate = std::make_unique<Node>();
+    intermediate->label.assign(child->label.begin(),
+                               child->label.begin() + static_cast<long>(k));
+    intermediate->ids = child->ids;
+    intermediate->ids.insert(id);
+    std::unique_ptr<Node> old_child = std::move(it->second);
+    old_child->label.erase(old_child->label.begin(),
+                           old_child->label.begin() + static_cast<long>(k));
+    intermediate->children.emplace(old_child->label.front(), std::move(old_child));
+    ++node_count_;
+    Node* inter = intermediate.get();
+    it->second = std::move(intermediate);
+    pos += k;
+    if (pos == tokens.size()) return;  // Sequence ends at the split point.
+    auto leaf = std::make_unique<Node>();
+    leaf->label.assign(tokens.begin() + static_cast<long>(pos), tokens.end());
+    leaf->ids.insert(id);
+    inter->children.emplace(tokens[pos], std::move(leaf));
+    ++node_count_;
+    return;
+  }
+}
+
+bool TokenTrie::Erase(uint64_t id, std::span<const int32_t> tokens) {
+  // First verify the full path carries the id, so a mismatched call cannot
+  // leave the trie half-edited.
+  Node* node = &root_;
+  size_t pos = 0;
+  std::vector<Node*> path{&root_};
+  while (pos < tokens.size()) {
+    auto it = node->children.find(tokens[pos]);
+    if (it == node->children.end()) return false;
+    Node* child = it->second.get();
+    const size_t k = CommonLength(child->label, tokens.subspan(pos));
+    if (k != child->label.size()) return false;  // Sequence not in the trie.
+    node = child;
+    pos += k;
+    path.push_back(node);
+  }
+  if (node->ids.count(id) == 0) return false;
+  --size_;
+  for (Node* n : path) n->ids.erase(id);
+  // Prune the dead branch. Id sets shrink along the path (a node's set
+  // contains its descendants'), so emptiness is monotone: detaching the
+  // SHALLOWEST emptied node (root excluded) releases every emptied node in
+  // one cut.
+  for (size_t i = 1; i < path.size(); ++i) {
+    if (!path[i]->ids.empty()) continue;
+    // Subtract the whole dropped branch from the node count.
+    size_t dropped = 0;
+    std::vector<const Node*> stack{path[i]};
+    while (!stack.empty()) {
+      const Node* cur = stack.back();
+      stack.pop_back();
+      ++dropped;
+      for (const auto& [_, c] : cur->children) stack.push_back(c.get());
+    }
+    node_count_ -= dropped;
+    path[i - 1]->children.erase(path[i]->label.front());
+    break;
+  }
+  return true;
+}
+
+TokenTrie::Best TokenTrie::BestPrefix(std::span<const int32_t> tokens) const {
+  const Node* node = &root_;
+  size_t pos = 0;
+  while (pos < tokens.size()) {
+    auto it = node->children.find(tokens[pos]);
+    if (it == node->children.end()) break;
+    const Node* child = it->second.get();
+    const size_t k = CommonLength(child->label, tokens.subspan(pos));
+    if (k < child->label.size()) {
+      // Stopped mid-edge: every sequence below `child` agrees with the query
+      // on exactly pos + k tokens (k >= 1 — edges are keyed by first token).
+      node = child;
+      pos += k;
+      break;
+    }
+    node = child;
+    pos += k;
+  }
+  if (pos == 0 || node->ids.empty()) return Best{};
+  return Best{*node->ids.begin(), pos};
+}
+
+}  // namespace alaya

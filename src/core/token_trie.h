@@ -1,0 +1,66 @@
+// Compressed (radix) trie over stored token sequences: the sublinear engine
+// behind ContextStore::BestPrefixMatch. The linear scan it replaces touches
+// every stored context per lookup; the trie walks only the query's own
+// prefix, so lookup cost is O(match length) regardless of how many contexts
+// the store holds — the property a long-lived serving store needs.
+//
+// Edges carry compressed token runs (path compression), so node count is
+// bounded by sequences and their divergence points, not by total tokens.
+// Every node keeps the set of sequence ids in its subtree: the deepest node a
+// query reaches yields both the exact common-prefix length and, via the set's
+// minimum, the same winner the linear scan's first-strictly-greater rule
+// picked (lowest id among the maxima) — tie-breaking is bit-compatible.
+//
+// Not thread-safe; ContextStore guards it with its reader/writer lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <vector>
+
+namespace alaya {
+
+class TokenTrie {
+ public:
+  struct Best {
+    uint64_t id = 0;      ///< 0 when nothing matched (matched == 0).
+    size_t matched = 0;   ///< Longest common prefix with any stored sequence.
+  };
+
+  /// Indexes `tokens` under `id`. Ids must be unique across live sequences;
+  /// two ids may carry identical token sequences.
+  void Insert(uint64_t id, std::span<const int32_t> tokens);
+
+  /// Removes the sequence previously inserted under `id`. `tokens` must be
+  /// the exact sequence passed to Insert. Returns false when the id was not
+  /// on that path (nothing is changed).
+  bool Erase(uint64_t id, std::span<const int32_t> tokens);
+
+  /// The stored sequence sharing the longest common prefix with `tokens`
+  /// (lowest id on ties). {0, 0} when no sequence shares even one token.
+  Best BestPrefix(std::span<const int32_t> tokens) const;
+
+  size_t size() const { return size_; }  ///< Live sequences.
+  /// Allocated trie nodes (root excluded) — observability for tests: path
+  /// compression keeps this bounded by sequences + divergence points, not
+  /// total tokens.
+  size_t node_count() const { return node_count_; }
+
+ private:
+  struct Node {
+    std::vector<int32_t> label;  ///< Compressed edge into this node.
+    /// Every sequence id whose tokens pass through (or end inside) this
+    /// node's subtree. Non-empty for all live nodes; emptied nodes are pruned.
+    std::set<uint64_t> ids;
+    std::map<int32_t, std::unique_ptr<Node>> children;  ///< By label.front().
+  };
+
+  Node root_;  ///< Empty label; ids = every live sequence.
+  size_t size_ = 0;
+  size_t node_count_ = 0;
+};
+
+}  // namespace alaya

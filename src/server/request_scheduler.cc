@@ -1,6 +1,7 @@
 #include "src/server/request_scheduler.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace alaya {
 
@@ -73,6 +74,26 @@ bool RequestScheduler::FitsLocked(const AdmissionEstimate& e) const {
   return true;
 }
 
+std::chrono::steady_clock::time_point RequestScheduler::Admitted::Deadline() const {
+  if (request.deadline_seconds <= 0) {
+    return std::chrono::steady_clock::time_point::max();
+  }
+  // Converting double seconds into the clock's integer duration is UB once it
+  // overflows (~292 years in nanoseconds); a caller passing an astronomically
+  // large budget means "no deadline", so treat it as one instead of wrapping
+  // into the past and expiring instantly. Half the representable range leaves
+  // headroom for the addition to submit_time.
+  using ClockDuration = std::chrono::steady_clock::duration;
+  const double ticks = request.deadline_seconds *
+                       static_cast<double>(ClockDuration::period::den) /
+                       static_cast<double>(ClockDuration::period::num);
+  if (ticks >= static_cast<double>(std::numeric_limits<ClockDuration::rep>::max() / 2)) {
+    return std::chrono::steady_clock::time_point::max();
+  }
+  return submit_time + std::chrono::duration_cast<ClockDuration>(
+                           std::chrono::duration<double>(request.deadline_seconds));
+}
+
 Result<uint64_t> RequestScheduler::Enqueue(ServingRequest request) {
   if (request.fill_step == nullptr) {
     return Status::InvalidArgument("request has no fill_step");
@@ -83,17 +104,20 @@ Result<uint64_t> RequestScheduler::Enqueue(ServingRequest request) {
   AdmissionEstimate e = Estimate(request);
   std::lock_guard<std::mutex> lk(mu_);
   if (options_.gpu_budget_bytes > 0 && e.gpu_bytes > options_.gpu_budget_bytes) {
-    return Status::ResourceExhausted(
+    // Permanent: no amount of waiting shrinks the footprint.
+    return Status::NeverFits(
         "request footprint (prefilled prompt suffix + window + decoded tail) "
         "exceeds the GPU budget even running alone");
   }
   if (pending_.size() >= options_.max_queue_depth) {
-    return Status::ResourceExhausted("admission queue is full");
+    // Retryable: the backlog drains as sessions finish.
+    return Status::BacklogFull("admission queue is full");
   }
   Admitted item;
   item.id = next_id_++;
   item.request = std::move(request);
   item.estimate = e;
+  item.submit_time = std::chrono::steady_clock::now();
   const uint64_t id = item.id;
   pending_.push_back(std::move(item));
   return id;
@@ -125,6 +149,41 @@ void RequestScheduler::UpdateReservation(uint64_t id, const AdmissionEstimate& a
   it->second = actual;
   reserved_bytes_ += actual.gpu_bytes;
   reserved_seconds_ += actual.EffectiveStepSeconds();
+}
+
+std::optional<RequestScheduler::Admitted> RequestScheduler::RemoveQueued(uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->id == id) {
+      Admitted out = std::move(*it);
+      pending_.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<RequestScheduler::Admitted> RequestScheduler::RemoveQueuedExpired(
+    std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Admitted> out;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->request.deadline_seconds > 0 && it->Deadline() <= now) {
+      out.push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<RequestScheduler::Admitted> RequestScheduler::TakeAllQueued() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Admitted> out(std::make_move_iterator(pending_.begin()),
+                            std::make_move_iterator(pending_.end()));
+  pending_.clear();
+  return out;
 }
 
 void RequestScheduler::Release(uint64_t id) {

@@ -11,11 +11,13 @@
 // model decides *how many* may run at once.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -54,6 +56,17 @@ struct ServingRequest {
   /// Keep every step's final-layer attention output in the result (tests and
   /// determinism checks; costs steps * num_q_heads * head_dim floats).
   bool record_outputs = false;
+  /// Streaming: invoked from the engine's step loop with each decoded output
+  /// block (`out` is [num_q_heads * head_dim], the final-layer attention
+  /// output of `step`). Called on the driver thread, strictly in step order;
+  /// the span is only valid for the duration of the call. Keep it cheap — a
+  /// slow callback stalls every co-scheduled session's next step.
+  std::function<void(size_t step, std::span<const float> out)> on_token;
+  /// Wall-clock budget measured from Submit (0 = none). A request that is
+  /// still queued or decoding when the budget expires retires with
+  /// kDeadlineExceeded at the next step boundary of a running engine; tokens
+  /// already streamed stand.
+  double deadline_seconds = 0;
 };
 
 /// Projected steady-state resource usage of one request, computed up front.
@@ -88,7 +101,7 @@ struct RequestSchedulerOptions {
   uint64_t gpu_budget_bytes = 0;
   /// Hard cap on concurrently decoding sessions.
   size_t max_concurrent_sessions = 8;
-  /// Enqueue fails with ResourceExhausted beyond this backlog.
+  /// Enqueue fails with kBacklogFull (retryable) beyond this backlog.
   size_t max_queue_depth = 256;
   /// When > 0: stop admitting once the summed projected per-step device time
   /// of active sessions would exceed this bound (a request exceeding it on its
@@ -127,10 +140,18 @@ class RequestScheduler {
     uint64_t id = 0;
     ServingRequest request;
     AdmissionEstimate estimate;
+    /// Stamped at Enqueue; the origin of TTFT measurements and the anchor the
+    /// request's deadline (deadline_seconds) counts from.
+    std::chrono::steady_clock::time_point submit_time;
+    /// Absolute deadline, or time_point::max() when the request has none.
+    std::chrono::steady_clock::time_point Deadline() const;
   };
 
-  /// Queues a request, failing fast when the backlog is full or the request
-  /// could never fit the memory budget even running alone. Returns request id.
+  /// Queues a request. Rejections are typed so live-mode callers can
+  /// implement backpressure without string-matching: kBacklogFull (the queue
+  /// is at max_queue_depth right now — retryable) vs kNeverFits (the request
+  /// exceeds the memory budget even running alone — permanent). Returns the
+  /// request id.
   Result<uint64_t> Enqueue(ServingRequest request);
 
   /// Pops every queued request admissible under the current load, FIFO with no
@@ -141,6 +162,23 @@ class RequestScheduler {
 
   /// Returns a finished (or failed) request's reservation to the pool.
   void Release(uint64_t id);
+
+  // --- Cancellation-aware queue surgery (live serving) ---
+  //
+  // Queued requests hold no reservation, so removal is pure bookkeeping; the
+  // caller finalizes the returned items (typed kCancelled/kDeadlineExceeded
+  // results). An id that a concurrent Admit() already popped is simply not
+  // found — exactly one side wins the queue entry.
+
+  /// Removes one queued (not yet admitted) request. Empty when the id is
+  /// unknown, already admitted, or already released.
+  std::optional<Admitted> RemoveQueued(uint64_t id);
+
+  /// Removes every queued request whose deadline has passed at `now`.
+  std::vector<Admitted> RemoveQueuedExpired(std::chrono::steady_clock::time_point now);
+
+  /// Empties the queue (engine Abort). Active reservations are untouched.
+  std::vector<Admitted> TakeAllQueued();
 
   /// Replaces an admitted request's reservation with `actual` — the estimate
   /// recomputed against the prefix reuse DB.create_session really found. The

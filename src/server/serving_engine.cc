@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <latch>
+#include <span>
 
 #include "src/common/rng.h"
-#include "src/common/timer.h"
 #include "src/query/batched_diprs.h"
 
 namespace alaya {
@@ -30,6 +30,24 @@ int32_t SyntheticStoredTokenId(uint64_t request_id, size_t step) {
                               (static_cast<uint32_t>(h >> 33) & UINT32_C(0x3FFFFFFF)));
 }
 
+const RequestResult* RequestHandle::Wait() const {
+  if (ticket_ == nullptr) return nullptr;
+  std::unique_lock<std::mutex> lk(ticket_->mu);
+  ticket_->cv.wait(lk, [&] { return ticket_->done; });
+  return ticket_->result;
+}
+
+const RequestResult* RequestHandle::TryWait() const {
+  if (ticket_ == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lk(ticket_->mu);
+  return ticket_->done ? ticket_->result : nullptr;
+}
+
+bool RequestHandle::Cancel() const {
+  if (engine_ == nullptr || ticket_ == nullptr) return false;
+  return engine_->CancelRequest(ticket_);
+}
+
 ServingEngine::ServingEngine(AlayaDB* db, const ServingEngineOptions& options)
     : db_(db),
       options_(options),
@@ -37,14 +55,186 @@ ServingEngine::ServingEngine(AlayaDB* db, const ServingEngineOptions& options)
                  db->env().cost_model(), WithDefaultProbe(db, options.scheduler)),
       pool_(options.pool != nullptr ? options.pool : &ThreadPool::Global()) {}
 
-Result<uint64_t> ServingEngine::Submit(ServingRequest request) {
-  Result<uint64_t> id = scheduler_.Enqueue(std::move(request));
-  if (id.ok()) {
-    submitted_.fetch_add(1);
-  } else {
-    rejected_.fetch_add(1);
+ServingEngine::~ServingEngine() { (void)Abort(); }
+
+Status ServingEngine::Start() {
+  std::lock_guard<std::mutex> lk(life_mu_);
+  if (state_ == State::kRunning || state_ == State::kDraining) {
+    return Status::FailedPrecondition("engine is already running");
   }
-  return id;
+  if (driver_.joinable()) driver_.join();  // Reap the previous run's thread.
+  state_ = State::kRunning;
+  stop_mode_ = StopMode::kNone;
+  run_status_ = Status::Ok();
+  run_timer_.Restart();
+  driver_ = std::thread(&ServingEngine::DriverLoop, this);
+  return Status::Ok();
+}
+
+Status ServingEngine::JoinStoppedDriverLocked() {
+  if (driver_.joinable()) driver_.join();
+  return run_status_;
+}
+
+Status ServingEngine::Shutdown() {
+  std::unique_lock<std::mutex> lk(life_mu_);
+  if (state_ == State::kCreated) return run_status_;
+  if (state_ == State::kStopped) return JoinStoppedDriverLocked();
+  if (stop_mode_ == StopMode::kNone) stop_mode_ = StopMode::kDrain;
+  state_ = State::kDraining;
+  life_cv_.notify_all();
+  life_cv_.wait(lk, [&] { return state_ == State::kStopped; });
+  return JoinStoppedDriverLocked();
+}
+
+Status ServingEngine::Abort() {
+  std::unique_lock<std::mutex> lk(life_mu_);
+  if (state_ == State::kCreated) return run_status_;
+  if (state_ == State::kStopped) return JoinStoppedDriverLocked();
+  stop_mode_ = StopMode::kAbort;  // Escalates a graceful drain in progress.
+  state_ = State::kDraining;
+  life_cv_.notify_all();
+  life_cv_.wait(lk, [&] { return state_ == State::kStopped; });
+  return JoinStoppedDriverLocked();
+}
+
+void ServingEngine::WaitIdle() {
+  std::unique_lock<std::mutex> lk(life_mu_);
+  life_cv_.wait(lk, [&] {
+    if (state_ != State::kRunning && state_ != State::kDraining) return true;
+    // Order matters: queued==0 proves any cancel/expiry dequeue already
+    // happened, so a zero finalizing_ read afterwards proves its result
+    // publication completed too — idle implies every result is visible.
+    return scheduler_.queued() == 0 && scheduler_.active() == 0 &&
+           finalizing_.load() == 0;
+  });
+}
+
+ServingEngine::State ServingEngine::state() const {
+  std::lock_guard<std::mutex> lk(life_mu_);
+  return state_;
+}
+
+Status ServingEngine::RunToCompletion() {
+  ALAYA_RETURN_IF_ERROR(Start());
+  WaitIdle();
+  return Shutdown();
+}
+
+Result<RequestHandle> ServingEngine::Submit(ServingRequest request) {
+  Result<uint64_t> id = scheduler_.Enqueue(std::move(request));
+  if (!id.ok()) {
+    rejected_.fetch_add(1);
+    return id.status();
+  }
+  submitted_.fetch_add(1);
+  auto ticket = std::make_shared<RequestTicket>();
+  ticket->id = id.value();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto done = results_.find(ticket->id);
+    if (done != results_.end()) {
+      // A live driver admitted, ran and retired the request between Enqueue
+      // and here. Finish the ticket inline; no waiters can exist yet.
+      ticket->result = &done->second;
+      ticket->done = true;
+    } else {
+      tickets_[ticket->id] = ticket;
+    }
+  }
+  {
+    // Wake an idle driver. Notify under life_mu_ so a waiter between its
+    // predicate check and its sleep cannot miss the signal.
+    std::lock_guard<std::mutex> lk(life_mu_);
+    life_cv_.notify_all();
+  }
+  return RequestHandle(this, std::move(ticket));
+}
+
+std::shared_ptr<RequestTicket> ServingEngine::FindTicket(uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tickets_.find(id);
+  return it == tickets_.end() ? nullptr : it->second;
+}
+
+bool ServingEngine::CancelRequest(const std::shared_ptr<RequestTicket>& ticket) {
+  {
+    std::lock_guard<std::mutex> lk(ticket->mu);
+    if (ticket->done) return false;
+  }
+  ticket->cancel_requested.store(true);
+  // Still queued? Pull it out and finalize right here — effective even on a
+  // stopped engine, and the driver can never see the request again (exactly
+  // one of RemoveQueued/Admit wins the queue entry). Otherwise the request is
+  // admitted (or mid-admission) and the driver observes the flag at the next
+  // step boundary.
+  finalizing_.fetch_add(1);  // Covers the dequeue-to-publication window.
+  if (auto adm = scheduler_.RemoveQueued(ticket->id)) {
+    FinalizeUnadmitted(std::move(*adm),
+                       Status::Cancelled("cancelled before admission"));
+  }
+  finalizing_.fetch_sub(1);
+  // Notify on BOTH paths: the driver may need to observe the flag, and the
+  // dequeue above may have just made the engine idle — a WaitIdle waiter
+  // whose predicate became true must get to re-evaluate it.
+  std::lock_guard<std::mutex> lk(life_mu_);
+  life_cv_.notify_all();
+  return true;
+}
+
+void ServingEngine::FinalizeResult(uint64_t id, RequestResult&& result) {
+  result.id = id;
+  const RequestResult* stored = nullptr;
+  std::shared_ptr<RequestTicket> ticket;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = results_.insert_or_assign(id, std::move(result));
+    stored = &it->second;
+    ++snapshot_.completed;
+    if (stored->status.IsCancelled()) ++snapshot_.cancelled;
+    if (stored->status.IsDeadlineExceeded()) ++snapshot_.deadline_exceeded;
+    auto t = tickets_.find(id);
+    if (t != tickets_.end()) {
+      ticket = std::move(t->second);
+      tickets_.erase(t);
+    }
+  }
+  if (ticket != nullptr) {
+    std::lock_guard<std::mutex> lk(ticket->mu);
+    ticket->result = stored;
+    ticket->done = true;
+    ticket->cv.notify_all();
+  }
+}
+
+void ServingEngine::FinalizeUnadmitted(RequestScheduler::Admitted&& adm,
+                                       Status status) {
+  RequestResult r;
+  r.status = std::move(status);
+  FinalizeResult(adm.id, std::move(r));
+}
+
+void ServingEngine::SweepCancellations() {
+  const auto now = std::chrono::steady_clock::now();
+  finalizing_.fetch_add(1);  // Covers the dequeue-to-publication window.
+  for (RequestScheduler::Admitted& adm : scheduler_.RemoveQueuedExpired(now)) {
+    FinalizeUnadmitted(std::move(adm),
+                       Status::DeadlineExceeded("deadline expired before admission"));
+  }
+  finalizing_.fetch_sub(1);
+  for (auto& a : active_) {
+    if (a->failed) continue;
+    // Submit registers the ticket after Enqueue, so admission can outrun it;
+    // fetch lazily until it appears.
+    if (a->ticket == nullptr) a->ticket = FindTicket(a->id);
+    if (a->deadline <= now) {
+      a->result.status = Status::DeadlineExceeded("request deadline expired");
+      a->failed = true;
+    } else if (a->ticket != nullptr && a->ticket->cancel_requested.load()) {
+      a->result.status = Status::Cancelled("cancelled by caller");
+      a->failed = true;
+    }
+  }
 }
 
 void ServingEngine::AdmitPending() {
@@ -52,9 +242,33 @@ void ServingEngine::AdmitPending() {
   const size_t qdim = static_cast<size_t>(model.num_q_heads) * model.head_dim;
   const size_t kvdim = static_cast<size_t>(model.num_kv_heads) * model.head_dim;
   for (RequestScheduler::Admitted& adm : scheduler_.Admit()) {
+    // Cancellation or deadline expiry may have landed after the queue pop;
+    // don't build a session that would only retire immediately. Admit() took
+    // the reservation, so return it explicitly on these paths.
+    std::shared_ptr<RequestTicket> ticket = FindTicket(adm.id);
+    const auto deadline = adm.Deadline();
+    // Finalize BEFORE Release (mirroring FinishSession): the reservation keeps
+    // WaitIdle's predicate false until the terminal result is visible.
+    if (ticket != nullptr && ticket->cancel_requested.load()) {
+      const uint64_t rid = adm.id;
+      FinalizeUnadmitted(std::move(adm), Status::Cancelled("cancelled at admission"));
+      scheduler_.Release(rid);
+      continue;
+    }
+    if (deadline <= std::chrono::steady_clock::now()) {
+      const uint64_t rid = adm.id;
+      FinalizeUnadmitted(std::move(adm),
+                         Status::DeadlineExceeded("deadline expired at admission"));
+      scheduler_.Release(rid);
+      continue;
+    }
+
     auto active = std::make_unique<ActiveSession>();
     active->id = adm.id;
     active->request = std::move(adm.request);
+    active->ticket = std::move(ticket);
+    active->submit_time = adm.submit_time;
+    active->deadline = deadline;
     active->result.id = adm.id;
 
     Result<AlayaDB::SessionCreation> created =
@@ -231,6 +445,19 @@ Status ServingEngine::StepActiveSessions() {
           a->result.outputs.insert(a->result.outputs.end(), a->out.begin(),
                                    a->out.end());
         }
+        if (a->result.steps_completed == 0) {
+          a->result.ttft_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            a->submit_time)
+                  .count();
+        }
+        // Stream the finished output block before advancing the step counter:
+        // callbacks observe steps 0..N-1 strictly in order, from the driver
+        // thread, with the span valid only for the duration of the call.
+        if (a->request.on_token != nullptr) {
+          a->request.on_token(a->step,
+                              std::span<const float>(a->out.data(), a->out.size()));
+        }
         ++a->result.steps_completed;
         ++a->step;
         ++step_tokens;
@@ -289,7 +516,8 @@ void ServingEngine::FinishSession(ActiveSession* active) {
   if (!active->failed && active->request.store_on_finish) {
     // DB.Store expects ids for every session-local token: the prefilled prompt
     // suffix first (its ids are right there in the request), then the decoded
-    // tail.
+    // tail. Cancelled / deadline-exceeded sessions never reach this branch
+    // (they carry failed=true): a partial decode must not publish a context.
     const std::vector<int32_t>& prompt = active->request.prompt;
     const size_t suffix_begin = active->result.reused_prefix;
     const size_t suffix_end = suffix_begin + active->result.prefilled_tokens;
@@ -322,13 +550,13 @@ void ServingEngine::FinishSession(ActiveSession* active) {
     }
   }
   // Free the session (and its device reservation) before returning the
-  // admission reservation, so the next admit sees consistent accounting.
+  // admission reservation, so the next admit sees consistent accounting; and
+  // publish the result before Release, so a WaitIdle() that observes zero
+  // reservations also observes every finished result.
   active->session.reset();
   active->context_ref.reset();
+  FinalizeResult(active->id, std::move(active->result));
   scheduler_.Release(active->id);
-  std::lock_guard<std::mutex> lk(mu_);
-  ++snapshot_.completed;
-  results_[active->id] = std::move(active->result);
 }
 
 void ServingEngine::RetireFinished() {
@@ -345,25 +573,52 @@ void ServingEngine::RetireFinished() {
   }
 }
 
-Status ServingEngine::RunToCompletion() {
-  WallTimer timer;
+void ServingEngine::DriverLoop() {
+  Status status;  // Engine-level; per-request failures live in their results.
   for (;;) {
+    StopMode stop;
+    {
+      std::lock_guard<std::mutex> lk(life_mu_);
+      stop = stop_mode_;
+    }
+    if (stop == StopMode::kAbort) break;
+
+    // Step boundary: retire cancellations/expiries first (their reservations
+    // free capacity), then admit — requests submitted while the engine runs
+    // enter here, the continuous-batching entry point.
+    SweepCancellations();
+    RetireFinished();
     AdmitPending();
+
     if (active_.empty()) {
-      if (scheduler_.queued() == 0) break;
-      // A concurrent Submit may have landed between Admit() and queued();
-      // having observed a non-empty queue on an idle system, a second Admit()
-      // must pull its head (Enqueue guarantees it fits). If even that admits
-      // nothing, it's an internal accounting bug — fail loudly, don't spin.
+      if (scheduler_.queued() == 0) {
+        if (stop == StopMode::kDrain) break;
+        // Idle: announce it (WaitIdle waiters) and sleep until a Submit,
+        // Cancel or stop request arrives.
+        std::unique_lock<std::mutex> lk(life_mu_);
+        life_cv_.notify_all();
+        life_cv_.wait(lk, [&] {
+          return stop_mode_ != StopMode::kNone || scheduler_.queued() > 0;
+        });
+        continue;
+      }
+      // A concurrent Submit landed between Admit() and queued(); having
+      // observed a non-empty queue on an idle system, a second Admit() must
+      // pull its head (Enqueue guarantees it fits). A concurrent Cancel can
+      // instead empty the queue — loop around. If neither happened, it's an
+      // internal accounting bug — fail loudly, don't spin.
       AdmitPending();
       if (active_.empty()) {
-        if (scheduler_.queued() == 0) break;
-        return Status::Internal("queued requests but none admissible on idle system");
+        if (scheduler_.queued() == 0) continue;
+        status = Status::Internal("queued requests but none admissible on idle system");
+        break;
       }
     }
+
     for (auto& a : active_) a->was_prefilling = a->phase == Phase::kPrefilling;
     WallTimer step_timer;
-    ALAYA_RETURN_IF_ERROR(StepActiveSessions());
+    status = StepActiveSessions();
+    if (!status.ok()) break;
     const double step_seconds = step_timer.ElapsedSeconds();
     for (auto& a : active_) {
       if (a->failed) continue;
@@ -375,26 +630,56 @@ Status ServingEngine::RunToCompletion() {
     }
     RetireFinished();
   }
-  // Barrier: every store_on_finish materialization handed off during the run
-  // must publish before the engine reports completion — callers (and tests)
-  // observe a store whose contexts are all fully built. A failed
-  // materialization loses one context, never the run: it is reconciled into
-  // the owning request's result below (matching the synchronous path, where
-  // a store error lands in result.status at retire) and counted in
-  // snapshot().materializations_failed — not returned as an engine error.
-  (void)db_->Drain();
-  const std::map<uint64_t, Status> mat_errors = db_->materialization_errors();
-  std::lock_guard<std::mutex> lk(mu_);
-  if (!mat_errors.empty()) {
-    for (auto& [rid, res] : results_) {
-      if (res.stored_context_id == 0) continue;
-      auto it = mat_errors.find(res.stored_context_id);
-      if (it == mat_errors.end()) continue;
-      if (res.status.ok()) res.status = it->second;
-      res.stored_context_id = 0;  // The reserved id will never publish.
-    }
+
+  // Terminal sweep: an abort (or an engine-level error) fails everything the
+  // engine still owns, so every handle reaches a terminal state. A graceful
+  // drain arrives here with nothing active or queued (a Submit racing the
+  // final check stays queued for the next Start — exactly the old
+  // RunToCompletion contract the stress tests rely on).
+  StopMode final_stop;
+  {
+    std::lock_guard<std::mutex> lk(life_mu_);
+    final_stop = stop_mode_;
   }
-  snapshot_.serve_wall_seconds += timer.ElapsedSeconds();
+  if (!status.ok() || final_stop == StopMode::kAbort) {
+    const Status reason =
+        status.ok() ? Status::Cancelled("engine aborted") : status;
+    for (auto& a : active_) {
+      if (!a->failed) {
+        a->result.status = reason;
+        a->failed = true;
+      }
+    }
+    RetireFinished();
+    finalizing_.fetch_add(1);  // Covers the dequeue-to-publication window.
+    for (RequestScheduler::Admitted& adm : scheduler_.TakeAllQueued()) {
+      FinalizeUnadmitted(std::move(adm),
+                         status.ok() ? Status::Cancelled("engine aborted before admission")
+                                     : status);
+    }
+    finalizing_.fetch_sub(1);
+  }
+
+  FinalizeRun();
+  std::lock_guard<std::mutex> lk(life_mu_);
+  run_status_ = status;
+  state_ = State::kStopped;
+  life_cv_.notify_all();
+}
+
+void ServingEngine::FinalizeRun() {
+  // Barrier: every store_on_finish materialization handed off during the run
+  // must publish before the engine reports stopped — callers (and tests)
+  // observe a store whose contexts are all fully built. A failed
+  // materialization loses one context, never the run: it is counted in
+  // snapshot().materializations_failed, and db.materialization_errors() maps
+  // the result's stored_context_id (a reservation ticket that will now never
+  // publish) to the failure. Published results are deliberately NOT amended:
+  // they are immutable once a handle's Wait/TryWait returns, so live callers
+  // can read them without synchronizing against Shutdown.
+  (void)db_->Drain();
+  std::lock_guard<std::mutex> lk(mu_);
+  snapshot_.serve_wall_seconds += run_timer_.ElapsedSeconds();
   // Instant runs can round the wall clock to zero even though tokens were
   // decoded; clamp the denominator so the reported throughput stays finite
   // (and zero only when nothing was decoded).
@@ -403,7 +688,6 @@ Status ServingEngine::RunToCompletion() {
           ? static_cast<double>(snapshot_.tokens_decoded) /
                 std::max(snapshot_.serve_wall_seconds, 1e-9)
           : 0;
-  return Status::Ok();
 }
 
 const RequestResult* ServingEngine::result(uint64_t id) const {

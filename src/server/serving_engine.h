@@ -1,47 +1,64 @@
-// Concurrent multi-session serving engine — the front door that turns the
-// single-query reproduction into a multi-tenant server skeleton (§2's MaaS
-// scenario: one data foundation, many decoding sessions).
+// Live multi-session serving engine — the always-on front door the paper's
+// MaaS scenario (§2) needs: one data foundation, many concurrent decoding
+// sessions, requests arriving and retiring while the engine runs.
 //
-// Submit() queues prompt requests; RunToCompletion() drives them:
-//   1. the RequestScheduler admits requests under the GPU memory budget
-//      (prefilled prompt suffix + projected window + decoded-tail footprint)
-//      and optional TPOT SLO that also accounts for projected prefill time;
-//   2. each admitted request becomes a Session via DB.create_session —
-//      concurrent requests over the same document share the stored context
-//      and its indices (prefix reuse, §7.1); a prompt that extends past every
-//      stored context enters a PREFILL phase first: per engine step, one chunk
-//      of the unmatched suffix is pushed through Session::UpdateBatch for all
-//      layers (QKV from the request's fill_prompt callback, queries recorded
-//      for index training), with all prefilling sessions' chunks batched onto
-//      the shared ThreadPool where they overlap the decoding sessions' layer
-//      loop (src/query/batched_prefill.h);
-//   3. sessions whose prompt is fully resident decode in lockstep steps: per
-//      layer, every session's Update runs, then all sessions' (session,
-//      q_head) DIPRS/attention queries are flattened into ONE batch on the
-//      shared ThreadPool (src/query/batched_diprs.h) — cross-session batching
-//      of retrieval;
+// Lifecycle (Created → Running → Draining → Stopped):
+//   - Start() spawns a persistent driver thread that loops admit → step →
+//     retire. Requests submitted while the engine is live are admitted at the
+//     next step boundary — the continuous-batching entry point.
+//   - Submit() is non-blocking: it queues the request and returns a
+//     RequestHandle owning Wait()/TryWait(), Cancel(), and (via the request's
+//     on_token callback) per-step streaming of decoded output blocks.
+//   - Shutdown() is graceful: the driver keeps admitting and stepping until
+//     both the queue and the active set drain, then the materialization queue
+//     is drained too. Abort() stops now: active sessions and queued requests
+//     retire with kCancelled. Both join the driver; the engine is restartable
+//     (Stopped → Running via Start).
+//   - RunToCompletion() is a thin wrapper — Start(); WaitIdle(); Shutdown() —
+//     so the batch-style tests, benches and examples exercise exactly the
+//     live machinery.
+//
+// Inside the driver loop each step:
+//   1. cancellations and expired deadlines are swept: a cancelled or expired
+//      session retires mid-decode with a typed kCancelled/kDeadlineExceeded
+//      status, releasing its scheduler reservation and context pin and
+//      skipping its store_on_finish;
+//   2. the RequestScheduler admits queued requests under the GPU memory
+//      budget (prefilled prompt suffix + projected window + decoded-tail
+//      footprint) and optional TPOT SLO; each admitted request becomes a
+//      Session via DB.create_session — concurrent requests over the same
+//      document share the stored context and its indices (prefix reuse,
+//      §7.1); a prompt extending past every stored context enters a PREFILL
+//      phase (per-step chunks through Session::UpdateBatch, batched across
+//      sessions, overlapped with the decode layer loop);
+//   3. fully-resident sessions decode in lockstep: per layer, every session's
+//      Update runs, then all sessions' (session, q_head) DIPRS/attention
+//      queries are flattened into ONE batch on the shared ThreadPool
+//      (src/query/batched_diprs.h); after a session's last layer its output
+//      block is streamed through on_token;
 //   4. finished sessions optionally store their context (late
-//      materialization) and release their admission reservation, letting the
-//      scheduler pull the next queued request mid-run. By default the store
-//      is a DB.store_async() handoff: retire detaches the session's local KV,
-//      token ids and recorded queries into a materialization job on the
-//      shared pool and returns immediately — the KV clone + index build never
-//      stalls the step loop. RunToCompletion drains the queue before
-//      returning (DB.Drain()); snapshots report pending/completed counts.
+//      materialization; DB.store_async by default, off the step loop) and
+//      release their admission reservation, letting the scheduler pull the
+//      next queued request at the next boundary.
 //
 // Determinism: with deterministic fill_step/fill_prompt callbacks, a
 // concurrent schedule produces bit-identical outputs to a sequential one —
 // each session's state evolves only from its own inputs; batching changes
-// scheduling, not math.
+// scheduling, not math. Cancellation changes *which* steps run, never their
+// values.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/common/timer.h"
 #include "src/core/alaya_db.h"
 #include "src/query/batched_prefill.h"
 #include "src/server/request_scheduler.h"
@@ -72,10 +89,16 @@ int32_t SyntheticStoredTokenId(uint64_t request_id, size_t step);
 /// Terminal state of one request.
 struct RequestResult {
   uint64_t id = 0;
-  Status status;
+  Status status;  ///< Ok, a per-request error, kCancelled or kDeadlineExceeded.
   size_t reused_prefix = 0;
   uint64_t reused_context_id = 0;  ///< 0 when no stored context matched.
-  uint64_t stored_context_id = 0;  ///< Set when store_on_finish succeeded.
+  /// store_on_finish: the stored context's id. Under background_store this is
+  /// a reservation ticket — the context becomes matchable once its
+  /// materialization publishes (Shutdown/Drain is the barrier); if the build
+  /// fails the id never publishes and db.materialization_errors() maps it to
+  /// the reason. Results are immutable once terminal, so the failure is NOT
+  /// written back here.
+  uint64_t stored_context_id = 0;
   size_t prefilled_tokens = 0;     ///< Prompt tokens pushed through prefill.
   size_t steps_completed = 0;
   /// record_outputs: concatenated final-layer outputs, one
@@ -84,16 +107,69 @@ struct RequestResult {
   AttentionCallStats stats;  ///< Summed over all steps/layers/heads.
   double prefill_wall_seconds = 0;
   double decode_wall_seconds = 0;
+  /// Submit -> first decoded output block (queueing + admission + prefill +
+  /// first step). 0 when no token was produced.
+  double ttft_seconds = 0;
+};
+
+/// A submitted request's ticket: the handle and the driver communicate
+/// through it. Internal — callers hold it via RequestHandle.
+struct RequestTicket {
+  uint64_t id = 0;
+  std::atomic<bool> cancel_requested{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  const RequestResult* result = nullptr;  ///< Set exactly once, before done.
+};
+
+class ServingEngine;
+
+/// Caller-side handle to one in-flight request. Copyable and cheap; all
+/// methods are thread-safe. The engine must outlive every handle.
+class RequestHandle {
+ public:
+  RequestHandle() = default;
+
+  bool valid() const { return ticket_ != nullptr; }
+  uint64_t id() const { return ticket_ != nullptr ? ticket_->id : 0; }
+
+  /// Blocks until the request reaches a terminal state (finished, failed,
+  /// cancelled, or deadline-exceeded) and returns its result. The pointer
+  /// stays valid for the engine's lifetime. Blocks forever if the engine is
+  /// never run — use TryWait to poll. Nullptr on an invalid handle.
+  const RequestResult* Wait() const;
+
+  /// Non-blocking: the terminal result, or nullptr while still in flight.
+  const RequestResult* TryWait() const;
+
+  /// Requests cancellation. A still-queued request retires immediately (even
+  /// on a stopped engine); a running session retires at its next step
+  /// boundary with kCancelled, releasing its reservation and context pin and
+  /// skipping its store_on_finish. Best-effort: a request that retires
+  /// normally before the driver observes the flag completes with Ok. Returns
+  /// false when the request already reached a terminal state.
+  bool Cancel() const;
+
+ private:
+  friend class ServingEngine;
+  RequestHandle(ServingEngine* engine, std::shared_ptr<RequestTicket> ticket)
+      : engine_(engine), ticket_(std::move(ticket)) {}
+
+  ServingEngine* engine_ = nullptr;
+  std::shared_ptr<RequestTicket> ticket_;
 };
 
 /// Aggregate serving metrics over one engine lifetime.
 struct ServingSnapshot {
   size_t submitted = 0;
-  size_t rejected = 0;   ///< Failed at Enqueue (backlog full / can never fit).
-  size_t completed = 0;  ///< Finished decoding (status may still be an error).
-  size_t tokens_prefilled = 0;  ///< Prompt tokens pushed through prefill.
+  size_t rejected = 0;   ///< Failed at Enqueue (kBacklogFull / kNeverFits).
+  size_t completed = 0;  ///< Reached a terminal state (incl. errors/cancels).
+  size_t cancelled = 0;  ///< Retired with kCancelled.
+  size_t deadline_exceeded = 0;  ///< Retired with kDeadlineExceeded.
+  size_t tokens_prefilled = 0;   ///< Prompt tokens pushed through prefill.
   size_t tokens_decoded = 0;
-  double serve_wall_seconds = 0;   ///< Wall time inside RunToCompletion.
+  double serve_wall_seconds = 0;   ///< Wall time the driver thread was live.
   double tokens_per_second = 0;    ///< Aggregate decode throughput.
   size_t peak_concurrent_sessions = 0;
   uint64_t peak_gpu_bytes = 0;  ///< Max device residency observed at step ends
@@ -107,25 +183,65 @@ struct ServingSnapshot {
 
 class ServingEngine {
  public:
+  /// Engine lifecycle. Stopped engines are restartable: Start() after
+  /// Shutdown()/Abort() begins a fresh run over whatever is queued.
+  enum class State { kCreated, kRunning, kDraining, kStopped };
+
   /// `db` must outlive the engine. The scheduler plans against the DB's model
   /// geometry, session window config, and environment cost model; unless the
   /// caller supplies one, its prefix probe is wired to the DB's context store
   /// so admission projects prefill work from live store contents.
   ServingEngine(AlayaDB* db, const ServingEngineOptions& options);
+  /// Aborts a still-running driver (queued and active requests retire with
+  /// kCancelled) and joins it.
+  ~ServingEngine();
 
-  /// Queues a request (thread-safe; may race with a running RunToCompletion).
-  /// Fails fast when the backlog is full or the request can never fit the
-  /// memory budget. Returns the request id.
-  Result<uint64_t> Submit(ServingRequest request);
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
 
-  /// Drives every queued request to completion (single driver thread; decode
-  /// work fans out over the pool). Returns the first engine-level error;
-  /// per-request failures land in their RequestResult instead.
+  /// Spawns the persistent driver thread (Created/Stopped -> Running).
+  /// Requests already queued are admitted immediately; later Submits are
+  /// admitted at the next step boundary. FailedPrecondition when the engine
+  /// is already running or draining.
+  Status Start();
+
+  /// Graceful stop (Running -> Draining -> Stopped): the driver keeps
+  /// admitting and stepping until the queue and active set drain, then the
+  /// materialization queue is drained (store failures land in the snapshot
+  /// counters and db.materialization_errors()). Blocks until the driver has
+  /// exited and returns its terminal status. Idempotent; Ok on a
+  /// never-started engine.
+  Status Shutdown();
+
+  /// Immediate stop: active sessions and queued requests retire with
+  /// kCancelled (stores skipped, reservations released); materializations
+  /// already handed off still drain. Blocks until the driver has exited.
+  Status Abort();
+
+  /// Blocks until the engine has no queued or admitted work (or is not
+  /// running). Results of requests finished before WaitIdle returns are
+  /// visible. Requests submitted concurrently with the wait may or may not
+  /// be covered — callers who need per-request completion use Wait().
+  void WaitIdle();
+
+  State state() const;
+
+  /// Queues a request and returns its handle (thread-safe, non-blocking;
+  /// callable in every state — a stopped engine serves the backlog on its
+  /// next Start). Fails fast with typed kBacklogFull (retryable) or
+  /// kNeverFits (permanent) rejections.
+  Result<RequestHandle> Submit(ServingRequest request);
+
+  /// Batch-style convenience: Start(); WaitIdle(); Shutdown(). Drives every
+  /// queued request to completion through the live driver and returns the
+  /// run's terminal status. Per-request failures land in their
+  /// RequestResult instead.
   Status RunToCompletion();
 
   /// Result lookup (nullptr while still in flight). Thread-safe: monitoring
-  /// threads may poll while RunToCompletion runs; a returned pointer stays
-  /// valid for the engine's lifetime (results are never erased).
+  /// threads may poll while the driver runs; a returned pointer stays valid
+  /// for the engine's lifetime, and a terminal result is immutable — readers
+  /// never need to synchronize against the driver or Shutdown.
   const RequestResult* result(uint64_t id) const;
 
   /// Aggregate metrics so far. Thread-safe snapshot (consistent at step
@@ -134,6 +250,8 @@ class ServingEngine {
   RequestScheduler& scheduler() { return scheduler_; }
 
  private:
+  friend class RequestHandle;
+
   /// A session either prefills its prompt suffix or decodes — never both in
   /// one step; the transition happens when prefill_pos reaches the prompt end.
   enum class Phase { kPrefilling, kDecoding };
@@ -143,6 +261,9 @@ class ServingEngine {
     ServingRequest request;
     std::unique_ptr<Session> session;
     std::shared_ptr<Context> context_ref;  ///< Pins the reused context.
+    std::shared_ptr<RequestTicket> ticket;  ///< May lag Submit; fetched lazily.
+    std::chrono::steady_clock::time_point submit_time;
+    std::chrono::steady_clock::time_point deadline;  ///< time_point::max() = none.
     RequestResult result;
     Phase phase = Phase::kDecoding;
     size_t prefill_pos = 0;  ///< Next prompt token to prefill (absolute).
@@ -158,10 +279,27 @@ class ServingEngine {
     bool failed = false;
   };
 
+  enum class StopMode { kNone, kDrain, kAbort };
+
+  void DriverLoop();
+  void SweepCancellations();
   void AdmitPending();
   Status StepActiveSessions();
   void RetireFinished();
   void FinishSession(ActiveSession* active);
+  /// Publishes a terminal result and wakes its handle's waiters.
+  void FinalizeResult(uint64_t id, RequestResult&& result);
+  /// Finalizes a request that never got a session (cancel/deadline/abort
+  /// while queued, or at the admission boundary).
+  void FinalizeUnadmitted(RequestScheduler::Admitted&& adm, Status status);
+  bool CancelRequest(const std::shared_ptr<RequestTicket>& ticket);
+  std::shared_ptr<RequestTicket> FindTicket(uint64_t id);
+  /// Drains materializations, reconciles store failures into results, and
+  /// folds the run's wall time into the snapshot. Runs on the driver thread
+  /// as its last act.
+  void FinalizeRun();
+  /// Joins a driver that has reached kStopped. Caller holds life_mu_.
+  Status JoinStoppedDriverLocked();
 
   AlayaDB* db_;
   ServingEngineOptions options_;
@@ -170,13 +308,38 @@ class ServingEngine {
 
   std::vector<std::unique_ptr<ActiveSession>> active_;  ///< Driver-thread-only.
 
+  // Lifecycle. life_cv_ carries every "work or state changed" signal: Submit
+  // and Cancel wake an idle driver, the driver announces idleness (WaitIdle)
+  // and its exit (Shutdown/Abort). Notifiers hold life_mu_ so a waiter
+  // evaluating its predicate cannot miss the wakeup.
+  mutable std::mutex life_mu_;
+  std::condition_variable life_cv_;
+  State state_ = State::kCreated;
+  StopMode stop_mode_ = StopMode::kNone;
+  std::thread driver_;
+  Status run_status_;  ///< Terminal status of the last run (sticky until Start).
+  WallTimer run_timer_;  ///< Start -> driver exit, accumulated across runs.
+
   // Submit and monitoring threads may race with the driver: submit counters
-  // are atomic; results_ and the rest of the snapshot are guarded by mu_
-  // (the driver takes it briefly at step/retire boundaries).
+  // are atomic; results_, tickets_ and the rest of the snapshot are guarded
+  // by mu_ (the driver takes it briefly at step/retire boundaries).
   std::atomic<size_t> submitted_{0};
   std::atomic<size_t> rejected_{0};
+  /// Requests pulled out of the scheduler queue whose terminal result is not
+  /// yet published. Incremented BEFORE the removal, decremented after
+  /// FinalizeResult: WaitIdle's predicate requires it to be zero, so the
+  /// idle observation implies every finished request's result is visible
+  /// (the admitted path gets the same guarantee from finalize-before-Release
+  /// ordering in FinishSession/AdmitPending).
+  std::atomic<size_t> finalizing_{0};
   mutable std::mutex mu_;
+  /// Terminal results. Never erased: map-node stability is what lets
+  /// result()/Wait() hand out raw pointers with no read-side locking. On an
+  /// always-on engine this grows with total requests served — acceptable at
+  /// current scale; bounded retention (results owned by their tickets, an
+  /// evictable map behind result()) is a noted ROADMAP follow-on.
   std::map<uint64_t, RequestResult> results_;
+  std::map<uint64_t, std::shared_ptr<RequestTicket>> tickets_;  ///< In flight.
   ServingSnapshot snapshot_;
 };
 

@@ -145,8 +145,8 @@ TEST(BackgroundStoreTest, BackgroundMatchesSynchronousStoreBitIdentical) {
     auto s = synchronous.Submit(sync_fx.MakeRequest(11 + i, kSteps));
     ASSERT_TRUE(b.ok());
     ASSERT_TRUE(s.ok());
-    bg_ids.push_back(b.value());
-    sync_ids.push_back(s.value());
+    bg_ids.push_back(b.value().id());
+    sync_ids.push_back(s.value().id());
   }
   ASSERT_TRUE(background.RunToCompletion().ok());
   ASSERT_TRUE(synchronous.RunToCompletion().ok());
@@ -190,7 +190,7 @@ TEST(BackgroundStoreTest, ExtendFromBaseSkipsPrefixRebuild) {
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion().ok());
 
-  const RequestResult* r = engine.result(id.value());
+  const RequestResult* r = engine.result(id.value().id());
   ASSERT_NE(r, nullptr);
   ASSERT_TRUE(r->status.ok()) << r->status.ToString();
   ASSERT_NE(r->stored_context_id, 0u);

@@ -187,5 +187,62 @@ TEST(ContextStoreTest, AbortPendingDropsReservation) {
   EXPECT_EQ(store.size(), 0u);
 }
 
+// --- Prefix-index (token trie) coherence: every path that changes context
+// --- visibility must keep the trie in lockstep, or prefix lookups would
+// --- return ghosts / miss live contexts.
+
+TEST(ContextStoreTest, PrefixIndexStaysCoherentThroughAddRemove) {
+  ContextStore store;
+  ModelConfig m = ModelConfig::Tiny();
+  const uint64_t a =
+      store.Add(std::make_unique<Context>(0, Tokens({1, 2, 3, 4}), MakeKv(m, 4, 20)));
+  const uint64_t b =
+      store.Add(std::make_unique<Context>(0, Tokens({1, 2, 7}), MakeKv(m, 3, 21)));
+  EXPECT_GT(store.PrefixIndexNodes(), 0u);
+
+  // b wins past the shared stem...
+  EXPECT_EQ(store.BestPrefixMatch(Tokens({1, 2, 7, 9})).context->id(), b);
+  // ...and stops winning the moment it is removed: the longest survivor takes
+  // over at its own (shorter) depth instead of a stale full-depth hit.
+  EXPECT_TRUE(store.Remove(b));
+  auto match = store.BestPrefixMatch(Tokens({1, 2, 7, 9}));
+  ASSERT_NE(match.context, nullptr);
+  EXPECT_EQ(match.context->id(), a);
+  EXPECT_EQ(match.matched, 2u);
+
+  EXPECT_TRUE(store.Remove(a));
+  EXPECT_EQ(store.BestPrefixMatch(Tokens({1, 2, 3, 4})).context, nullptr);
+  EXPECT_EQ(store.PrefixIndexNodes(), 0u);  // Fully pruned, nothing leaks.
+}
+
+TEST(ContextStoreTest, PrefixIndexSeesPublishButNeverPending) {
+  ContextStore store;
+  ModelConfig m = ModelConfig::Tiny();
+  const std::vector<int32_t> tokens = {6, 6, 6};
+  const uint64_t id = store.ReservePending();
+  // Reservation alone indexes nothing (probed via the cheap length probe the
+  // admission path uses, which shares the trie walk).
+  EXPECT_EQ(store.BestPrefixMatchLength(tokens), 0u);
+  ASSERT_TRUE(
+      store.Publish(id, std::make_unique<Context>(0, tokens, MakeKv(m, 3, 22))).ok());
+  EXPECT_EQ(store.BestPrefixMatchLength(tokens), 3u);
+  EXPECT_EQ(store.BestPrefixMatch(tokens).context->id(), id);
+  // An aborted reservation never touched the index.
+  const uint64_t dead = store.ReservePending();
+  EXPECT_TRUE(store.AbortPending(dead));
+  EXPECT_EQ(store.BestPrefixMatchLength(tokens), 3u);
+}
+
+TEST(ContextStoreTest, PrefixLengthProbeAgreesWithFullMatch) {
+  ContextStore store;
+  ModelConfig m = ModelConfig::Tiny();
+  store.Add(std::make_unique<Context>(0, Tokens({5, 4, 3, 2, 1}), MakeKv(m, 5, 23)));
+  store.Add(std::make_unique<Context>(0, Tokens({5, 4, 9}), MakeKv(m, 3, 24)));
+  for (const auto& query :
+       {Tokens({5, 4, 3}), Tokens({5, 4, 9, 9}), Tokens({5}), Tokens({2}), Tokens({})}) {
+    EXPECT_EQ(store.BestPrefixMatchLength(query), store.BestPrefixMatch(query).matched);
+  }
+}
+
 }  // namespace
 }  // namespace alaya

@@ -123,7 +123,7 @@ TEST(RequestSchedulerTest, PrefillFootprintRejectedAtEnqueue) {
   RequestScheduler pessimistic = fx.Make(options);
   auto rejected = pessimistic.Enqueue(fx.MakeRequest(200, 4));
   ASSERT_FALSE(rejected.ok());
-  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kNeverFits);
 
   // With a probe reporting the prompt fully stored, the same request fits.
   options.prefix_probe = [](std::span<const int32_t> tokens) { return tokens.size(); };
@@ -219,6 +219,34 @@ TEST(RequestSchedulerTest, UpdateReservationReanchorsToActualMatch) {
   // Unknown ids are a no-op (the request may have already been released).
   sched.UpdateReservation(9999, actual);
   EXPECT_EQ(sched.reserved_gpu_bytes(), 0u);
+}
+
+TEST(RequestSchedulerTest, DeadlineHandlesZeroAndAstronomicalBudgets) {
+  SchedulerFixture fx;
+  RequestScheduler sched = fx.Make({});
+  const auto far_future =
+      std::chrono::steady_clock::now() + std::chrono::hours(24 * 365);
+
+  ServingRequest none = fx.MakeRequest(10, 2);  // deadline_seconds == 0.
+  ASSERT_TRUE(sched.Enqueue(std::move(none)).ok());
+  ServingRequest small = fx.MakeRequest(10, 2);
+  small.deadline_seconds = 0.5;
+  ASSERT_TRUE(sched.Enqueue(std::move(small)).ok());
+  // Astronomical budgets would overflow the clock's integer duration if cast
+  // naively (UB wrapping into the past -> instant expiry); they must behave
+  // as "no deadline" instead.
+  ServingRequest huge = fx.MakeRequest(10, 2);
+  huge.deadline_seconds = 1e12;
+  ASSERT_TRUE(sched.Enqueue(std::move(huge)).ok());
+
+  auto admitted = sched.Admit();
+  ASSERT_EQ(admitted.size(), 3u);
+  EXPECT_GT(admitted[0].Deadline(), far_future);  // None.
+  EXPECT_LT(admitted[1].Deadline(), far_future);  // Real, finite.
+  EXPECT_GT(admitted[1].Deadline(), std::chrono::steady_clock::now());
+  EXPECT_GT(admitted[2].Deadline(), far_future);  // Clamped, never expired.
+  // Nothing expires at enqueue horizon: the queue-side sweep agrees.
+  EXPECT_TRUE(sched.RemoveQueuedExpired(std::chrono::steady_clock::now()).empty());
 }
 
 TEST(RequestSchedulerTest, ReleaseRestoresPrefillAwareReservation) {

@@ -96,7 +96,7 @@ TEST(ServingEngineTest, ConcurrentMatchesSequential) {
   for (int i = 0; i < kRequests; ++i) {
     auto id = concurrent.Submit(concurrent_fx.MakeRequest(11 + i, kSteps));
     ASSERT_TRUE(id.ok()) << id.status().ToString();
-    cids.push_back(id.value());
+    cids.push_back(id.value().id());
   }
   ASSERT_TRUE(concurrent.RunToCompletion().ok());
   EXPECT_EQ(concurrent.snapshot().peak_concurrent_sessions,
@@ -110,7 +110,7 @@ TEST(ServingEngineTest, ConcurrentMatchesSequential) {
   for (int i = 0; i < kRequests; ++i) {
     auto id = sequential.Submit(sequential_fx.MakeRequest(11 + i, kSteps));
     ASSERT_TRUE(id.ok());
-    sids.push_back(id.value());
+    sids.push_back(id.value().id());
   }
   ASSERT_TRUE(sequential.RunToCompletion().ok());
   EXPECT_EQ(sequential.snapshot().peak_concurrent_sessions, 1u);
@@ -145,7 +145,7 @@ TEST(ServingEngineTest, MemoryBudgetSerializesAdmission) {
   for (int i = 0; i < 3; ++i) {
     auto id = engine.Submit(fx.MakeRequest(21 + i, 3));
     ASSERT_TRUE(id.ok()) << id.status().ToString();
-    ids.push_back(id.value());
+    ids.push_back(id.value().id());
   }
   ASSERT_TRUE(engine.RunToCompletion().ok());
   const ServingSnapshot snap = engine.snapshot();
@@ -167,7 +167,8 @@ TEST(ServingEngineTest, OversizedRequestRejected) {
   ServingEngine engine(fx.db.get(), opts);
   auto id = engine.Submit(fx.MakeRequest(31, 3));
   ASSERT_FALSE(id.ok());
-  EXPECT_EQ(id.status().code(), StatusCode::kResourceExhausted);
+  // Typed as permanent: retrying can never succeed (vs kBacklogFull).
+  EXPECT_EQ(id.status().code(), StatusCode::kNeverFits);
   EXPECT_EQ(engine.snapshot().rejected, 1u);
   ASSERT_TRUE(engine.RunToCompletion().ok());  // Nothing queued; no-op.
   EXPECT_EQ(engine.snapshot().completed, 0u);
@@ -181,7 +182,8 @@ TEST(ServingEngineTest, QueueDepthLimitRejects) {
   ASSERT_TRUE(engine.Submit(fx.MakeRequest(41, 2)).ok());
   auto second = engine.Submit(fx.MakeRequest(42, 2));
   ASSERT_FALSE(second.ok());
-  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  // Typed as retryable backpressure: the queue drains as sessions finish.
+  EXPECT_EQ(second.status().code(), StatusCode::kBacklogFull);
   ASSERT_TRUE(engine.RunToCompletion().ok());
   EXPECT_EQ(engine.snapshot().completed, 1u);
 }
@@ -194,7 +196,7 @@ TEST(ServingEngineTest, ConcurrentSessionsShareReusedPrefix) {
   for (int i = 0; i < 3; ++i) {
     auto id = engine.Submit(fx.MakeRequest(51 + i, 2));
     ASSERT_TRUE(id.ok());
-    ids.push_back(id.value());
+    ids.push_back(id.value().id());
   }
   ASSERT_TRUE(engine.RunToCompletion().ok());
   for (uint64_t id : ids) {
@@ -217,7 +219,7 @@ TEST(ServingEngineTest, StoreOnFinishMaterializesContext) {
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion().ok());
 
-  const RequestResult* r = engine.result(id.value());
+  const RequestResult* r = engine.result(id.value().id());
   ASSERT_NE(r, nullptr);
   ASSERT_TRUE(r->status.ok()) << r->status.ToString();
   ASSERT_NE(r->stored_context_id, 0u);
@@ -253,8 +255,8 @@ TEST(ServingEngineTest, UnprefillablePromptFailsThatRequestOnly) {
   ASSERT_TRUE(bad.ok());
 
   ASSERT_TRUE(engine.RunToCompletion().ok());
-  const RequestResult* g = engine.result(good.value());
-  const RequestResult* b = engine.result(bad.value());
+  const RequestResult* g = engine.result(good.value().id());
+  const RequestResult* b = engine.result(bad.value().id());
   ASSERT_NE(g, nullptr);
   ASSERT_NE(b, nullptr);
   EXPECT_TRUE(g->status.ok()) << g->status.ToString();

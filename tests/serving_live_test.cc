@@ -1,0 +1,439 @@
+// Live serving API: the always-on engine lifecycle (Start / Shutdown / Abort,
+// Created -> Running -> Draining -> Stopped), RequestHandle Wait/TryWait/
+// Cancel, per-step streaming through on_token, deadlines, and admission of
+// requests submitted while the driver runs (the continuous-batching entry
+// point). The cancellation/deadline tests race caller threads against the
+// driver and run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <latch>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/server/serving_engine.h"
+
+namespace alaya {
+namespace {
+
+struct LiveFixture {
+  ModelConfig model = ModelConfig::Tiny();
+  size_t context_tokens = 160;
+  SimEnvironment env;
+  DbOptions options;
+  std::unique_ptr<AlayaDB> db;
+  uint64_t context_id = 0;
+  ThreadPool pool{4};
+
+  ServingEngineOptions EngineOptions(size_t max_concurrent) {
+    ServingEngineOptions o;
+    o.scheduler.max_concurrent_sessions = max_concurrent;
+    o.pool = &pool;
+    return o;
+  }
+
+  LiveFixture() {
+    options.model = model;
+    options.session.optimizer.short_context_threshold = 64;
+    options.session.window = WindowConfig{8, 16};
+    options.materialize_pool = &pool;
+    db = std::make_unique<AlayaDB>(options, &env);
+    auto kv = std::make_unique<KvCache>(model);
+    Rng rng(1);
+    const size_t stride = model.num_kv_heads * model.head_dim;
+    std::vector<float> k(stride), v(stride);
+    for (uint32_t layer = 0; layer < model.num_layers; ++layer) {
+      for (size_t t = 0; t < context_tokens; ++t) {
+        rng.FillGaussian(k.data(), stride);
+        rng.FillGaussian(v.data(), stride);
+        kv->AppendToken(layer, k.data(), v.data());
+      }
+    }
+    auto imported = db->Import(ContextTokens(), std::move(kv));
+    EXPECT_TRUE(imported.ok()) << imported.status().ToString();
+    context_id = imported.ValueOr(0);
+  }
+
+  std::vector<int32_t> ContextTokens() const {
+    std::vector<int32_t> t(context_tokens);
+    for (size_t i = 0; i < context_tokens; ++i) t[i] = 100 + static_cast<int32_t>(i);
+    return t;
+  }
+
+  ServingRequest MakeRequest(uint64_t seed, size_t steps) const {
+    ServingRequest r;
+    r.prompt = ContextTokens();
+    r.max_new_tokens = steps;
+    const ModelConfig m = model;
+    r.fill_step = [m, seed](size_t step, uint32_t layer, float* q, float* k,
+                            float* v) {
+      Rng rng(seed * 1000003ull + step * 131ull + layer);
+      rng.FillGaussian(q, static_cast<size_t>(m.num_q_heads) * m.head_dim);
+      rng.FillGaussian(k, static_cast<size_t>(m.num_kv_heads) * m.head_dim);
+      rng.FillGaussian(v, static_cast<size_t>(m.num_kv_heads) * m.head_dim);
+    };
+    return r;
+  }
+};
+
+TEST(ServingLiveTest, LifecycleStateMachine) {
+  LiveFixture fx;
+  ServingEngine engine(fx.db.get(), fx.EngineOptions(2));
+  EXPECT_EQ(engine.state(), ServingEngine::State::kCreated);
+  EXPECT_TRUE(engine.Shutdown().ok());  // Never started: Ok no-op.
+
+  ASSERT_TRUE(engine.Start().ok());
+  EXPECT_EQ(engine.state(), ServingEngine::State::kRunning);
+  // Double-Start is a typed precondition failure, not a second driver.
+  EXPECT_EQ(engine.Start().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(engine.Shutdown().ok());
+  EXPECT_EQ(engine.state(), ServingEngine::State::kStopped);
+  EXPECT_TRUE(engine.Shutdown().ok());  // Double-Shutdown is idempotent.
+
+  // Start-after-Shutdown: the engine is restartable and serves the backlog
+  // accumulated while stopped.
+  auto queued = engine.Submit(fx.MakeRequest(1, 2));
+  ASSERT_TRUE(queued.ok());
+  EXPECT_EQ(queued.value().TryWait(), nullptr);  // Stopped engine: in flight.
+  ASSERT_TRUE(engine.Start().ok());
+  const RequestResult* r = queued.value().Wait();
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->status.ok()) << r->status.ToString();
+  EXPECT_EQ(r->steps_completed, 2u);
+  ASSERT_TRUE(engine.Shutdown().ok());
+  EXPECT_EQ(engine.state(), ServingEngine::State::kStopped);
+}
+
+TEST(ServingLiveTest, StreamingCallbackOrderedAndBitIdenticalToResult) {
+  constexpr size_t kSteps = 6;
+  LiveFixture fx;
+  ServingEngine engine(fx.db.get(), fx.EngineOptions(1));
+  ASSERT_TRUE(engine.Start().ok());
+
+  // on_token runs on the driver thread; collect under a lock and compare the
+  // stream against the recorded result afterwards.
+  std::mutex mu;
+  std::vector<size_t> streamed_steps;
+  std::vector<float> streamed_values;
+  ServingRequest req = fx.MakeRequest(7, kSteps);
+  req.record_outputs = true;
+  req.on_token = [&](size_t step, std::span<const float> out) {
+    std::lock_guard<std::mutex> lk(mu);
+    streamed_steps.push_back(step);
+    streamed_values.insert(streamed_values.end(), out.begin(), out.end());
+  };
+  auto handle = engine.Submit(std::move(req));
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  const RequestResult* r = handle.value().Wait();
+  ASSERT_NE(r, nullptr);
+  ASSERT_TRUE(r->status.ok()) << r->status.ToString();
+  ASSERT_TRUE(engine.Shutdown().ok());
+
+  // Strict step order 0..N-1, and the streamed blocks ARE the outputs.
+  ASSERT_EQ(streamed_steps.size(), kSteps);
+  for (size_t i = 0; i < kSteps; ++i) EXPECT_EQ(streamed_steps[i], i);
+  EXPECT_EQ(streamed_values, r->outputs);
+  EXPECT_GT(r->ttft_seconds, 0.0);
+  EXPECT_LE(r->ttft_seconds, r->decode_wall_seconds + r->prefill_wall_seconds + 1.0);
+}
+
+TEST(ServingLiveTest, SubmitWhileRunningIsAdmitted) {
+  LiveFixture fx;
+  ServingEngine engine(fx.db.get(), fx.EngineOptions(4));
+  ASSERT_TRUE(engine.Start().ok());
+
+  // First wave into a running (briefly idle) engine.
+  std::vector<RequestHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    auto h = engine.Submit(fx.MakeRequest(20 + i, 3));
+    ASSERT_TRUE(h.ok());
+    handles.push_back(h.value());
+  }
+  // Second wave races the driver mid-flight: these are admitted at step
+  // boundaries without any Run call — continuous admission.
+  for (int i = 0; i < 3; ++i) {
+    auto h = engine.Submit(fx.MakeRequest(30 + i, 3));
+    ASSERT_TRUE(h.ok());
+    handles.push_back(h.value());
+  }
+  for (const RequestHandle& h : handles) {
+    const RequestResult* r = h.Wait();
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(r->status.ok()) << r->status.ToString();
+    EXPECT_EQ(r->steps_completed, 3u);
+  }
+  engine.WaitIdle();
+  ASSERT_TRUE(engine.Shutdown().ok());
+  const ServingSnapshot snap = engine.snapshot();
+  EXPECT_EQ(snap.completed, handles.size());
+  EXPECT_EQ(snap.tokens_decoded, handles.size() * 3);
+  EXPECT_EQ(engine.scheduler().active(), 0u);
+  EXPECT_EQ(engine.scheduler().queued(), 0u);
+}
+
+TEST(ServingLiveTest, CancelQueuedFinalizesImmediatelyEvenWhenStopped) {
+  LiveFixture fx;
+  ServingEngine engine(fx.db.get(), fx.EngineOptions(1));
+  auto h = engine.Submit(fx.MakeRequest(40, 4));
+  ASSERT_TRUE(h.ok());
+  // Never started: the cancel pulls the request out of the queue and
+  // finalizes it from the calling thread.
+  EXPECT_TRUE(h.value().Cancel());
+  const RequestResult* r = h.value().TryWait();
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(r->steps_completed, 0u);
+  EXPECT_FALSE(h.value().Cancel());  // Already terminal.
+  EXPECT_EQ(engine.scheduler().queued(), 0u);
+  EXPECT_EQ(engine.snapshot().cancelled, 1u);
+  // A later run has nothing to do and reports clean.
+  ASSERT_TRUE(engine.RunToCompletion().ok());
+  EXPECT_EQ(engine.snapshot().completed, 1u);
+}
+
+TEST(ServingLiveTest, CancelMidDecodeReleasesEverythingAndSkipsStore) {
+  LiveFixture fx;
+  ServingEngine engine(fx.db.get(), fx.EngineOptions(1));
+  ASSERT_TRUE(engine.Start().ok());
+
+  std::latch first_token(1);
+  ServingRequest req = fx.MakeRequest(50, /*steps=*/100000);
+  req.store_on_finish = true;  // Must be skipped on cancellation.
+  req.on_token = [&](size_t step, std::span<const float>) {
+    if (step == 0) first_token.count_down();
+  };
+  auto h = engine.Submit(std::move(req));
+  ASSERT_TRUE(h.ok());
+
+  first_token.wait();  // The session is provably mid-decode.
+  EXPECT_TRUE(h.value().Cancel());
+  const RequestResult* r = h.value().Wait();
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->status.code(), StatusCode::kCancelled);
+  EXPECT_GE(r->steps_completed, 1u);
+  EXPECT_LT(r->steps_completed, 100000u);
+  EXPECT_EQ(r->stored_context_id, 0u);  // Store skipped.
+
+  // The reservation and context pin are gone the moment the result is
+  // terminal + the driver retires (Wait returns after FinalizeResult, which
+  // precedes Release — WaitIdle closes the gap deterministically).
+  engine.WaitIdle();
+  EXPECT_EQ(engine.scheduler().active(), 0u);
+  ASSERT_TRUE(engine.Shutdown().ok());
+  EXPECT_EQ(fx.db->contexts().size(), 1u);  // Nothing materialized.
+  EXPECT_EQ(engine.snapshot().materializations_completed, 0u);
+  EXPECT_EQ(engine.snapshot().cancelled, 1u);
+}
+
+TEST(ServingLiveTest, DeadlineExpiresMidDecode) {
+  LiveFixture fx;
+  ServingEngine engine(fx.db.get(), fx.EngineOptions(1));
+  ASSERT_TRUE(engine.Start().ok());
+  ServingRequest req = fx.MakeRequest(60, /*steps=*/100000);
+  req.deadline_seconds = 0.05;  // Generous for a few steps, hopeless for 1e5.
+  auto h = engine.Submit(std::move(req));
+  ASSERT_TRUE(h.ok());
+  const RequestResult* r = h.value().Wait();
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(r->steps_completed, 100000u);
+  ASSERT_TRUE(engine.Shutdown().ok());
+  EXPECT_EQ(engine.snapshot().deadline_exceeded, 1u);
+  EXPECT_EQ(engine.scheduler().active(), 0u);
+}
+
+TEST(ServingLiveTest, DeadlineExpiresWhileQueuedBehindLongRequest) {
+  LiveFixture fx;
+  ServingEngine engine(fx.db.get(), fx.EngineOptions(1));  // Single slot.
+  ASSERT_TRUE(engine.Start().ok());
+
+  std::latch first_token(1);
+  ServingRequest hog = fx.MakeRequest(70, /*steps=*/100000);
+  hog.on_token = [&](size_t step, std::span<const float>) {
+    if (step == 0) first_token.count_down();
+  };
+  auto hog_handle = engine.Submit(std::move(hog));
+  ASSERT_TRUE(hog_handle.ok());
+  first_token.wait();  // The slot is provably taken.
+
+  ServingRequest starved = fx.MakeRequest(71, 2);
+  starved.deadline_seconds = 0.02;
+  auto h = engine.Submit(std::move(starved));
+  ASSERT_TRUE(h.ok());
+  const RequestResult* r = h.value().Wait();  // Driver sweeps queued expiries.
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r->steps_completed, 0u);  // Never admitted, never decoded.
+
+  EXPECT_TRUE(hog_handle.value().Cancel());
+  ASSERT_TRUE(engine.Shutdown().ok());
+  EXPECT_EQ(engine.snapshot().deadline_exceeded, 1u);
+  EXPECT_EQ(engine.snapshot().cancelled, 1u);
+}
+
+TEST(ServingLiveTest, AbortCancelsActiveAndQueued) {
+  LiveFixture fx;
+  ServingEngine engine(fx.db.get(), fx.EngineOptions(1));
+  ASSERT_TRUE(engine.Start().ok());
+  std::latch first_token(1);
+  ServingRequest active = fx.MakeRequest(80, /*steps=*/100000);
+  active.on_token = [&](size_t step, std::span<const float>) {
+    if (step == 0) first_token.count_down();
+  };
+  auto a = engine.Submit(std::move(active));
+  auto b = engine.Submit(fx.MakeRequest(81, 2));  // Queued behind the hog.
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  first_token.wait();
+
+  ASSERT_TRUE(engine.Abort().ok());
+  EXPECT_EQ(engine.state(), ServingEngine::State::kStopped);
+  const RequestResult* ra = a.value().Wait();
+  const RequestResult* rb = b.value().Wait();
+  ASSERT_NE(ra, nullptr);
+  ASSERT_NE(rb, nullptr);
+  EXPECT_EQ(ra->status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(rb->status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(engine.scheduler().active(), 0u);
+  EXPECT_EQ(engine.scheduler().queued(), 0u);
+  EXPECT_EQ(engine.snapshot().cancelled, 2u);
+
+  // Aborted != dead: a fresh Start serves new traffic.
+  auto again = engine.Submit(fx.MakeRequest(82, 2));
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(engine.Start().ok());
+  const RequestResult* r = again.value().Wait();
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->status.ok()) << r->status.ToString();
+  ASSERT_TRUE(engine.Shutdown().ok());
+}
+
+// Cancellations and deadlines racing the driver from multiple threads: every
+// handle must reach exactly one typed terminal state and the scheduler must
+// come out clean. Runs under TSan in CI.
+TEST(ServingLiveTest, CancelAndDeadlineStormRacesDriver) {
+  constexpr size_t kRequests = 24;
+  LiveFixture fx;
+  ServingEngine engine(fx.db.get(), fx.EngineOptions(3));
+  ASSERT_TRUE(engine.Start().ok());
+
+  std::vector<RequestHandle> handles(kRequests);
+  for (size_t i = 0; i < kRequests; ++i) {
+    ServingRequest req = fx.MakeRequest(100 + i, 4);
+    // 1 + i%7 keeps every deadline strictly positive (0 would mean "none").
+    if (i % 4 == 1) req.deadline_seconds = 0.001 * static_cast<double>(1 + i % 7);
+    if (i % 4 == 2) req.store_on_finish = true;
+    auto h = engine.Submit(std::move(req));
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    handles[i] = h.value();
+  }
+
+  // Two canceller threads sweep overlapping halves while the driver decodes.
+  std::vector<std::thread> cancellers;
+  for (int t = 0; t < 2; ++t) {
+    cancellers.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < kRequests; i += 2) {
+        if (i % 4 == 3) handles[i].Cancel();
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& th : cancellers) th.join();
+
+  size_t ok = 0, cancelled = 0, expired = 0;
+  for (size_t i = 0; i < kRequests; ++i) {
+    const RequestResult* r = handles[i].Wait();
+    ASSERT_NE(r, nullptr) << "request " << i;
+    if (r->status.ok()) {
+      ++ok;
+      EXPECT_EQ(r->steps_completed, 4u);
+    } else if (r->status.IsCancelled()) {
+      ++cancelled;
+      EXPECT_EQ(r->stored_context_id, 0u);
+    } else if (r->status.IsDeadlineExceeded()) {
+      ++expired;
+      EXPECT_EQ(r->stored_context_id, 0u);
+    } else {
+      FAIL() << "untyped terminal status: " << r->status.ToString();
+    }
+  }
+  EXPECT_EQ(ok + cancelled + expired, kRequests);
+  EXPECT_GT(ok, 0u);  // The un-cancelled, un-deadlined majority completes.
+
+  engine.WaitIdle();
+  ASSERT_TRUE(engine.Shutdown().ok());
+  const ServingSnapshot snap = engine.snapshot();
+  EXPECT_EQ(snap.completed, kRequests);
+  EXPECT_EQ(snap.cancelled, cancelled);
+  EXPECT_EQ(snap.deadline_exceeded, expired);
+  EXPECT_EQ(engine.scheduler().active(), 0u);
+  EXPECT_EQ(engine.scheduler().queued(), 0u);
+  EXPECT_EQ(fx.db->contexts().pending(), 0u);
+  // Every successful store_on_finish published; no cancelled one did.
+  size_t stored = 0;
+  for (const RequestHandle& h : handles) {
+    const RequestResult* r = h.TryWait();
+    ASSERT_NE(r, nullptr);
+    if (r->stored_context_id != 0) {
+      ++stored;
+      EXPECT_TRUE(r->status.ok());
+      EXPECT_NE(fx.db->contexts().Find(r->stored_context_id), nullptr);
+    }
+  }
+  EXPECT_EQ(fx.db->contexts().size(), 1u + stored);
+}
+
+TEST(ServingLiveTest, RunToCompletionIsAWrapperOverTheLiveMachinery) {
+  // The batch entry point and the live path must agree bit for bit: the same
+  // requests through RunToCompletion and through Start/Wait/Shutdown.
+  constexpr size_t kSteps = 4;
+  std::vector<std::vector<float>> batch_outputs;
+  {
+    LiveFixture fx;
+    ServingEngine engine(fx.db.get(), fx.EngineOptions(2));
+    std::vector<RequestHandle> hs;
+    for (int i = 0; i < 2; ++i) {
+      ServingRequest r = fx.MakeRequest(200 + i, kSteps);
+      r.record_outputs = true;
+      auto h = engine.Submit(std::move(r));
+      ASSERT_TRUE(h.ok());
+      hs.push_back(h.value());
+    }
+    ASSERT_TRUE(engine.RunToCompletion().ok());
+    EXPECT_EQ(engine.state(), ServingEngine::State::kStopped);
+    for (auto& h : hs) {
+      const RequestResult* r = h.TryWait();  // Terminal without blocking.
+      ASSERT_NE(r, nullptr);
+      ASSERT_TRUE(r->status.ok());
+      batch_outputs.push_back(r->outputs);
+    }
+  }
+  {
+    LiveFixture fx;
+    ServingEngine engine(fx.db.get(), fx.EngineOptions(2));
+    ASSERT_TRUE(engine.Start().ok());
+    std::vector<RequestHandle> hs;
+    for (int i = 0; i < 2; ++i) {
+      ServingRequest r = fx.MakeRequest(200 + i, kSteps);
+      r.record_outputs = true;
+      auto h = engine.Submit(std::move(r));
+      ASSERT_TRUE(h.ok());
+      hs.push_back(h.value());
+    }
+    for (size_t i = 0; i < hs.size(); ++i) {
+      const RequestResult* r = hs[i].Wait();
+      ASSERT_NE(r, nullptr);
+      ASSERT_TRUE(r->status.ok());
+      EXPECT_EQ(r->outputs, batch_outputs[i]) << "request " << i;
+    }
+    ASSERT_TRUE(engine.Shutdown().ok());
+  }
+}
+
+}  // namespace
+}  // namespace alaya

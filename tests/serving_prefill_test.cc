@@ -113,7 +113,7 @@ RequestResult RunOne(PrefillFixture& fx, ServingRequest req) {
   auto id = engine.Submit(std::move(req));
   EXPECT_TRUE(id.ok()) << id.status().ToString();
   EXPECT_TRUE(engine.RunToCompletion().ok());
-  const RequestResult* r = engine.result(id.ValueOr(0));
+  const RequestResult* r = engine.result(id.ValueOr(RequestHandle{}).id());
   EXPECT_NE(r, nullptr);
   return r != nullptr ? *r : RequestResult{};
 }
@@ -128,7 +128,7 @@ TEST(ServingPrefillTest, PromptPastStoredContextCompletesThroughPrefill) {
   ASSERT_TRUE(id.ok()) << id.status().ToString();
   ASSERT_TRUE(engine.RunToCompletion().ok());
 
-  const RequestResult* r = engine.result(id.value());
+  const RequestResult* r = engine.result(id.value().id());
   ASSERT_NE(r, nullptr);
   ASSERT_TRUE(r->status.ok()) << r->status.ToString();
   EXPECT_EQ(r->reused_prefix, kStored);
@@ -160,7 +160,7 @@ TEST(ServingPrefillTest, NoMatchPromptPrefillsEntirePrompt) {
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion().ok());
 
-  const RequestResult* r = engine.result(id.value());
+  const RequestResult* r = engine.result(id.value().id());
   ASSERT_NE(r, nullptr);
   ASSERT_TRUE(r->status.ok()) << r->status.ToString();
   EXPECT_EQ(r->reused_prefix, 0u);
@@ -221,7 +221,7 @@ TEST(ServingPrefillTest, EquivalenceHoldsUnderConcurrentSchedule) {
   for (auto& r : make_requests(conc_fx)) {
     auto id = concurrent.Submit(std::move(r));
     ASSERT_TRUE(id.ok()) << id.status().ToString();
-    cids.push_back(id.value());
+    cids.push_back(id.value().id());
   }
   ASSERT_TRUE(concurrent.RunToCompletion().ok());
   EXPECT_EQ(concurrent.snapshot().peak_concurrent_sessions, 3u);
@@ -233,7 +233,7 @@ TEST(ServingPrefillTest, EquivalenceHoldsUnderConcurrentSchedule) {
   for (auto& r : make_requests(seq_fx)) {
     auto id = sequential.Submit(std::move(r));
     ASSERT_TRUE(id.ok());
-    sids.push_back(id.value());
+    sids.push_back(id.value().id());
   }
   ASSERT_TRUE(sequential.RunToCompletion().ok());
   EXPECT_EQ(sequential.snapshot().peak_concurrent_sessions, 1u);
@@ -267,7 +267,7 @@ TEST(ServingPrefillTest, ChunkSizeNeverChangesOutputs) {
     auto id = engine.Submit(fx.MakeRequest(kStored + kSuffix, kSteps, /*seed=*/41));
     ASSERT_TRUE(id.ok());
     ASSERT_TRUE(engine.RunToCompletion().ok());
-    const RequestResult* r = engine.result(id.value());
+    const RequestResult* r = engine.result(id.value().id());
     ASSERT_NE(r, nullptr);
     ASSERT_TRUE(r->status.ok()) << r->status.ToString();
     EXPECT_EQ(r->prefilled_tokens, kSuffix);
@@ -291,7 +291,7 @@ TEST(ServingPrefillTest, StoreAfterPrefillMaterializesFullPrompt) {
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion().ok());
 
-  const RequestResult* r = engine.result(id.value());
+  const RequestResult* r = engine.result(id.value().id());
   ASSERT_NE(r, nullptr);
   ASSERT_TRUE(r->status.ok()) << r->status.ToString();
   ASSERT_NE(r->stored_context_id, 0u);
@@ -322,7 +322,7 @@ TEST(ServingPrefillTest, PrefillChargesModeledGpuTimeAndWallTime) {
   auto id = engine.Submit(fx.MakeRequest(kStored + kSuffix, /*steps=*/1, 61));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion().ok());
-  const RequestResult* r = engine.result(id.value());
+  const RequestResult* r = engine.result(id.value().id());
   ASSERT_NE(r, nullptr);
   ASSERT_TRUE(r->status.ok());
   EXPECT_GT(r->stats.modeled_gpu_seconds, 0.0);

@@ -144,7 +144,7 @@ TEST(ServingStressTest, ThreadedMixedWorkloadMatchesSequentialSchedule) {
     auto id = engine.Submit(fx.MakeRequest(kKinds[i]));
     ASSERT_TRUE(id.ok()) << id.status().ToString();
     ASSERT_TRUE(engine.RunToCompletion().ok());
-    const RequestResult* r = engine.result(id.value());
+    const RequestResult* r = engine.result(id.value().id());
     ASSERT_NE(r, nullptr);
     ASSERT_TRUE(r->status.ok()) << r->status.ToString();
     ASSERT_EQ(r->prefilled_tokens, fx.ExpectedPrefill(kKinds[i].kind));
@@ -186,7 +186,7 @@ TEST(ServingStressTest, ThreadedMixedWorkloadMatchesSequentialSchedule) {
         EXPECT_TRUE(id.ok()) << id.status().ToString();
         if (id.ok()) {
           std::lock_guard<std::mutex> lk(ids_mu);
-          ids.emplace_back(kind, id.value());
+          ids.emplace_back(kind, id.value().id());
         }
         std::this_thread::yield();
       }
@@ -230,7 +230,7 @@ TEST(ServingStressTest, MonitoringSnapshotRacesWithDriver) {
   for (size_t i = 0; i < std::size(kKinds); ++i) {
     auto id = engine.Submit(fx.MakeRequest(kKinds[i]));
     ASSERT_TRUE(id.ok());
-    ids.push_back(id.value());
+    ids.push_back(id.value().id());
   }
 
   // A monitoring thread polls snapshot() and result() while the driver runs —

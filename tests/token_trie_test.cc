@@ -1,0 +1,177 @@
+// TokenTrie: the compressed-trie prefix index behind ContextStore's
+// BestPrefixMatch. The contract under test is exact equivalence with the
+// linear scan it replaced — same matched length, same winner on ties (lowest
+// id among the maxima) — plus structural properties (path compression,
+// pruning) a randomized add/remove churn must preserve.
+#include "src/core/token_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace alaya {
+namespace {
+
+using Tokens = std::vector<int32_t>;
+
+/// The replaced implementation, kept as the test oracle: first (lowest) id
+/// achieving the strictly-greatest common prefix.
+TokenTrie::Best ReferenceBest(const std::map<uint64_t, Tokens>& stored,
+                              const Tokens& query) {
+  TokenTrie::Best best;
+  for (const auto& [id, tokens] : stored) {
+    const size_t limit = std::min(tokens.size(), query.size());
+    size_t m = 0;
+    while (m < limit && tokens[m] == query[m]) ++m;
+    if (m > best.matched) {
+      best.matched = m;
+      best.id = id;
+    }
+  }
+  return best;
+}
+
+TEST(TokenTrieTest, EmptyTrieMatchesNothing) {
+  TokenTrie trie;
+  EXPECT_EQ(trie.BestPrefix(Tokens{1, 2, 3}).matched, 0u);
+  EXPECT_EQ(trie.BestPrefix(Tokens{}).matched, 0u);
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_EQ(trie.node_count(), 0u);
+}
+
+TEST(TokenTrieTest, ExactAndPartialMatches) {
+  TokenTrie trie;
+  trie.Insert(1, Tokens{1, 2, 3, 4, 5});
+  trie.Insert(2, Tokens{1, 2, 9});
+
+  // Diverges after {1,2,3}: only id 1's sequence carries the third token.
+  auto m = trie.BestPrefix(Tokens{1, 2, 3, 7});
+  EXPECT_EQ(m.matched, 3u);
+  EXPECT_EQ(m.id, 1u);
+
+  // Query runs past a stored sequence: match caps at its length.
+  m = trie.BestPrefix(Tokens{1, 2, 9, 9});
+  EXPECT_EQ(m.matched, 3u);
+  EXPECT_EQ(m.id, 2u);
+
+  // Query is a strict prefix of stored sequences (stops mid-edge).
+  m = trie.BestPrefix(Tokens{1, 2});
+  EXPECT_EQ(m.matched, 2u);
+  EXPECT_EQ(m.id, 1u);  // Both pass through; lowest id wins.
+
+  EXPECT_EQ(trie.BestPrefix(Tokens{8, 8}).matched, 0u);
+}
+
+TEST(TokenTrieTest, TieBreaksToLowestId) {
+  TokenTrie trie;
+  trie.Insert(7, Tokens{4, 5, 6});
+  trie.Insert(3, Tokens{4, 5, 6});  // Identical sequence, lower id.
+  trie.Insert(9, Tokens{4, 5});     // Shorter, also on the path.
+  EXPECT_EQ(trie.BestPrefix(Tokens{4, 5, 6}).id, 3u);
+  EXPECT_EQ(trie.BestPrefix(Tokens{4, 5}).id, 3u);  // All three tie at 2.
+  trie.Erase(3, Tokens{4, 5, 6});
+  EXPECT_EQ(trie.BestPrefix(Tokens{4, 5, 6}).id, 7u);
+}
+
+TEST(TokenTrieTest, PathCompressionBoundsNodes) {
+  // One long sequence = one node regardless of length; a divergence adds at
+  // most two (the split point's two branches).
+  TokenTrie trie;
+  Tokens longseq(10'000);
+  for (size_t i = 0; i < longseq.size(); ++i) longseq[i] = static_cast<int32_t>(i);
+  trie.Insert(1, longseq);
+  EXPECT_EQ(trie.node_count(), 1u);
+
+  Tokens forked = longseq;
+  forked[5'000] = -1;
+  trie.Insert(2, forked);
+  EXPECT_EQ(trie.node_count(), 3u);  // Shared stem + two suffix branches.
+
+  // A sequence ending exactly at an existing boundary adds no node.
+  trie.Insert(3, Tokens(longseq.begin(), longseq.begin() + 5'000));
+  EXPECT_EQ(trie.node_count(), 3u);
+}
+
+TEST(TokenTrieTest, ErasePrunesDeadBranches) {
+  TokenTrie trie;
+  trie.Insert(1, Tokens{1, 2, 3});
+  trie.Insert(2, Tokens{1, 2, 4, 5});
+  EXPECT_EQ(trie.node_count(), 3u);
+
+  EXPECT_TRUE(trie.Erase(2, Tokens{1, 2, 4, 5}));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.BestPrefix(Tokens{1, 2, 4, 5}).matched, 2u);
+  EXPECT_EQ(trie.BestPrefix(Tokens{1, 2, 3}).matched, 3u);
+
+  // Erasing the last sequence empties the trie completely.
+  EXPECT_TRUE(trie.Erase(1, Tokens{1, 2, 3}));
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_EQ(trie.node_count(), 0u);
+  EXPECT_EQ(trie.BestPrefix(Tokens{1, 2, 3}).matched, 0u);
+}
+
+TEST(TokenTrieTest, EraseRejectsUnknownPaths) {
+  TokenTrie trie;
+  trie.Insert(1, Tokens{1, 2, 3});
+  EXPECT_FALSE(trie.Erase(1, Tokens{1, 2}));     // Wrong sequence for the id.
+  EXPECT_FALSE(trie.Erase(2, Tokens{1, 2, 3}));  // Wrong id for the sequence.
+  EXPECT_FALSE(trie.Erase(1, Tokens{9}));        // Path not present at all.
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.BestPrefix(Tokens{1, 2, 3}).matched, 3u);  // Untouched.
+}
+
+TEST(TokenTrieTest, RandomizedChurnMatchesLinearScan) {
+  // Deterministic fuzz: interleaved inserts and erases of short random-ish
+  // sequences over a tiny alphabet (maximizing shared prefixes and edge
+  // splits), checking every query shape against the linear-scan oracle.
+  Rng rng(0xA1AFA);
+  TokenTrie trie;
+  std::map<uint64_t, Tokens> reference;
+  uint64_t next_id = 1;
+
+  for (int round = 0; round < 400; ++round) {
+    const bool remove = !reference.empty() && rng.Uniform() < 0.35;
+    if (remove) {
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.UniformInt(reference.size())));
+      ASSERT_TRUE(trie.Erase(it->first, it->second));
+      reference.erase(it);
+    } else {
+      Tokens t(1 + rng.UniformInt(8));
+      for (auto& tok : t) tok = static_cast<int32_t>(rng.UniformInt(3));
+      const uint64_t id = next_id++;
+      trie.Insert(id, t);
+      reference.emplace(id, std::move(t));
+    }
+    ASSERT_EQ(trie.size(), reference.size());
+
+    // Probe: a fresh random query, plus a mutated copy of a stored sequence
+    // (guaranteeing deep partial matches).
+    std::vector<Tokens> queries;
+    Tokens q(1 + rng.UniformInt(10));
+    for (auto& tok : q) tok = static_cast<int32_t>(rng.UniformInt(3));
+    queries.push_back(std::move(q));
+    if (!reference.empty()) {
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.UniformInt(reference.size())));
+      Tokens mutated = it->second;
+      mutated.push_back(static_cast<int32_t>(rng.UniformInt(3)));
+      if (rng.Uniform() < 0.5 && !mutated.empty()) {
+        mutated[rng.UniformInt(mutated.size())] = 7;  // Off-alphabet fork.
+      }
+      queries.push_back(std::move(mutated));
+    }
+    for (const Tokens& query : queries) {
+      const TokenTrie::Best got = trie.BestPrefix(query);
+      const TokenTrie::Best want = ReferenceBest(reference, query);
+      ASSERT_EQ(got.matched, want.matched) << "round " << round;
+      ASSERT_EQ(got.id, want.id) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alaya
