@@ -22,6 +22,16 @@
 // boundaries while earlier ones decode. Reports per-request p50/p99 TTFT
 // (Submit -> first decoded block, from RequestResult::ttft_seconds) and TPOT
 // (decode wall seconds per token) — the latency axes a closed-loop run hides.
+//
+// --devices <n> (default 1) serves over a sharded fleet: each tenant's
+// context is re-homed round-robin across the devices (as a sharded store
+// would leave them), placement routes requests to their warm device, and a
+// per-device table reports placements, cross-device reuses, residency peaks
+// and modeled busy seconds (utilization).
+//
+// --json <path> additionally emits the machine-readable summary CI archives
+// as BENCH_serving.json — p50/p99 TTFT and TPOT, aggregate throughput, and
+// the per-device counters — the start of the perf trajectory.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -90,9 +100,79 @@ double Percentile(std::vector<double> v, double q) {
   return v[rank];
 }
 
+/// Re-homes stored contexts round-robin across the fleet, the state a
+/// sharded store would be in; the placement affinity then spreads tenants.
+void ShardContextsAcrossDevices(AlayaDB& db, size_t devices) {
+  if (devices <= 1) return;
+  size_t i = 0;
+  for (uint64_t id : db.contexts().Ids()) {
+    db.contexts().Find(id)->set_resident_device(static_cast<int>(i++ % devices));
+  }
+}
+
+void PrintDeviceTable(const ServingSnapshot& snap) {
+  if (snap.devices.size() <= 1) return;
+  std::printf("\n%8s %12s %12s %12s %12s %12s %14s\n", "device", "placements",
+              "xdev-reuse", "transfer", "tokens", "peak-gpu", "busy-seconds");
+  for (const DeviceServingStats& ds : snap.devices) {
+    std::printf("%8d %12zu %12zu %12s %12zu %12s %14.4f\n", ds.device,
+                ds.placements, ds.cross_device_reuses,
+                HumanBytes(ds.transfer_bytes).c_str(),
+                ds.tokens_decoded + ds.tokens_prefilled,
+                HumanBytes(ds.peak_gpu_bytes).c_str(), ds.modeled_busy_seconds);
+  }
+}
+
+/// Machine-readable run summary (one JSON object; schema kept flat and
+/// additive so CI's BENCH_serving.json artifacts stay comparable over time).
+bool WriteBenchJson(const char* path, const char* mode, size_t requests,
+                    const std::vector<double>& ttft_s,
+                    const std::vector<double>& tpot_s, double tokens_per_second,
+                    double wall_seconds, const ServingSnapshot& snap) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open --json path %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", mode);
+  std::fprintf(f, "  \"requests\": %zu,\n", requests);
+  std::fprintf(f, "  \"tokens_decoded\": %zu,\n", snap.tokens_decoded);
+  std::fprintf(f, "  \"tokens_prefilled\": %zu,\n", snap.tokens_prefilled);
+  std::fprintf(f, "  \"tokens_per_second\": %.3f,\n", tokens_per_second);
+  std::fprintf(f, "  \"wall_seconds\": %.6f,\n", wall_seconds);
+  std::fprintf(f, "  \"ttft_p50_ms\": %.3f,\n", Percentile(ttft_s, 0.5) * 1e3);
+  std::fprintf(f, "  \"ttft_p99_ms\": %.3f,\n", Percentile(ttft_s, 0.99) * 1e3);
+  std::fprintf(f, "  \"tpot_p50_ms\": %.3f,\n", Percentile(tpot_s, 0.5) * 1e3);
+  std::fprintf(f, "  \"tpot_p99_ms\": %.3f,\n", Percentile(tpot_s, 0.99) * 1e3);
+  std::fprintf(f, "  \"peak_gpu_bytes\": %llu,\n",
+               static_cast<unsigned long long>(snap.peak_gpu_bytes));
+  std::fprintf(f, "  \"peak_concurrent_sessions\": %zu,\n",
+               snap.peak_concurrent_sessions);
+  std::fprintf(f, "  \"devices\": [");
+  for (size_t d = 0; d < snap.devices.size(); ++d) {
+    const DeviceServingStats& ds = snap.devices[d];
+    std::fprintf(f,
+                 "%s\n    {\"device\": %d, \"placements\": %zu, "
+                 "\"cross_device_reuses\": %zu, \"transfer_bytes\": %llu, "
+                 "\"tokens_decoded\": %zu, \"tokens_prefilled\": %zu, "
+                 "\"peak_gpu_bytes\": %llu, \"modeled_busy_seconds\": %.6f}",
+                 d == 0 ? "" : ",", ds.device, ds.placements,
+                 ds.cross_device_reuses,
+                 static_cast<unsigned long long>(ds.transfer_bytes),
+                 ds.tokens_decoded, ds.tokens_prefilled,
+                 static_cast<unsigned long long>(ds.peak_gpu_bytes),
+                 ds.modeled_busy_seconds);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return true;
+}
+
 /// Open-loop mode: Poisson arrivals into the live engine. Returns 0 on
 /// success; validates that every request completed with a measured TTFT.
-int RunOpenLoop(double arrivals_per_sec) {
+int RunOpenLoop(double arrivals_per_sec, size_t devices, const char* json_path) {
   const ModelConfig model = bench::BenchModel();
   const auto suite = InfinityBenchSuite(0.04);
   const char* tasks[] = {"En.QA", "En.MC", "Code.D", "Math.F"};
@@ -126,11 +206,13 @@ int RunOpenLoop(double arrivals_per_sec) {
     tenants.push_back(Tenant{std::move(doc), imported});
   }
 
+  ShardContextsAcrossDevices(db, devices);
   std::printf("=== open-loop serving: Poisson arrivals at %.0f req/s into the "
-              "live engine ===\n",
-              arrivals_per_sec);
+              "live engine (%zu device%s) ===\n",
+              arrivals_per_sec, devices, devices == 1 ? "" : "s");
   ServingEngineOptions eopts;
   eopts.scheduler.max_concurrent_sessions = 3;  // < kRequests: queueing shows.
+  eopts.devices = devices;
   eopts.pool = &pool;
   ServingEngine engine(&db, eopts);
   if (Status s = engine.Start(); !s.ok()) {
@@ -188,11 +270,18 @@ int RunOpenLoop(double arrivals_per_sec) {
   }
   std::printf("%10s %12s %12s %12s %12s %12s %12s\n", "requests", "ttft-p50",
               "ttft-p99", "tpot-p50", "tpot-p99", "tokens/sec", "peak-conc");
+  const double open_tps =
+      static_cast<double>(snap.tokens_decoded) / std::max(serve_seconds, 1e-9);
   std::printf("%10zu %10.2fms %10.2fms %10.2fms %10.2fms %12.1f %12zu\n",
               kRequests, Percentile(ttft_s, 0.5) * 1e3, Percentile(ttft_s, 0.99) * 1e3,
               Percentile(tpot_s, 0.5) * 1e3, Percentile(tpot_s, 0.99) * 1e3,
-              static_cast<double>(snap.tokens_decoded) / std::max(serve_seconds, 1e-9),
-              snap.peak_concurrent_sessions);
+              open_tps, snap.peak_concurrent_sessions);
+  PrintDeviceTable(snap);
+  if (json_path != nullptr &&
+      !WriteBenchJson(json_path, "open-loop", kRequests, ttft_s, tpot_s, open_tps,
+                      serve_seconds, snap)) {
+    return 1;
+  }
   std::printf("bench_serving_throughput OK\n");
   return 0;
 }
@@ -203,8 +292,20 @@ int main(int argc, char** argv) {
   double prefill_fraction = 0.0;
   double store_fraction = 0.0;
   double open_loop_rate = 0.0;
+  size_t devices = 1;
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--prefill-fraction") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 1 || n > 64) {
+        std::fprintf(stderr, "--devices: need an integer in [1, 64]: %s\n", argv[i]);
+        return 2;
+      }
+      devices = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--prefill-fraction") == 0 && i + 1 < argc) {
       char* end = nullptr;
       prefill_fraction = std::strtod(argv[++i], &end);
       if (end == argv[i] || *end != '\0') {
@@ -228,7 +329,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--prefill-fraction f] [--store-fraction f] "
-                   "[--open-loop arrivals_per_sec]"
+                   "[--open-loop arrivals_per_sec] [--devices n] [--json path]"
                    "   (0 <= f < 1, 0 <= store <= 1, arrivals > 0)\n",
                    argv[0]);
       return 2;
@@ -239,7 +340,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--open-loop must be positive\n");
       return 2;
     }
-    return RunOpenLoop(open_loop_rate);
+    return RunOpenLoop(open_loop_rate, devices, json_path);
   }
   // Negated form so NaN (which fails every comparison) is rejected too.
   if (!(prefill_fraction >= 0.0 && prefill_fraction < 1.0)) {
@@ -259,9 +360,10 @@ int main(int argc, char** argv) {
 
   std::printf("=== serving throughput: concurrent sessions over shared AlayaDB ===\n");
   std::printf("model: %u layers, %u q-heads, %u kv-heads, d=%u; %zu decode steps/request, "
-              "prefill fraction %.2f, store fraction %.2f\n\n",
+              "prefill fraction %.2f, store fraction %.2f, %zu device%s\n\n",
               model.num_layers, model.num_q_heads, model.num_kv_heads, model.head_dim,
-              kSteps, prefill_fraction, store_fraction);
+              kSteps, prefill_fraction, store_fraction, devices,
+              devices == 1 ? "" : "s");
 
   ThreadPool pool(4);
   const size_t expected_stores =
@@ -305,16 +407,20 @@ int main(int argc, char** argv) {
       tenants.push_back(Tenant{std::move(doc), import_tokens});
     }
 
+    ShardContextsAcrossDevices(db, devices);
     ServingEngineOptions eopts;
     eopts.scheduler.max_concurrent_sessions = concurrency;
+    eopts.devices = devices;
     eopts.pool = &pool;
     ServingEngine engine(&db, eopts);
+    std::vector<RequestHandle> handles;
     for (size_t i = 0; i < kTenants; ++i) {
       auto id = engine.Submit(MakeRequest(tenants[i], kSteps, i < expected_stores));
       if (!id.ok()) {
         std::fprintf(stderr, "submit failed: %s\n", id.status().ToString().c_str());
         return 1;
       }
+      handles.push_back(id.value());
     }
     if (Status s = engine.RunToCompletion(); !s.ok()) {
       std::fprintf(stderr, "serving failed: %s\n", s.ToString().c_str());
@@ -322,6 +428,7 @@ int main(int argc, char** argv) {
     }
     const ServingSnapshot snap = engine.snapshot();
     if (concurrency == 1) sequential_tps = snap.tokens_per_second;
+    // Latency samples for the final (highest-concurrency) run's JSON summary.
     std::printf("%12zu %10zu %12zu %12.1f %14.3f %12s %12zu %10zu\n", concurrency,
                 snap.completed, snap.tokens_prefilled, snap.tokens_per_second,
                 snap.serve_wall_seconds, HumanBytes(snap.peak_gpu_bytes).c_str(),
@@ -358,6 +465,37 @@ int main(int argc, char** argv) {
     if (concurrency > 1 && snap.peak_concurrent_sessions < 2) {
       std::fprintf(stderr, "FAIL: expected >1 concurrent session\n");
       return 1;
+    }
+    if (concurrency == kTenants) {
+      std::vector<double> ttft_s, tpot_s;
+      for (RequestHandle& h : handles) {
+        const RequestResult* r = h.Wait();
+        if (r == nullptr || !r->status.ok()) {
+          std::fprintf(stderr, "request failed: %s\n",
+                       r != nullptr ? r->status.ToString().c_str() : "(null)");
+          return 1;
+        }
+        ttft_s.push_back(r->ttft_seconds);
+        tpot_s.push_back(r->decode_wall_seconds /
+                         static_cast<double>(std::max<size_t>(1, r->steps_completed)));
+      }
+      // With devices > 1 the sharded store must actually spread the tenants:
+      // silent single-device fallback would invalidate every per-device number.
+      size_t devices_used = 0;
+      for (const DeviceServingStats& ds : snap.devices) {
+        if (ds.placements > 0) ++devices_used;
+      }
+      if (devices_used < std::min(devices, kTenants)) {
+        std::fprintf(stderr, "FAIL: %zu devices used, want >= %zu\n", devices_used,
+                     std::min(devices, kTenants));
+        return 1;
+      }
+      PrintDeviceTable(snap);
+      if (json_path != nullptr &&
+          !WriteBenchJson(json_path, "closed-loop", kTenants, ttft_s, tpot_s,
+                          snap.tokens_per_second, snap.serve_wall_seconds, snap)) {
+        return 1;
+      }
     }
   }
 

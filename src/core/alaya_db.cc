@@ -1,5 +1,7 @@
 #include "src/core/alaya_db.h"
 
+#include <algorithm>
+
 namespace alaya {
 
 namespace {
@@ -35,8 +37,10 @@ ThreadPool* AlayaDB::MaterializePool() const {
 }
 
 Result<AlayaDB::SessionCreation> AlayaDB::CreateSession(
-    const std::vector<int32_t>& prompt) {
+    const std::vector<int32_t>& prompt, int device) {
   ALAYA_RETURN_IF_ERROR(options_.model.Validate());
+  device = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(std::max(device, 0)), env_->num_devices() - 1));
   SessionCreation out;
   ContextStore::PrefixMatch match = contexts_.BestPrefixMatch(prompt);
   Context* reused = nullptr;
@@ -45,11 +49,27 @@ Result<AlayaDB::SessionCreation> AlayaDB::CreateSession(
     out.reused_prefix = match.matched;
     out.context_id = match.context->id();
     out.context_ref = match.ref;
+    if (reused->resident_device() != device) {
+      // The context is warm on another device: the window tokens the session
+      // will keep device-resident have to cross the interconnect once, up
+      // front. Charge the modeled transfer to the *target* device (it is the
+      // one stalled waiting for the bytes) and move the context's residency
+      // with the session — the affinity signal placement policies read.
+      const WindowCache window(options_.session.window);
+      const size_t window_tokens =
+          std::min(window.Size(out.reused_prefix), out.reused_prefix);
+      out.cross_device_transfer_bytes =
+          static_cast<uint64_t>(window_tokens) * options_.model.KvBytesPerToken();
+      Device& dst = env_->device(static_cast<size_t>(device));
+      dst.clock().Advance(
+          dst.cost_model().TransferSeconds(out.cross_device_transfer_bytes));
+      reused->set_resident_device(device);
+    }
   }
   out.truncated_prompt.assign(prompt.begin() + static_cast<long>(out.reused_prefix),
                               prompt.end());
   out.session = std::make_unique<Session>(options_.model, options_.session, reused,
-                                          out.reused_prefix, env_);
+                                          out.reused_prefix, env_, device);
   return out;
 }
 
@@ -126,6 +146,8 @@ Result<uint64_t> AlayaDB::Store(Session* session,
       MaterializeContext(ComposeTokens(reused, prefix, new_tokens), reused, prefix,
                          session->local_kv(), session->recorded_queries());
   ALAYA_RETURN_IF_ERROR(built.status());
+  // The new context is warm where the session that produced it ran.
+  built.value()->set_resident_device(session->device());
   return contexts_.Add(std::move(built.value()));
 }
 
@@ -141,6 +163,7 @@ Result<uint64_t> AlayaDB::StoreAsync(Session* session,
         "new_tokens must cover exactly the session-local tokens");
   }
 
+  const int device = session->device();  // Residency of the future context.
   Session::DetachedState det = session->DetachForStore();
   std::vector<int32_t> tokens =
       ComposeTokens(det.reused_context, det.reused_prefix, new_tokens);
@@ -161,6 +184,7 @@ Result<uint64_t> AlayaDB::StoreAsync(Session* session,
     Result<std::unique_ptr<Context>> built =
         MaterializeContext(std::move(tokens), det.reused_context, det.reused_prefix,
                            det.local_kv, det.recorded.get());
+    if (built.ok()) built.value()->set_resident_device(device);
     Status status = built.ok() ? contexts_.Publish(id, std::move(built.value()))
                                : built.status();
     if (!status.ok()) contexts_.AbortPending(id);
@@ -180,15 +204,17 @@ Result<uint64_t> AlayaDB::StoreAsync(Session* session,
     Session::DetachedState det;
     std::shared_ptr<Context> pin;
     uint64_t id;
+    int device;
   };
   auto job = std::make_shared<Job>(Job{std::move(tokens), std::move(det),
-                                       std::move(context_ref), id});
+                                       std::move(context_ref), id, device});
   MaterializePool()->Submit([this, job] {
     Status status;
     {
       Result<std::unique_ptr<Context>> built = MaterializeContext(
           std::move(job->tokens), job->det.reused_context, job->det.reused_prefix,
           job->det.local_kv, job->det.recorded.get());
+      if (built.ok()) built.value()->set_resident_device(job->device);
       status = built.ok() ? contexts_.Publish(job->id, std::move(built.value()))
                           : built.status();
       if (!status.ok()) contexts_.AbortPending(job->id);

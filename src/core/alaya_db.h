@@ -63,11 +63,21 @@ class AlayaDB {
     /// ContextStore::Remove unregisters it but cannot free it underneath a
     /// running session. Keep this alive as long as `session` is.
     std::shared_ptr<Context> context_ref;
+    /// Cross-device reuse: the matched context resided on a different fleet
+    /// device than the session was placed on, so the device-resident window it
+    /// contributes was pulled over the interconnect — these bytes were charged
+    /// as a modeled transfer to the session's device clock, and the context's
+    /// residency moved with it (last-user-wins). 0 on same-device reuse.
+    uint64_t cross_device_transfer_bytes = 0;
   };
 
   /// DB.create_session(prompts): finds the stored context sharing the longest
-  /// common prefix with `prompt` and returns a session reusing it.
-  Result<SessionCreation> CreateSession(const std::vector<int32_t>& prompt);
+  /// common prefix with `prompt` and returns a session reusing it. `device`
+  /// places the session on one GPU of the environment's fleet (clamped);
+  /// reusing a context warm on another device charges the modeled transfer of
+  /// its window bytes to the target device and re-homes the context there.
+  Result<SessionCreation> CreateSession(const std::vector<int32_t>& prompt,
+                                        int device = 0);
 
   /// DB.import(prompts, kv_cache): registers a precomputed context (and its
   /// optional prefill query samples for index training); builds indices.

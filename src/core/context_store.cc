@@ -223,6 +223,20 @@ size_t ContextStore::BestPrefixMatchLength(std::span<const int32_t> tokens) cons
   return prefix_index_.BestPrefix(tokens).matched;
 }
 
+ContextStore::PrefixProbe ContextStore::BestPrefixProbe(
+    std::span<const int32_t> tokens) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  PrefixProbe out;
+  const TokenTrie::Best hit = prefix_index_.BestPrefix(tokens);
+  if (hit.matched == 0) return out;
+  auto it = contexts_.find(hit.id);
+  if (it == contexts_.end()) return out;  // Unreachable while coherent.
+  out.matched = hit.matched;
+  out.context_id = hit.id;
+  out.device = it->second->resident_device();
+  return out;
+}
+
 bool ContextStore::Remove(uint64_t id) {
   std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = contexts_.find(id);

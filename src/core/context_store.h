@@ -3,6 +3,7 @@
 // matching (§5, §7.1).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -79,11 +80,23 @@ class Context {
     host_kv_reservation_ = std::move(reservation);
   }
 
+  /// Device affinity: the fleet device whose caches are warm for this context
+  /// — where it was materialized, or where the last session to reuse it ran.
+  /// A session on another device pays a modeled cross-device transfer for the
+  /// device-resident window it pulls over (AlayaDB::CreateSession), after
+  /// which residency follows it (last-user-wins). Placement policies read
+  /// this through ContextStore::BestPrefixProbe for the affinity bonus.
+  int resident_device() const { return resident_device_.load(std::memory_order_relaxed); }
+  void set_resident_device(int device) {
+    resident_device_.store(device, std::memory_order_relaxed);
+  }
+
  private:
   uint64_t id_;
   std::vector<int32_t> tokens_;
   std::unique_ptr<KvCache> kv_;
   MemoryReservation host_kv_reservation_;
+  std::atomic<int> resident_device_{0};
 
   /// fine_[layer * indices_per_layer + slot]; slot is kv_head (shared) or
   /// q_head (unshared).
@@ -159,6 +172,17 @@ class ContextStore {
   /// before the session is actually created; callers treat this as an
   /// estimate, not a reservation.
   size_t BestPrefixMatchLength(std::span<const int32_t> tokens) const;
+
+  /// Everything placement-aware admission wants from one trie walk, still
+  /// without pinning: the match length plus the winning context's id and
+  /// device residency (the affinity target). device == -1 when nothing
+  /// matched. Same TOCTOU caveat as BestPrefixMatchLength.
+  struct PrefixProbe {
+    size_t matched = 0;
+    uint64_t context_id = 0;
+    int device = -1;
+  };
+  PrefixProbe BestPrefixProbe(std::span<const int32_t> tokens) const;
 
   bool Remove(uint64_t id);
   size_t size() const;

@@ -12,16 +12,19 @@
 namespace alaya {
 
 Session::Session(const ModelConfig& config, const SessionOptions& options,
-                 Context* reused, size_t reused_prefix, SimEnvironment* env)
+                 Context* reused, size_t reused_prefix, SimEnvironment* env,
+                 int device)
     : config_(config),
       options_(options),
       context_(reused),
       prefix_len_(reused != nullptr ? std::min(reused_prefix, reused->length()) : 0),
       env_(env != nullptr ? env : &SimEnvironment::Global()),
+      device_(&env_->device(static_cast<size_t>(
+          std::clamp<long>(device, 0, static_cast<long>(env_->num_devices()) - 1)))),
       local_(config),
       optimizer_(options.optimizer),
       window_(options.window),
-      gpu_reservation_(&env_->gpu_memory(), 0) {}
+      gpu_reservation_(&device_->memory(), 0) {}
 
 Status Session::Update(uint32_t layer, const float* q, const float* k, const float* v) {
   return UpdateBatch(layer, 1, q, k, v);
@@ -87,13 +90,13 @@ Status Session::Attention(uint32_t layer, const float* q, float* out,
     total.Add(head_stats);
     total.plan_explain = head_stats.plan_explain;
   }
-  env_->gpu_clock().Advance(total.modeled_gpu_seconds);
+  device_->clock().Advance(total.modeled_gpu_seconds);
   if (stats != nullptr) *stats = total;
   return Status::Ok();
 }
 
 void Session::ChargeModeledGpuSeconds(double seconds) {
-  env_->gpu_clock().Advance(seconds);
+  device_->clock().Advance(seconds);
 }
 
 Session::DetachedState Session::DetachForStore() {
@@ -144,7 +147,7 @@ Status Session::AttendHead(uint32_t layer, uint32_t q_head, const float* qh,
     stats->attention_seconds += t.ElapsedSeconds();
     // In the deployed system full attention runs on GPU.
     stats->modeled_gpu_seconds +=
-        env_->cost_model().GpuAttentionSeconds(4.0 * static_cast<double>(n_total) * d);
+        device_->cost_model().GpuAttentionSeconds(4.0 * static_cast<double>(n_total) * d);
     return Status::Ok();
   }
 
@@ -261,18 +264,18 @@ Status Session::AttendHead(uint32_t layer, uint32_t q_head, const float* qh,
   }
   const size_t gpu_tokens = ctx_window_ids.size() + n_local;
   stats->modeled_gpu_seconds +=
-      env_->cost_model().GpuAttentionSeconds(4.0 * static_cast<double>(gpu_tokens) * d);
+      device_->cost_model().GpuAttentionSeconds(4.0 * static_cast<double>(gpu_tokens) * d);
 
   if (options_.data_centric) {
     // Only the (max, sum, acc) triple crosses PCIe: d + 2 floats.
     stats->modeled_gpu_seconds +=
-        env_->cost_model().TransferSeconds((d + 2) * sizeof(float));
+        device_->cost_model().TransferSeconds((d + 2) * sizeof(float));
   } else {
     // Gather-then-compute ablation: ship retrieved K+V to the device first.
     const uint64_t gather_bytes = static_cast<uint64_t>(cpu_ids.size()) * 2 * d *
                                   config_.bytes_per_scalar;
-    stats->modeled_gpu_seconds += env_->cost_model().TransferSeconds(gather_bytes);
-    stats->modeled_gpu_seconds += env_->cost_model().GpuAttentionSeconds(
+    stats->modeled_gpu_seconds += device_->cost_model().TransferSeconds(gather_bytes);
+    stats->modeled_gpu_seconds += device_->cost_model().GpuAttentionSeconds(
         4.0 * static_cast<double>(cpu_ids.size()) * d);
   }
 

@@ -60,9 +60,12 @@ class Session {
  public:
   /// `reused` may be nullptr (fresh context). `reused_prefix` <=
   /// reused->length() tokens of the stored context are visible to this session
-  /// (partial reuse engages attribute filtering, §7.1).
+  /// (partial reuse engages attribute filtering, §7.1). `device` binds the
+  /// session to one GPU of the environment's DeviceSet (clamped to the fleet):
+  /// its KV residency reserves bytes on that device's tracker and every
+  /// modeled kernel it runs advances that device's clock.
   Session(const ModelConfig& config, const SessionOptions& options, Context* reused,
-          size_t reused_prefix, SimEnvironment* env = nullptr);
+          size_t reused_prefix, SimEnvironment* env = nullptr, int device = 0);
 
   /// Appends one token's K/V to the session-local cache for `layer` and
   /// (optionally) records q for index training. Compatible with
@@ -123,6 +126,8 @@ class Session {
   }
   Context* reused_context() { return context_; }
   const Context* reused_context() const { return context_; }
+  /// The device this session is bound to (id into the environment's fleet).
+  int device() const { return device_->id(); }
   const KvCache& local_kv() const { return local_; }
   const QuerySamples* recorded_queries() const { return recorded_.get(); }
   const ModelConfig& config() const { return config_; }
@@ -141,6 +146,7 @@ class Session {
   Context* context_;
   size_t prefix_len_;
   SimEnvironment* env_;
+  Device* device_;  ///< The fleet device this session reserves/charges on.
   KvCache local_;
   std::unique_ptr<QuerySamples> recorded_;
   RuleBasedOptimizer optimizer_;

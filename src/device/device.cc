@@ -1,6 +1,34 @@
 #include "src/device/device.h"
 
+#include <algorithm>
+
 namespace alaya {
+
+DeviceSet::DeviceSet(size_t num_devices) {
+  EnsureAtLeast(std::max<size_t>(1, num_devices));
+}
+
+size_t DeviceSet::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return devices_.size();
+}
+
+void DeviceSet::EnsureAtLeast(size_t num_devices) {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (devices_.size() < num_devices) {
+    devices_.push_back(std::make_unique<Device>(static_cast<int>(devices_.size())));
+  }
+}
+
+Device& DeviceSet::At(size_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return *devices_.at(id);
+}
+
+const Device& DeviceSet::At(size_t id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return *devices_.at(id);
+}
 
 SimEnvironment& SimEnvironment::Global() {
   static SimEnvironment env;

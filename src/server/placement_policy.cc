@@ -1,0 +1,105 @@
+#include "src/server/placement_policy.h"
+
+namespace alaya {
+
+bool DeviceFits(const PlacementRequest& request, const DeviceLoad& load,
+                double tpot_slo_seconds) {
+  if (load.budget_bytes > 0 &&
+      load.reserved_bytes + request.gpu_bytes > load.budget_bytes) {
+    return false;
+  }
+  // Per-device TPOT: a hot device stops accepting co-tenants, but an idle one
+  // admits anything budget-feasible — mirrors the single-device scheduler's
+  // "a request exceeding the SLO alone still runs, alone" rule, per device.
+  if (tpot_slo_seconds > 0 && load.active_sessions > 0 &&
+      load.reserved_step_seconds + request.step_seconds > tpot_slo_seconds) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// True when the request's footprint exceeds every device's budget outright —
+/// waiting can never help, the scheduler's permanent-rejection signal.
+bool NeverFits(const PlacementRequest& request, std::span<const DeviceLoad> loads) {
+  for (const DeviceLoad& load : loads) {
+    if (load.budget_bytes == 0 || request.gpu_bytes <= load.budget_bytes) {
+      return false;
+    }
+  }
+  return !loads.empty();
+}
+
+PlacementDecision Decide(const PlacementRequest& request,
+                         std::span<const DeviceLoad> loads, int best) {
+  PlacementDecision out;
+  if (best >= 0) {
+    out.device = best;
+  } else {
+    out.never_fits = NeverFits(request, loads);
+  }
+  return out;
+}
+
+}  // namespace
+
+PlacementDecision BestFitPlacement::Place(const PlacementRequest& request,
+                                          std::span<const DeviceLoad> loads,
+                                          double tpot_slo_seconds) const {
+  int best = -1;
+  uint64_t best_free = 0;
+  uint64_t best_reserved = 0;
+  size_t best_sessions = 0;
+  for (const DeviceLoad& load : loads) {
+    if (!DeviceFits(request, load, tpot_slo_seconds)) continue;
+    if (load.device == request.affinity_device) {
+      // Warm KV wins outright: same-device reuse skips the modeled
+      // cross-device window transfer no packing score can buy back.
+      return Decide(request, loads, load.device);
+    }
+    // Tightest fit by free bytes. With unlimited budgets every device's free
+    // space is "infinite" and packing is meaningless, so ties fall through to
+    // load spreading (fewer reserved bytes, then fewer sessions) — otherwise
+    // cold traffic on an unbudgeted fleet would all pile onto device 0.
+    // Final tie: lowest device id (deterministic).
+    const uint64_t free = load.FreeBytes();
+    const bool better =
+        best < 0 || free < best_free ||
+        (free == best_free &&
+         (load.reserved_bytes < best_reserved ||
+          (load.reserved_bytes == best_reserved &&
+           load.active_sessions < best_sessions)));
+    if (better) {
+      best = load.device;
+      best_free = free;
+      best_reserved = load.reserved_bytes;
+      best_sessions = load.active_sessions;
+    }
+  }
+  return Decide(request, loads, best);
+}
+
+PlacementDecision LeastLoadedPlacement::Place(const PlacementRequest& request,
+                                              std::span<const DeviceLoad> loads,
+                                              double tpot_slo_seconds) const {
+  int best = -1;
+  uint64_t best_free = 0;
+  size_t best_sessions = 0;
+  for (const DeviceLoad& load : loads) {
+    if (!DeviceFits(request, load, tpot_slo_seconds)) continue;
+    if (load.device == request.affinity_device) {
+      return Decide(request, loads, load.device);
+    }
+    const uint64_t free = load.FreeBytes();
+    if (best < 0 || free > best_free ||
+        (free == best_free && load.active_sessions < best_sessions)) {
+      best = load.device;
+      best_free = free;
+      best_sessions = load.active_sessions;
+    }
+  }
+  return Decide(request, loads, best);
+}
+
+}  // namespace alaya

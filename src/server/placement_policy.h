@@ -1,0 +1,108 @@
+// Pluggable device placement for admission control.
+//
+// With a sharded SimEnvironment every admitted request must land on exactly
+// one device: the scheduler tracks per-device reserved KV bytes and per-device
+// projected step seconds, and asks a PlacementPolicy to pick the device for
+// the queue head. Policies are pure functions over a load snapshot — no locks,
+// no clocks — so they are trivially testable and swappable per engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+namespace alaya {
+
+/// One device's admission-relevant load, snapshotted under the scheduler lock.
+struct DeviceLoad {
+  int device = 0;
+  /// Per-device KV budget (0 = unlimited).
+  uint64_t budget_bytes = 0;
+  /// Sum of admitted requests' projected device bytes on this device.
+  uint64_t reserved_bytes = 0;
+  /// Sum of admitted requests' projected per-step device seconds here.
+  double reserved_step_seconds = 0;
+  /// Admitted requests currently placed on this device.
+  size_t active_sessions = 0;
+
+  uint64_t FreeBytes() const {
+    if (budget_bytes == 0) return UINT64_MAX;
+    return budget_bytes > reserved_bytes ? budget_bytes - reserved_bytes : 0;
+  }
+};
+
+/// The candidate request, reduced to what placement needs.
+struct PlacementRequest {
+  /// Projected device-resident KV bytes at completion (AdmissionEstimate).
+  uint64_t gpu_bytes = 0;
+  /// Projected per-engine-step device seconds (EffectiveStepSeconds).
+  double step_seconds = 0;
+  /// Device where the request's best-prefix context currently resides, or -1
+  /// when no stored context matched. Placing the session there reuses warm KV;
+  /// anywhere else pays a modeled cross-device window transfer.
+  int affinity_device = -1;
+};
+
+/// Outcome of one placement attempt.
+struct PlacementDecision {
+  /// Chosen device id; < 0 when the request cannot be placed right now.
+  int device = -1;
+  /// True when no device could EVER hold the request (its footprint exceeds
+  /// every device's budget outright) — the scheduler's kNeverFits signal.
+  /// When false and device < 0, the request simply waits for load to drain.
+  bool never_fits = false;
+
+  bool placed() const { return device >= 0; }
+};
+
+/// Strategy interface. Implementations must be deterministic in their inputs
+/// (placement feeds the engine's reproducibility goldens) and must place a
+/// feasible request on an all-idle fleet (the scheduler's no-starvation
+/// guarantee leans on it). Called under the scheduler lock: keep it cheap and
+/// reentrant (const, no shared mutable state).
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Picks a device for `request` given the fleet's `loads` and the optional
+  /// per-device TPOT SLO (`tpot_slo_seconds`, 0 = none). A device "fits" when
+  /// the request's bytes fit its remaining budget AND adding its step seconds
+  /// keeps the device under the SLO — except that an idle (empty) device
+  /// always fits a budget-feasible request, so an oversized-per-step request
+  /// still runs somewhere alone instead of starving.
+  virtual PlacementDecision Place(const PlacementRequest& request,
+                                  std::span<const DeviceLoad> loads,
+                                  double tpot_slo_seconds) const = 0;
+};
+
+/// Default policy: best-fit by free KV bytes, with an affinity bonus.
+/// If the affinity device fits, it wins outright (warm KV beats packing —
+/// cross-device reuse pays a modeled window transfer). Otherwise the fitting
+/// device with the LEAST free bytes wins (classic best-fit: pack tight, keep
+/// big devices free for big requests); free-byte ties — always, when budgets
+/// are unlimited — spread by load instead (fewest reserved bytes, then
+/// fewest active sessions), and the final tie breaks on the lowest device id,
+/// so placement is deterministic.
+class BestFitPlacement : public PlacementPolicy {
+ public:
+  PlacementDecision Place(const PlacementRequest& request,
+                          std::span<const DeviceLoad> loads,
+                          double tpot_slo_seconds) const override;
+};
+
+/// Spread policy: least-loaded first (most free bytes wins; ties on fewer
+/// active sessions, then lowest id). Maximizes headroom per device — the
+/// latency-friendly choice when contexts are cheap to move or requests are
+/// uniform. Same affinity bonus as best-fit.
+class LeastLoadedPlacement : public PlacementPolicy {
+ public:
+  PlacementDecision Place(const PlacementRequest& request,
+                          std::span<const DeviceLoad> loads,
+                          double tpot_slo_seconds) const override;
+};
+
+/// Shared fit predicate: budget + per-device TPOT (empty device exempt).
+bool DeviceFits(const PlacementRequest& request, const DeviceLoad& load,
+                double tpot_slo_seconds);
+
+}  // namespace alaya

@@ -12,6 +12,15 @@ RequestScheduler::RequestScheduler(const ModelConfig& model,
   // A zero cap would deadlock Admit; one session must always be able to run.
   options_.max_concurrent_sessions = std::max<size_t>(1, options_.max_concurrent_sessions);
   options_.prefill_chunk_tokens = std::max<size_t>(1, options_.prefill_chunk_tokens);
+  options_.devices = std::max<size_t>(1, options_.devices);
+  placement_ = options_.placement != nullptr
+                   ? options_.placement
+                   : std::make_shared<const BestFitPlacement>();
+  loads_.resize(options_.devices);
+  for (size_t d = 0; d < loads_.size(); ++d) {
+    loads_[d].device = static_cast<int>(d);
+    loads_[d].budget_bytes = options_.gpu_budget_bytes;
+  }
 }
 
 AdmissionEstimate RequestScheduler::Estimate(const ServingRequest& request,
@@ -61,17 +70,12 @@ AdmissionEstimate RequestScheduler::Estimate(const ServingRequest& request) cons
   return Estimate(request, reused);
 }
 
-bool RequestScheduler::FitsLocked(const AdmissionEstimate& e) const {
-  if (active_.size() >= options_.max_concurrent_sessions) return false;
-  if (options_.gpu_budget_bytes > 0 &&
-      reserved_bytes_ + e.gpu_bytes > options_.gpu_budget_bytes) {
-    return false;
-  }
-  if (options_.tpot_slo_seconds > 0 && !active_.empty() &&
-      reserved_seconds_ + e.EffectiveStepSeconds() > options_.tpot_slo_seconds) {
-    return false;
-  }
-  return true;
+PlacementDecision RequestScheduler::PlaceLocked(const Admitted& item) const {
+  PlacementRequest preq;
+  preq.gpu_bytes = item.estimate.gpu_bytes;
+  preq.step_seconds = item.estimate.EffectiveStepSeconds();
+  preq.affinity_device = item.affinity_device;  // Probed once, at Enqueue.
+  return placement_->Place(preq, loads_, options_.tpot_slo_seconds);
 }
 
 std::chrono::steady_clock::time_point RequestScheduler::Admitted::Deadline() const {
@@ -94,20 +98,47 @@ std::chrono::steady_clock::time_point RequestScheduler::Admitted::Deadline() con
                            std::chrono::duration<double>(request.deadline_seconds));
 }
 
+RequestScheduler::EnqueuePreflight RequestScheduler::Preflight(
+    const ServingRequest& request) const {
+  EnqueuePreflight pre;
+  if (options_.placement_probe != nullptr) {
+    // One trie walk, one store snapshot: estimate and affinity agree on the
+    // matched context by construction.
+    const RequestSchedulerOptions::PrefixProbeResult probe =
+        options_.placement_probe(request.prompt);
+    pre.estimate = Estimate(request, probe.matched);
+    pre.affinity_device = probe.affinity_device;
+    return pre;
+  }
+  pre.estimate = Estimate(request);
+  pre.affinity_device = options_.affinity_probe != nullptr
+                            ? options_.affinity_probe(request.prompt)
+                            : -1;
+  return pre;
+}
+
 Result<uint64_t> RequestScheduler::Enqueue(ServingRequest request) {
+  const EnqueuePreflight pre = Preflight(request);
+  return Enqueue(std::move(request), pre);
+}
+
+Result<uint64_t> RequestScheduler::Enqueue(ServingRequest request,
+                                           const EnqueuePreflight& pre) {
   if (request.fill_step == nullptr) {
     return Status::InvalidArgument("request has no fill_step");
   }
   if (request.max_new_tokens == 0) {
     return Status::InvalidArgument("max_new_tokens must be positive");
   }
-  AdmissionEstimate e = Estimate(request);
+  const AdmissionEstimate& e = pre.estimate;
   std::lock_guard<std::mutex> lk(mu_);
   if (options_.gpu_budget_bytes > 0 && e.gpu_bytes > options_.gpu_budget_bytes) {
-    // Permanent: no amount of waiting shrinks the footprint.
+    // Permanent: no amount of waiting shrinks the footprint. Budgets are
+    // per-device and uniform, so exceeding one budget means exceeding every
+    // device's — the placement policy could never find a home for it.
     return Status::NeverFits(
         "request footprint (prefilled prompt suffix + window + decoded tail) "
-        "exceeds the GPU budget even running alone");
+        "exceeds the per-device GPU budget even running alone");
   }
   if (pending_.size() >= options_.max_queue_depth) {
     // Retryable: the backlog drains as sessions finish.
@@ -117,6 +148,7 @@ Result<uint64_t> RequestScheduler::Enqueue(ServingRequest request) {
   item.id = next_id_++;
   item.request = std::move(request);
   item.estimate = e;
+  item.affinity_device = pre.affinity_device;
   item.submit_time = std::chrono::steady_clock::now();
   const uint64_t id = item.id;
   pending_.push_back(std::move(item));
@@ -127,13 +159,28 @@ std::vector<RequestScheduler::Admitted> RequestScheduler::Admit() {
   std::lock_guard<std::mutex> lk(mu_);
   std::vector<Admitted> out;
   while (!pending_.empty()) {
+    if (active_.size() >= options_.max_concurrent_sessions) break;
     Admitted& head = pending_.front();
-    // Enqueue guarantees every queued request fits an idle system, so the head
-    // is always admissible once the system drains: no starvation.
-    if (!FitsLocked(head.estimate)) break;  // FIFO: no bypass past a blocked head.
-    reserved_bytes_ += head.estimate.gpu_bytes;
-    reserved_seconds_ += head.estimate.EffectiveStepSeconds();
-    active_[head.id] = head.estimate;
+    // Enqueue guarantees every queued request fits an idle device, and the
+    // placement policy must place a feasible request on an all-idle fleet, so
+    // the head is always admissible once the system drains: no starvation.
+    const PlacementDecision placed = PlaceLocked(head);
+    if (!placed.placed()) {
+      if (placed.never_fits) {
+        // Permanently unplaceable (a custom policy's verdict): remove it so
+        // it cannot block the queue forever — rejection, not bypass.
+        never_fits_.push_back(std::move(head));
+        pending_.pop_front();
+        continue;
+      }
+      break;  // FIFO: no bypass past a blocked head.
+    }
+    DeviceLoad& load = loads_[static_cast<size_t>(placed.device)];
+    load.reserved_bytes += head.estimate.gpu_bytes;
+    load.reserved_step_seconds += head.estimate.EffectiveStepSeconds();
+    ++load.active_sessions;
+    head.device = placed.device;
+    active_[head.id] = ActiveEntry{head.estimate, placed.device};
     out.push_back(std::move(head));
     pending_.pop_front();
   }
@@ -144,11 +191,19 @@ void RequestScheduler::UpdateReservation(uint64_t id, const AdmissionEstimate& a
   std::lock_guard<std::mutex> lk(mu_);
   auto it = active_.find(id);
   if (it == active_.end()) return;
-  reserved_bytes_ -= it->second.gpu_bytes;
-  reserved_seconds_ -= it->second.EffectiveStepSeconds();
-  it->second = actual;
-  reserved_bytes_ += actual.gpu_bytes;
-  reserved_seconds_ += actual.EffectiveStepSeconds();
+  DeviceLoad& load = loads_[static_cast<size_t>(it->second.device)];
+  load.reserved_bytes -= it->second.estimate.gpu_bytes;
+  load.reserved_step_seconds -= it->second.estimate.EffectiveStepSeconds();
+  it->second.estimate = actual;
+  load.reserved_bytes += actual.gpu_bytes;
+  load.reserved_step_seconds += actual.EffectiveStepSeconds();
+}
+
+std::vector<RequestScheduler::Admitted> RequestScheduler::TakeNeverFits() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Admitted> out;
+  out.swap(never_fits_);
+  return out;
 }
 
 std::optional<RequestScheduler::Admitted> RequestScheduler::RemoveQueued(uint64_t id) {
@@ -190,8 +245,10 @@ void RequestScheduler::Release(uint64_t id) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = active_.find(id);
   if (it == active_.end()) return;
-  reserved_bytes_ -= it->second.gpu_bytes;
-  reserved_seconds_ -= it->second.EffectiveStepSeconds();
+  DeviceLoad& load = loads_[static_cast<size_t>(it->second.device)];
+  load.reserved_bytes -= it->second.estimate.gpu_bytes;
+  load.reserved_step_seconds -= it->second.estimate.EffectiveStepSeconds();
+  --load.active_sessions;
   active_.erase(it);
 }
 
@@ -207,12 +264,21 @@ size_t RequestScheduler::active() const {
 
 uint64_t RequestScheduler::reserved_gpu_bytes() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return reserved_bytes_;
+  uint64_t total = 0;
+  for (const DeviceLoad& load : loads_) total += load.reserved_bytes;
+  return total;
 }
 
 double RequestScheduler::reserved_step_seconds() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return reserved_seconds_;
+  double total = 0;
+  for (const DeviceLoad& load : loads_) total += load.reserved_step_seconds;
+  return total;
+}
+
+std::vector<DeviceLoad> RequestScheduler::DeviceLoads() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return loads_;
 }
 
 }  // namespace alaya

@@ -25,6 +25,7 @@
 #include "src/common/status.h"
 #include "src/core/model_config.h"
 #include "src/device/cost_model.h"
+#include "src/server/placement_policy.h"
 
 namespace alaya {
 
@@ -97,19 +98,48 @@ struct AdmissionEstimate {
 };
 
 struct RequestSchedulerOptions {
-  /// Aggregate device budget for admitted sessions (0 = unlimited).
+  /// PER-DEVICE budget for admitted sessions (0 = unlimited). With one device
+  /// this is exactly the old aggregate budget; with N devices each device
+  /// holds this many bytes and a request is kNeverFits only when it exceeds
+  /// the budget of every device even running alone.
   uint64_t gpu_budget_bytes = 0;
-  /// Hard cap on concurrently decoding sessions.
+  /// Hard cap on concurrently decoding sessions (fleet-wide).
   size_t max_concurrent_sessions = 8;
   /// Enqueue fails with kBacklogFull (retryable) beyond this backlog.
   size_t max_queue_depth = 256;
-  /// When > 0: stop admitting once the summed projected per-step device time
-  /// of active sessions would exceed this bound (a request exceeding it on its
-  /// own still runs, alone — rejecting it outright would starve it forever).
-  /// Prefilling sessions are charged their per-chunk prefill time, so a
-  /// prefill-heavy request whose projected chunk time blows the budget decodes
-  /// alone instead of dragging every co-resident session past its TPOT.
+  /// When > 0: stop admitting onto a device once ITS summed projected
+  /// per-step time would exceed this bound (a request exceeding it on its own
+  /// still runs, alone on an idle device — rejecting it outright would starve
+  /// it forever). Per-device accounting: one hot device stops taking
+  /// co-tenants without throttling admission to idle ones. Prefilling
+  /// sessions are charged their per-chunk prefill time, so a prefill-heavy
+  /// request whose projected chunk time blows the budget decodes alone
+  /// instead of dragging every co-resident session past its TPOT.
   double tpot_slo_seconds = 0;
+  /// Simulated devices the scheduler places across (clamped to >= 1). The
+  /// serving engine mirrors its `devices` option here and grows the
+  /// environment's DeviceSet to match.
+  size_t devices = 1;
+  /// Device selection strategy (nullptr -> BestFitPlacement: best-fit by free
+  /// KV bytes with an affinity win for the device already holding the
+  /// request's matched prefix context).
+  std::shared_ptr<const PlacementPolicy> placement;
+  /// Probe returning the device where the best-prefix context for a prompt
+  /// currently resides (-1 = no match) — the placement affinity signal. Null
+  /// means no affinity information (every placement is cold). Only consulted
+  /// when placement_probe is unset.
+  std::function<int(std::span<const int32_t>)> affinity_probe;
+  /// Combined store probe: matched prefix length AND the matched context's
+  /// device from ONE trie walk over ONE store snapshot (the serving engine
+  /// wires this to ContextStore::BestPrefixProbe). When set, Preflight uses
+  /// it instead of the prefix_probe + affinity_probe pair — halving store
+  /// read-lock pressure per Submit and guaranteeing the estimate and the
+  /// affinity target agree on which context matched.
+  struct PrefixProbeResult {
+    size_t matched = 0;
+    int affinity_device = -1;
+  };
+  std::function<PrefixProbeResult(std::span<const int32_t>)> placement_probe;
   /// Prompt tokens one prefilling session pushes through all layers per engine
   /// step. Smaller chunks interleave more fairly with decoding sessions (lower
   /// TPOT impact); larger chunks finish prefill in fewer steps.
@@ -140,6 +170,15 @@ class RequestScheduler {
     uint64_t id = 0;
     ServingRequest request;
     AdmissionEstimate estimate;
+    /// Device the placement policy admitted the request onto (0 on a
+    /// single-device fleet). The engine binds the session here.
+    int device = 0;
+    /// Affinity target probed at Enqueue (-1 = none): the device the matched
+    /// prefix context resided on then. Deliberately not re-probed per Admit
+    /// poll — staleness costs at most one suboptimal placement (a modeled
+    /// transfer), while re-probing would walk the prefix trie under the
+    /// scheduler lock on every step a blocked head waits.
+    int affinity_device = -1;
     /// Stamped at Enqueue; the origin of TTFT measurements and the anchor the
     /// request's deadline (deadline_seconds) counts from.
     std::chrono::steady_clock::time_point submit_time;
@@ -147,18 +186,38 @@ class RequestScheduler {
     std::chrono::steady_clock::time_point Deadline() const;
   };
 
+  /// Precomputed enqueue inputs: the admission estimate (prefix probe) and
+  /// the placement affinity target. Both probes walk the context store's
+  /// prefix trie — O(prompt length) — so callers holding their own locks
+  /// (the engine's Submit) run Preflight first, outside them.
+  struct EnqueuePreflight {
+    AdmissionEstimate estimate;
+    int affinity_device = -1;
+  };
+  EnqueuePreflight Preflight(const ServingRequest& request) const;
+
   /// Queues a request. Rejections are typed so live-mode callers can
   /// implement backpressure without string-matching: kBacklogFull (the queue
   /// is at max_queue_depth right now — retryable) vs kNeverFits (the request
   /// exceeds the memory budget even running alone — permanent). Returns the
-  /// request id.
+  /// request id. The two-arg form skips the store probes (see Preflight).
   Result<uint64_t> Enqueue(ServingRequest request);
+  Result<uint64_t> Enqueue(ServingRequest request, const EnqueuePreflight& pre);
 
   /// Pops every queued request admissible under the current load, FIFO with no
   /// head-of-line bypass (keeps the admission order deterministic). An
-  /// admissible request fits the remaining memory budget and the TPOT SLO, or
-  /// is the head while nothing is active (guaranteed progress).
+  /// admissible request is one the placement policy can put on SOME device —
+  /// fitting that device's remaining memory budget and TPOT headroom — or the
+  /// head while the fleet is idle (guaranteed progress). Each popped request
+  /// carries the device it was placed on. A head the policy reports as
+  /// never_fits (no device's budget could EVER hold it — possible under
+  /// custom policies; the built-in uniform-budget case is caught at Enqueue)
+  /// is removed instead of blocking the queue forever; the caller collects it
+  /// via TakeNeverFits and fails it with a typed kNeverFits result.
   std::vector<Admitted> Admit();
+
+  /// Drains requests a prior Admit() rejected as permanently unplaceable.
+  std::vector<Admitted> TakeNeverFits();
 
   /// Returns a finished (or failed) request's reservation to the pool.
   void Release(uint64_t id);
@@ -193,28 +252,41 @@ class RequestScheduler {
 
   size_t queued() const;
   size_t active() const;
-  /// Sum of admitted requests' projected device bytes.
+  /// Sum of admitted requests' projected device bytes (fleet-wide).
   uint64_t reserved_gpu_bytes() const;
   /// Sum of admitted requests' projected per-step device seconds (each at its
-  /// EffectiveStepSeconds, i.e. the worse of its prefill and decode phases).
+  /// EffectiveStepSeconds, i.e. the worse of its prefill and decode phases),
+  /// fleet-wide.
   double reserved_step_seconds() const;
+
+  /// Per-device load snapshot (reserved bytes/seconds, active sessions) —
+  /// what the placement policy saw, for benches/tests/snapshots.
+  std::vector<DeviceLoad> DeviceLoads() const;
 
   const RequestSchedulerOptions& options() const { return options_; }
 
  private:
-  bool FitsLocked(const AdmissionEstimate& e) const;
+  /// Asks the placement policy where the request could go right now; nullopt
+  /// when it must keep waiting. Caller holds mu_.
+  PlacementDecision PlaceLocked(const Admitted& item) const;
+
+  struct ActiveEntry {
+    AdmissionEstimate estimate;
+    int device = 0;
+  };
 
   ModelConfig model_;
   WindowCache window_;
   CostModel cost_;
   RequestSchedulerOptions options_;
+  std::shared_ptr<const PlacementPolicy> placement_;
 
   mutable std::mutex mu_;
   std::deque<Admitted> pending_;
-  std::map<uint64_t, AdmissionEstimate> active_;
+  std::map<uint64_t, ActiveEntry> active_;
+  std::vector<DeviceLoad> loads_;  ///< One per device; budgets fixed at ctor.
+  std::vector<Admitted> never_fits_;  ///< Rejected by placement; see TakeNeverFits.
   uint64_t next_id_ = 1;
-  uint64_t reserved_bytes_ = 0;
-  double reserved_seconds_ = 0;
 };
 
 }  // namespace alaya

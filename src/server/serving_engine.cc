@@ -11,12 +11,28 @@ namespace alaya {
 
 namespace {
 
-/// Defaults the scheduler's prefix probe to the DB's context store, so
-/// admission projects prefill work from what is actually stored.
-RequestSchedulerOptions WithDefaultProbe(AlayaDB* db, RequestSchedulerOptions o) {
-  if (o.prefix_probe == nullptr) {
-    o.prefix_probe = [db](std::span<const int32_t> tokens) {
+/// Normalizes engine options: clamps the fleet size, mirrors it into the
+/// scheduler, and defaults the scheduler's probes to the DB's context store —
+/// admission then projects prefill work from what is actually stored, and
+/// placement sees which device holds the matched context (affinity).
+ServingEngineOptions WithDefaults(AlayaDB* db, ServingEngineOptions o) {
+  o.devices = std::max<size_t>(1, o.devices);
+  o.scheduler.devices = o.devices;
+  if (o.scheduler.prefix_probe == nullptr) {
+    o.scheduler.prefix_probe = [db](std::span<const int32_t> tokens) {
       return db->contexts().BestPrefixMatchLength(tokens);
+    };
+  }
+  if (o.scheduler.affinity_probe == nullptr) {
+    o.scheduler.affinity_probe = [db](std::span<const int32_t> tokens) {
+      return db->contexts().BestPrefixProbe(tokens).device;
+    };
+  }
+  if (o.scheduler.placement_probe == nullptr) {
+    // The Submit fast path: matched length + affinity device from one walk.
+    o.scheduler.placement_probe = [db](std::span<const int32_t> tokens) {
+      const ContextStore::PrefixProbe probe = db->contexts().BestPrefixProbe(tokens);
+      return RequestSchedulerOptions::PrefixProbeResult{probe.matched, probe.device};
     };
   }
   return o;
@@ -34,13 +50,15 @@ const RequestResult* RequestHandle::Wait() const {
   if (ticket_ == nullptr) return nullptr;
   std::unique_lock<std::mutex> lk(ticket_->mu);
   ticket_->cv.wait(lk, [&] { return ticket_->done; });
-  return ticket_->result;
+  // The ticket owns the result: the pointer survives result-map eviction for
+  // as long as the caller holds the handle.
+  return ticket_->result.get();
 }
 
 const RequestResult* RequestHandle::TryWait() const {
   if (ticket_ == nullptr) return nullptr;
   std::lock_guard<std::mutex> lk(ticket_->mu);
-  return ticket_->done ? ticket_->result : nullptr;
+  return ticket_->done ? ticket_->result.get() : nullptr;
 }
 
 bool RequestHandle::Cancel() const {
@@ -50,10 +68,19 @@ bool RequestHandle::Cancel() const {
 
 ServingEngine::ServingEngine(AlayaDB* db, const ServingEngineOptions& options)
     : db_(db),
-      options_(options),
+      options_(WithDefaults(db, options)),
       scheduler_(db->options().model, db->options().session.window,
-                 db->env().cost_model(), WithDefaultProbe(db, options.scheduler)),
-      pool_(options.pool != nullptr ? options.pool : &ThreadPool::Global()) {}
+                 db->env().cost_model(), options_.scheduler),
+      pool_(options_.pool != nullptr ? options_.pool : &ThreadPool::Global()) {
+  // The fleet must exist before any placement decision can bind a session to
+  // it. Grow-only and pointer-stable, so sessions of other engines sharing
+  // this environment are unaffected.
+  db_->env().devices().EnsureAtLeast(options_.devices);
+  device_stats_.resize(options_.devices);
+  for (size_t d = 0; d < device_stats_.size(); ++d) {
+    device_stats_[d].device = static_cast<int>(d);
+  }
+}
 
 ServingEngine::~ServingEngine() { (void)Abort(); }
 
@@ -122,25 +149,26 @@ Status ServingEngine::RunToCompletion() {
 }
 
 Result<RequestHandle> ServingEngine::Submit(ServingRequest request) {
-  Result<uint64_t> id = scheduler_.Enqueue(std::move(request));
-  if (!id.ok()) {
-    rejected_.fetch_add(1);
-    return id.status();
-  }
-  submitted_.fetch_add(1);
   auto ticket = std::make_shared<RequestTicket>();
-  ticket->id = id.value();
+  // The store probes (admission estimate + placement affinity) are
+  // O(prompt-length) trie walks — run them before taking mu_ so concurrent
+  // submitters never stall the driver's finalize/snapshot paths on them.
+  const RequestScheduler::EnqueuePreflight pre = scheduler_.Preflight(request);
   {
+    // Enqueue and ticket registration are one atomic step under mu_: any
+    // terminal result is published through FinalizeResult, which also takes
+    // mu_, so the driver cannot finalize this request before its ticket
+    // exists — the invariant that makes the result map safely evictable
+    // (there is never a finalized request whose ticket will register later).
     std::lock_guard<std::mutex> lk(mu_);
-    auto done = results_.find(ticket->id);
-    if (done != results_.end()) {
-      // A live driver admitted, ran and retired the request between Enqueue
-      // and here. Finish the ticket inline; no waiters can exist yet.
-      ticket->result = &done->second;
-      ticket->done = true;
-    } else {
-      tickets_[ticket->id] = ticket;
+    Result<uint64_t> id = scheduler_.Enqueue(std::move(request), pre);
+    if (!id.ok()) {
+      rejected_.fetch_add(1);
+      return id.status();
     }
+    submitted_.fetch_add(1);
+    ticket->id = id.value();
+    tickets_[ticket->id] = ticket;
   }
   {
     // Wake an idle driver. Notify under life_mu_ so a waiter between its
@@ -184,12 +212,11 @@ bool ServingEngine::CancelRequest(const std::shared_ptr<RequestTicket>& ticket) 
 
 void ServingEngine::FinalizeResult(uint64_t id, RequestResult&& result) {
   result.id = id;
-  const RequestResult* stored = nullptr;
+  auto stored = std::make_shared<const RequestResult>(std::move(result));
   std::shared_ptr<RequestTicket> ticket;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    auto [it, inserted] = results_.insert_or_assign(id, std::move(result));
-    stored = &it->second;
+    results_.insert_or_assign(id, stored);
     ++snapshot_.completed;
     if (stored->status.IsCancelled()) ++snapshot_.cancelled;
     if (stored->status.IsDeadlineExceeded()) ++snapshot_.deadline_exceeded;
@@ -198,10 +225,18 @@ void ServingEngine::FinalizeResult(uint64_t id, RequestResult&& result) {
       ticket = std::move(t->second);
       tickets_.erase(t);
     }
+    // Bounded retention: evict the oldest terminal results beyond the cap.
+    // Tickets co-own their results, so outstanding handles are unaffected —
+    // only the id-keyed result() lookup forgets ancient requests.
+    if (options_.result_retention > 0) {
+      while (results_.size() > options_.result_retention) {
+        results_.erase(results_.begin());
+      }
+    }
   }
   if (ticket != nullptr) {
     std::lock_guard<std::mutex> lk(ticket->mu);
-    ticket->result = stored;
+    ticket->result = std::move(stored);
     ticket->done = true;
     ticket->cv.notify_all();
   }
@@ -241,7 +276,18 @@ void ServingEngine::AdmitPending() {
   const ModelConfig& model = db_->options().model;
   const size_t qdim = static_cast<size_t>(model.num_q_heads) * model.head_dim;
   const size_t kvdim = static_cast<size_t>(model.num_kv_heads) * model.head_dim;
-  for (RequestScheduler::Admitted& adm : scheduler_.Admit()) {
+  // Placement can reject a head as permanently unplaceable (custom policies;
+  // the uniform-budget case already failed at Submit): those requests hold no
+  // reservation, so the finalizing_ guard keeps WaitIdle honest across the
+  // dequeue-to-publication window.
+  finalizing_.fetch_add(1);
+  std::vector<RequestScheduler::Admitted> admitted = scheduler_.Admit();
+  for (RequestScheduler::Admitted& adm : scheduler_.TakeNeverFits()) {
+    FinalizeUnadmitted(std::move(adm),
+                       Status::NeverFits("no device's budget can hold the request"));
+  }
+  finalizing_.fetch_sub(1);
+  for (RequestScheduler::Admitted& adm : admitted) {
     // Cancellation or deadline expiry may have landed after the queue pop;
     // don't build a session that would only retire immediately. Admit() took
     // the reservation, so return it explicitly on these paths.
@@ -265,14 +311,30 @@ void ServingEngine::AdmitPending() {
 
     auto active = std::make_unique<ActiveSession>();
     active->id = adm.id;
+    active->device = adm.device;
     active->request = std::move(adm.request);
     active->ticket = std::move(ticket);
     active->submit_time = adm.submit_time;
     active->deadline = deadline;
     active->result.id = adm.id;
 
+    // Bind the session to its placed device: residency lands on that
+    // device's tracker, modeled kernels on its clock, and a matched context
+    // warm elsewhere pays the cross-device window transfer here.
     Result<AlayaDB::SessionCreation> created =
-        db_->CreateSession(active->request.prompt);
+        db_->CreateSession(active->request.prompt, adm.device);
+    if (created.ok()) {
+      // Placements count sessions that actually materialized on the device —
+      // a failed CreateSession served nothing there, and consumers gate on
+      // placements > 0 to decide whether a device was used.
+      std::lock_guard<std::mutex> lk(mu_);
+      DeviceServingStats& ds = device_stats_[static_cast<size_t>(adm.device)];
+      ++ds.placements;
+      if (created.value().cross_device_transfer_bytes > 0) {
+        ++ds.cross_device_reuses;
+        ds.transfer_bytes += created.value().cross_device_transfer_bytes;
+      }
+    }
     if (!created.ok()) {
       active->result.status = created.status();
       active->failed = true;
@@ -381,6 +443,9 @@ Status ServingEngine::StepActiveSessions() {
 
   size_t step_tokens = 0;
   size_t step_prefilled = 0;
+  // Per-device work this step (folded into device_stats_ under mu_ below).
+  std::vector<size_t> dev_tokens(device_stats_.size(), 0);
+  std::vector<size_t> dev_prefilled(device_stats_.size(), 0);
   Status decode_status;  // Engine-level decode error, deferred past the join.
   std::vector<HeadAttentionJob> jobs;
   std::vector<ActiveSession*> job_owner;
@@ -461,6 +526,7 @@ Status ServingEngine::StepActiveSessions() {
         ++a->result.steps_completed;
         ++a->step;
         ++step_tokens;
+        ++dev_tokens[static_cast<size_t>(a->device)];
       }
     }
   }
@@ -491,6 +557,7 @@ Status ServingEngine::StepActiveSessions() {
     a->prefill_pos += prefill_jobs[i].count;
     a->result.prefilled_tokens += prefill_jobs[i].count;
     step_prefilled += prefill_jobs[i].count;
+    dev_prefilled[static_cast<size_t>(a->device)] += prefill_jobs[i].count;
     if (a->prefill_pos == a->request.prompt.size()) {
       a->phase = Phase::kDecoding;  // Decode starts next engine step.
       // The chunk scratch is dead weight for the whole decode phase; free it
@@ -506,9 +573,19 @@ Status ServingEngine::StepActiveSessions() {
   snapshot_.tokens_prefilled += step_prefilled;
   // Sampled on every step — prefill-only steps included, so residency grown by
   // UpdateBatch (the prompt suffix landing in session-local KV) is observed
-  // even when no session decoded this step.
-  snapshot_.peak_gpu_bytes =
-      std::max(snapshot_.peak_gpu_bytes, db_->env().gpu_memory().current());
+  // even when no session decoded this step. The fleet peak sums the devices'
+  // simultaneous residency (with one device: exactly the old per-step sample);
+  // each device's own peak is tracked alongside.
+  uint64_t fleet_bytes = 0;
+  for (size_t d = 0; d < device_stats_.size(); ++d) {
+    const uint64_t current = db_->env().device(d).memory().current();
+    fleet_bytes += current;
+    DeviceServingStats& ds = device_stats_[d];
+    ds.peak_gpu_bytes = std::max(ds.peak_gpu_bytes, current);
+    ds.tokens_decoded += dev_tokens[d];
+    ds.tokens_prefilled += dev_prefilled[d];
+  }
+  snapshot_.peak_gpu_bytes = std::max(snapshot_.peak_gpu_bytes, fleet_bytes);
   return Status::Ok();
 }
 
@@ -693,19 +770,35 @@ void ServingEngine::FinalizeRun() {
 const RequestResult* ServingEngine::result(uint64_t id) const {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = results_.find(id);
-  // Map nodes are stable and never erased: the pointer outlives the lock.
-  return it == results_.end() ? nullptr : &it->second;
+  // The shared_ptr target is immutable and stays alive until the id is
+  // evicted (see result_retention): the pointer outlives the lock.
+  return it == results_.end() ? nullptr : it->second.get();
 }
 
 ServingSnapshot ServingEngine::snapshot() const {
   const AlayaDB::MaterializationStats mat = db_->materialization_stats();
-  std::lock_guard<std::mutex> lk(mu_);
-  ServingSnapshot out = snapshot_;
+  const std::vector<DeviceLoad> loads = scheduler_.DeviceLoads();
+  ServingSnapshot out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out = snapshot_;
+    out.devices = device_stats_;
+  }
   out.submitted = submitted_.load();
   out.rejected = rejected_.load();
   out.materializations_pending = mat.pending;
   out.materializations_completed = mat.completed;
   out.materializations_failed = mat.failed;
+  // Merge live per-device state: what the scheduler currently reserves on
+  // each device, and each device clock's modeled busy seconds (utilization).
+  for (DeviceServingStats& ds : out.devices) {
+    const size_t d = static_cast<size_t>(ds.device);
+    if (d < loads.size()) {
+      ds.reserved_bytes = loads[d].reserved_bytes;
+      ds.active_sessions = loads[d].active_sessions;
+    }
+    ds.modeled_busy_seconds = db_->env().device(d).clock().Seconds();
+  }
   return out;
 }
 

@@ -46,6 +46,18 @@
 // each session's state evolves only from its own inputs; batching changes
 // scheduling, not math. Cancellation changes *which* steps run, never their
 // values.
+//
+// Sharded serving (ServingEngineOptions::devices > 1): admission places each
+// request on one device of the environment's DeviceSet via the scheduler's
+// PlacementPolicy (best-fit by free KV bytes with a warm-context affinity
+// bonus; per-device memory budgets and per-device TPOT accounting, so one hot
+// device never throttles admission to idle ones). Sessions bind to their
+// device — KV residency on its tracker, modeled kernels on its clock — and
+// every device's session group advances through the same shared-pool batch
+// each step (per-device lockstep with aligned step boundaries), which is why
+// the concurrent==sequential goldens hold at any fleet size: placement moves
+// sessions between devices, never their math. Reusing a context warm on
+// another device charges a modeled interconnect transfer and re-homes it.
 #pragma once
 
 #include <atomic>
@@ -74,6 +86,20 @@ struct ServingEngineOptions {
   /// the synchronous DB.store — the pre-background-store behavior, kept for
   /// the bit-identical equivalence tests and as an ablation knob.
   bool background_store = true;
+  /// Simulated devices to serve across (clamped to >= 1). The engine grows
+  /// the DB environment's DeviceSet to this size, mirrors it into the
+  /// scheduler (per-device budgets + TPOT, placement policy), binds each
+  /// admitted session to its placed device, and reports per-device counters
+  /// in the snapshot. With 1 (the default) the whole system is bit-identical
+  /// to the pre-sharding engine: one tracker, one clock, device 0 everywhere.
+  size_t devices = 1;
+  /// Bounded result retention: keep at most this many terminal results in the
+  /// id-keyed result() map, evicting the oldest (lowest id) beyond it. Results
+  /// are owned by their tickets, so RequestHandle::Wait/TryWait pointers stay
+  /// valid for as long as the handle is held even after eviction — only the
+  /// id-based result() lookup forgets. 0 = unlimited (the old always-grow
+  /// behavior; an always-on engine then leaks one entry per request served).
+  size_t result_retention = 4096;
 };
 
 /// Synthetic id for the `step`-th decoded token of request `request_id`, used
@@ -113,14 +139,16 @@ struct RequestResult {
 };
 
 /// A submitted request's ticket: the handle and the driver communicate
-/// through it. Internal — callers hold it via RequestHandle.
+/// through it. Internal — callers hold it via RequestHandle. The ticket OWNS
+/// its terminal result (shared with the engine's evictable result() map), so
+/// a handle's Wait/TryWait pointers survive result-map eviction.
 struct RequestTicket {
   uint64_t id = 0;
   std::atomic<bool> cancel_requested{false};
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
-  const RequestResult* result = nullptr;  ///< Set exactly once, before done.
+  std::shared_ptr<const RequestResult> result;  ///< Set exactly once, before done.
 };
 
 class ServingEngine;
@@ -160,6 +188,26 @@ class RequestHandle {
   std::shared_ptr<RequestTicket> ticket_;
 };
 
+/// Per-device serving counters (one entry per simulated device). Placement
+/// and token counters are lifetime totals written by the driver; residency,
+/// reservation and clock fields are read live at snapshot() time.
+struct DeviceServingStats {
+  int device = 0;
+  size_t placements = 0;  ///< Requests admitted onto this device (lifetime).
+  /// Placements whose matched prefix context was warm on another device: the
+  /// session paid a modeled cross-device window transfer at creation.
+  size_t cross_device_reuses = 0;
+  uint64_t transfer_bytes = 0;  ///< Modeled bytes pulled over the interconnect.
+  size_t tokens_decoded = 0;    ///< Decoded by sessions placed here.
+  size_t tokens_prefilled = 0;  ///< Prefilled by sessions placed here.
+  uint64_t peak_gpu_bytes = 0;  ///< Max device residency observed at step ends.
+  uint64_t reserved_bytes = 0;  ///< Scheduler reservation currently held here.
+  size_t active_sessions = 0;   ///< Admitted sessions currently placed here.
+  /// The device's virtual clock: modeled seconds of kernels + transfers it
+  /// has executed — the utilization axis (relative to the busiest device).
+  double modeled_busy_seconds = 0;
+};
+
 /// Aggregate serving metrics over one engine lifetime.
 struct ServingSnapshot {
   size_t submitted = 0;
@@ -172,13 +220,17 @@ struct ServingSnapshot {
   double serve_wall_seconds = 0;   ///< Wall time the driver thread was live.
   double tokens_per_second = 0;    ///< Aggregate decode throughput.
   size_t peak_concurrent_sessions = 0;
-  uint64_t peak_gpu_bytes = 0;  ///< Max device residency observed at step ends
-                                ///< (sampled during prefill and decode alike).
+  uint64_t peak_gpu_bytes = 0;  ///< Max FLEET residency observed at step ends
+                                ///< (sampled during prefill and decode alike;
+                                ///< with one device, that device's peak).
   /// Background materialization (store_on_finish under background_store):
   /// jobs still queued/running, and lifetime completed/failed totals.
   size_t materializations_pending = 0;
   size_t materializations_completed = 0;
   size_t materializations_failed = 0;
+  /// Sharded serving: one entry per device (a single entry on the default
+  /// single-device fleet — its counters then mirror the aggregates above).
+  std::vector<DeviceServingStats> devices;
 };
 
 class ServingEngine {
@@ -238,10 +290,13 @@ class ServingEngine {
   /// RequestResult instead.
   Status RunToCompletion();
 
-  /// Result lookup (nullptr while still in flight). Thread-safe: monitoring
-  /// threads may poll while the driver runs; a returned pointer stays valid
-  /// for the engine's lifetime, and a terminal result is immutable — readers
-  /// never need to synchronize against the driver or Shutdown.
+  /// Result lookup (nullptr while still in flight, or after the id was
+  /// evicted under options.result_retention). Thread-safe: monitoring threads
+  /// may poll while the driver runs; a returned pointer stays valid until the
+  /// id is evicted (for the engine's lifetime when retention is unlimited or
+  /// fewer results than the cap exist), and a terminal result is immutable —
+  /// readers never need to synchronize against the driver or Shutdown.
+  /// Callers who must outlive eviction hold the RequestHandle and use Wait.
   const RequestResult* result(uint64_t id) const;
 
   /// Aggregate metrics so far. Thread-safe snapshot (consistent at step
@@ -258,6 +313,7 @@ class ServingEngine {
 
   struct ActiveSession {
     uint64_t id = 0;
+    int device = 0;  ///< Fleet device the scheduler placed this session on.
     ServingRequest request;
     std::unique_ptr<Session> session;
     std::shared_ptr<Context> context_ref;  ///< Pins the reused context.
@@ -333,14 +389,17 @@ class ServingEngine {
   /// ordering in FinishSession/AdmitPending).
   std::atomic<size_t> finalizing_{0};
   mutable std::mutex mu_;
-  /// Terminal results. Never erased: map-node stability is what lets
-  /// result()/Wait() hand out raw pointers with no read-side locking. On an
-  /// always-on engine this grows with total requests served — acceptable at
-  /// current scale; bounded retention (results owned by their tickets, an
-  /// evictable map behind result()) is a noted ROADMAP follow-on.
-  std::map<uint64_t, RequestResult> results_;
+  /// Terminal results, shared with their tickets (which own them for the
+  /// handle's lifetime). Bounded: beyond options.result_retention the oldest
+  /// ids are evicted, so an always-on engine no longer grows with total
+  /// requests served — result(id) then returns nullptr for evicted ids while
+  /// every outstanding handle's Wait/TryWait pointer stays valid.
+  std::map<uint64_t, std::shared_ptr<const RequestResult>> results_;
   std::map<uint64_t, std::shared_ptr<RequestTicket>> tickets_;  ///< In flight.
   ServingSnapshot snapshot_;
+  /// Driver-written per-device lifetime counters (guarded by mu_); residency
+  /// and reservation fields are merged in at snapshot() time.
+  std::vector<DeviceServingStats> device_stats_;
 };
 
 }  // namespace alaya

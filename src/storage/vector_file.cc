@@ -18,6 +18,13 @@ Result<std::unique_ptr<VectorFile>> VectorFile::Create(
         StrFormat("block_size %u too small for dim %u / degree %u",
                   options.block_size, options.dim, options.max_degree));
   }
+  if (buffer != nullptr && buffer->options().block_size != options.block_size) {
+    // Install/Fetch move whole buffer-manager blocks: a geometry mismatch
+    // reads past the file's block buffers (heap overflow), so refuse it.
+    return Status::InvalidArgument(
+        StrFormat("buffer manager block_size %u != file block_size %u",
+                  buffer->options().block_size, options.block_size));
+  }
   auto file =
       std::unique_ptr<VectorFile>(new VectorFile(std::move(backend), buffer, file_id));
   file->header_.block_size = options.block_size;
@@ -38,6 +45,11 @@ Result<std::unique_ptr<VectorFile>> VectorFile::Open(std::unique_ptr<IoBackend> 
   ALAYA_RETURN_IF_ERROR(file->backend_->Read(0, &h, sizeof(h)));
   if (h.magic != kMagic) return Status::Corruption("bad magic in vector file");
   if (h.version != kVersion) return Status::NotSupported("vector file version");
+  if (buffer != nullptr && buffer->options().block_size != h.block_size) {
+    return Status::InvalidArgument(
+        StrFormat("buffer manager block_size %u != file block_size %u",
+                  buffer->options().block_size, h.block_size));
+  }
   file->header_ = h;
   ALAYA_RETURN_IF_ERROR(file->LoadBlockMaps());
   return file;

@@ -10,8 +10,22 @@
 
 namespace alaya {
 
+namespace {
+
+/// All of a file system's files share one buffer manager, whose cached-block
+/// geometry MUST match the files': Install copies buffer-manager-block_size
+/// bytes out of file-block_size buffers, so a mismatch is a heap overflow
+/// (found by ASan), not a tuning knob. One file geometry per VFS — force the
+/// shared pool onto it before anything is constructed from the options.
+VectorFileSystem::Options Normalized(VectorFileSystem::Options o) {
+  o.buffer.block_size = o.file.block_size;
+  return o;
+}
+
+}  // namespace
+
 VectorFileSystem::VectorFileSystem(const Options& options)
-    : options_(options), buffer_(options.buffer) {
+    : options_(Normalized(options)), buffer_(options_.buffer) {
   if (!options_.in_memory) {
     ::mkdir(options_.dir.c_str(), 0755);  // Best effort; Create reports errors.
   }

@@ -435,5 +435,43 @@ TEST(ServingLiveTest, RunToCompletionIsAWrapperOverTheLiveMachinery) {
   }
 }
 
+TEST(ServingLiveTest, BoundedResultRetentionEvictsOldestButHandlesSurvive) {
+  // The always-on leak fix: the id-keyed result map is bounded, evicting the
+  // oldest terminal results beyond result_retention. Tickets co-own their
+  // results, so every outstanding handle still reaches its full result —
+  // only late result(id) lookups for ancient ids come back empty.
+  LiveFixture fx;
+  ServingEngineOptions opts = fx.EngineOptions(1);
+  opts.result_retention = 2;
+  ServingEngine engine(fx.db.get(), opts);
+  std::vector<RequestHandle> handles;
+  for (int i = 0; i < 5; ++i) {
+    auto h = engine.Submit(fx.MakeRequest(60 + i, 2));
+    ASSERT_TRUE(h.ok());
+    handles.push_back(h.value());
+  }
+  ASSERT_TRUE(engine.RunToCompletion().ok());
+
+  for (RequestHandle& h : handles) {
+    const RequestResult* r = h.Wait();
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(r->status.ok()) << r->status.ToString();
+    EXPECT_EQ(r->id, h.id());
+    EXPECT_EQ(r->steps_completed, 2u);
+  }
+
+  // Sequential admission finalizes in id order: only the newest two ids
+  // remain addressable; the snapshot still counts all five completions.
+  size_t retained = 0;
+  for (RequestHandle& h : handles) {
+    if (engine.result(h.id()) != nullptr) ++retained;
+  }
+  EXPECT_EQ(retained, 2u);
+  EXPECT_EQ(engine.result(handles[0].id()), nullptr);
+  ASSERT_NE(engine.result(handles[4].id()), nullptr);
+  EXPECT_EQ(engine.result(handles[4].id()), handles[4].Wait());
+  EXPECT_EQ(engine.snapshot().completed, 5u);
+}
+
 }  // namespace
 }  // namespace alaya
