@@ -29,9 +29,15 @@
 // per-device table reports placements, cross-device reuses, residency peaks
 // and modeled busy seconds (utilization).
 //
+// --host-budget <MiB> (default 0 = unbounded) caps the host bytes the context
+// store keeps resident: publishing past the cap spills cold contexts to the
+// tiered store's backing and prefix hits demand-page them back — the tier
+// spill/page-in/prefetch counters land in the JSON summary, so CI tracks how
+// much disk traffic a budgeted store generates.
+//
 // --json <path> additionally emits the machine-readable summary CI archives
-// as BENCH_serving.json — p50/p99 TTFT and TPOT, aggregate throughput, and
-// the per-device counters — the start of the perf trajectory.
+// as BENCH_serving.json — p50/p99 TTFT and TPOT, aggregate throughput, tier
+// counters, and the per-device counters — the start of the perf trajectory.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -106,7 +112,13 @@ void ShardContextsAcrossDevices(AlayaDB& db, size_t devices) {
   if (devices <= 1) return;
   size_t i = 0;
   for (uint64_t id : db.contexts().Ids()) {
-    db.contexts().Find(id)->set_resident_device(static_cast<int>(i++ % devices));
+    // FindShared (not the test-only borrowed Find): with a host budget the
+    // tiered store may evict concurrently, and a spilled id returns null —
+    // it keeps the affinity it had at spill time, so skipping it is correct.
+    if (std::shared_ptr<Context> ctx = db.contexts().FindShared(id)) {
+      ctx->set_resident_device(static_cast<int>(i % devices));
+    }
+    ++i;
   }
 }
 
@@ -149,6 +161,18 @@ bool WriteBenchJson(const char* path, const char* mode, size_t requests,
                static_cast<unsigned long long>(snap.peak_gpu_bytes));
   std::fprintf(f, "  \"peak_concurrent_sessions\": %zu,\n",
                snap.peak_concurrent_sessions);
+  // Tiered-store counters (all zero when --host-budget is unset): how often
+  // the budget spilled a context, how many disk hits paged one back in, and
+  // how many of those were warmed at admission time.
+  std::fprintf(f, "  \"tier_spills\": %llu,\n",
+               static_cast<unsigned long long>(snap.tier_spills));
+  std::fprintf(f, "  \"tier_page_ins\": %llu,\n",
+               static_cast<unsigned long long>(snap.tier_page_ins));
+  std::fprintf(f, "  \"tier_prefetches\": %llu,\n",
+               static_cast<unsigned long long>(snap.tier_prefetches));
+  std::fprintf(f, "  \"tier_resident_contexts\": %zu,\n",
+               snap.tier_resident_contexts);
+  std::fprintf(f, "  \"tier_spilled_contexts\": %zu,\n", snap.tier_spilled_contexts);
   std::fprintf(f, "  \"devices\": [");
   for (size_t d = 0; d < snap.devices.size(); ++d) {
     const DeviceServingStats& ds = snap.devices[d];
@@ -172,7 +196,8 @@ bool WriteBenchJson(const char* path, const char* mode, size_t requests,
 
 /// Open-loop mode: Poisson arrivals into the live engine. Returns 0 on
 /// success; validates that every request completed with a measured TTFT.
-int RunOpenLoop(double arrivals_per_sec, size_t devices, const char* json_path) {
+int RunOpenLoop(double arrivals_per_sec, size_t devices, uint64_t host_budget_bytes,
+                const char* json_path) {
   const ModelConfig model = bench::BenchModel();
   const auto suite = InfinityBenchSuite(0.04);
   const char* tasks[] = {"En.QA", "En.MC", "Code.D", "Math.F"};
@@ -187,6 +212,7 @@ int RunOpenLoop(double arrivals_per_sec, size_t devices, const char* json_path) 
   options.session.optimizer.short_context_threshold = 512;
   options.session.window = WindowConfig{32, 128};
   options.materialize_pool = &pool;
+  options.tier.host_budget_bytes = host_budget_bytes;
   AlayaDB db(options, &env);
 
   std::vector<Tenant> tenants;
@@ -293,9 +319,21 @@ int main(int argc, char** argv) {
   double store_fraction = 0.0;
   double open_loop_rate = 0.0;
   size_t devices = 1;
+  uint64_t host_budget_bytes = 0;
   const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--host-budget") == 0 && i + 1 < argc) {
+      // MiB of host DRAM the context store may keep resident (0 = unbounded).
+      // Small enough budgets force spill/page-in traffic through the tiered
+      // store, which shows up in the tier_* counters of the JSON summary.
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "--host-budget: need MiB >= 0: %s\n", argv[i]);
+        return 2;
+      }
+      host_budget_bytes = static_cast<uint64_t>(n) << 20;
+    } else if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
       char* end = nullptr;
       const long n = std::strtol(argv[++i], &end, 10);
       if (end == argv[i] || *end != '\0' || n < 1 || n > 64) {
@@ -329,7 +367,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--prefill-fraction f] [--store-fraction f] "
-                   "[--open-loop arrivals_per_sec] [--devices n] [--json path]"
+                   "[--open-loop arrivals_per_sec] [--devices n] "
+                   "[--host-budget mib] [--json path]"
                    "   (0 <= f < 1, 0 <= store <= 1, arrivals > 0)\n",
                    argv[0]);
       return 2;
@@ -340,7 +379,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--open-loop must be positive\n");
       return 2;
     }
-    return RunOpenLoop(open_loop_rate, devices, json_path);
+    return RunOpenLoop(open_loop_rate, devices, host_budget_bytes, json_path);
   }
   // Negated form so NaN (which fails every comparison) is rejected too.
   if (!(prefill_fraction >= 0.0 && prefill_fraction < 1.0)) {
@@ -381,6 +420,7 @@ int main(int argc, char** argv) {
     options.session.optimizer.short_context_threshold = 512;
     options.session.window = WindowConfig{32, 128};
     options.materialize_pool = &pool;
+    options.tier.host_budget_bytes = host_budget_bytes;
     AlayaDB db(options, &env);
 
     size_t expected_prefill = 0;
@@ -427,6 +467,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     const ServingSnapshot snap = engine.snapshot();
+    if (host_budget_bytes > 0) {
+      std::printf("  tier: %llu spills, %llu page-ins, %llu prefetches, "
+                  "%zu resident / %zu spilled\n",
+                  static_cast<unsigned long long>(snap.tier_spills),
+                  static_cast<unsigned long long>(snap.tier_page_ins),
+                  static_cast<unsigned long long>(snap.tier_prefetches),
+                  snap.tier_resident_contexts, snap.tier_spilled_contexts);
+    }
     if (concurrency == 1) sequential_tps = snap.tokens_per_second;
     // Latency samples for the final (highest-concurrency) run's JSON summary.
     std::printf("%12zu %10zu %12zu %12.1f %14.3f %12s %12zu %10zu\n", concurrency,

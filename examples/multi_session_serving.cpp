@@ -61,7 +61,10 @@ int main() {
   // modeled cross-device window transfer.
   const std::vector<uint64_t> stored_ids = db.contexts().Ids();
   for (size_t i = 0; i < stored_ids.size(); ++i) {
-    db.contexts().Find(stored_ids[i])->set_resident_device(static_cast<int>(i % 2));
+    // FindShared pins the context; the borrowed Find() is test-only now that
+    // the tiered store can evict concurrently with serving.
+    db.contexts().FindShared(stored_ids[i])->set_resident_device(
+        static_cast<int>(i % 2));
   }
 
   // The front door: all four tenants decode concurrently under per-device

@@ -24,7 +24,19 @@ std::vector<int32_t> ComposeTokens(const Context* reused, size_t reused_prefix,
 }  // namespace
 
 AlayaDB::AlayaDB(const DbOptions& options, SimEnvironment* env)
-    : options_(options), env_(env != nullptr ? env : &SimEnvironment::Global()) {}
+    : options_(options), env_(env != nullptr ? env : &SimEnvironment::Global()) {
+  if (options_.tier.Enabled()) {
+    tiers_ = std::make_unique<TieredContextStore>(
+        &contexts_, env_, options_.model, options_.index_build.roar,
+        options_.tier, MaterializePool());
+    if (options_.tier.warm_start) {
+      // Restart semantics: re-register every persisted context as a spilled
+      // placeholder. Best-effort — a bad manifest is skipped, not fatal; the
+      // sticky status is readable via tiers()->warm_start_status().
+      (void)tiers_->WarmStart();
+    }
+  }
+}
 
 AlayaDB::~AlayaDB() {
   // In-flight jobs capture `this`; they must finish before members die.
@@ -43,8 +55,26 @@ Result<AlayaDB::SessionCreation> AlayaDB::CreateSession(
       static_cast<size_t>(std::max(device, 0)), env_->num_devices() - 1));
   SessionCreation out;
   ContextStore::PrefixMatch match = contexts_.BestPrefixMatch(prompt);
+  if (match.spilled && match.matched > 0) {
+    // The best prefix lives on disk: demand-page it back before the session
+    // binds to it (ideally a no-op — the admission probe already prefetched
+    // it on the materialize pool). A failed page-in degrades to a cold start
+    // instead of failing the session.
+    Result<std::shared_ptr<Context>> paged =
+        tiers_ != nullptr ? tiers_->PageIn(match.id)
+                          : Result<std::shared_ptr<Context>>(Status::NotFound(
+                                "spilled context without a tier layer"));
+    if (paged.ok()) {
+      match.ref = std::move(paged.value());
+      match.context = match.ref.get();
+      match.spilled = false;
+    } else {
+      match = ContextStore::PrefixMatch{};
+    }
+  }
   Context* reused = nullptr;
   if (match.context != nullptr && match.matched > 0) {
+    if (tiers_ != nullptr) tiers_->OnPrefixHit(match.id);
     reused = match.context;
     out.reused_prefix = match.matched;
     out.context_id = match.context->id();
@@ -103,9 +133,13 @@ Result<uint64_t> AlayaDB::Import(std::vector<int32_t> tokens,
   auto context = std::make_unique<Context>(0, std::move(tokens), std::move(kv));
   ALAYA_RETURN_IF_ERROR(BuildIndices(context.get(), queries));
   // Offloaded KV lives in host DRAM; the context owns the reservation so the
-  // bytes are returned when it is released (store/remove symmetry).
+  // bytes are returned when it is released (store/remove symmetry). Headroom
+  // is made BEFORE the bytes attach, keeping the tracker peak under budget.
+  if (tiers_ != nullptr) tiers_->EnsureHeadroom(kv_bytes);
   context->AttachHostReservation(MemoryReservation(&env_->host_memory(), kv_bytes));
-  return contexts_.Add(std::move(context));
+  const uint64_t id = contexts_.Add(std::move(context));
+  if (tiers_ != nullptr) tiers_->NotifyPublished(id);
+  return id;
 }
 
 Result<std::unique_ptr<Context>> AlayaDB::MaterializeContext(
@@ -126,6 +160,8 @@ Result<std::unique_ptr<Context>> AlayaDB::MaterializeContext(
   // session fully reused `reused`, its graphs are extended with the suffix
   // instead of rebuilt (index sharing; see Context::BuildFineIndices).
   ALAYA_RETURN_IF_ERROR(BuildIndices(context.get(), queries, reused, reused_prefix));
+  // Evict-before-attach: the host tracker's peak never exceeds the budget.
+  if (tiers_ != nullptr) tiers_->EnsureHeadroom(kv_bytes);
   context->AttachHostReservation(MemoryReservation(&env_->host_memory(), kv_bytes));
   return context;
 }
@@ -148,7 +184,9 @@ Result<uint64_t> AlayaDB::Store(Session* session,
   ALAYA_RETURN_IF_ERROR(built.status());
   // The new context is warm where the session that produced it ran.
   built.value()->set_resident_device(session->device());
-  return contexts_.Add(std::move(built.value()));
+  const uint64_t id = contexts_.Add(std::move(built.value()));
+  if (tiers_ != nullptr) tiers_->NotifyPublished(id);
+  return id;
 }
 
 Result<uint64_t> AlayaDB::StoreAsync(Session* session,
@@ -188,6 +226,7 @@ Result<uint64_t> AlayaDB::StoreAsync(Session* session,
     Status status = built.ok() ? contexts_.Publish(id, std::move(built.value()))
                                : built.status();
     if (!status.ok()) contexts_.AbortPending(id);
+    if (status.ok() && tiers_ != nullptr) tiers_->NotifyPublished(id);
     RecordMaterializationOutcome(id, status, /*was_queued=*/false);
     ALAYA_RETURN_IF_ERROR(status);
     return id;
@@ -218,6 +257,10 @@ Result<uint64_t> AlayaDB::StoreAsync(Session* session,
       status = built.ok() ? contexts_.Publish(job->id, std::move(built.value()))
                           : built.status();
       if (!status.ok()) contexts_.AbortPending(job->id);
+      // Tier bookkeeping (and durable write-through + budget enforcement)
+      // runs here on the worker — never on the decode path — and before the
+      // drain barrier lifts, so Drain() also covers the persist.
+      if (status.ok() && tiers_ != nullptr) tiers_->NotifyPublished(job->id);
       // Drop the base-context pin (and, via this scope, any failed build)
       // BEFORE signalling completion: releasing the last pin frees host
       // bytes against the environment, and callers are free to tear the

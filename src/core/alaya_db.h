@@ -25,6 +25,7 @@
 #include "src/common/thread_pool.h"
 #include "src/core/context_store.h"
 #include "src/core/session.h"
+#include "src/core/tiered_context_store.h"
 
 namespace alaya {
 
@@ -41,6 +42,10 @@ struct DbOptions {
   /// Worker pool background materializations (StoreAsync) run on
   /// (nullptr -> ThreadPool::Global()).
   ThreadPool* materialize_pool = nullptr;
+  /// Host → disk tiering (TieredContextStore): host budget, spill backing,
+  /// durability and restart semantics. Disabled by default — the store then
+  /// behaves exactly as before (grow-only, host-resident).
+  TierOptions tier;
 };
 
 class AlayaDB {
@@ -135,6 +140,17 @@ class AlayaDB {
   SimEnvironment& env() { return *env_; }
   const DbOptions& options() const { return options_; }
 
+  /// The tiering policy layer; nullptr when options.tier is disabled.
+  TieredContextStore* tiers() { return tiers_.get(); }
+  const TieredContextStore* tiers() const { return tiers_.get(); }
+
+  /// Admission-time hint: a probe saw a spilled context match — warm it on
+  /// the materialize pool so CreateSession finds it resident. No-op without
+  /// tiering or for ids that are resident (or already loading).
+  void PrefetchContext(uint64_t id) {
+    if (tiers_ != nullptr) tiers_->PrefetchAsync(id);
+  }
+
  private:
   Status BuildIndices(Context* context, const QuerySamples* queries,
                       const Context* base = nullptr, size_t base_prefix = 0);
@@ -159,6 +175,9 @@ class AlayaDB {
   DbOptions options_;
   SimEnvironment* env_;
   ContextStore contexts_;
+  /// Declared after contexts_ (destroyed first): its teardown waits for
+  /// in-flight prefetches, which read the store.
+  std::unique_ptr<TieredContextStore> tiers_;
 
   mutable std::mutex mat_mu_;
   std::condition_variable mat_cv_;

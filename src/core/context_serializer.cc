@@ -6,6 +6,41 @@
 
 namespace alaya {
 
+namespace {
+
+// Manifest row layout. Every value occupies one full-width row; 8-byte values
+// (doubles, uint64 counters) are memcpy'd across the row's first two float
+// slots so they round-trip bit-exact — a float cast would corrupt byte
+// counters past 2^24.
+enum ManifestRow : uint32_t {
+  kRowLength = 0,
+  kRowNumLayers,
+  kRowNumKvHeads,
+  kRowHeadDim,
+  kRowHasFine,
+  kRowResidentDevice,
+  kRowKvBytes,             // u64
+  kRowIndexBytes,          // u64
+  kRowKnnWallSeconds,      // f64
+  kRowProjectWallSeconds,  // f64
+  kRowModeledGpuSeconds,   // f64
+  kRowModeledXferSeconds,  // f64
+  kRowReportedSeconds,     // f64
+  kRowStatsIndexBytes,     // u64
+  kRowNumIndices,          // u64
+  kRowTrainingQueries,     // u64
+  kRowExtendedIndices,     // u64
+  kRowReusedBaseNodes,     // u64
+  kRowInsertedSuffix,      // u64
+  kRowTokensBegin,
+};
+
+}  // namespace
+
+std::string ContextSerializer::ManifestName(const std::string& prefix) {
+  return prefix + "_manifest";
+}
+
 std::string ContextSerializer::HeadName(const std::string& prefix, uint32_t layer,
                                         uint32_t head, const char* what) {
   return StrFormat("%s_L%u_H%u_%s", prefix.c_str(), layer, head, what);
@@ -15,22 +50,49 @@ Status ContextSerializer::Persist(const Context& context, const std::string& pre
   if (vfs_ == nullptr) return Status::FailedPrecondition("no vector file system");
   const ModelConfig& m = context.kv().config();
 
-  // Manifest: scalars stored in slot 0 of full-width rows (the VFS fixes one
-  // dim for all files).
+  // Manifest: scalars stored in full-width rows (the VFS fixes one dim for
+  // all files; 8-byte values span the first two float slots).
   {
-    ALAYA_ASSIGN_OR_RETURN(VectorFile * mf, vfs_->CreateFile(prefix + "_manifest"));
+    ALAYA_ASSIGN_OR_RETURN(VectorFile * mf, vfs_->CreateFile(ManifestName(prefix)));
+    if (mf->dim() < 2) {
+      return Status::InvalidArgument("manifest rows need at least two float slots");
+    }
     std::vector<float> row(mf->dim(), 0.f);
     auto put = [&](float v) -> Status {
+      std::fill(row.begin(), row.end(), 0.f);
       row[0] = v;
       ALAYA_ASSIGN_OR_RETURN(uint32_t id, mf->AppendVector(row.data()));
       (void)id;
       return Status::Ok();
     };
+    auto put64 = [&](const void* v) -> Status {
+      std::fill(row.begin(), row.end(), 0.f);
+      std::memcpy(row.data(), v, 8);
+      ALAYA_ASSIGN_OR_RETURN(uint32_t id, mf->AppendVector(row.data()));
+      (void)id;
+      return Status::Ok();
+    };
+    const IndexBuildStats& s = context.build_stats();
+    const uint64_t kv_bytes = context.kv().DeployedBytes();
+    const uint64_t index_bytes = context.IndexBytes();
+    const uint64_t stat_u64[] = {
+        s.index_bytes,           s.num_indices,     s.training_queries,
+        s.extended_indices,      s.reused_base_nodes,
+        s.inserted_suffix_nodes,
+    };
+    const double stat_f64[] = {s.knn_wall_seconds, s.project_wall_seconds,
+                               s.modeled_gpu_seconds, s.modeled_transfer_seconds,
+                               s.reported_seconds};
     ALAYA_RETURN_IF_ERROR(put(static_cast<float>(context.length())));
     ALAYA_RETURN_IF_ERROR(put(static_cast<float>(m.num_layers)));
     ALAYA_RETURN_IF_ERROR(put(static_cast<float>(m.num_kv_heads)));
     ALAYA_RETURN_IF_ERROR(put(static_cast<float>(m.head_dim)));
     ALAYA_RETURN_IF_ERROR(put(context.HasFineIndices() ? 1.f : 0.f));
+    ALAYA_RETURN_IF_ERROR(put(static_cast<float>(context.resident_device())));
+    ALAYA_RETURN_IF_ERROR(put64(&kv_bytes));
+    ALAYA_RETURN_IF_ERROR(put64(&index_bytes));
+    for (double d : stat_f64) ALAYA_RETURN_IF_ERROR(put64(&d));
+    for (uint64_t u : stat_u64) ALAYA_RETURN_IF_ERROR(put64(&u));
     for (int32_t t : context.tokens()) {
       ALAYA_RETURN_IF_ERROR(put(static_cast<float>(t)));
     }
@@ -52,37 +114,76 @@ Status ContextSerializer::Persist(const Context& context, const std::string& pre
   return Status::Ok();
 }
 
-Result<std::unique_ptr<Context>> ContextSerializer::Load(
-    const std::string& prefix, uint64_t id, const ModelConfig& model,
-    const RoarGraphOptions& graph_options) {
+Result<ContextManifest> ContextSerializer::LoadManifest(const std::string& prefix,
+                                                        const ModelConfig& model) {
   if (vfs_ == nullptr) return Status::FailedPrecondition("no vector file system");
-
-  // Manifest.
-  VectorFile* mf = vfs_->GetFile(prefix + "_manifest");
+  VectorFile* mf = vfs_->GetFile(ManifestName(prefix));
   if (mf == nullptr) {
-    ALAYA_ASSIGN_OR_RETURN(mf, vfs_->OpenFile(prefix + "_manifest"));
+    ALAYA_ASSIGN_OR_RETURN(mf, vfs_->OpenFile(ManifestName(prefix)));
   }
+  if (mf->dim() < 2) return Status::Corruption("manifest rows too narrow");
+  std::vector<float> row(mf->dim());
   auto get = [&](uint32_t idx) -> Result<float> {
-    std::vector<float> row(mf->dim());
     ALAYA_RETURN_IF_ERROR(mf->ReadVector(idx, row.data()));
     return row[0];
   };
-  ALAYA_ASSIGN_OR_RETURN(float f_tokens, get(0));
-  ALAYA_ASSIGN_OR_RETURN(float f_layers, get(1));
-  ALAYA_ASSIGN_OR_RETURN(float f_heads, get(2));
-  ALAYA_ASSIGN_OR_RETURN(float f_dim, get(3));
-  ALAYA_ASSIGN_OR_RETURN(float f_fine, get(4));
-  const size_t n_tokens = static_cast<size_t>(f_tokens);
-  if (static_cast<uint32_t>(f_layers) != model.num_layers ||
-      static_cast<uint32_t>(f_heads) != model.num_kv_heads ||
-      static_cast<uint32_t>(f_dim) != model.head_dim) {
+  auto get64 = [&](uint32_t idx, void* out) -> Status {
+    ALAYA_RETURN_IF_ERROR(mf->ReadVector(idx, row.data()));
+    std::memcpy(out, row.data(), 8);
+    return Status::Ok();
+  };
+
+  ContextManifest man;
+  ALAYA_ASSIGN_OR_RETURN(float f_tokens, get(kRowLength));
+  ALAYA_ASSIGN_OR_RETURN(float f_layers, get(kRowNumLayers));
+  ALAYA_ASSIGN_OR_RETURN(float f_heads, get(kRowNumKvHeads));
+  ALAYA_ASSIGN_OR_RETURN(float f_dim, get(kRowHeadDim));
+  ALAYA_ASSIGN_OR_RETURN(float f_fine, get(kRowHasFine));
+  ALAYA_ASSIGN_OR_RETURN(float f_device, get(kRowResidentDevice));
+  man.length = static_cast<size_t>(f_tokens);
+  man.num_layers = static_cast<uint32_t>(f_layers);
+  man.num_kv_heads = static_cast<uint32_t>(f_heads);
+  man.head_dim = static_cast<uint32_t>(f_dim);
+  man.has_fine = f_fine > 0.5f;
+  man.resident_device = static_cast<int>(f_device);
+  if (man.num_layers != model.num_layers ||
+      man.num_kv_heads != model.num_kv_heads || man.head_dim != model.head_dim) {
     return Status::Corruption("persisted geometry does not match the model config");
   }
-  std::vector<int32_t> tokens(n_tokens);
-  for (size_t t = 0; t < n_tokens; ++t) {
-    ALAYA_ASSIGN_OR_RETURN(float v, get(static_cast<uint32_t>(5 + t)));
-    tokens[t] = static_cast<int32_t>(v);
+  ALAYA_RETURN_IF_ERROR(get64(kRowKvBytes, &man.kv_bytes));
+  ALAYA_RETURN_IF_ERROR(get64(kRowIndexBytes, &man.index_bytes));
+  IndexBuildStats& s = man.build_stats;
+  ALAYA_RETURN_IF_ERROR(get64(kRowKnnWallSeconds, &s.knn_wall_seconds));
+  ALAYA_RETURN_IF_ERROR(get64(kRowProjectWallSeconds, &s.project_wall_seconds));
+  ALAYA_RETURN_IF_ERROR(get64(kRowModeledGpuSeconds, &s.modeled_gpu_seconds));
+  ALAYA_RETURN_IF_ERROR(get64(kRowModeledXferSeconds, &s.modeled_transfer_seconds));
+  ALAYA_RETURN_IF_ERROR(get64(kRowReportedSeconds, &s.reported_seconds));
+  ALAYA_RETURN_IF_ERROR(get64(kRowStatsIndexBytes, &s.index_bytes));
+  uint64_t u = 0;
+  ALAYA_RETURN_IF_ERROR(get64(kRowNumIndices, &u));
+  s.num_indices = static_cast<size_t>(u);
+  ALAYA_RETURN_IF_ERROR(get64(kRowTrainingQueries, &u));
+  s.training_queries = static_cast<size_t>(u);
+  ALAYA_RETURN_IF_ERROR(get64(kRowExtendedIndices, &u));
+  s.extended_indices = static_cast<size_t>(u);
+  ALAYA_RETURN_IF_ERROR(get64(kRowReusedBaseNodes, &u));
+  s.reused_base_nodes = static_cast<size_t>(u);
+  ALAYA_RETURN_IF_ERROR(get64(kRowInsertedSuffix, &u));
+  s.inserted_suffix_nodes = static_cast<size_t>(u);
+
+  man.tokens.resize(man.length);
+  for (size_t t = 0; t < man.length; ++t) {
+    ALAYA_ASSIGN_OR_RETURN(float v, get(static_cast<uint32_t>(kRowTokensBegin + t)));
+    man.tokens[t] = static_cast<int32_t>(v);
   }
+  return man;
+}
+
+Result<std::unique_ptr<Context>> ContextSerializer::Load(
+    const std::string& prefix, uint64_t id, const ModelConfig& model,
+    const RoarGraphOptions& graph_options) {
+  ALAYA_ASSIGN_OR_RETURN(ContextManifest man, LoadManifest(prefix, model));
+  const size_t n_tokens = man.length;
 
   auto kv = std::make_unique<KvCache>(model);
   std::vector<AdjacencyGraph> loaded_graphs;
@@ -117,11 +218,16 @@ Result<std::unique_ptr<Context>> ContextSerializer::Load(
     }
   }
 
-  auto context = std::make_unique<Context>(id, std::move(tokens), std::move(kv));
-  if (f_fine > 0.5f) {
+  auto context = std::make_unique<Context>(id, std::move(man.tokens), std::move(kv));
+  if (man.has_fine) {
     ALAYA_RETURN_IF_ERROR(
         context->RestoreFineIndices(graph_options, std::move(loaded_graphs)));
   }
+  // Carry the manifest's affinity and build accounting over: the warm-started
+  // context is placed where it was last hot, and eviction keeps modeling its
+  // (original) rebuild cost rather than seeing zero.
+  context->set_resident_device(man.resident_device);
+  context->set_build_stats(man.build_stats);
   return context;
 }
 

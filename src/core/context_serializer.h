@@ -6,15 +6,35 @@
 // File naming: "<prefix>_L<layer>_H<head>_keys" / "..._vals"; the graph
 // adjacency rides in the keys file's index blocks (the layout the paper
 // describes: data blocks and graph-linked index blocks in one file).
-// A small manifest file ("<prefix>_manifest") records geometry and tokens.
+// A small manifest file ("<prefix>_manifest") records geometry, tokens,
+// device affinity, payload sizes and the original index build accounting —
+// everything the tiered store needs to register a spilled placeholder
+// without touching the (much larger) KV payload files.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "src/core/context_store.h"
 #include "src/storage/vector_file_system.h"
 
 namespace alaya {
+
+/// Everything a manifest records beyond the raw KV payload. Reading this is
+/// cheap (one small file) — warm start registers placeholders from it and
+/// defers the per-head files until a prefix hit demand-pages them.
+struct ContextManifest {
+  size_t length = 0;
+  uint32_t num_layers = 0;
+  uint32_t num_kv_heads = 0;
+  uint32_t head_dim = 0;
+  bool has_fine = false;
+  int resident_device = 0;
+  uint64_t kv_bytes = 0;     ///< DeployedBytes of the persisted KV cache.
+  uint64_t index_bytes = 0;  ///< In-memory bytes of the persisted indices.
+  IndexBuildStats build_stats;
+  std::vector<int32_t> tokens;
+};
 
 class ContextSerializer {
  public:
@@ -25,10 +45,22 @@ class ContextSerializer {
   Status Persist(const Context& context, const std::string& prefix);
 
   /// Loads a previously persisted context. Fine indices are restored from the
-  /// stored adjacency (no rebuild). `id` becomes the context's id.
+  /// stored adjacency (no rebuild; fine_indices_restored() proves it), and
+  /// the manifest's resident_device / build_stats carry over — a warm-started
+  /// store keeps device affinity and the original construction cost.
+  /// `id` becomes the context's id.
   Result<std::unique_ptr<Context>> Load(const std::string& prefix, uint64_t id,
                                         const ModelConfig& model,
                                         const RoarGraphOptions& graph_options);
+
+  /// Reads only the manifest — no KV, no adjacency. Rejects manifests whose
+  /// geometry does not match `model` (same contract as Load).
+  Result<ContextManifest> LoadManifest(const std::string& prefix,
+                                       const ModelConfig& model);
+
+  /// The manifest name for a namespace prefix ("ctx42" -> "ctx42_manifest");
+  /// warm start enumerates VFS names and inverts this.
+  static std::string ManifestName(const std::string& prefix);
 
  private:
   static std::string HeadName(const std::string& prefix, uint32_t layer,

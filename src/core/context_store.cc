@@ -11,6 +11,7 @@ Status Context::BuildFineIndices(const IndexBuildOptions& options,
   const ModelConfig& cfg = kv_->config();
   fine_.clear();
   fine_shared_ = options.share_gqa_group;
+  fine_restored_ = false;
   IndexBuildStats total;
 
   // Extend-from-base: reuse the base context's per-head graphs for the shared
@@ -98,6 +99,7 @@ Status Context::RestoreFineIndices(const RoarGraphOptions& options,
       fine_.push_back(std::move(index));
     }
   }
+  fine_restored_ = true;
   return Status::Ok();
 }
 
@@ -135,6 +137,20 @@ uint64_t Context::IndexBytes() const {
   return b;
 }
 
+void ContextStore::EmplaceResidentLocked(uint64_t id,
+                                         std::shared_ptr<Context> context) {
+  Entry entry;
+  entry.tokens = context->tokens();
+  entry.resident_device = context->resident_device();
+  entry.kv_bytes = context->kv().DeployedBytes();
+  entry.index_bytes = context->IndexBytes();
+  entry.context = std::move(context);
+  resident_kv_bytes_ += entry.kv_bytes;
+  resident_index_bytes_ += entry.index_bytes;
+  prefix_index_.Insert(id, entry.tokens);
+  contexts_[id] = std::move(entry);
+}
+
 uint64_t ContextStore::Add(std::unique_ptr<Context> context) {
   std::unique_lock<std::shared_mutex> lk(mu_);
   uint64_t id = context->id() != 0 ? context->id() : next_id_;
@@ -145,13 +161,15 @@ uint64_t ContextStore::Add(std::unique_ptr<Context> context) {
   context->set_id(id);
   next_id_ = std::max(next_id_, id + 1);
   // A preset id may also overwrite an already-published context (restore into
-  // a populated store); the displaced sequence must leave the prefix index or
-  // lookups would chase a dead id.
+  // a populated store); the displaced sequence must leave the prefix index —
+  // and the incremental totals — or lookups would chase a dead id.
   if (auto it = contexts_.find(id); it != contexts_.end()) {
-    prefix_index_.Erase(id, it->second->tokens());
+    prefix_index_.Erase(id, it->second.tokens);
+    resident_kv_bytes_ -= it->second.context ? it->second.kv_bytes : 0;
+    resident_index_bytes_ -= it->second.context ? it->second.index_bytes : 0;
+    contexts_.erase(it);
   }
-  prefix_index_.Insert(id, context->tokens());
-  contexts_[id] = std::shared_ptr<Context>(std::move(context));
+  EmplaceResidentLocked(id, std::shared_ptr<Context>(std::move(context)));
   return id;
 }
 
@@ -169,8 +187,7 @@ Status ContextStore::Publish(uint64_t id, std::unique_ptr<Context> context) {
     return Status::FailedPrecondition("context id was not reserved as pending");
   }
   context->set_id(id);
-  prefix_index_.Insert(id, context->tokens());
-  contexts_[id] = std::shared_ptr<Context>(std::move(context));
+  EmplaceResidentLocked(id, std::shared_ptr<Context>(std::move(context)));
   return Status::Ok();
 }
 
@@ -187,19 +204,83 @@ size_t ContextStore::pending() const {
 Context* ContextStore::Find(uint64_t id) {
   std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = contexts_.find(id);
-  return it == contexts_.end() ? nullptr : it->second.get();
+  return it == contexts_.end() ? nullptr : it->second.context.get();
 }
 
 const Context* ContextStore::Find(uint64_t id) const {
   std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = contexts_.find(id);
-  return it == contexts_.end() ? nullptr : it->second.get();
+  return it == contexts_.end() ? nullptr : it->second.context.get();
 }
 
 std::shared_ptr<Context> ContextStore::FindShared(uint64_t id) const {
   std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = contexts_.find(id);
-  return it == contexts_.end() ? nullptr : it->second;
+  return it == contexts_.end() ? nullptr : it->second.context;
+}
+
+std::shared_ptr<Context> ContextStore::DetachForSpill(uint64_t id) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  auto it = contexts_.find(id);
+  if (it == contexts_.end() || it->second.context == nullptr) return nullptr;
+  Entry& entry = it->second;
+  // Freeze the affinity the context had at spill time: probes keep answering
+  // from this snapshot while the payload is on disk.
+  entry.resident_device = entry.context->resident_device();
+  resident_kv_bytes_ -= entry.kv_bytes;
+  resident_index_bytes_ -= entry.index_bytes;
+  return std::move(entry.context);
+}
+
+Status ContextStore::RestoreSpilled(uint64_t id, std::shared_ptr<Context> context) {
+  if (context == nullptr) return Status::InvalidArgument("null context");
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  auto it = contexts_.find(id);
+  if (it == contexts_.end()) {
+    return Status::NotFound("no spilled entry for id");
+  }
+  Entry& entry = it->second;
+  if (entry.context != nullptr) {
+    return Status::Aborted("context is already resident");
+  }
+  if (context->tokens() != entry.tokens) {
+    return Status::InvalidArgument("restored tokens do not match spilled entry");
+  }
+  context->set_id(id);
+  context->set_resident_device(entry.resident_device);
+  // Payload bytes may legitimately differ from the spill-time snapshot (e.g.
+  // indices restored with different options); re-measure for the totals.
+  entry.kv_bytes = context->kv().DeployedBytes();
+  entry.index_bytes = context->IndexBytes();
+  resident_kv_bytes_ += entry.kv_bytes;
+  resident_index_bytes_ += entry.index_bytes;
+  entry.context = std::move(context);
+  return Status::Ok();
+}
+
+Status ContextStore::AddSpilled(uint64_t id, std::vector<int32_t> tokens,
+                                int resident_device, uint64_t kv_bytes,
+                                uint64_t index_bytes) {
+  if (id == 0) return Status::InvalidArgument("spilled id must be nonzero");
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  if (contexts_.count(id) > 0 || pending_.count(id) > 0) {
+    return Status::FailedPrecondition("context id already live");
+  }
+  next_id_ = std::max(next_id_, id + 1);
+  Entry entry;
+  entry.tokens = std::move(tokens);
+  entry.resident_device = resident_device;
+  entry.kv_bytes = kv_bytes;
+  entry.index_bytes = index_bytes;
+  prefix_index_.Insert(id, entry.tokens);
+  contexts_[id] = std::move(entry);
+  return Status::Ok();
+}
+
+bool ContextStore::IsSpilled(uint64_t id) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = contexts_.find(id);
+  return it != contexts_.end() && it->second.context == nullptr;
 }
 
 ContextStore::PrefixMatch ContextStore::BestPrefixMatch(
@@ -211,8 +292,11 @@ ContextStore::PrefixMatch ContextStore::BestPrefixMatch(
   auto it = contexts_.find(hit.id);
   if (it == contexts_.end()) return best;  // Unreachable while coherent.
   best.matched = hit.matched;
-  best.context = it->second.get();
-  best.ref = it->second;
+  best.id = hit.id;
+  best.length = it->second.tokens.size();
+  best.spilled = it->second.context == nullptr;
+  best.context = it->second.context.get();
+  best.ref = it->second.context;
   return best;
 }
 
@@ -233,7 +317,9 @@ ContextStore::PrefixProbe ContextStore::BestPrefixProbe(
   if (it == contexts_.end()) return out;  // Unreachable while coherent.
   out.matched = hit.matched;
   out.context_id = hit.id;
-  out.device = it->second->resident_device();
+  out.spilled = it->second.context == nullptr;
+  out.device = out.spilled ? it->second.resident_device
+                           : it->second.context->resident_device();
   return out;
 }
 
@@ -241,7 +327,11 @@ bool ContextStore::Remove(uint64_t id) {
   std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = contexts_.find(id);
   if (it == contexts_.end()) return false;
-  prefix_index_.Erase(id, it->second->tokens());
+  prefix_index_.Erase(id, it->second.tokens);
+  if (it->second.context != nullptr) {
+    resident_kv_bytes_ -= it->second.kv_bytes;
+    resident_index_bytes_ -= it->second.index_bytes;
+  }
   contexts_.erase(it);
   return true;
 }
@@ -256,6 +346,20 @@ size_t ContextStore::size() const {
   return contexts_.size();
 }
 
+size_t ContextStore::resident() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [_, entry] : contexts_) n += entry.context != nullptr;
+  return n;
+}
+
+size_t ContextStore::spilled() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [_, entry] : contexts_) n += entry.context == nullptr;
+  return n;
+}
+
 std::vector<uint64_t> ContextStore::Ids() const {
   std::shared_lock<std::shared_mutex> lk(mu_);
   std::vector<uint64_t> ids;
@@ -264,18 +368,23 @@ std::vector<uint64_t> ContextStore::Ids() const {
   return ids;
 }
 
+std::vector<uint64_t> ContextStore::SpilledIds() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::vector<uint64_t> ids;
+  for (const auto& [id, entry] : contexts_) {
+    if (entry.context == nullptr) ids.push_back(id);
+  }
+  return ids;
+}
+
 uint64_t ContextStore::TotalKvBytes() const {
   std::shared_lock<std::shared_mutex> lk(mu_);
-  uint64_t b = 0;
-  for (const auto& [_, ctx] : contexts_) b += ctx->kv().DeployedBytes();
-  return b;
+  return resident_kv_bytes_;
 }
 
 uint64_t ContextStore::TotalIndexBytes() const {
   std::shared_lock<std::shared_mutex> lk(mu_);
-  uint64_t b = 0;
-  for (const auto& [_, ctx] : contexts_) b += ctx->IndexBytes();
-  return b;
+  return resident_index_bytes_;
 }
 
 }  // namespace alaya

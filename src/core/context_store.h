@@ -57,12 +57,19 @@ class Context {
   Status BuildCoarseIndices(const CoarseIndexOptions& options);
 
   /// Restores GQA-shared fine indices from persisted adjacency (one graph per
-  /// (layer, KV head), layer-major). Used by ContextSerializer::Load.
+  /// (layer, KV head), layer-major). Used by ContextSerializer::Load: the
+  /// adjacency is adopted verbatim — no kNN, no projection, no scratch build
+  /// ever runs on this path — and fine_indices_restored() flips to true so
+  /// warm-start tests can prove it.
   Status RestoreFineIndices(const RoarGraphOptions& options,
                             std::vector<AdjacencyGraph>&& graphs);
 
   bool HasFineIndices() const { return !fine_.empty(); }
   bool HasCoarseIndices() const { return !coarse_.empty(); }
+
+  /// True when the fine indices were adopted from persisted adjacency
+  /// (RestoreFineIndices) rather than built/extended in this process.
+  bool fine_indices_restored() const { return fine_restored_; }
 
   /// Fine index serving (layer, q_head). With GQA sharing this is the KV
   /// head's index; without, each query head has its own.
@@ -71,11 +78,15 @@ class Context {
 
   uint64_t IndexBytes() const;
   const IndexBuildStats& build_stats() const { return build_stats_; }
+  /// Restores persisted build accounting (ContextSerializer::Load): a
+  /// warm-started context keeps its original construction cost, which the
+  /// tiered store's eviction policy models rebuild cost from.
+  void set_build_stats(const IndexBuildStats& stats) { build_stats_ = stats; }
 
   /// Hands the context ownership of its offloaded KV's host-memory
   /// reservation: the tracker bytes are freed when the context is destroyed
   /// (i.e. once removed from the store AND unpinned by every session), keeping
-  /// host accounting symmetric across store/remove cycles.
+  /// host accounting symmetric across store/remove/spill cycles.
   void AttachHostReservation(MemoryReservation reservation) {
     host_kv_reservation_ = std::move(reservation);
   }
@@ -102,6 +113,7 @@ class Context {
   /// q_head (unshared).
   std::vector<std::unique_ptr<RoarGraph>> fine_;
   bool fine_shared_ = true;
+  bool fine_restored_ = false;
   std::vector<std::unique_ptr<CoarseIndex>> coarse_;
   IndexBuildStats build_stats_;
 };
@@ -109,11 +121,18 @@ class Context {
 /// Registry of stored contexts with longest-common-prefix lookup.
 ///
 /// Thread-safety: all methods may be called concurrently (reader/writer lock;
-/// lookups take shared locks, Add/Remove exclusive ones). Contexts are
-/// reference-counted: `FindShared` / `PrefixMatch::ref` pin the context, so a
-/// concurrent `Remove` unregisters it from the store but the storage stays
-/// alive until the last running session drops its reference — the invariant
-/// the multi-session serving engine relies on.
+/// lookups take shared locks, Add/Remove/spill transitions exclusive ones).
+/// Contexts are reference-counted: `FindShared` / `PrefixMatch::ref` pin the
+/// context, so a concurrent `Remove` (or spill) unregisters it from the store
+/// but the storage stays alive until the last running session drops its
+/// reference — the invariant the multi-session serving engine relies on.
+///
+/// Tiering (host → disk): a published context can be SPILLED — its resident
+/// payload (KV + indices) detached for persistence while its token sequence
+/// stays in the prefix trie, so BestPrefixMatch still finds it and reports it
+/// as spilled for the caller (TieredContextStore) to demand-page back in.
+/// Spilled entries count in size()/Ids() but not in the byte totals;
+/// Find/FindShared return null for them (there is nothing resident to pin).
 class ContextStore {
  public:
   struct PrefixMatch {
@@ -121,7 +140,13 @@ class ContextStore {
     /// Lifetime pin for `context`; hold it as long as the raw pointer is used.
     std::shared_ptr<Context> ref;
     size_t matched = 0;  ///< Tokens of shared prefix.
-    bool full() const { return context != nullptr && matched == context->length(); }
+    uint64_t id = 0;     ///< Matched context id (0 when nothing matched).
+    /// The match is a spilled placeholder: `context`/`ref` are null, but the
+    /// stored sequence (and its persisted KV + indices) cover `matched`
+    /// tokens — page it in through the tiered store to use it.
+    bool spilled = false;
+    size_t length = 0;  ///< Full stored sequence length of the match.
+    bool full() const { return matched > 0 && matched == length; }
   };
 
   /// Takes ownership; returns the context id.
@@ -149,13 +174,49 @@ class ContextStore {
   /// Number of reserved-but-unpublished contexts.
   size_t pending() const;
 
-  /// Borrowed lookup. The pointer is only safe while no concurrent Remove can
-  /// run; concurrent callers should prefer FindShared.
+  /// Borrowed lookup — TEST-ONLY by contract. The raw pointer is only safe
+  /// while no concurrent Remove OR spill can run, which on every serving path
+  /// is never true now that the tiered store evicts: production callers must
+  /// use FindShared (the pin keeps a concurrently-evicted context alive).
+  /// Remaining callers are single-threaded tests and setup code.
   Context* Find(uint64_t id);
   const Context* Find(uint64_t id) const;
 
-  /// Owning lookup: keeps the context alive across a concurrent Remove.
+  /// Owning lookup: keeps the context alive across a concurrent Remove or
+  /// spill. Null for unknown ids AND for spilled entries (nothing resident).
   std::shared_ptr<Context> FindShared(uint64_t id) const;
+
+  // --- Spill / restore (host → disk tiering mechanism) ---
+  //
+  // The policy — who to evict, where bytes go — lives in TieredContextStore;
+  // the store only provides the atomic residency transitions. All three keep
+  // the prefix trie untouched: a spilled context still wins prefix matches.
+
+  /// Detaches a published context's resident payload for spilling: the entry
+  /// stays (tokens remain in the trie, size()/Ids() still count it) but the
+  /// in-memory Context is handed to the caller, whose drop of the returned
+  /// reference frees the host bytes (unless a running session still pins it).
+  /// The entry remembers the context's device affinity and payload bytes.
+  /// Null when the id is unknown, pending, or already spilled.
+  std::shared_ptr<Context> DetachForSpill(uint64_t id);
+
+  /// Re-attaches a resident payload to a spilled entry (demand page-in). The
+  /// context's token sequence must equal the spilled entry's. Exactly one of
+  /// two racing restores wins (AlreadyExists for the loser, whose caller
+  /// simply re-reads FindShared).
+  Status RestoreSpilled(uint64_t id, std::shared_ptr<Context> context);
+
+  /// Registers a spilled placeholder directly — the warm-start path: an
+  /// engine restart enumerates the persistence manifests and re-registers
+  /// every on-disk context as spilled, so the trie serves prefix matches
+  /// immediately and the payload pages in on first hit. `kv_bytes` /
+  /// `index_bytes` record the payload size for tier accounting. Fails if the
+  /// id is already live or pending.
+  Status AddSpilled(uint64_t id, std::vector<int32_t> tokens, int resident_device,
+                    uint64_t kv_bytes, uint64_t index_bytes);
+
+  /// True when the id exists and is currently spilled.
+  bool IsSpilled(uint64_t id) const;
 
   /// The stored context sharing the longest common prefix with `tokens`.
   /// Served by a compressed token trie over published sequences: cost is
@@ -163,7 +224,7 @@ class ContextStore {
   /// the winner on ties (lowest id among the maxima) is bit-compatible with
   /// the linear scan this replaced. The trie indexes exactly the published
   /// set — Add/Publish insert, Remove erases, pending reservations are
-  /// invisible until published.
+  /// invisible until published, spilled entries stay (match.spilled set).
   PrefixMatch BestPrefixMatch(std::span<const int32_t> tokens) const;
 
   /// Length of the longest stored prefix of `tokens`, without pinning the
@@ -176,19 +237,29 @@ class ContextStore {
   /// Everything placement-aware admission wants from one trie walk, still
   /// without pinning: the match length plus the winning context's id and
   /// device residency (the affinity target). device == -1 when nothing
-  /// matched. Same TOCTOU caveat as BestPrefixMatchLength.
+  /// matched; `spilled` tells the serving layer to prefetch the page-in off
+  /// the decode path. Same TOCTOU caveat as BestPrefixMatchLength.
   struct PrefixProbe {
     size_t matched = 0;
     uint64_t context_id = 0;
     int device = -1;
+    bool spilled = false;
   };
   PrefixProbe BestPrefixProbe(std::span<const int32_t> tokens) const;
 
   bool Remove(uint64_t id);
+  /// Published entries, resident AND spilled.
   size_t size() const;
+  /// Published entries currently host-resident / currently spilled to disk.
+  size_t resident() const;
+  size_t spilled() const;
   std::vector<uint64_t> Ids() const;
+  std::vector<uint64_t> SpilledIds() const;
 
-  /// Total deployed KV bytes across stored contexts (host-resident).
+  /// Total deployed KV / index bytes across host-RESIDENT stored contexts.
+  /// Incrementally maintained counters updated by Add/Publish/Remove and the
+  /// spill transitions — O(1), where the old implementation walked every
+  /// context under the store lock on each serving snapshot.
   uint64_t TotalKvBytes() const;
   uint64_t TotalIndexBytes() const;
 
@@ -196,14 +267,35 @@ class ContextStore {
   size_t PrefixIndexNodes() const;
 
  private:
+  /// One published context: resident payload (null while spilled) plus the
+  /// metadata that must survive a spill — the token sequence (trie erase on
+  /// Remove, identity check on restore), device affinity, and payload bytes.
+  struct Entry {
+    std::shared_ptr<Context> context;
+    std::vector<int32_t> tokens;
+    int resident_device = 0;  ///< Snapshot while spilled; live value is the
+                              ///< context's own atomic while resident.
+    uint64_t kv_bytes = 0;    ///< Payload size, resident or not.
+    uint64_t index_bytes = 0;
+  };
+
+  /// Inserts a resident entry under `id` (caller holds mu_ exclusively):
+  /// records payload bytes, bumps the incremental totals, indexes the trie.
+  void EmplaceResidentLocked(uint64_t id, std::shared_ptr<Context> context);
+
   mutable std::shared_mutex mu_;
-  std::map<uint64_t, std::shared_ptr<Context>> contexts_;
+  std::map<uint64_t, Entry> contexts_;
   std::set<uint64_t> pending_;  ///< Reserved ids, invisible to all lookups.
   /// Prefix index over published contexts' token sequences, kept coherent
-  /// under mu_: every path that makes a context visible (Add, Publish)
-  /// inserts it, Remove erases it, pending ids never enter.
+  /// under mu_: every path that makes a context visible (Add, Publish,
+  /// AddSpilled) inserts it, Remove erases it, pending ids never enter, and
+  /// spill/restore leave it untouched.
   TokenTrie prefix_index_;
   uint64_t next_id_ = 1;
+  /// Incrementally maintained byte totals over resident entries; asserted
+  /// equal to a full scan in context_store_test.
+  uint64_t resident_kv_bytes_ = 0;
+  uint64_t resident_index_bytes_ = 0;
 };
 
 }  // namespace alaya

@@ -138,6 +138,10 @@ struct RequestSchedulerOptions {
   struct PrefixProbeResult {
     size_t matched = 0;
     int affinity_device = -1;
+    /// The matched context is spilled to disk (tiered store): the probe is
+    /// the prefetch point — the engine's default probe starts the page-in
+    /// here, off the decode path, so CreateSession finds it resident.
+    bool spilled = false;
   };
   std::function<PrefixProbeResult(std::span<const int32_t>)> placement_probe;
   /// Prompt tokens one prefilling session pushes through all layers per engine

@@ -30,9 +30,14 @@ ServingEngineOptions WithDefaults(AlayaDB* db, ServingEngineOptions o) {
   }
   if (o.scheduler.placement_probe == nullptr) {
     // The Submit fast path: matched length + affinity device from one walk.
+    // Hitting a spilled context here is the prefetch hook: the page-in runs
+    // on the materialize pool while the request waits for admission, so by
+    // the time CreateSession needs the context it is (usually) resident.
     o.scheduler.placement_probe = [db](std::span<const int32_t> tokens) {
       const ContextStore::PrefixProbe probe = db->contexts().BestPrefixProbe(tokens);
-      return RequestSchedulerOptions::PrefixProbeResult{probe.matched, probe.device};
+      if (probe.spilled) db->PrefetchContext(probe.context_id);
+      return RequestSchedulerOptions::PrefixProbeResult{probe.matched, probe.device,
+                                                        probe.spilled};
     };
   }
   return o;
@@ -789,6 +794,14 @@ ServingSnapshot ServingEngine::snapshot() const {
   out.materializations_pending = mat.pending;
   out.materializations_completed = mat.completed;
   out.materializations_failed = mat.failed;
+  if (const TieredContextStore* tiers = db_->tiers()) {
+    const TieredContextStore::Stats ts = tiers->stats();
+    out.tier_spills = ts.spills;
+    out.tier_page_ins = ts.page_ins;
+    out.tier_prefetches = ts.prefetches;
+    out.tier_resident_contexts = ts.resident_contexts;
+    out.tier_spilled_contexts = ts.spilled_contexts;
+  }
   // Merge live per-device state: what the scheduler currently reserves on
   // each device, and each device clock's modeled busy seconds (utilization).
   for (DeviceServingStats& ds : out.devices) {

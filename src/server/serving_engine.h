@@ -228,6 +228,14 @@ struct ServingSnapshot {
   size_t materializations_pending = 0;
   size_t materializations_completed = 0;
   size_t materializations_failed = 0;
+  /// Tiered context store (DbOptions::tier): lifetime spill / page-in /
+  /// prefetch counters plus current residency split. All zero when tiering
+  /// is disabled.
+  uint64_t tier_spills = 0;
+  uint64_t tier_page_ins = 0;
+  uint64_t tier_prefetches = 0;
+  size_t tier_resident_contexts = 0;
+  size_t tier_spilled_contexts = 0;
   /// Sharded serving: one entry per device (a single entry on the default
   /// single-device fleet — its counters then mirror the aggregates above).
   std::vector<DeviceServingStats> devices;

@@ -1,10 +1,12 @@
 #include "src/storage/vector_file_system.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 
 #include <cerrno>
 #include <cstring>
+#include <set>
 
 #include "src/common/string_util.h"
 
@@ -79,6 +81,31 @@ VectorFile* VectorFileSystem::GetFile(const std::string& name) {
 size_t VectorFileSystem::num_files() const {
   std::lock_guard<std::mutex> lk(mu_);
   return files_.size();
+}
+
+std::vector<std::string> VectorFileSystem::ListNames() const {
+  std::set<std::string> names;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [name, _] : files_) names.insert(name);
+  }
+  if (!options_.in_memory) {
+    // Not-yet-opened files from a previous process only exist on disk.
+    if (DIR* dir = ::opendir(options_.dir.c_str()); dir != nullptr) {
+      constexpr const char kExt[] = ".vf";
+      constexpr size_t kExtLen = sizeof(kExt) - 1;
+      while (const struct dirent* ent = ::readdir(dir)) {
+        std::string name = ent->d_name;
+        if (name.size() <= kExtLen ||
+            name.compare(name.size() - kExtLen, kExtLen, kExt) != 0) {
+          continue;
+        }
+        names.insert(name.substr(0, name.size() - kExtLen));
+      }
+      ::closedir(dir);
+    }
+  }
+  return {names.begin(), names.end()};
 }
 
 Status VectorFileSystem::PersistHead(const std::string& name, VectorSetView keys,

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/index/graph_common.h"
 #include "src/storage/vector_file.h"
@@ -42,6 +43,12 @@ class VectorFileSystem {
   Status LoadHead(const std::string& name, VectorSet* keys, AdjacencyGraph* graph);
 
   size_t num_files() const;
+
+  /// Names of every file this VFS can serve — on-disk ".vf" files in `dir`
+  /// for POSIX-backed systems (whether or not they are open yet), the live
+  /// file map for in-memory ones. Warm start scans this for "*_manifest"
+  /// entries to re-register persisted contexts after a restart.
+  std::vector<std::string> ListNames() const;
 
  private:
   std::string PathFor(const std::string& name) const;

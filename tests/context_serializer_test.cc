@@ -109,6 +109,61 @@ TEST(ContextSerializerTest, RoundtripWithFineIndices) {
   EXPECT_GT(res.hits.size(), 0u);
 }
 
+TEST(ContextSerializerTest, RoundtripPreservesDeviceAndBuildStats) {
+  // Spill/restore must not launder accounting: a context paged back in keeps
+  // its placement and the (possibly expensive) build provenance it paid for,
+  // otherwise eviction scoring and per-device schedulers see fresh-born state.
+  SerializerFixture fx;
+  auto original = fx.MakeContext(200, 4, /*build_indices=*/true);
+  original->set_resident_device(1);
+  IndexBuildStats stats = original->build_stats();
+  stats.knn_wall_seconds = 1.25;
+  stats.project_wall_seconds = 0.5;
+  stats.modeled_gpu_seconds = 0.0625;
+  stats.modeled_transfer_seconds = 0.03125;
+  stats.reported_seconds = 2.75;
+  // A value past 2^24 would be corrupted by a float cast; the manifest must
+  // carry it bit-exactly.
+  stats.index_bytes = (1ull << 33) + 12345;
+  stats.num_indices = 4;
+  stats.training_queries = 77;
+  stats.extended_indices = 3;
+  stats.reused_base_nodes = (1ull << 26) + 9;
+  stats.inserted_suffix_nodes = 41;
+  original->set_build_stats(stats);
+
+  ContextSerializer ser(&fx.vfs);
+  ASSERT_TRUE(ser.Persist(*original, "ctx4").ok());
+
+  // The manifest alone (warm-start path) exposes the snapshot without paying
+  // for KV or adjacency loads.
+  auto man = ser.LoadManifest("ctx4", fx.model);
+  ASSERT_TRUE(man.ok()) << man.status().ToString();
+  EXPECT_EQ(man.value().resident_device, 1);
+  EXPECT_EQ(man.value().length, 200u);
+  EXPECT_TRUE(man.value().has_fine);
+  EXPECT_EQ(man.value().build_stats.index_bytes, stats.index_bytes);
+  EXPECT_EQ(man.value().tokens, original->tokens());
+
+  auto loaded = ser.Load("ctx4", 11, fx.model, RoarGraphOptions{});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Context& ctx = *loaded.value();
+  EXPECT_EQ(ctx.resident_device(), 1);
+  EXPECT_TRUE(ctx.fine_indices_restored());  // Restored, not rebuilt.
+  const IndexBuildStats& got = ctx.build_stats();
+  EXPECT_EQ(got.knn_wall_seconds, stats.knn_wall_seconds);
+  EXPECT_EQ(got.project_wall_seconds, stats.project_wall_seconds);
+  EXPECT_EQ(got.modeled_gpu_seconds, stats.modeled_gpu_seconds);
+  EXPECT_EQ(got.modeled_transfer_seconds, stats.modeled_transfer_seconds);
+  EXPECT_EQ(got.reported_seconds, stats.reported_seconds);
+  EXPECT_EQ(got.index_bytes, stats.index_bytes);
+  EXPECT_EQ(got.num_indices, stats.num_indices);
+  EXPECT_EQ(got.training_queries, stats.training_queries);
+  EXPECT_EQ(got.extended_indices, stats.extended_indices);
+  EXPECT_EQ(got.reused_base_nodes, stats.reused_base_nodes);
+  EXPECT_EQ(got.inserted_suffix_nodes, stats.inserted_suffix_nodes);
+}
+
 TEST(ContextSerializerTest, GeometryMismatchRejected) {
   SerializerFixture fx;
   auto original = fx.MakeContext(50, 3, false);

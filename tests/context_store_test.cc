@@ -244,5 +244,140 @@ TEST(ContextStoreTest, PrefixLengthProbeAgreesWithFullMatch) {
   }
 }
 
+// --- Incremental byte accounting: TotalKvBytes/TotalIndexBytes are now O(1)
+// --- counters; every mutation path must keep them equal to a full scan.
+
+void ExpectTotalsMatchScan(const ContextStore& store) {
+  uint64_t kv = 0, index = 0;
+  for (uint64_t id : store.Ids()) {
+    if (std::shared_ptr<Context> ctx = store.FindShared(id)) {
+      kv += ctx->kv().DeployedBytes();
+      index += ctx->IndexBytes();
+    }
+  }
+  EXPECT_EQ(store.TotalKvBytes(), kv);
+  EXPECT_EQ(store.TotalIndexBytes(), index);
+}
+
+TEST(ContextStoreTest, ByteCountersMatchFullScanAcrossMutations) {
+  ContextStore store;
+  ModelConfig m = ModelConfig::Tiny();
+  ExpectTotalsMatchScan(store);  // Empty.
+
+  const uint64_t a =
+      store.Add(std::make_unique<Context>(0, Tokens({1, 2, 3}), MakeKv(m, 3, 30)));
+  ExpectTotalsMatchScan(store);
+
+  // Publish path (late materialization) with fine indices built.
+  const uint64_t pending = store.ReservePending();
+  auto ctx = std::make_unique<Context>(0, std::vector<int32_t>(200, 4), MakeKv(m, 200, 31));
+  ASSERT_TRUE(ctx->BuildFineIndices(IndexBuildOptions{}, nullptr, nullptr).ok());
+  ASSERT_TRUE(store.Publish(pending, std::move(ctx)).ok());
+  ExpectTotalsMatchScan(store);
+  EXPECT_GT(store.TotalIndexBytes(), 0u);
+
+  // Preset-id displacement: re-Adding id `a` replaces the old entry; the old
+  // bytes must leave the counters.
+  store.Add(std::make_unique<Context>(a, Tokens({7, 7}), MakeKv(m, 2, 32)));
+  ExpectTotalsMatchScan(store);
+
+  // Spill removes bytes from the totals but keeps the entry alive.
+  auto detached = store.DetachForSpill(pending);
+  ASSERT_NE(detached, nullptr);
+  ExpectTotalsMatchScan(store);
+  EXPECT_TRUE(store.IsSpilled(pending));
+
+  // Restore puts them back.
+  ASSERT_TRUE(store.RestoreSpilled(pending, std::move(detached)).ok());
+  ExpectTotalsMatchScan(store);
+  EXPECT_FALSE(store.IsSpilled(pending));
+
+  EXPECT_TRUE(store.Remove(a));
+  ExpectTotalsMatchScan(store);
+  EXPECT_TRUE(store.Remove(pending));
+  ExpectTotalsMatchScan(store);
+  EXPECT_EQ(store.TotalKvBytes(), 0u);
+  EXPECT_EQ(store.TotalIndexBytes(), 0u);
+}
+
+// --- Spill placeholders: a spilled context stays prefix-matchable (so the
+// --- admission path can schedule a page-in) but is invisible to Find.
+
+TEST(ContextStoreTest, SpilledPlaceholderSemantics) {
+  ContextStore store;
+  ModelConfig m = ModelConfig::Tiny();
+  const std::vector<int32_t> tokens = {1, 2, 3, 4, 5};
+  const uint64_t id = store.Add(std::make_unique<Context>(0, tokens, MakeKv(m, 5, 40)));
+
+  auto detached = store.DetachForSpill(id);
+  ASSERT_NE(detached, nullptr);
+  EXPECT_TRUE(store.IsSpilled(id));
+  EXPECT_EQ(store.size(), 1u);  // Still counted: the id is live.
+  EXPECT_EQ(store.resident(), 0u);
+  EXPECT_EQ(store.spilled(), 1u);
+  ASSERT_EQ(store.SpilledIds().size(), 1u);
+  EXPECT_EQ(store.SpilledIds()[0], id);
+  EXPECT_EQ(store.FindShared(id), nullptr);  // Payload gone...
+
+  // ...but the prefix index still resolves to it, flagged spilled.
+  auto match = store.BestPrefixMatch(Tokens({1, 2, 3, 9}));
+  EXPECT_EQ(match.context, nullptr);
+  EXPECT_EQ(match.ref, nullptr);
+  EXPECT_TRUE(match.spilled);
+  EXPECT_EQ(match.id, id);
+  EXPECT_EQ(match.matched, 3u);
+  EXPECT_EQ(match.length, 5u);
+  auto probe = store.BestPrefixProbe(tokens);
+  EXPECT_TRUE(probe.spilled);
+  EXPECT_EQ(probe.context_id, id);
+  EXPECT_EQ(probe.matched, 5u);
+
+  // Double-detach is a no-op; restore with wrong tokens is refused.
+  EXPECT_EQ(store.DetachForSpill(id), nullptr);
+  auto wrong = std::make_shared<Context>(0, Tokens({9, 9}), MakeKv(m, 2, 41));
+  EXPECT_EQ(store.RestoreSpilled(id, wrong).code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(store.RestoreSpilled(id, std::move(detached)).ok());
+  EXPECT_FALSE(store.IsSpilled(id));
+  EXPECT_EQ(store.resident(), 1u);
+  match = store.BestPrefixMatch(tokens);
+  ASSERT_NE(match.context, nullptr);
+  EXPECT_EQ(match.context->id(), id);
+  EXPECT_FALSE(match.spilled);
+  // Restoring a resident context is refused.
+  auto dup = std::make_shared<Context>(0, tokens, MakeKv(m, 5, 42));
+  EXPECT_EQ(store.RestoreSpilled(id, dup).code(), StatusCode::kAborted);
+}
+
+TEST(ContextStoreTest, AddSpilledWarmStartPlaceholders) {
+  ContextStore store;
+  ModelConfig m = ModelConfig::Tiny();
+  // Warm start installs placeholders with preserved ids, ahead of any Add.
+  ASSERT_TRUE(store.AddSpilled(42, Tokens({3, 1, 4}), /*resident_device=*/1,
+                               /*kv_bytes=*/1000, /*index_bytes=*/500)
+                  .ok());
+  EXPECT_TRUE(store.IsSpilled(42));
+  EXPECT_EQ(store.TotalKvBytes(), 0u);  // Spilled bytes are not resident.
+  auto probe = store.BestPrefixProbe(Tokens({3, 1, 4}));
+  EXPECT_TRUE(probe.spilled);
+  EXPECT_EQ(probe.context_id, 42u);
+  EXPECT_EQ(probe.device, 1);  // Snapshot from the manifest.
+
+  // Id collisions and id 0 are refused.
+  EXPECT_EQ(store.AddSpilled(42, Tokens({5}), -1, 1, 1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.AddSpilled(0, Tokens({5}), -1, 1, 1).code(),
+            StatusCode::kInvalidArgument);
+
+  // Fresh Adds never collide with the warm-started id.
+  const uint64_t next =
+      store.Add(std::make_unique<Context>(0, Tokens({8}), MakeKv(m, 1, 43)));
+  EXPECT_GT(next, 42u);
+
+  // A spilled placeholder is removable (e.g. manifest eviction).
+  EXPECT_TRUE(store.Remove(42));
+  EXPECT_EQ(store.BestPrefixProbe(Tokens({3, 1, 4})).matched, 0u);
+}
+
 }  // namespace
 }  // namespace alaya
