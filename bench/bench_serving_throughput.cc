@@ -18,10 +18,22 @@
 //
 // --open-loop <arrivals/s> switches to an open-loop run against the LIVE
 // engine API: Start() brings up the always-on driver, then requests arrive on
-// a Poisson process (seeded RNG — reproducible) and are admitted at step
-// boundaries while earlier ones decode. Reports per-request p50/p99 TTFT
-// (Submit -> first decoded block, from RequestResult::ttft_seconds) and TPOT
-// (decode wall seconds per token) — the latency axes a closed-loop run hides.
+// a Poisson process (seeded RNG — reproducible) and are admitted continuously
+// — a newcomer's first prefill chunk runs inside whatever step is already in
+// flight (mid-step admission) and prefilling sessions interleave with
+// decoding ones under the per-step token budget. Reports per-request p50/p99
+// TTFT (Submit -> first decoded block, from RequestResult::ttft_seconds) and
+// TPOT (decode wall seconds per token) — the latency axes a closed-loop run
+// hides. Honors --prefill-fraction, so the TTFT tail actually exercises the
+// chunked-prefill path. With --json, the same trace is first replayed against
+// a phase-serialized configuration (no step budget, no mid-step admission —
+// the pre-continuous-batching engine) and its percentiles land in the JSON as
+// baseline_*, so CI can assert the p99 TTFT win without a second binary.
+//
+// --step-budget <tokens> (default 64 in open-loop, 0 = unlimited elsewhere)
+// sets RequestSchedulerOptions::step_token_budget for the main open-loop run;
+// --no-midstep disables ServingEngineOptions::midstep_admission, which
+// reduces the engine to boundary-only admission (the baseline behavior).
 //
 // --devices <n> (default 1) serves over a sharded fleet: each tenant's
 // context is re-homed round-robin across the devices (as a sharded store
@@ -135,12 +147,24 @@ void PrintDeviceTable(const ServingSnapshot& snap) {
   }
 }
 
+/// One complete open-loop pass: the latency samples plus the final snapshot.
+struct OpenLoopResult {
+  std::vector<double> ttft_s, tpot_s;
+  double tokens_per_second = 0;
+  double wall_seconds = 0;
+  ServingSnapshot snap;
+};
+
 /// Machine-readable run summary (one JSON object; schema kept flat and
 /// additive so CI's BENCH_serving.json artifacts stay comparable over time).
+/// `baseline` (open-loop only) carries the phase-serialized pass so the
+/// continuous-batching TTFT delta is auditable from the artifact alone.
 bool WriteBenchJson(const char* path, const char* mode, size_t requests,
                     const std::vector<double>& ttft_s,
                     const std::vector<double>& tpot_s, double tokens_per_second,
-                    double wall_seconds, const ServingSnapshot& snap) {
+                    double wall_seconds, const ServingSnapshot& snap,
+                    size_t step_token_budget = 0, bool midstep = false,
+                    const OpenLoopResult* baseline = nullptr) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open --json path %s\n", path);
@@ -149,6 +173,19 @@ bool WriteBenchJson(const char* path, const char* mode, size_t requests,
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", mode);
   std::fprintf(f, "  \"requests\": %zu,\n", requests);
+  std::fprintf(f, "  \"step_token_budget\": %zu,\n", step_token_budget);
+  std::fprintf(f, "  \"midstep_admission\": %s,\n", midstep ? "true" : "false");
+  std::fprintf(f, "  \"midstep_admissions\": %zu,\n", snap.midstep_admissions);
+  if (baseline != nullptr) {
+    std::fprintf(f, "  \"baseline_ttft_p50_ms\": %.3f,\n",
+                 Percentile(baseline->ttft_s, 0.5) * 1e3);
+    std::fprintf(f, "  \"baseline_ttft_p99_ms\": %.3f,\n",
+                 Percentile(baseline->ttft_s, 0.99) * 1e3);
+    std::fprintf(f, "  \"baseline_tpot_p50_ms\": %.3f,\n",
+                 Percentile(baseline->tpot_s, 0.5) * 1e3);
+    std::fprintf(f, "  \"baseline_tpot_p99_ms\": %.3f,\n",
+                 Percentile(baseline->tpot_s, 0.99) * 1e3);
+  }
   std::fprintf(f, "  \"tokens_decoded\": %zu,\n", snap.tokens_decoded);
   std::fprintf(f, "  \"tokens_prefilled\": %zu,\n", snap.tokens_prefilled);
   std::fprintf(f, "  \"tokens_per_second\": %.3f,\n", tokens_per_second);
@@ -194,16 +231,29 @@ bool WriteBenchJson(const char* path, const char* mode, size_t requests,
   return true;
 }
 
-/// Open-loop mode: Poisson arrivals into the live engine. Returns 0 on
+/// Engine-side knobs one open-loop pass runs under.
+struct OpenLoopConfig {
+  double arrivals_per_sec = 0;
+  size_t devices = 1;
+  uint64_t host_budget_bytes = 0;
+  double prefill_fraction = 0;
+  size_t step_token_budget = 0;
+  size_t prefill_chunk_tokens = 0;  ///< 0 = scheduler default.
+  bool midstep = true;
+};
+
+constexpr size_t kOpenLoopTenants = 4;
+constexpr size_t kOpenLoopRequests = 24;
+constexpr size_t kOpenLoopSteps = 12;
+
+/// One Poisson pass against the live engine. A fresh DB per pass keeps the
+/// baseline and the continuous-batching run byte-comparable (same imported
+/// prefixes, same arrival trace from the same seeded RNG). Returns 0 on
 /// success; validates that every request completed with a measured TTFT.
-int RunOpenLoop(double arrivals_per_sec, size_t devices, uint64_t host_budget_bytes,
-                const char* json_path) {
+int RunOpenLoopOnce(const OpenLoopConfig& cfg, OpenLoopResult* out) {
   const ModelConfig model = bench::BenchModel();
   const auto suite = InfinityBenchSuite(0.04);
   const char* tasks[] = {"En.QA", "En.MC", "Code.D", "Math.F"};
-  constexpr size_t kTenants = 4;
-  constexpr size_t kRequests = 24;
-  constexpr size_t kSteps = 12;
 
   ThreadPool pool(4);
   SimEnvironment env;
@@ -212,11 +262,12 @@ int RunOpenLoop(double arrivals_per_sec, size_t devices, uint64_t host_budget_by
   options.session.optimizer.short_context_threshold = 512;
   options.session.window = WindowConfig{32, 128};
   options.materialize_pool = &pool;
-  options.tier.host_budget_bytes = host_budget_bytes;
+  options.tier.host_budget_bytes = cfg.host_budget_bytes;
   AlayaDB db(options, &env);
 
+  size_t expected_prefill_per_round = 0;
   std::vector<Tenant> tenants;
-  for (size_t i = 0; i < kTenants; ++i) {
+  for (size_t i = 0; i < kOpenLoopTenants; ++i) {
     SyntheticContextOptions copts;
     copts.model = model;
     copts.spec = FindTask(suite, tasks[i]);
@@ -224,21 +275,33 @@ int RunOpenLoop(double arrivals_per_sec, size_t devices, uint64_t host_budget_by
     copts.pool = &pool;
     auto doc = std::make_unique<SyntheticContext>(copts);
     if (!doc->Generate().ok()) return 1;
+    // Import only the reusable prefix; every request over this tenant then
+    // prefills the remaining suffix of its prompt through the chunked path.
+    const size_t import_tokens = static_cast<size_t>(
+        static_cast<double>(doc->num_tokens()) * (1.0 - cfg.prefill_fraction));
     auto kv = std::make_unique<KvCache>(model);
-    if (!kv->AppendAllFrom(doc->kv()).ok()) return 1;
+    if (!kv->AppendPrefixFrom(doc->kv(), import_tokens).ok()) return 1;
+    std::vector<int32_t> tokens(doc->tokens().begin(),
+                                doc->tokens().begin() +
+                                    static_cast<long>(import_tokens));
     auto training = doc->MakeTrainingQueries(128);
-    if (!db.Import(doc->tokens(), std::move(kv), training.get()).ok()) return 1;
-    const size_t imported = doc->num_tokens();
-    tenants.push_back(Tenant{std::move(doc), imported});
+    if (!db.Import(std::move(tokens), std::move(kv), training.get()).ok()) return 1;
+    expected_prefill_per_round += doc->num_tokens() - import_tokens;
+    tenants.push_back(Tenant{std::move(doc), import_tokens});
   }
 
-  ShardContextsAcrossDevices(db, devices);
-  std::printf("=== open-loop serving: Poisson arrivals at %.0f req/s into the "
-              "live engine (%zu device%s) ===\n",
-              arrivals_per_sec, devices, devices == 1 ? "" : "s");
+  ShardContextsAcrossDevices(db, cfg.devices);
   ServingEngineOptions eopts;
-  eopts.scheduler.max_concurrent_sessions = 3;  // < kRequests: queueing shows.
-  eopts.devices = devices;
+  // 6 slots against 24 requests: deep enough that queueing shows, loose
+  // enough that slots are free while steps run — the regime where mid-step
+  // admission (vs waiting for the boundary) actually changes TTFT.
+  eopts.scheduler.max_concurrent_sessions = 6;
+  eopts.scheduler.step_token_budget = cfg.step_token_budget;
+  if (cfg.prefill_chunk_tokens > 0) {
+    eopts.scheduler.prefill_chunk_tokens = cfg.prefill_chunk_tokens;
+  }
+  eopts.midstep_admission = cfg.midstep;
+  eopts.devices = cfg.devices;
   eopts.pool = &pool;
   ServingEngine engine(&db, eopts);
   if (Status s = engine.Start(); !s.ok()) {
@@ -251,12 +314,13 @@ int RunOpenLoop(double arrivals_per_sec, size_t devices, uint64_t host_budget_by
   Rng rng(0x09E17007);
   WallTimer wall;
   std::vector<RequestHandle> handles;
-  for (size_t i = 0; i < kRequests; ++i) {
+  for (size_t i = 0; i < kOpenLoopRequests; ++i) {
     if (i > 0) {
-      const double gap = -std::log(1.0 - rng.Uniform()) / arrivals_per_sec;
+      const double gap = -std::log(1.0 - rng.Uniform()) / cfg.arrivals_per_sec;
       std::this_thread::sleep_for(std::chrono::duration<double>(gap));
     }
-    auto h = engine.Submit(MakeRequest(tenants[i % kTenants], kSteps, false));
+    auto h = engine.Submit(
+        MakeRequest(tenants[i % kOpenLoopTenants], kOpenLoopSteps, false));
     if (!h.ok()) {
       // kBacklogFull would be the retryable branch of a real client; at this
       // queue depth (256) it cannot trigger here, so any rejection is fatal.
@@ -266,7 +330,8 @@ int RunOpenLoop(double arrivals_per_sec, size_t devices, uint64_t host_budget_by
     handles.push_back(h.value());
   }
 
-  std::vector<double> ttft_s, tpot_s;
+  std::vector<double>& ttft_s = out->ttft_s;
+  std::vector<double>& tpot_s = out->tpot_s;
   for (size_t i = 0; i < handles.size(); ++i) {
     const RequestResult* r = handles[i].Wait();
     if (r == nullptr || !r->status.ok()) {
@@ -274,7 +339,7 @@ int RunOpenLoop(double arrivals_per_sec, size_t devices, uint64_t host_budget_by
                    r != nullptr ? r->status.ToString().c_str() : "(null)");
       return 1;
     }
-    if (r->steps_completed != kSteps || r->ttft_seconds <= 0) {
+    if (r->steps_completed != kOpenLoopSteps || r->ttft_seconds <= 0) {
       std::fprintf(stderr, "FAIL: request %zu: %zu steps, ttft %.9f\n", i,
                    r->steps_completed, r->ttft_seconds);
       return 1;
@@ -282,30 +347,87 @@ int RunOpenLoop(double arrivals_per_sec, size_t devices, uint64_t host_budget_by
     ttft_s.push_back(r->ttft_seconds);
     tpot_s.push_back(r->decode_wall_seconds / static_cast<double>(r->steps_completed));
   }
-  const double serve_seconds = wall.ElapsedSeconds();
+  out->wall_seconds = wall.ElapsedSeconds();
   if (Status s = engine.Shutdown(); !s.ok()) {
     std::fprintf(stderr, "shutdown failed: %s\n", s.ToString().c_str());
     return 1;
   }
 
-  const ServingSnapshot snap = engine.snapshot();
-  if (snap.completed != kRequests || snap.tokens_decoded != kRequests * kSteps) {
-    std::fprintf(stderr, "FAIL: %zu completed, %zu tokens\n", snap.completed,
-                 snap.tokens_decoded);
+  out->snap = engine.snapshot();
+  const ServingSnapshot& snap = out->snap;
+  const size_t expected_prefill =
+      (kOpenLoopRequests / kOpenLoopTenants) * expected_prefill_per_round;
+  if (snap.completed != kOpenLoopRequests ||
+      snap.tokens_decoded != kOpenLoopRequests * kOpenLoopSteps ||
+      snap.tokens_prefilled != expected_prefill) {
+    std::fprintf(stderr, "FAIL: %zu completed, %zu decoded, %zu prefilled (want %zu)\n",
+                 snap.completed, snap.tokens_decoded, snap.tokens_prefilled,
+                 expected_prefill);
     return 1;
   }
-  std::printf("%10s %12s %12s %12s %12s %12s %12s\n", "requests", "ttft-p50",
-              "ttft-p99", "tpot-p50", "tpot-p99", "tokens/sec", "peak-conc");
-  const double open_tps =
-      static_cast<double>(snap.tokens_decoded) / std::max(serve_seconds, 1e-9);
-  std::printf("%10zu %10.2fms %10.2fms %10.2fms %10.2fms %12.1f %12zu\n",
-              kRequests, Percentile(ttft_s, 0.5) * 1e3, Percentile(ttft_s, 0.99) * 1e3,
-              Percentile(tpot_s, 0.5) * 1e3, Percentile(tpot_s, 0.99) * 1e3,
-              open_tps, snap.peak_concurrent_sessions);
-  PrintDeviceTable(snap);
+  if (cfg.midstep && snap.midstep_admissions == 0 && cfg.arrivals_per_sec >= 50) {
+    // At >= 50 req/s, arrivals land inside running steps essentially always;
+    // zero mid-step admissions means the continuous path silently regressed.
+    std::fprintf(stderr, "FAIL: no mid-step admissions at %.0f req/s\n",
+                 cfg.arrivals_per_sec);
+    return 1;
+  }
+  out->tokens_per_second =
+      static_cast<double>(snap.tokens_decoded) / std::max(out->wall_seconds, 1e-9);
+  return 0;
+}
+
+/// Open-loop mode: with --json, the phase-serialized baseline runs first so
+/// the artifact carries both sides of the continuous-batching comparison.
+int RunOpenLoop(const OpenLoopConfig& cfg, const char* json_path) {
+  OpenLoopResult baseline;
+  bool have_baseline = false;
+  if (json_path != nullptr) {
+    OpenLoopConfig base = cfg;
+    base.step_token_budget = 0;  // Unbounded steps.
+    // Chunks larger than any prompt suffix: an admitted request prefills its
+    // ENTIRE suffix inside one step while every decoder stalls — the convoy
+    // the pre-continuous engine created. (Bounded, not SIZE_MAX: admission
+    // sizes the chunk scratch buffers to this.)
+    base.prefill_chunk_tokens = 8192;
+    base.midstep = false;  // Admission only at step boundaries.
+    std::printf("=== open-loop baseline: phase-serialized (no step budget, "
+                "boundary-only admission) ===\n");
+    if (int rc = RunOpenLoopOnce(base, &baseline); rc != 0) return rc;
+    std::printf("%10s %12s %12s %12s %12s\n", "requests", "ttft-p50",
+                "ttft-p99", "tpot-p50", "tpot-p99");
+    std::printf("%10zu %10.2fms %10.2fms %10.2fms %10.2fms\n", kOpenLoopRequests,
+                Percentile(baseline.ttft_s, 0.5) * 1e3,
+                Percentile(baseline.ttft_s, 0.99) * 1e3,
+                Percentile(baseline.tpot_s, 0.5) * 1e3,
+                Percentile(baseline.tpot_s, 0.99) * 1e3);
+    have_baseline = true;
+  }
+
+  std::printf("=== open-loop serving: Poisson arrivals at %.0f req/s into the "
+              "live engine (%zu device%s, step budget %zu, mid-step %s) ===\n",
+              cfg.arrivals_per_sec, cfg.devices, cfg.devices == 1 ? "" : "s",
+              cfg.step_token_budget, cfg.midstep ? "on" : "off");
+  OpenLoopResult main_run;
+  if (int rc = RunOpenLoopOnce(cfg, &main_run); rc != 0) return rc;
+
+  std::printf("%10s %12s %12s %12s %12s %12s %12s %12s\n", "requests",
+              "ttft-p50", "ttft-p99", "tpot-p50", "tpot-p99", "tokens/sec",
+              "peak-conc", "midstep");
+  std::printf("%10zu %10.2fms %10.2fms %10.2fms %10.2fms %12.1f %12zu %12zu\n",
+              kOpenLoopRequests, Percentile(main_run.ttft_s, 0.5) * 1e3,
+              Percentile(main_run.ttft_s, 0.99) * 1e3,
+              Percentile(main_run.tpot_s, 0.5) * 1e3,
+              Percentile(main_run.tpot_s, 0.99) * 1e3,
+              main_run.tokens_per_second, main_run.snap.peak_concurrent_sessions,
+              main_run.snap.midstep_admissions);
+  PrintDeviceTable(main_run.snap);
   if (json_path != nullptr &&
-      !WriteBenchJson(json_path, "open-loop", kRequests, ttft_s, tpot_s, open_tps,
-                      serve_seconds, snap)) {
+      !WriteBenchJson(json_path, "open-loop", kOpenLoopRequests, main_run.ttft_s,
+                      main_run.tpot_s, main_run.tokens_per_second,
+                      main_run.wall_seconds, main_run.snap,
+                      cfg.step_token_budget, cfg.midstep,
+                      have_baseline ? &baseline : nullptr)) {
     return 1;
   }
   std::printf("bench_serving_throughput OK\n");
@@ -320,6 +442,8 @@ int main(int argc, char** argv) {
   double open_loop_rate = 0.0;
   size_t devices = 1;
   uint64_t host_budget_bytes = 0;
+  long step_budget = -1;  // -1 = unset: open loop defaults to 64, closed to 0.
+  bool midstep = true;
   const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--host-budget") == 0 && i + 1 < argc) {
@@ -341,6 +465,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       devices = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--step-budget") == 0 && i + 1 < argc) {
+      // Per-step token budget shared by decode steps and prefill chunks
+      // (0 = unlimited; see RequestSchedulerOptions::step_token_budget).
+      char* end = nullptr;
+      step_budget = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || step_budget < 0) {
+        std::fprintf(stderr, "--step-budget: need tokens >= 0: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--no-midstep") == 0) {
+      midstep = false;  // Boundary-only admission: the phase-serialized mode.
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--prefill-fraction") == 0 && i + 1 < argc) {
@@ -367,7 +502,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--prefill-fraction f] [--store-fraction f] "
-                   "[--open-loop arrivals_per_sec] [--devices n] "
+                   "[--open-loop arrivals_per_sec] [--step-budget tokens] "
+                   "[--no-midstep] [--devices n] "
                    "[--host-budget mib] [--json path]"
                    "   (0 <= f < 1, 0 <= store <= 1, arrivals > 0)\n",
                    argv[0]);
@@ -379,7 +515,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--open-loop must be positive\n");
       return 2;
     }
-    return RunOpenLoop(open_loop_rate, devices, host_budget_bytes, json_path);
+    if (!(prefill_fraction >= 0.0 && prefill_fraction < 1.0)) {
+      std::fprintf(stderr, "--prefill-fraction must be in [0, 1)\n");
+      return 2;
+    }
+    OpenLoopConfig cfg;
+    cfg.arrivals_per_sec = open_loop_rate;
+    cfg.devices = devices;
+    cfg.host_budget_bytes = host_budget_bytes;
+    cfg.prefill_fraction = prefill_fraction;
+    // Open loop defaults to a bounded step so the continuous-batching path is
+    // exercised out of the box; closed loop keeps the historical unlimited.
+    cfg.step_token_budget = step_budget < 0 ? 64 : static_cast<size_t>(step_budget);
+    cfg.midstep = midstep;
+    return RunOpenLoop(cfg, json_path);
   }
   // Negated form so NaN (which fails every comparison) is rejected too.
   if (!(prefill_fraction >= 0.0 && prefill_fraction < 1.0)) {
@@ -450,6 +599,9 @@ int main(int argc, char** argv) {
     ShardContextsAcrossDevices(db, devices);
     ServingEngineOptions eopts;
     eopts.scheduler.max_concurrent_sessions = concurrency;
+    eopts.scheduler.step_token_budget =
+        step_budget < 0 ? 0 : static_cast<size_t>(step_budget);
+    eopts.midstep_admission = midstep;
     eopts.devices = devices;
     eopts.pool = &pool;
     ServingEngine engine(&db, eopts);
@@ -541,7 +693,9 @@ int main(int argc, char** argv) {
       PrintDeviceTable(snap);
       if (json_path != nullptr &&
           !WriteBenchJson(json_path, "closed-loop", kTenants, ttft_s, tpot_s,
-                          snap.tokens_per_second, snap.serve_wall_seconds, snap)) {
+                          snap.tokens_per_second, snap.serve_wall_seconds, snap,
+                          step_budget < 0 ? 0 : static_cast<size_t>(step_budget),
+                          midstep)) {
         return 1;
       }
     }

@@ -92,6 +92,7 @@ class Status {
   const std::string& message() const { return message_; }
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }

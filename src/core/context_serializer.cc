@@ -33,7 +33,33 @@ enum ManifestRow : uint32_t {
   kRowReusedBaseNodes,     // u64
   kRowInsertedSuffix,      // u64
   kRowTokensBegin,
+  // After the tokens, three trailer rows close the manifest:
+  //   kRowTokensBegin + length + 0: magic   (u64 — format/version witness)
+  //   kRowTokensBegin + length + 1: generation (u64 — persist stamp)
+  //   kRowTokensBegin + length + 2: checksum (u64 — FNV-1a over the raw bytes
+  //                                 of every preceding row, trailer excluded)
+  // A torn write that loses any row also loses the trailer (rows append in
+  // order), and a partial block that garbles earlier rows fails the checksum:
+  // either way LoadManifest returns Corruption and warm start skips the
+  // context instead of resurrecting a half-persisted one.
 };
+
+/// Bumped when the row layout changes; doubles as the torn-write witness (an
+/// old-format or truncated manifest has no matching magic row where the
+/// trailer should be).
+constexpr uint64_t kManifestMagic = 0x414C41594D463032ULL;  // "ALAYMF02"
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
 
 }  // namespace
 
@@ -46,59 +72,16 @@ std::string ContextSerializer::HeadName(const std::string& prefix, uint32_t laye
   return StrFormat("%s_L%u_H%u_%s", prefix.c_str(), layer, head, what);
 }
 
-Status ContextSerializer::Persist(const Context& context, const std::string& prefix) {
+Status ContextSerializer::Persist(const Context& context, const std::string& prefix,
+                                  uint64_t generation) {
   if (vfs_ == nullptr) return Status::FailedPrecondition("no vector file system");
   const ModelConfig& m = context.kv().config();
 
-  // Manifest: scalars stored in full-width rows (the VFS fixes one dim for
-  // all files; 8-byte values span the first two float slots).
-  {
-    ALAYA_ASSIGN_OR_RETURN(VectorFile * mf, vfs_->CreateFile(ManifestName(prefix)));
-    if (mf->dim() < 2) {
-      return Status::InvalidArgument("manifest rows need at least two float slots");
-    }
-    std::vector<float> row(mf->dim(), 0.f);
-    auto put = [&](float v) -> Status {
-      std::fill(row.begin(), row.end(), 0.f);
-      row[0] = v;
-      ALAYA_ASSIGN_OR_RETURN(uint32_t id, mf->AppendVector(row.data()));
-      (void)id;
-      return Status::Ok();
-    };
-    auto put64 = [&](const void* v) -> Status {
-      std::fill(row.begin(), row.end(), 0.f);
-      std::memcpy(row.data(), v, 8);
-      ALAYA_ASSIGN_OR_RETURN(uint32_t id, mf->AppendVector(row.data()));
-      (void)id;
-      return Status::Ok();
-    };
-    const IndexBuildStats& s = context.build_stats();
-    const uint64_t kv_bytes = context.kv().DeployedBytes();
-    const uint64_t index_bytes = context.IndexBytes();
-    const uint64_t stat_u64[] = {
-        s.index_bytes,           s.num_indices,     s.training_queries,
-        s.extended_indices,      s.reused_base_nodes,
-        s.inserted_suffix_nodes,
-    };
-    const double stat_f64[] = {s.knn_wall_seconds, s.project_wall_seconds,
-                               s.modeled_gpu_seconds, s.modeled_transfer_seconds,
-                               s.reported_seconds};
-    ALAYA_RETURN_IF_ERROR(put(static_cast<float>(context.length())));
-    ALAYA_RETURN_IF_ERROR(put(static_cast<float>(m.num_layers)));
-    ALAYA_RETURN_IF_ERROR(put(static_cast<float>(m.num_kv_heads)));
-    ALAYA_RETURN_IF_ERROR(put(static_cast<float>(m.head_dim)));
-    ALAYA_RETURN_IF_ERROR(put(context.HasFineIndices() ? 1.f : 0.f));
-    ALAYA_RETURN_IF_ERROR(put(static_cast<float>(context.resident_device())));
-    ALAYA_RETURN_IF_ERROR(put64(&kv_bytes));
-    ALAYA_RETURN_IF_ERROR(put64(&index_bytes));
-    for (double d : stat_f64) ALAYA_RETURN_IF_ERROR(put64(&d));
-    for (uint64_t u : stat_u64) ALAYA_RETURN_IF_ERROR(put64(&u));
-    for (int32_t t : context.tokens()) {
-      ALAYA_RETURN_IF_ERROR(put(static_cast<float>(t)));
-    }
-    ALAYA_RETURN_IF_ERROR(mf->Flush());
-  }
-
+  // Payload first: the (large) per-head KV and adjacency files carry no
+  // commit semantics of their own. A crash anywhere in this loop leaves
+  // orphaned payload files and NO manifest — warm start never sees the
+  // context, which is exactly the pre-crash truth (it was never durably
+  // published).
   for (uint32_t layer = 0; layer < m.num_layers; ++layer) {
     for (uint32_t h = 0; h < m.num_kv_heads; ++h) {
       // Keys + the fine graph's adjacency share one file (§7.3 layout).
@@ -111,11 +94,86 @@ Status ContextSerializer::Persist(const Context& context, const std::string& pre
                                               context.kv().Values(layer, h), nullptr));
     }
   }
-  return Status::Ok();
+
+  // Manifest last — the commit record. Scalars stored in full-width rows (the
+  // VFS fixes one dim for all files; 8-byte values span the first two float
+  // slots); every row's raw bytes fold into the checksum the trailer seals.
+  ALAYA_ASSIGN_OR_RETURN(VectorFile * mf, vfs_->CreateFile(ManifestName(prefix)));
+  if (mf->dim() < 2) {
+    return Status::InvalidArgument("manifest rows need at least two float slots");
+  }
+  std::vector<float> row(mf->dim(), 0.f);
+  uint64_t checksum = kFnvOffset;
+  const size_t row_bytes = row.size() * sizeof(float);
+  auto append = [&](bool hashed) -> Status {
+    if (hashed) checksum = Fnv1a(checksum, row.data(), row_bytes);
+    ALAYA_ASSIGN_OR_RETURN(uint32_t id, mf->AppendVector(row.data()));
+    (void)id;
+    return Status::Ok();
+  };
+  auto put = [&](float v) -> Status {
+    std::fill(row.begin(), row.end(), 0.f);
+    row[0] = v;
+    return append(/*hashed=*/true);
+  };
+  auto put64 = [&](const void* v) -> Status {
+    std::fill(row.begin(), row.end(), 0.f);
+    std::memcpy(row.data(), v, 8);
+    return append(/*hashed=*/true);
+  };
+  auto put64_trailer = [&](const void* v) -> Status {
+    std::fill(row.begin(), row.end(), 0.f);
+    std::memcpy(row.data(), v, 8);
+    return append(/*hashed=*/false);
+  };
+  const IndexBuildStats& s = context.build_stats();
+  const uint64_t kv_bytes = context.kv().DeployedBytes();
+  const uint64_t index_bytes = context.IndexBytes();
+  const uint64_t stat_u64[] = {
+      s.index_bytes,           s.num_indices,     s.training_queries,
+      s.extended_indices,      s.reused_base_nodes,
+      s.inserted_suffix_nodes,
+  };
+  const double stat_f64[] = {s.knn_wall_seconds, s.project_wall_seconds,
+                             s.modeled_gpu_seconds, s.modeled_transfer_seconds,
+                             s.reported_seconds};
+  ALAYA_RETURN_IF_ERROR(put(static_cast<float>(context.length())));
+  ALAYA_RETURN_IF_ERROR(put(static_cast<float>(m.num_layers)));
+  ALAYA_RETURN_IF_ERROR(put(static_cast<float>(m.num_kv_heads)));
+  ALAYA_RETURN_IF_ERROR(put(static_cast<float>(m.head_dim)));
+  ALAYA_RETURN_IF_ERROR(put(context.HasFineIndices() ? 1.f : 0.f));
+  ALAYA_RETURN_IF_ERROR(put(static_cast<float>(context.resident_device())));
+  ALAYA_RETURN_IF_ERROR(put64(&kv_bytes));
+  ALAYA_RETURN_IF_ERROR(put64(&index_bytes));
+  for (double d : stat_f64) ALAYA_RETURN_IF_ERROR(put64(&d));
+  for (uint64_t u : stat_u64) ALAYA_RETURN_IF_ERROR(put64(&u));
+  for (int32_t t : context.tokens()) {
+    ALAYA_RETURN_IF_ERROR(put(static_cast<float>(t)));
+  }
+  // Trailer: magic, generation, then the checksum over everything above. The
+  // trailer rows are excluded from the hash (the checksum cannot cover
+  // itself); the magic row doubles as the truncation witness.
+  ALAYA_RETURN_IF_ERROR(put64_trailer(&kManifestMagic));
+  ALAYA_RETURN_IF_ERROR(put64_trailer(&generation));
+  ALAYA_RETURN_IF_ERROR(put64_trailer(&checksum));
+  return mf->Flush();
 }
 
 Result<ContextManifest> ContextSerializer::LoadManifest(const std::string& prefix,
                                                         const ModelConfig& model) {
+  Result<ContextManifest> r = LoadManifestImpl(prefix, model);
+  if (!r.ok() && r.status().IsOutOfRange()) {
+    // The file (or its row count) ends before the manifest's own geometry
+    // says it should — a physically truncated write. Same disposition as a
+    // failed trailer: Corruption, so warm start skips rather than errors.
+    return Status::Corruption("manifest ends early (torn write?): " +
+                              r.status().ToString());
+  }
+  return r;
+}
+
+Result<ContextManifest> ContextSerializer::LoadManifestImpl(
+    const std::string& prefix, const ModelConfig& model) {
   if (vfs_ == nullptr) return Status::FailedPrecondition("no vector file system");
   VectorFile* mf = vfs_->GetFile(ManifestName(prefix));
   if (mf == nullptr) {
@@ -123,11 +181,23 @@ Result<ContextManifest> ContextSerializer::LoadManifest(const std::string& prefi
   }
   if (mf->dim() < 2) return Status::Corruption("manifest rows too narrow");
   std::vector<float> row(mf->dim());
+  // Rows are read exactly once, in file order, so the running FNV-1a here
+  // mirrors the one Persist folded row by row; the trailer reads below use
+  // the unhashed variant (the stored checksum cannot cover itself).
+  uint64_t checksum = kFnvOffset;
+  const size_t row_bytes = row.size() * sizeof(float);
   auto get = [&](uint32_t idx) -> Result<float> {
     ALAYA_RETURN_IF_ERROR(mf->ReadVector(idx, row.data()));
+    checksum = Fnv1a(checksum, row.data(), row_bytes);
     return row[0];
   };
   auto get64 = [&](uint32_t idx, void* out) -> Status {
+    ALAYA_RETURN_IF_ERROR(mf->ReadVector(idx, row.data()));
+    checksum = Fnv1a(checksum, row.data(), row_bytes);
+    std::memcpy(out, row.data(), 8);
+    return Status::Ok();
+  };
+  auto get64_trailer = [&](uint32_t idx, void* out) -> Status {
     ALAYA_RETURN_IF_ERROR(mf->ReadVector(idx, row.data()));
     std::memcpy(out, row.data(), 8);
     return Status::Ok();
@@ -140,6 +210,9 @@ Result<ContextManifest> ContextSerializer::LoadManifest(const std::string& prefi
   ALAYA_ASSIGN_OR_RETURN(float f_dim, get(kRowHeadDim));
   ALAYA_ASSIGN_OR_RETURN(float f_fine, get(kRowHasFine));
   ALAYA_ASSIGN_OR_RETURN(float f_device, get(kRowResidentDevice));
+  if (!(f_tokens >= 0.f && f_tokens <= 1e9f)) {
+    return Status::Corruption("manifest length row is garbage");
+  }
   man.length = static_cast<size_t>(f_tokens);
   man.num_layers = static_cast<uint32_t>(f_layers);
   man.num_kv_heads = static_cast<uint32_t>(f_heads);
@@ -171,10 +244,33 @@ Result<ContextManifest> ContextSerializer::LoadManifest(const std::string& prefi
   ALAYA_RETURN_IF_ERROR(get64(kRowInsertedSuffix, &u));
   s.inserted_suffix_nodes = static_cast<size_t>(u);
 
+  // Bound the token count by the file's actual rows BEFORE allocating: a
+  // garbled length row must fail cleanly, not drive a huge resize.
+  if (man.length + kRowTokensBegin + 3 >
+      static_cast<size_t>(mf->num_vectors())) {
+    return Status::Corruption("manifest token count exceeds stored rows");
+  }
   man.tokens.resize(man.length);
   for (size_t t = 0; t < man.length; ++t) {
     ALAYA_ASSIGN_OR_RETURN(float v, get(static_cast<uint32_t>(kRowTokensBegin + t)));
     man.tokens[t] = static_cast<int32_t>(v);
+  }
+
+  // Trailer: a manifest torn mid-write is missing rows (the reads fail), an
+  // old-format or foreign file has no magic where the trailer belongs, and a
+  // garbled-in-place one fails the checksum. All three are Corruption — the
+  // tiered store's warm start skips the context rather than resurrecting a
+  // half-persisted one.
+  const uint32_t trailer = static_cast<uint32_t>(kRowTokensBegin + man.length);
+  uint64_t magic = 0;
+  if (!get64_trailer(trailer, &magic).ok() || magic != kManifestMagic) {
+    return Status::Corruption("manifest trailer missing or wrong magic (torn write?)");
+  }
+  ALAYA_RETURN_IF_ERROR(get64_trailer(trailer + 1, &man.generation));
+  uint64_t stored_checksum = 0;
+  ALAYA_RETURN_IF_ERROR(get64_trailer(trailer + 2, &stored_checksum));
+  if (stored_checksum != checksum) {
+    return Status::Corruption("manifest checksum mismatch (torn or corrupt write)");
   }
   return man;
 }

@@ -10,6 +10,13 @@
 // device affinity, payload sizes and the original index build accounting —
 // everything the tiered store needs to register a spilled placeholder
 // without touching the (much larger) KV payload files.
+//
+// Torn-write safety: the payload head files are written FIRST and the
+// manifest LAST, so the manifest is the commit record — a crash mid-persist
+// leaves payload files with no manifest, which warm start simply never sees.
+// The manifest itself ends in a trailer (magic, generation stamp, checksum
+// over every preceding row), so a torn or bit-rotted manifest is detected and
+// rejected as Corruption instead of resurrecting a half-persisted context.
 #pragma once
 
 #include <string>
@@ -34,6 +41,9 @@ struct ContextManifest {
   uint64_t index_bytes = 0;  ///< In-memory bytes of the persisted indices.
   IndexBuildStats build_stats;
   std::vector<int32_t> tokens;
+  /// Monotone stamp the tiered store assigns per persist — distinguishes a
+  /// re-persisted context from a stale manifest generation on warm start.
+  uint64_t generation = 0;
 };
 
 class ContextSerializer {
@@ -41,8 +51,11 @@ class ContextSerializer {
   explicit ContextSerializer(VectorFileSystem* vfs) : vfs_(vfs) {}
 
   /// Persists the context's KV cache and (if built) its fine-index graphs.
-  /// `prefix` namespaces the files (e.g. "ctx42").
-  Status Persist(const Context& context, const std::string& prefix);
+  /// `prefix` namespaces the files (e.g. "ctx42"). Payload files land first;
+  /// the manifest — stamped with `generation` and ending in a checksum
+  /// trailer — is written last, as the commit record.
+  Status Persist(const Context& context, const std::string& prefix,
+                 uint64_t generation = 0);
 
   /// Loads a previously persisted context. Fine indices are restored from the
   /// stored adjacency (no rebuild; fine_indices_restored() proves it), and
@@ -65,6 +78,10 @@ class ContextSerializer {
  private:
   static std::string HeadName(const std::string& prefix, uint32_t layer,
                               uint32_t head, const char* what);
+  /// LoadManifest body; the public wrapper maps OutOfRange (file shorter than
+  /// its own geometry claims — a torn write) to Corruption.
+  Result<ContextManifest> LoadManifestImpl(const std::string& prefix,
+                                           const ModelConfig& model);
 
   VectorFileSystem* vfs_;
 };

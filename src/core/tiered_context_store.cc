@@ -1,5 +1,7 @@
 #include "src/core/tiered_context_store.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 namespace alaya {
@@ -55,11 +57,23 @@ TieredContextStore::TieredContextStore(ContextStore* store, SimEnvironment* env,
       serializer_(&vfs_),
       disk_reservation_(&env->disk_usage(), 0) {}
 
+double TieredContextStore::DecayedHitsLocked(const Meta& m) const {
+  if (options_.popularity_half_life <= 0 || m.hits == 0) return m.hits;
+  const double elapsed = static_cast<double>(tick_ - m.hits_tick);
+  return m.hits * std::exp2(-elapsed / options_.popularity_half_life);
+}
+
 void TieredContextStore::Touch(uint64_t id, bool hit) {
   std::lock_guard<std::mutex> lk(meta_mu_);
   Meta& m = meta_[id];
   m.last_touch = tick_++;
-  if (hit) ++m.hits;
+  if (hit) {
+    // Fold the decay in before adding, then restamp: hits stays "weight as
+    // of hits_tick" and old popularity fades with a half-life instead of
+    // shielding a context forever.
+    m.hits = DecayedHitsLocked(m) + 1.0;
+    m.hits_tick = m.last_touch;
+  }
 }
 
 void TieredContextStore::NotifyPublished(uint64_t id) {
@@ -102,8 +116,8 @@ uint64_t TieredContextStore::PickVictim() {
     const auto it = meta_.find(id);
     const Meta m = it != meta_.end() ? it->second : Meta{};
     const double age = static_cast<double>(tick_ - m.last_touch);
-    const double score = age / ((1.0 + m.rebuild_seconds) *
-                                (1.0 + static_cast<double>(m.hits)));
+    const double score =
+        age / ((1.0 + m.rebuild_seconds) * (1.0 + DecayedHitsLocked(m)));
     if (score > best) {
       best = score;
       victim = id;
@@ -117,13 +131,14 @@ Status TieredContextStore::PersistOnce(uint64_t id, const Context& context) {
     std::lock_guard<std::mutex> lk(meta_mu_);
     if (meta_[id].persisted) return Status::Ok();
   }
-  std::lock_guard<std::mutex> io(io_mu_);
+  std::lock_guard<std::mutex> io(IoMutexFor(id));
   {
     // Re-check: a racer may have persisted while we waited for the I/O lock.
     std::lock_guard<std::mutex> lk(meta_mu_);
     if (meta_[id].persisted) return Status::Ok();
   }
-  ALAYA_RETURN_IF_ERROR(serializer_.Persist(context, SpillName(id)));
+  ALAYA_RETURN_IF_ERROR(serializer_.Persist(context, SpillName(id),
+                                            generation_.fetch_add(1)));
   const uint64_t disk_bytes = context.kv().DeployedBytes() + context.IndexBytes();
   {
     std::lock_guard<std::mutex> lk(meta_mu_);
@@ -191,7 +206,7 @@ Result<std::shared_ptr<Context>> TieredContextStore::PageIn(uint64_t id) {
     // is spilled, so it cannot be chosen as its own victim.
     EnsureHeadroom(incoming);
     Result<std::unique_ptr<Context>> loaded = [&] {
-      std::lock_guard<std::mutex> io(io_mu_);
+      std::lock_guard<std::mutex> io(IoMutexFor(id));
       return serializer_.Load(SpillName(id), id, model_, graph_);
     }();
     std::shared_ptr<Context> restored;
@@ -247,6 +262,7 @@ TieredContextStore::~TieredContextStore() {
 
 Status TieredContextStore::WarmStart() {
   Status first;
+  uint64_t max_generation = 0;
   for (const std::string& name : vfs_.ListNames()) {
     if (name.size() <= kManifestSuffixLen ||
         name.compare(name.size() - kManifestSuffixLen, kManifestSuffixLen,
@@ -257,14 +273,22 @@ Status TieredContextStore::WarmStart() {
     const uint64_t id = ParseSpillName(prefix);
     if (id == 0) continue;  // Foreign file in the namespace; not ours.
     Result<ContextManifest> man = [&] {
-      std::lock_guard<std::mutex> io(io_mu_);
+      std::lock_guard<std::mutex> io(IoMutexFor(id));
       return serializer_.LoadManifest(prefix, model_);
     }();
     if (!man.ok()) {
-      if (first.ok()) first = man.status();
+      if (man.status().IsCorruption()) {
+        // A torn manifest is the expected residue of a crash mid-persist,
+        // not an operator error: skip it (the context was never committed)
+        // and leave the status clean so intact neighbors still warm-start.
+        ++warm_start_skipped_;
+      } else if (first.ok()) {
+        first = man.status();
+      }
       continue;
     }
     const ContextManifest& m = man.value();
+    max_generation = std::max(max_generation, m.generation);
     // Manifest only — tokens into the trie, payload stays on disk until a
     // prefix hit pages it in. Ids already live (warm start over a populated
     // store, or a repeat call) are left untouched.
@@ -286,6 +310,11 @@ Status TieredContextStore::WarmStart() {
     }
     ++warm_started_;
   }
+  // Re-persists after restart must stamp past everything already on disk.
+  uint64_t next = generation_.load();
+  while (next <= max_generation &&
+         !generation_.compare_exchange_weak(next, max_generation + 1)) {
+  }
   warm_start_status_ = first;
   return first;
 }
@@ -297,6 +326,7 @@ TieredContextStore::Stats TieredContextStore::stats() const {
   s.prefetches = prefetches_.load();
   s.persisted = persisted_.load();
   s.warm_started = warm_started_.load();
+  s.warm_start_skipped = warm_start_skipped_.load();
   s.page_in_failures = page_in_failures_.load();
   s.eviction_stalls = eviction_stalls_.load();
   s.host_budget_bytes = options_.host_budget_bytes;

@@ -14,6 +14,7 @@
 // stored prefixes immediately and pays the KV load only on first use.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -47,6 +48,13 @@ struct TierOptions {
   bool warm_start = false;
   /// Block size of the spill files (and their shared buffer pool).
   uint32_t file_block_size = 4096;
+  /// Half-life (in virtual-time ticks — one tick per store touch) of the
+  /// eviction score's popularity term: a context's accumulated prefix-hit
+  /// weight halves every this-many touches it goes without one, so a
+  /// formerly-hot context loses to a currently-hot one instead of being
+  /// immortalized by hits since boot. 0 disables decay (the legacy
+  /// count-forever behavior).
+  double popularity_half_life = 512;
 
   bool Enabled() const {
     return host_budget_bytes > 0 || durable || warm_start || !spill_dir.empty();
@@ -62,6 +70,7 @@ class TieredContextStore {
     uint64_t prefetches = 0; ///< Page-ins requested off the decode path.
     uint64_t persisted = 0;  ///< Contexts written through the serializer.
     uint64_t warm_started = 0;       ///< Placeholders registered by WarmStart.
+    uint64_t warm_start_skipped = 0; ///< Torn/corrupt manifests skipped at boot.
     uint64_t page_in_failures = 0;
     uint64_t eviction_stalls = 0;  ///< Budget exceeded but every context pinned.
     uint64_t host_budget_bytes = 0;
@@ -84,9 +93,11 @@ class TieredContextStore {
 
   /// Restart semantics: scans the VFS for "ctx<id>_manifest" files and
   /// registers each as a spilled placeholder (tokens into the trie, payload
-  /// stays on disk until a prefix hit pages it in). Per-manifest failures are
-  /// skipped (first one is returned); ids already live in the store are left
-  /// alone. Idempotent.
+  /// stays on disk until a prefix hit pages it in). A torn or corrupt
+  /// manifest (bad trailer/checksum — the expected residue of a crash
+  /// mid-persist) is silently skipped and counted in warm_start_skipped;
+  /// other per-manifest failures are skipped too but the first is returned.
+  /// Ids already live in the store are left alone. Idempotent.
   Status WarmStart();
 
   /// A context became visible in the store (Add or Publish): starts its
@@ -136,17 +147,24 @@ class TieredContextStore {
   /// headroom checks know what a page-in will cost before loading it.
   struct Meta {
     uint64_t last_touch = 0;
-    uint64_t hits = 0;
+    /// Exponentially decayed prefix-hit weight as of virtual time `hits_tick`
+    /// (half-life TierOptions::popularity_half_life). Read it through
+    /// DecayedHitsLocked — the raw value is stale by (tick_ - hits_tick).
+    double hits = 0;
+    uint64_t hits_tick = 0;
     double rebuild_seconds = 0;  ///< Modeled index build cost (build_stats).
     uint64_t kv_bytes = 0;
     bool persisted = false;  ///< On disk already; spill skips the write.
   };
 
   void Touch(uint64_t id, bool hit);
+  /// `m.hits` discounted from `m.hits_tick` to now (tick_). meta_mu_ held.
+  double DecayedHitsLocked(const Meta& m) const;
   /// Highest eviction score among resident, unpinned contexts; 0 when none.
   uint64_t PickVictim();
-  /// Persists `context` under SpillName(id) once (io_mu_-serialized) and
-  /// grows the disk-tier reservation. No-op if already persisted.
+  /// Persists `context` under SpillName(id) once (serialized on the id's io
+  /// shard, stamped with the next generation) and grows the disk-tier
+  /// reservation. No-op if already persisted.
   Status PersistOnce(uint64_t id, const Context& context);
 
   static VectorFileSystem::Options MakeVfsOptions(const ModelConfig& model,
@@ -163,10 +181,14 @@ class TieredContextStore {
   ContextSerializer serializer_;
   Status warm_start_status_;
 
-  /// Serializes all Persist/Load I/O: the serializer streams many files per
-  /// context through the shared buffer pool; one writer/reader at a time
-  /// keeps that simple and correct. Never held together with meta_mu_.
-  std::mutex io_mu_;
+  /// Serializes Persist/Load I/O *per context id* (16-way sharded): distinct
+  /// contexts stream through distinct VectorFiles and the internally locked
+  /// buffer pool, so they may overlap; two operations on the SAME id (e.g. a
+  /// demand page-in racing a warm-start load, or a durable re-persist) must
+  /// not interleave their multi-file sequences. Never held with meta_mu_.
+  static constexpr size_t kIoShards = 16;
+  std::array<std::mutex, kIoShards> io_shards_;
+  std::mutex& IoMutexFor(uint64_t id) { return io_shards_[id % kIoShards]; }
 
   mutable std::mutex meta_mu_;
   std::condition_variable page_in_cv_;
@@ -175,12 +197,16 @@ class TieredContextStore {
   size_t pending_async_ = 0;  ///< Prefetch jobs queued or running on pool_.
   uint64_t tick_ = 1;  ///< Logical recency clock (bumped per touch).
   MemoryReservation disk_reservation_;  ///< Disk-tier bytes of persisted contexts.
+  /// Next manifest generation stamp; WarmStart re-seeds it past the highest
+  /// generation found on disk so re-persists after restart stay monotone.
+  std::atomic<uint64_t> generation_{1};
 
   std::atomic<uint64_t> spills_{0};
   std::atomic<uint64_t> page_ins_{0};
   std::atomic<uint64_t> prefetches_{0};
   std::atomic<uint64_t> persisted_{0};
   std::atomic<uint64_t> warm_started_{0};
+  std::atomic<uint64_t> warm_start_skipped_{0};
   std::atomic<uint64_t> page_in_failures_{0};
   std::atomic<uint64_t> eviction_stalls_{0};
 };

@@ -34,4 +34,32 @@ Status ExecutePrefillJobs(std::span<SessionPrefillJob> jobs, ThreadPool* pool,
                          [](const SessionPrefillJob& job) { return RunPrefillJob(job); });
 }
 
+PrefillWave::~PrefillWave() { Wait(); }
+
+void PrefillWave::Launch(const SessionPrefillJob& job, Status* status, ThreadPool* pool) {
+  if (pool == nullptr) pool = &ThreadPool::Global();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+    ++launched_;
+  }
+  pool->Submit([this, job, status]() {
+    Status s = RunPrefillJob(job);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status != nullptr) *status = std::move(s);
+    --outstanding_;
+    if (outstanding_ == 0) cv_.notify_all();
+  });
+}
+
+void PrefillWave::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+bool PrefillWave::WaitFor(std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout, [this] { return outstanding_ == 0; });
+}
+
 }  // namespace alaya

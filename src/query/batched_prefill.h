@@ -16,8 +16,11 @@
 // parallelism comes from batching jobs of different sessions.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -63,5 +66,46 @@ Status RunPrefillJob(const SessionPrefillJob& job);
 /// isolate failures per session. Without it, returns the first error.
 Status ExecutePrefillJobs(std::span<SessionPrefillJob> jobs, ThreadPool* pool = nullptr,
                           std::vector<Status>* per_job = nullptr);
+
+/// Dynamic join for in-flight prefill chunks. Unlike a std::latch — whose
+/// count is fixed at construction, forcing the serving engine to freeze the
+/// set of prefilling sessions at the top of a step — a wave accepts Launch()
+/// at any point while earlier chunks are still running. That is what makes
+/// mid-step admission possible: a session admitted between decode layers gets
+/// its first chunk launched into the *current* step's wave, and the step only
+/// joins once at the end, right before accounting.
+///
+/// `*status` must outlive the wave (the serving engine points it at the
+/// owning session state, which is stable for the duration of a step). A wave
+/// must be drained (Wait / WaitFor true) before destruction.
+class PrefillWave {
+ public:
+  PrefillWave() = default;
+  PrefillWave(const PrefillWave&) = delete;
+  PrefillWave& operator=(const PrefillWave&) = delete;
+  ~PrefillWave();
+
+  /// Runs `job` asynchronously on `pool` (nullptr -> ThreadPool::Global());
+  /// the job's Status lands in `*status` before the wave counts it done.
+  /// The job struct is copied; its scratch buffers stay caller-owned.
+  void Launch(const SessionPrefillJob& job, Status* status, ThreadPool* pool = nullptr);
+
+  /// Blocks until every launched chunk has completed.
+  void Wait();
+
+  /// Waits up to `timeout` for the wave to drain; returns true when no chunk
+  /// is outstanding. The serving engine polls this on prefill-only steps so
+  /// it can admit newly queued requests while chunks are still in flight.
+  bool WaitFor(std::chrono::microseconds timeout);
+
+  /// Chunks launched over the wave's lifetime (driver thread only).
+  size_t launched() const { return launched_; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t outstanding_ = 0;
+  size_t launched_ = 0;
+};
 
 }  // namespace alaya

@@ -12,6 +12,7 @@ RequestScheduler::RequestScheduler(const ModelConfig& model,
   // A zero cap would deadlock Admit; one session must always be able to run.
   options_.max_concurrent_sessions = std::max<size_t>(1, options_.max_concurrent_sessions);
   options_.prefill_chunk_tokens = std::max<size_t>(1, options_.prefill_chunk_tokens);
+  options_.min_prefill_tokens = std::max<size_t>(1, options_.min_prefill_tokens);
   options_.devices = std::max<size_t>(1, options_.devices);
   placement_ = options_.placement != nullptr
                    ? options_.placement
@@ -57,11 +58,54 @@ AdmissionEstimate RequestScheduler::Estimate(const ServingRequest& request,
         cost_.GpuAttentionSeconds(4.0 * static_cast<double>(request.prompt.size()) *
                                   model_.head_dim) *
         model_.num_q_heads * model_.num_layers;
-    const size_t chunk = std::min(options_.prefill_chunk_tokens, e.prefill_tokens);
+    // Admission reserves at chunk granularity: a per-step token budget caps
+    // the largest chunk a step can actually grant, so the reservation (and
+    // the TPOT SLO check built on it) reflects the real per-step cost, not
+    // the unthrottled chunk size.
+    size_t chunk_cap = options_.prefill_chunk_tokens;
+    if (options_.step_token_budget > 0) {
+      chunk_cap = std::min(chunk_cap, options_.step_token_budget);
+    }
+    const size_t chunk = std::min(chunk_cap, e.prefill_tokens);
     e.prefill_step_gpu_seconds = per_token * static_cast<double>(chunk);
     e.prefill_total_gpu_seconds = per_token * static_cast<double>(e.prefill_tokens);
   }
   return e;
+}
+
+RequestScheduler::StepPlan RequestScheduler::PlanStep(
+    size_t decoding_sessions, std::span<const size_t> prefill_remaining) const {
+  StepPlan plan;
+  plan.decode_tokens = decoding_sessions;  // Decode always runs in full.
+  size_t left = options_.step_token_budget == 0
+                    ? std::numeric_limits<size_t>::max()
+                    : options_.step_token_budget;
+  left -= std::min(left, decoding_sessions);
+  plan.chunks.reserve(prefill_remaining.size());
+  for (size_t i = 0; i < prefill_remaining.size(); ++i) {
+    const size_t need = prefill_remaining[i];
+    size_t grant = std::min({options_.prefill_chunk_tokens, need, left});
+    if (i == 0 && need > 0) {
+      // Forward-progress floor: even a decode-saturated budget funds the head
+      // prefilling session, or prefill would livelock behind a full batch.
+      const size_t floor =
+          std::min({need, options_.prefill_chunk_tokens, options_.min_prefill_tokens});
+      grant = std::max(grant, floor);
+    }
+    left -= std::min(left, grant);
+    plan.chunks.push_back(grant);
+  }
+  plan.budget_left = left;
+  return plan;
+}
+
+size_t RequestScheduler::GrantChunk(size_t remaining_need, size_t* budget_left) const {
+  // Mid-step admissions draw only from the step's unspent budget — no floor;
+  // a request that gets nothing now is funded at the next step's PlanStep.
+  const size_t grant =
+      std::min({options_.prefill_chunk_tokens, remaining_need, *budget_left});
+  *budget_left -= grant;
+  return grant;
 }
 
 AdmissionEstimate RequestScheduler::Estimate(const ServingRequest& request) const {

@@ -148,6 +148,20 @@ struct RequestSchedulerOptions {
   /// step. Smaller chunks interleave more fairly with decoding sessions (lower
   /// TPOT impact); larger chunks finish prefill in fewer steps.
   size_t prefill_chunk_tokens = 32;
+  /// Per-step token budget split between decode steps and prefill chunks
+  /// (0 = unlimited, the legacy behavior: every decoding session advances one
+  /// token AND every prefilling session pushes a full prefill_chunk_tokens
+  /// chunk each step). With a budget, decode is funded first — one token per
+  /// decoding session, protecting TPOT — and the remainder is dealt to
+  /// prefilling sessions FIFO in chunks of at most prefill_chunk_tokens. A
+  /// newly admitted request's first chunk draws from whatever of the current
+  /// step's budget is still unspent (mid-step admission).
+  size_t step_token_budget = 0;
+  /// Forward-progress floor: the head prefilling session is granted at least
+  /// this many tokens per step even when decode alone exhausts the budget
+  /// (clamped to >= 1 — a zero floor would livelock prefill behind a large
+  /// decode batch).
+  size_t min_prefill_tokens = 1;
   /// Probe returning the longest stored-context prefix of a prompt (the
   /// serving engine wires this to ContextStore::BestPrefixMatchLength). Null
   /// means no reuse information: every prompt token is assumed to need
@@ -169,6 +183,34 @@ class RequestScheduler {
 
   /// Projected footprint using the prefix probe (or zero reuse without one).
   AdmissionEstimate Estimate(const ServingRequest& request) const;
+
+  /// How one engine step's token budget splits between the decode batch and
+  /// the prefilling sessions (see RequestSchedulerOptions::step_token_budget).
+  struct StepPlan {
+    /// Tokens funded for decode (one per decoding session; decode always runs
+    /// in full — the budget throttles prefill, never TPOT).
+    size_t decode_tokens = 0;
+    /// Per prefilling session (same order as the input), tokens granted this
+    /// step: min(chunk cap, tokens the session still needs, budget left),
+    /// dealt FIFO. The head session always gets >= min_prefill_tokens of its
+    /// remaining need, so prefill can never livelock behind decode.
+    std::vector<size_t> chunks;
+    /// Unspent budget after the grants above — the pool a mid-step admission
+    /// draws its first chunk from.
+    size_t budget_left = 0;
+  };
+
+  /// Pure planning (no lock, no state): splits one step's budget between
+  /// `decoding_sessions` decode steps and the prefilling sessions' remaining
+  /// token counts (`prefill_remaining`, FIFO order).
+  StepPlan PlanStep(size_t decoding_sessions,
+                    std::span<const size_t> prefill_remaining) const;
+
+  /// Grants a mid-step admission its first chunk out of `*budget_left`
+  /// (decrementing it), honoring the chunk cap but NOT the forward-progress
+  /// floor — an admission the spent budget can't fund simply waits for the
+  /// next step's PlanStep.
+  size_t GrantChunk(size_t remaining_need, size_t* budget_left) const;
 
   struct Admitted {
     uint64_t id = 0;

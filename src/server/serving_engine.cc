@@ -1,7 +1,6 @@
 #include "src/server/serving_engine.h"
 
 #include <algorithm>
-#include <latch>
 #include <span>
 
 #include "src/common/rng.h"
@@ -277,10 +276,11 @@ void ServingEngine::SweepCancellations() {
   }
 }
 
-void ServingEngine::AdmitPending() {
+size_t ServingEngine::AdmitInto(std::vector<ActiveSession*>* newly) {
   const ModelConfig& model = db_->options().model;
   const size_t qdim = static_cast<size_t>(model.num_q_heads) * model.head_dim;
   const size_t kvdim = static_cast<size_t>(model.num_kv_heads) * model.head_dim;
+  size_t added = 0;
   // Placement can reject a head as permanently unplaceable (custom policies;
   // the uniform-budget case already failed at Submit): those requests hold no
   // reservation, so the finalizing_ guard keeps WaitIdle honest across the
@@ -365,12 +365,16 @@ void ServingEngine::AdmitPending() {
       scheduler_.UpdateReservation(
           adm.id, scheduler_.Estimate(active->request, sc.reused_prefix));
       if (!sc.truncated_prompt.empty()) {
-        active->phase = Phase::kPrefilling;
+        active->state = RequestState::kPrefilling;
         active->prefill_pos = sc.reused_prefix;
+        // Scratch sized for the largest chunk any step can grant; a budgeted
+        // step simply uses a prefix of it.
         const size_t chunk = scheduler_.options().prefill_chunk_tokens;
         active->pq.resize(chunk * qdim);
         active->pk.resize(chunk * kvdim);
         active->pv.resize(chunk * kvdim);
+      } else {
+        active->state = RequestState::kDecoding;
       }
     }
 
@@ -382,11 +386,59 @@ void ServingEngine::AdmitPending() {
     if (active->request.record_outputs) {
       active->result.outputs.reserve(active->request.max_new_tokens * qdim);
     }
+    if (newly != nullptr) newly->push_back(active.get());
     active_.push_back(std::move(active));
+    ++added;
   }
   std::lock_guard<std::mutex> lk(mu_);
   snapshot_.peak_concurrent_sessions =
       std::max(snapshot_.peak_concurrent_sessions, active_.size());
+  return added;
+}
+
+void ServingEngine::AdmitPending() { (void)AdmitInto(nullptr); }
+
+size_t ServingEngine::MidStepAdmit(PrefillWave* wave, size_t* budget_left,
+                                   std::vector<ActiveSession*>* chunked) {
+  std::vector<ActiveSession*> newly;
+  const size_t admitted = AdmitInto(&newly);
+  if (admitted > 0) {
+    // Published immediately — not at step end — so a live observer sees the
+    // admission while the step that absorbed it is still running.
+    std::lock_guard<std::mutex> lk(mu_);
+    snapshot_.midstep_admissions += admitted;
+  }
+  for (ActiveSession* a : newly) {
+    // The step's wall time after this point is attributed to the state the
+    // session entered in (DriverLoop stamps continuing sessions at the top of
+    // the step; mid-step arrivals are stamped here).
+    a->was_prefilling = a->state == RequestState::kPrefilling;
+    if (a->failed || a->state != RequestState::kPrefilling) continue;
+    // First chunk out of the step's unspent budget, straight into the wave
+    // already in flight — the mid-step admission payoff: prefill starts now,
+    // not at the next step boundary.
+    const size_t need = a->request.prompt.size() - a->prefill_pos;
+    const size_t grant = scheduler_.GrantChunk(need, budget_left);
+    if (grant > 0) {
+      LaunchChunk(a, grant, wave);
+      chunked->push_back(a);
+    }
+  }
+  return admitted;
+}
+
+void ServingEngine::LaunchChunk(ActiveSession* a, size_t count, PrefillWave* wave) {
+  SessionPrefillJob job;
+  job.session = a->session.get();
+  job.first_token = a->prefill_pos;
+  job.count = count;
+  job.fill = a->request.fill_prompt;
+  job.q_scratch = a->pq.data();
+  job.k_scratch = a->pk.data();
+  job.v_scratch = a->pv.data();
+  a->chunk_granted = count;
+  a->chunk_status = Status::Ok();
+  wave->Launch(job, &a->chunk_status, pool_);
 }
 
 Status ServingEngine::StepActiveSessions() {
@@ -394,55 +446,48 @@ Status ServingEngine::StepActiveSessions() {
   const size_t d = model.head_dim;
 
   // Sessions with work this step (stable submit order for determinism), split
-  // by phase: prefilling sessions push one prompt chunk, decoding sessions
-  // run one lockstep token.
+  // by state: Prefilling sessions push one budgeted prompt chunk, Decoding
+  // sessions run one lockstep token.
   std::vector<ActiveSession*> decoding, prefilling;
   for (auto& a : active_) {
     if (a->failed) continue;
-    if (a->phase == Phase::kPrefilling) {
+    if (a->state == RequestState::kPrefilling) {
       prefilling.push_back(a.get());
-    } else if (a->step < a->request.max_new_tokens) {
+    } else if (a->state == RequestState::kDecoding &&
+               a->step < a->request.max_new_tokens) {
       decoding.push_back(a.get());
     }
   }
   if (decoding.empty() && prefilling.empty()) return Status::Ok();
 
-  // One prefill chunk per prefilling session; a job spans all layers.
-  const size_t chunk_cap = scheduler_.options().prefill_chunk_tokens;
-  std::vector<SessionPrefillJob> prefill_jobs(prefilling.size());
-  std::vector<Status> prefill_status(prefilling.size(), Status::Ok());
+  // Split the step's token budget: decode is funded first (one token per
+  // Decoding session — the budget throttles prefill, never TPOT), the
+  // remainder is dealt to Prefilling sessions FIFO in chunks. `chunked`
+  // collects every session whose chunk launched this step — including
+  // mid-step admissions — for the accounting pass after the join.
+  std::vector<size_t> remaining(prefilling.size());
   for (size_t i = 0; i < prefilling.size(); ++i) {
-    ActiveSession* a = prefilling[i];
-    SessionPrefillJob& job = prefill_jobs[i];
-    job.session = a->session.get();
-    job.first_token = a->prefill_pos;
-    job.count = std::min(chunk_cap, a->request.prompt.size() - a->prefill_pos);
-    job.fill = a->request.fill_prompt;
-    job.q_scratch = a->pq.data();
-    job.k_scratch = a->pk.data();
-    job.v_scratch = a->pv.data();
+    remaining[i] = prefilling[i]->request.prompt.size() - prefilling[i]->prefill_pos;
   }
+  const RequestScheduler::StepPlan plan =
+      scheduler_.PlanStep(decoding.size(), remaining);
+  size_t budget_left = plan.budget_left;
 
-  // Launch the prefill chunks. Prefilling and decoding sessions are disjoint,
-  // so on mixed steps the chunks are submitted asynchronously and overlap the
-  // entire decode layer loop below (joined before accounting) instead of
-  // stalling every decoder's first layer behind the slowest chunk. On
-  // prefill-only steps the driver participates via the blocking batch helper.
-  // The detached tasks capture this frame's locals, so every exit path below
-  // MUST pass the prefill_done.wait() join — decode errors are deferred, not
-  // returned from inside the loop.
-  std::latch prefill_done(static_cast<std::ptrdiff_t>(prefill_jobs.size()));
-  if (decoding.empty()) {
-    ExecutePrefillJobs(prefill_jobs, pool_, &prefill_status);
-    if (!prefill_jobs.empty()) {
-      prefill_done.count_down(static_cast<std::ptrdiff_t>(prefill_jobs.size()));
-    }
-  } else {
-    for (size_t j = 0; j < prefill_jobs.size(); ++j) {
-      pool_->Submit([&, j] {
-        prefill_status[j] = RunPrefillJob(prefill_jobs[j]);
-        prefill_done.count_down();
-      });
+  // Launch this step's chunks into the wave. Prefilling and decoding sessions
+  // are disjoint, so the chunks overlap the entire decode layer loop below
+  // (joined once, before accounting) instead of stalling every decoder's
+  // first layer behind the slowest chunk. The wave tasks write into the
+  // sessions' scratch and chunk_status, so every exit path below MUST pass
+  // the wave.Wait() join — decode errors are deferred, not returned from
+  // inside the loop.
+  PrefillWave wave;
+  std::vector<ActiveSession*> chunked;
+  chunked.reserve(prefilling.size());
+  for (size_t i = 0; i < prefilling.size(); ++i) {
+    prefilling[i]->chunk_granted = 0;
+    if (plan.chunks[i] > 0) {
+      LaunchChunk(prefilling[i], plan.chunks[i], &wave);
+      chunked.push_back(prefilling[i]);
     }
   }
 
@@ -534,6 +579,33 @@ Status ServingEngine::StepActiveSessions() {
         ++dev_tokens[static_cast<size_t>(a->device)];
       }
     }
+
+    // Mid-step admission poll, between layers: a request that arrived while
+    // this layer ran gets its session built NOW and its first prefill chunk
+    // (budget permitting) launched into the wave already in flight — it does
+    // not wait for the batch to drain to a step boundary. Newly admitted
+    // sessions never join the current step's decode lockstep (decode starts
+    // next step), so the per-layer batch below stays over a fixed set. The
+    // last layer skips the poll: a chunk launched there could not overlap
+    // anything and would only delay the join.
+    if (options_.midstep_admission && layer + 1 < model.num_layers &&
+        scheduler_.queued() > 0) {
+      MidStepAdmit(&wave, &budget_left, &chunked);
+    }
+  }
+
+  // Poll admissions while waiting out the wave — on every step, not just
+  // prefill-only ones. For prefill-only steps this is the only poll site (no
+  // layer loop to interleave with); for mixed steps it extends coverage past
+  // the last between-layer poll into the wave-join tail, so an arrival during
+  // the final decode layer or a long chunk still enters mid-step and its
+  // chunk joins the same wave.
+  if (options_.midstep_admission) {
+    while (!wave.WaitFor(std::chrono::microseconds(200))) {
+      if (scheduler_.queued() > 0) {
+        MidStepAdmit(&wave, &budget_left, &chunked);
+      }
+    }
   }
 
   // Join the prefill chunks (unconditionally — see the launch comment), then
@@ -541,30 +613,30 @@ Status ServingEngine::StepActiveSessions() {
   // charge the modeled device cost: each prompt token is one full-attention
   // pass over the context visible at its position (per layer and query head)
   // — the prefill analogue of the decode-side per-step charge.
-  prefill_done.wait();
+  wave.Wait();
   ALAYA_RETURN_IF_ERROR(decode_status);
   const CostModel& cost = db_->env().cost_model();
-  for (size_t i = 0; i < prefilling.size(); ++i) {
-    ActiveSession* a = prefilling[i];
-    if (!prefill_status[i].ok()) {
-      a->result.status = prefill_status[i];
+  for (ActiveSession* a : chunked) {
+    if (!a->chunk_status.ok()) {
+      a->result.status = a->chunk_status;
       a->failed = true;
       continue;
     }
     double modeled = 0;
-    for (size_t t = 0; t < prefill_jobs[i].count; ++t) {
+    for (size_t t = 0; t < a->chunk_granted; ++t) {
       const double visible = static_cast<double>(a->prefill_pos + t + 1);
       modeled += cost.GpuAttentionSeconds(4.0 * visible * d);
     }
     modeled *= static_cast<double>(model.num_q_heads) * model.num_layers;
     a->session->ChargeModeledGpuSeconds(modeled);
     a->result.stats.modeled_gpu_seconds += modeled;
-    a->prefill_pos += prefill_jobs[i].count;
-    a->result.prefilled_tokens += prefill_jobs[i].count;
-    step_prefilled += prefill_jobs[i].count;
-    dev_prefilled[static_cast<size_t>(a->device)] += prefill_jobs[i].count;
+    a->prefill_pos += a->chunk_granted;
+    a->result.prefilled_tokens += a->chunk_granted;
+    step_prefilled += a->chunk_granted;
+    dev_prefilled[static_cast<size_t>(a->device)] += a->chunk_granted;
+    a->chunk_granted = 0;
     if (a->prefill_pos == a->request.prompt.size()) {
-      a->phase = Phase::kDecoding;  // Decode starts next engine step.
+      a->state = RequestState::kDecoding;  // Decode starts next engine step.
       // The chunk scratch is dead weight for the whole decode phase; free it
       // (jobs referencing it were joined above).
       a->pq = {};
@@ -576,6 +648,7 @@ Status ServingEngine::StepActiveSessions() {
   std::lock_guard<std::mutex> lk(mu_);
   snapshot_.tokens_decoded += step_tokens;
   snapshot_.tokens_prefilled += step_prefilled;
+  ++snapshot_.engine_steps;
   // Sampled on every step — prefill-only steps included, so residency grown by
   // UpdateBatch (the prompt suffix landing in session-local KV) is observed
   // even when no session decoded this step. The fleet peak sums the devices'
@@ -645,8 +718,8 @@ void ServingEngine::RetireFinished() {
   auto it = active_.begin();
   while (it != active_.end()) {
     ActiveSession* a = it->get();
-    if (a->failed || (a->phase == Phase::kDecoding &&
-                      a->step >= a->request.max_new_tokens)) {
+    if (a->Terminal()) {
+      a->state = RequestState::kRetiring;
       FinishSession(a);
       it = active_.erase(it);
     } else {
@@ -697,7 +770,9 @@ void ServingEngine::DriverLoop() {
       }
     }
 
-    for (auto& a : active_) a->was_prefilling = a->phase == Phase::kPrefilling;
+    for (auto& a : active_) {
+      a->was_prefilling = a->state == RequestState::kPrefilling;
+    }
     WallTimer step_timer;
     status = StepActiveSessions();
     if (!status.ok()) break;

@@ -28,18 +28,33 @@
 //      footprint) and optional TPOT SLO; each admitted request becomes a
 //      Session via DB.create_session — concurrent requests over the same
 //      document share the stored context and its indices (prefix reuse,
-//      §7.1); a prompt extending past every stored context enters a PREFILL
-//      phase (per-step chunks through Session::UpdateBatch, batched across
-//      sessions, overlapped with the decode layer loop);
-//   3. fully-resident sessions decode in lockstep: per layer, every session's
+//      §7.1); a prompt extending past every stored context enters the
+//      Prefilling state (per-step chunks through Session::UpdateBatch,
+//      batched across sessions, overlapped with the decode layer loop);
+//   3. the step's token budget (RequestSchedulerOptions::step_token_budget)
+//      is split: decode is funded first — one token per Decoding session —
+//      and the remainder is dealt to Prefilling sessions FIFO in chunks of
+//      at most prefill_chunk_tokens (PlanStep); chunks launch into a
+//      PrefillWave (a dynamic join, not a fixed latch) and overlap the
+//      decode layer loop;
+//   4. fully-resident sessions decode in lockstep: per layer, every session's
 //      Update runs, then all sessions' (session, q_head) DIPRS/attention
 //      queries are flattened into ONE batch on the shared ThreadPool
 //      (src/query/batched_diprs.h); after a session's last layer its output
-//      block is streamed through on_token;
-//   4. finished sessions optionally store their context (late
+//      block is streamed through on_token; BETWEEN layers (and while waiting
+//      out a prefill-only step) the driver polls the scheduler and admits
+//      newly queued requests mid-step — a new session's first prefill chunk
+//      draws from the step's unspent budget and joins the wave already in
+//      flight instead of waiting for the batch to drain;
+//   5. finished sessions optionally store their context (late
 //      materialization; DB.store_async by default, off the step loop) and
 //      release their admission reservation, letting the scheduler pull the
 //      next queued request at the next boundary.
+//
+// Request lifecycle: Queued (scheduler backlog) → Prefilling (prompt suffix
+// chunks) → Decoding (lockstep tokens) → Retiring (terminal result published,
+// reservation released). Requests with a fully-covered prompt skip straight
+// to Decoding; cancellation/deadline/errors jump to Retiring from any state.
 //
 // Determinism: with deterministic fill_step/fill_prompt callbacks, a
 // concurrent schedule produces bit-identical outputs to a sequential one —
@@ -100,6 +115,14 @@ struct ServingEngineOptions {
   /// id-based result() lookup forgets. 0 = unlimited (the old always-grow
   /// behavior; an always-on engine then leaks one entry per request served).
   size_t result_retention = 4096;
+  /// Continuous batching: admit newly queued requests *inside* a running step
+  /// — between decode layers and while a prefill-only step's wave is in
+  /// flight — launching their first prefill chunk into the current step
+  /// instead of waiting for the next boundary. The budget split itself
+  /// (scheduler.step_token_budget / prefill_chunk_tokens / min_prefill_tokens)
+  /// applies either way. False restores boundary-only admission — the
+  /// phase-serialized baseline the TTFT bench compares against.
+  bool midstep_admission = true;
 };
 
 /// Synthetic id for the `step`-th decoded token of request `request_id`, used
@@ -217,6 +240,11 @@ struct ServingSnapshot {
   size_t deadline_exceeded = 0;  ///< Retired with kDeadlineExceeded.
   size_t tokens_prefilled = 0;   ///< Prompt tokens pushed through prefill.
   size_t tokens_decoded = 0;
+  size_t engine_steps = 0;       ///< Driver steps executed (lifetime).
+  /// Requests admitted *inside* a running step (between decode layers or
+  /// during a prefill-only wave) rather than at a step boundary — the
+  /// continuous-batching counter. Zero when midstep_admission is off.
+  size_t midstep_admissions = 0;
   double serve_wall_seconds = 0;   ///< Wall time the driver thread was live.
   double tokens_per_second = 0;    ///< Aggregate decode throughput.
   size_t peak_concurrent_sessions = 0;
@@ -315,9 +343,15 @@ class ServingEngine {
  private:
   friend class RequestHandle;
 
-  /// A session either prefills its prompt suffix or decodes — never both in
-  /// one step; the transition happens when prefill_pos reaches the prompt end.
-  enum class Phase { kPrefilling, kDecoding };
+  /// Where a request is in its lifecycle. kQueued covers the span between
+  /// admission (queue pop) and session creation; a session then Prefills its
+  /// uncovered prompt suffix — one budgeted chunk per step — until prefill_pos
+  /// reaches the prompt end, Decodes one lockstep token per step, and turns
+  /// kRetiring once terminal (finished, failed, cancelled or expired) until
+  /// RetireFinished publishes its result and releases its reservation. A
+  /// session is never in two states at once: the budget split (PlanStep)
+  /// relies on Prefilling and Decoding being disjoint sets.
+  enum class RequestState { kQueued, kPrefilling, kDecoding, kRetiring };
 
   struct ActiveSession {
     uint64_t id = 0;
@@ -329,10 +363,15 @@ class ServingEngine {
     std::chrono::steady_clock::time_point submit_time;
     std::chrono::steady_clock::time_point deadline;  ///< time_point::max() = none.
     RequestResult result;
-    Phase phase = Phase::kDecoding;
+    RequestState state = RequestState::kQueued;
     size_t prefill_pos = 0;  ///< Next prompt token to prefill (absolute).
     size_t step = 0;
-    bool was_prefilling = false;  ///< Phase at the start of the current step.
+    bool was_prefilling = false;  ///< State at the start of the current step.
+    /// Tokens of this step's prefill chunk (0 = no chunk launched this step —
+    /// the budget ran dry), and the chunk's Status, written by the wave task
+    /// and read only after the step's join.
+    size_t chunk_granted = 0;
+    Status chunk_status;
     // Per-step scratch, reused across steps.
     std::vector<float> q;    ///< [num_q_heads * head_dim]
     std::vector<float> k;    ///< [num_kv_heads * head_dim]
@@ -341,13 +380,34 @@ class ServingEngine {
     std::vector<float> pq, pk, pv;  ///< Prefill chunk scratch (token-major).
     std::vector<AttentionCallStats> head_stats;  ///< One per q_head.
     bool failed = false;
+
+    bool Terminal() const {
+      return failed || (state == RequestState::kDecoding && step >= request.max_new_tokens);
+    }
   };
 
   enum class StopMode { kNone, kDrain, kAbort };
 
   void DriverLoop();
   void SweepCancellations();
+  /// Pops every currently admissible request from the scheduler, builds its
+  /// session, and appends it to active_. With `newly` set, collects raw
+  /// pointers to the sessions actually added (the mid-step path launches
+  /// their first chunks). Returns the number added.
+  size_t AdmitInto(std::vector<ActiveSession*>* newly);
   void AdmitPending();
+  /// Mid-step admission: admits queued requests while a step is in flight
+  /// (between decode layers / during a prefill-only wave). Newly admitted
+  /// Prefilling sessions draw a first chunk from the step's unspent budget
+  /// and launch it into `wave`; sessions granted a chunk are appended to
+  /// `chunked` so the end-of-step accounting covers them. Returns the number
+  /// admitted.
+  size_t MidStepAdmit(PrefillWave* wave, size_t* budget_left,
+                      std::vector<ActiveSession*>* chunked);
+  /// Launches one prefill chunk of `count` tokens into `wave`, recording the
+  /// grant in a->chunk_granted (accounting) and pointing the job's status at
+  /// a->chunk_status.
+  void LaunchChunk(ActiveSession* a, size_t count, PrefillWave* wave);
   Status StepActiveSessions();
   void RetireFinished();
   void FinishSession(ActiveSession* active);

@@ -279,5 +279,95 @@ TEST(RequestSchedulerTest, ReleaseRestoresPrefillAwareReservation) {
   EXPECT_EQ(sched.reserved_gpu_bytes(), 0u);
 }
 
+// --- Step planning (continuous batching): the per-step token budget funds
+// --- decode first, then deals chunks to prefilling sessions FIFO, with a
+// --- forward-progress floor for the head prefiller.
+
+TEST(RequestSchedulerTest, PlanStepUnlimitedBudgetGrantsFullChunks) {
+  SchedulerFixture fx;
+  RequestSchedulerOptions options;
+  options.prefill_chunk_tokens = 16;
+  RequestScheduler sched = fx.Make(options);  // step_token_budget = 0.
+
+  const size_t remaining[] = {40, 9, 0};
+  const RequestScheduler::StepPlan plan = sched.PlanStep(3, remaining);
+  EXPECT_EQ(plan.decode_tokens, 3u);
+  ASSERT_EQ(plan.chunks.size(), 3u);
+  EXPECT_EQ(plan.chunks[0], 16u);  // Chunk-capped.
+  EXPECT_EQ(plan.chunks[1], 9u);   // Need-capped.
+  EXPECT_EQ(plan.chunks[2], 0u);   // Nothing left to prefill.
+  EXPECT_GT(plan.budget_left, 1u << 20);  // Effectively unlimited.
+}
+
+TEST(RequestSchedulerTest, PlanStepBudgetFundsDecodeFirstThenPrefillFifo) {
+  SchedulerFixture fx;
+  RequestSchedulerOptions options;
+  options.prefill_chunk_tokens = 8;
+  options.step_token_budget = 16;
+  RequestScheduler sched = fx.Make(options);
+
+  // 6 decoders cost 6 tokens; 10 left fund the head prefiller's full chunk
+  // (8) and leave the second with the 2-token remainder.
+  const size_t remaining[] = {32, 32, 32};
+  const RequestScheduler::StepPlan plan = sched.PlanStep(6, remaining);
+  EXPECT_EQ(plan.decode_tokens, 6u);
+  ASSERT_EQ(plan.chunks.size(), 3u);
+  EXPECT_EQ(plan.chunks[0], 8u);
+  EXPECT_EQ(plan.chunks[1], 2u);
+  EXPECT_EQ(plan.chunks[2], 0u);
+  EXPECT_EQ(plan.budget_left, 0u);
+}
+
+TEST(RequestSchedulerTest, PlanStepFloorsHeadPrefillerWhenDecodeSaturates) {
+  SchedulerFixture fx;
+  RequestSchedulerOptions options;
+  options.prefill_chunk_tokens = 8;
+  options.step_token_budget = 4;
+  options.min_prefill_tokens = 2;
+  RequestScheduler sched = fx.Make(options);
+
+  // Decode alone eats the whole budget, but the head prefiller still gets its
+  // floor — otherwise a full decode batch would livelock every prefill.
+  const size_t remaining[] = {32, 32};
+  const RequestScheduler::StepPlan plan = sched.PlanStep(10, remaining);
+  EXPECT_EQ(plan.chunks[0], 2u);
+  EXPECT_EQ(plan.chunks[1], 0u);
+  EXPECT_EQ(plan.budget_left, 0u);
+}
+
+TEST(RequestSchedulerTest, GrantChunkDrawsFromUnspentBudgetWithoutFloor) {
+  SchedulerFixture fx;
+  RequestSchedulerOptions options;
+  options.prefill_chunk_tokens = 8;
+  options.step_token_budget = 32;
+  RequestScheduler sched = fx.Make(options);
+
+  size_t budget_left = 10;
+  EXPECT_EQ(sched.GrantChunk(32, &budget_left), 8u);  // Chunk-capped.
+  EXPECT_EQ(budget_left, 2u);
+  EXPECT_EQ(sched.GrantChunk(32, &budget_left), 2u);  // Budget-capped.
+  EXPECT_EQ(budget_left, 0u);
+  // A dry budget grants nothing — no floor for mid-step admissions; the next
+  // step's PlanStep funds them.
+  EXPECT_EQ(sched.GrantChunk(32, &budget_left), 0u);
+  EXPECT_EQ(budget_left, 0u);
+}
+
+TEST(RequestSchedulerTest, EstimateChunkCappedByStepBudget) {
+  SchedulerFixture fx;
+  RequestSchedulerOptions wide, tight;
+  wide.prefill_chunk_tokens = 64;
+  tight.prefill_chunk_tokens = 64;
+  tight.step_token_budget = 8;
+  RequestScheduler sched_wide = fx.Make(wide);
+  RequestScheduler sched_tight = fx.Make(tight);
+
+  // A step budget below the chunk size shrinks the modeled per-step prefill
+  // cost: admission reasons about the chunks the engine will actually run.
+  const ServingRequest r = SchedulerFixture::MakeRequest(256, 4);
+  EXPECT_LT(sched_tight.Estimate(r).prefill_step_gpu_seconds,
+            sched_wide.Estimate(r).prefill_step_gpu_seconds);
+}
+
 }  // namespace
 }  // namespace alaya

@@ -3,12 +3,15 @@
 // a context that was spilled to disk and paged back must attend exactly like
 // one that never left host memory — and tracker-verified peak residency.
 #include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -296,6 +299,171 @@ TEST(TieredStoreTest, EvictionSkipsPinnedAndStallsWhenAllPinned) {
   // The unpinned newcomer is the next legal victim once publish re-checks the
   // budget, so the store converges back under it.
   EXPECT_LE(db.contexts().TotalKvBytes(), fx.options.tier.host_budget_bytes);
+}
+
+// --- Torn-write safety end to end: a manifest truncated by a crash
+// --- mid-persist is detected (trailer/checksum) and SKIPPED on warm start —
+// --- no crash, no half-restored context — while intact neighbors still load
+// --- and decode bit-identically. Re-persists after restart stamp generations
+// --- past everything that survived on disk.
+
+TEST(TieredStoreTest, TruncatedManifestSkippedOnWarmStart) {
+  constexpr size_t kTokens = 200;
+  constexpr size_t kSteps = 3;
+  TempSpillDir dir;
+  ASSERT_FALSE(dir.path.empty());
+
+  TierFixture fx;
+  fx.options.tier.spill_dir = dir.path;
+  fx.options.tier.durable = true;
+
+  uint64_t torn_id = 0, intact_id = 0;
+  std::vector<float> golden;
+  {
+    AlayaDB db(fx.options, &fx.env);
+    auto first = db.Import(fx.TokenRange(0, kTokens), fx.MakeKv(kTokens, 90));
+    auto second = db.Import(fx.TokenRange(5000, kTokens), fx.MakeKv(kTokens, 91));
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    torn_id = first.value();
+    intact_id = second.value();
+    EXPECT_GE(db.tiers()->stats().persisted, 2u);
+    auto s = db.CreateSession(fx.TokenRange(5000, kTokens));
+    ASSERT_TRUE(s.ok());
+    golden = fx.Decode(s.value().session.get(), kSteps);
+  }  // "Kill" the engine...
+
+  // ...mid-persist: cut torn_id's manifest in half, the residue of a crash
+  // between the payload writes and the manifest commit completing.
+  const std::string torn_path = dir.path + "/" +
+                                ContextSerializer::ManifestName(
+                                    TieredContextStore::SpillName(torn_id)) +
+                                ".vf";
+  struct stat st {};
+  ASSERT_EQ(::stat(torn_path.c_str(), &st), 0);
+  ASSERT_EQ(::truncate(torn_path.c_str(), st.st_size / 2), 0);
+
+  TierFixture restarted;
+  restarted.options.tier.spill_dir = dir.path;
+  restarted.options.tier.durable = true;
+  restarted.options.tier.warm_start = true;
+  AlayaDB db(restarted.options, &restarted.env);
+  // The torn manifest is an expected crash residue, not an error: status
+  // stays clean, the context is skipped and counted, intact neighbors load.
+  EXPECT_TRUE(db.tiers()->warm_start_status().ok())
+      << db.tiers()->warm_start_status().ToString();
+  const TieredContextStore::Stats stats = db.tiers()->stats();
+  EXPECT_EQ(stats.warm_started, 1u);
+  EXPECT_EQ(stats.warm_start_skipped, 1u);
+  EXPECT_EQ(db.contexts().size(), 1u);
+  EXPECT_FALSE(db.contexts().IsSpilled(torn_id));   // Never resurrected...
+  EXPECT_EQ(db.contexts().FindShared(torn_id), nullptr);
+  EXPECT_TRUE(db.contexts().IsSpilled(intact_id));  // ...neighbor intact.
+
+  auto created = db.CreateSession(restarted.TokenRange(5000, kTokens));
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.value().reused_prefix, kTokens);
+  EXPECT_EQ(created.value().context_id, intact_id);
+  ExpectBitIdentical(restarted.Decode(created.value().session.get(), kSteps), golden);
+
+  // A fresh durable import must stamp a generation past the survivor's — the
+  // warm start re-seeded the counter from the manifests it scanned.
+  ContextSerializer ser(&db.tiers()->vfs());
+  auto intact_man = ser.LoadManifest(TieredContextStore::SpillName(intact_id),
+                                     restarted.model);
+  ASSERT_TRUE(intact_man.ok()) << intact_man.status().ToString();
+  auto fresh = db.Import(restarted.TokenRange(9000, kTokens),
+                         restarted.MakeKv(kTokens, 92));
+  ASSERT_TRUE(fresh.ok());
+  auto fresh_man = ser.LoadManifest(TieredContextStore::SpillName(fresh.value()),
+                                    restarted.model);
+  ASSERT_TRUE(fresh_man.ok()) << fresh_man.status().ToString();
+  EXPECT_GT(fresh_man.value().generation, intact_man.value().generation);
+}
+
+// --- Eviction policy: prefix popularity DECAYS (half-life in virtual time).
+// --- A context hammered long ago must lose to one hit recently — with
+// --- count-forever hits the old favorite is immortal and the store evicts
+// --- the currently-hot (or brand-new) context instead.
+
+TEST(TieredStoreTest, DecayedPopularityEvictsFormerlyHot) {
+  constexpr size_t kTokens = 200;
+  TierFixture fx;
+  const uint64_t ctx_bytes = kTokens * fx.model.KvBytesPerToken();
+  fx.options.tier.host_budget_bytes = 2 * ctx_bytes + ctx_bytes / 2;
+  fx.options.tier.popularity_half_life = 2;  // Aggressive: a test-scale fade.
+  AlayaDB db(fx.options, &fx.env);
+
+  auto a = db.Import(fx.TokenRange(0, kTokens), fx.MakeKv(kTokens, 100));
+  auto b = db.Import(fx.TokenRange(5000, kTokens), fx.MakeKv(kTokens, 101));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  // A was the early favorite (12 hits)... then the workload moved to B.
+  for (int i = 0; i < 12; ++i) db.tiers()->OnPrefixHit(a.value());
+  for (int i = 0; i < 3; ++i) db.tiers()->OnPrefixHit(b.value());
+
+  // The third import needs a victim. Raw counts say A (12 hits) outranks both
+  // B (3) and the newcomer; decayed counts say A's glory has faded.
+  auto c = db.Import(fx.TokenRange(9000, kTokens), fx.MakeKv(kTokens, 102));
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(db.contexts().IsSpilled(a.value()));
+  EXPECT_FALSE(db.contexts().IsSpilled(b.value()));
+  EXPECT_FALSE(db.contexts().IsSpilled(c.value()));
+  EXPECT_LE(db.contexts().TotalKvBytes(), fx.options.tier.host_budget_bytes);
+}
+
+// --- Concurrency: page-ins of DISTINCT contexts overlap (the io mutex is
+// --- sharded per-id, not global); every load lands intact and decodes
+// --- bit-identically. Run under TSan in CI.
+
+TEST(TieredStoreTest, ConcurrentDistinctPageInsAreSafe) {
+  constexpr size_t kTokens = 200;
+  constexpr size_t kSteps = 2;
+  constexpr int kContexts = 4;
+  TierFixture fx;
+  fx.options.tier.host_budget_bytes = 64ull << 20;  // Roomy: no forced eviction.
+  AlayaDB db(fx.options, &fx.env);
+  ASSERT_NE(db.tiers(), nullptr);
+
+  std::vector<uint64_t> ids;
+  std::vector<std::vector<float>> goldens;
+  for (int i = 0; i < kContexts; ++i) {
+    auto imported =
+        db.Import(fx.TokenRange(i * 1000, kTokens), fx.MakeKv(kTokens, 110 + i));
+    ASSERT_TRUE(imported.ok());
+    ids.push_back(imported.value());
+    auto s = db.CreateSession(fx.TokenRange(i * 1000, kTokens));
+    ASSERT_TRUE(s.ok());
+    goldens.push_back(fx.Decode(s.value().session.get(), kSteps));
+  }
+  for (uint64_t id : ids) {
+    ASSERT_TRUE(db.tiers()->SpillContext(id).ok());
+    ASSERT_TRUE(db.contexts().IsSpilled(id));
+  }
+
+  std::vector<Status> results(kContexts, Status::Internal("not run"));
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kContexts; ++i) {
+      threads.emplace_back([&, i] {
+        auto paged = db.tiers()->PageIn(ids[i]);
+        results[i] = paged.status();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (int i = 0; i < kContexts; ++i) {
+    EXPECT_TRUE(results[i].ok()) << results[i].ToString();
+  }
+  EXPECT_EQ(db.tiers()->stats().page_ins, static_cast<uint64_t>(kContexts));
+
+  for (int i = 0; i < kContexts; ++i) {
+    auto s = db.CreateSession(fx.TokenRange(i * 1000, kTokens));
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(s.value().reused_prefix, kTokens);
+    ExpectBitIdentical(fx.Decode(s.value().session.get(), kSteps), goldens[i]);
+  }
 }
 
 }  // namespace
