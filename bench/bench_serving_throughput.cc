@@ -47,10 +47,34 @@
 // spill/page-in/prefetch counters land in the JSON summary, so CI tracks how
 // much disk traffic a budgeted store generates.
 //
+// --virtual-time paces the open-loop arrivals on the fleet's modeled device
+// clocks instead of wall sleeps: each Poisson gap is a gap in VIRTUAL seconds,
+// a request is submitted once modeled time reaches its arrival point, and an
+// idle engine fast-forwards the clocks discrete-event style. The arrival
+// trace is then identical on any host regardless of its speed — latency
+// regressions can't hide behind a slower CI machine shifting the arrivals.
+//
+// --priority-burst runs the preemptive-scheduling scenario instead of the
+// throughput sweep: Phase A measures high-priority TTFT on an idle engine
+// (the baseline), Phase B fills every slot with long LOW-priority decodes and
+// then fires a burst of short HIGH-priority requests mid-decode. The highs
+// must preempt (suspend) lows to get their slots, and every low must resume
+// and finish with zero recompute. Reports per-class TTFT percentiles, the
+// preemption/resume counters, and the per-tenant fair-share ledger; fails if
+// nothing was preempted, a low lost work, any tenant starved, or the
+// burst-phase high p99 TTFT exceeds 2x the idle baseline (with a small
+// absolute floor so microsecond-scale baselines don't flake).
+//
+// --tenants <n> (default 3) spreads requests round-robin over n scheduler
+// tenant ids (tenant 0 weighted 2.0 in --priority-burst to exercise weighted
+// fair share); the per-tenant ledger lands in the JSON summary.
+//
 // --json <path> additionally emits the machine-readable summary CI archives
 // as BENCH_serving.json — p50/p99 TTFT and TPOT, aggregate throughput, tier
-// counters, and the per-device counters — the start of the perf trajectory.
+// counters, preemption/resume totals, per-class and per-tenant stats, and the
+// per-device counters — the start of the perf trajectory.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -147,6 +171,39 @@ void PrintDeviceTable(const ServingSnapshot& snap) {
   }
 }
 
+/// Emits the per-priority-class and per-tenant arrays shared by every JSON
+/// mode (trailing comma included; schema additive).
+void WriteClassTenantArrays(FILE* f, const ServingSnapshot& snap) {
+  std::fprintf(f, "  \"preemptions\": %zu,\n", snap.preemptions);
+  std::fprintf(f, "  \"resumes\": %zu,\n", snap.resumes);
+  std::fprintf(f, "  \"midstep_retirements\": %zu,\n", snap.midstep_retirements);
+  std::fprintf(f, "  \"classes\": [");
+  for (size_t i = 0; i < snap.classes.size(); ++i) {
+    const ClassServingStats& cs = snap.classes[i];
+    std::fprintf(f,
+                 "%s\n    {\"priority\": %d, \"completed\": %zu, "
+                 "\"preempted\": %zu, \"resumed\": %zu, "
+                 "\"ttft_p50_ms\": %.3f, \"ttft_p99_ms\": %.3f}",
+                 i == 0 ? "" : ",", cs.priority, cs.completed, cs.preempted,
+                 cs.resumed, Percentile(cs.ttft_seconds, 0.5) * 1e3,
+                 Percentile(cs.ttft_seconds, 0.99) * 1e3);
+  }
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f, "  \"tenants\": [");
+  for (size_t i = 0; i < snap.tenants.size(); ++i) {
+    const TenantServingStats& ts = snap.tenants[i];
+    std::fprintf(f,
+                 "%s\n    {\"tenant_id\": %llu, \"weight\": %.3f, "
+                 "\"admitted\": %zu, \"completed\": %zu, \"preempted\": %zu, "
+                 "\"resumed\": %zu, \"deficit_seconds\": %.6f, "
+                 "\"admitted_seconds\": %.6f}",
+                 i == 0 ? "" : ",", static_cast<unsigned long long>(ts.tenant_id),
+                 ts.weight, ts.admitted, ts.completed, ts.preempted, ts.resumed,
+                 ts.deficit_seconds, ts.admitted_seconds);
+  }
+  std::fprintf(f, "\n  ],\n");
+}
+
 /// One complete open-loop pass: the latency samples plus the final snapshot.
 struct OpenLoopResult {
   std::vector<double> ttft_s, tpot_s;
@@ -164,6 +221,7 @@ bool WriteBenchJson(const char* path, const char* mode, size_t requests,
                     const std::vector<double>& tpot_s, double tokens_per_second,
                     double wall_seconds, const ServingSnapshot& snap,
                     size_t step_token_budget = 0, bool midstep = false,
+                    bool virtual_time = false,
                     const OpenLoopResult* baseline = nullptr) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -175,7 +233,9 @@ bool WriteBenchJson(const char* path, const char* mode, size_t requests,
   std::fprintf(f, "  \"requests\": %zu,\n", requests);
   std::fprintf(f, "  \"step_token_budget\": %zu,\n", step_token_budget);
   std::fprintf(f, "  \"midstep_admission\": %s,\n", midstep ? "true" : "false");
+  std::fprintf(f, "  \"virtual_time\": %s,\n", virtual_time ? "true" : "false");
   std::fprintf(f, "  \"midstep_admissions\": %zu,\n", snap.midstep_admissions);
+  WriteClassTenantArrays(f, snap);
   if (baseline != nullptr) {
     std::fprintf(f, "  \"baseline_ttft_p50_ms\": %.3f,\n",
                  Percentile(baseline->ttft_s, 0.5) * 1e3);
@@ -240,6 +300,8 @@ struct OpenLoopConfig {
   size_t step_token_budget = 0;
   size_t prefill_chunk_tokens = 0;  ///< 0 = scheduler default.
   bool midstep = true;
+  bool virtual_time = false;  ///< Pace arrivals on the modeled device clocks.
+  size_t tenants = 3;         ///< Scheduler tenant ids, assigned round-robin.
 };
 
 constexpr size_t kOpenLoopTenants = 4;
@@ -311,16 +373,46 @@ int RunOpenLoopOnce(const OpenLoopConfig& cfg, OpenLoopResult* out) {
 
   // Seeded exponential interarrivals: the trace is identical run to run, so
   // latency regressions are attributable to the engine, not the workload.
+  // Under --virtual-time the gaps are VIRTUAL seconds: an arrival fires when
+  // the fleet's modeled time reaches its point on the trace, which decouples
+  // the arrival process from host speed entirely.
   Rng rng(0x09E17007);
   WallTimer wall;
+  auto fleet_virtual_seconds = [&env]() {
+    double now = 0;
+    for (size_t d = 0; d < env.num_devices(); ++d) {
+      now = std::max(now, env.device(d).clock().Seconds());
+    }
+    return now;
+  };
+  double arrival_vt = fleet_virtual_seconds();
   std::vector<RequestHandle> handles;
   for (size_t i = 0; i < kOpenLoopRequests; ++i) {
     if (i > 0) {
       const double gap = -std::log(1.0 - rng.Uniform()) / cfg.arrivals_per_sec;
-      std::this_thread::sleep_for(std::chrono::duration<double>(gap));
+      if (cfg.virtual_time) {
+        arrival_vt += gap;
+        // Busy work advances the clocks on its own; a drained engine would
+        // never reach the arrival point, so fast-forward it discrete-event
+        // style (the clocks model the idle gap as elapsed).
+        while (fleet_virtual_seconds() < arrival_vt) {
+          if (engine.scheduler().active() == 0 && engine.scheduler().queued() == 0) {
+            for (size_t d = 0; d < env.num_devices(); ++d) {
+              const double lag = arrival_vt - env.device(d).clock().Seconds();
+              if (lag > 0) env.device(d).clock().Advance(lag);
+            }
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      } else {
+        std::this_thread::sleep_for(std::chrono::duration<double>(gap));
+      }
     }
-    auto h = engine.Submit(
-        MakeRequest(tenants[i % kOpenLoopTenants], kOpenLoopSteps, false));
+    ServingRequest req =
+        MakeRequest(tenants[i % kOpenLoopTenants], kOpenLoopSteps, false);
+    req.tenant_id = i % std::max<size_t>(1, cfg.tenants);
+    auto h = engine.Submit(std::move(req));
     if (!h.ok()) {
       // kBacklogFull would be the retryable branch of a real client; at this
       // queue depth (256) it cannot trigger here, so any rejection is fatal.
@@ -365,9 +457,12 @@ int RunOpenLoopOnce(const OpenLoopConfig& cfg, OpenLoopResult* out) {
                  expected_prefill);
     return 1;
   }
-  if (cfg.midstep && snap.midstep_admissions == 0 && cfg.arrivals_per_sec >= 50) {
-    // At >= 50 req/s, arrivals land inside running steps essentially always;
-    // zero mid-step admissions means the continuous path silently regressed.
+  if (cfg.midstep && !cfg.virtual_time && snap.midstep_admissions == 0 &&
+      cfg.arrivals_per_sec >= 50) {
+    // At >= 50 wall req/s, arrivals land inside running steps essentially
+    // always; zero mid-step admissions means the continuous path silently
+    // regressed. (Virtual-time arrivals pace on the modeled clocks, whose
+    // density relative to step walls is host-dependent — no such guarantee.)
     std::fprintf(stderr, "FAIL: no mid-step admissions at %.0f req/s\n",
                  cfg.arrivals_per_sec);
     return 1;
@@ -426,8 +521,235 @@ int RunOpenLoop(const OpenLoopConfig& cfg, const char* json_path) {
       !WriteBenchJson(json_path, "open-loop", kOpenLoopRequests, main_run.ttft_s,
                       main_run.tpot_s, main_run.tokens_per_second,
                       main_run.wall_seconds, main_run.snap,
-                      cfg.step_token_budget, cfg.midstep,
+                      cfg.step_token_budget, cfg.midstep, cfg.virtual_time,
                       have_baseline ? &baseline : nullptr)) {
+    return 1;
+  }
+  std::printf("bench_serving_throughput OK\n");
+  return 0;
+}
+
+/// Machine-readable summary for the preemption scenario (CI archives it as
+/// BENCH_serving_priority.json): the idle-vs-burst high-priority TTFT pair
+/// the 2x acceptance gate reads, plus the shared class/tenant arrays.
+bool WritePriorityBurstJson(const char* path, size_t requests,
+                            const std::vector<double>& idle_ttft,
+                            const std::vector<double>& burst_ttft,
+                            const std::vector<double>& low_ttft,
+                            const ServingSnapshot& snap) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open --json path %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"mode\": \"priority-burst\",\n");
+  std::fprintf(f, "  \"requests\": %zu,\n", requests);
+  std::fprintf(f, "  \"idle_high_ttft_p50_ms\": %.3f,\n",
+               Percentile(idle_ttft, 0.5) * 1e3);
+  std::fprintf(f, "  \"idle_high_ttft_p99_ms\": %.3f,\n",
+               Percentile(idle_ttft, 0.99) * 1e3);
+  std::fprintf(f, "  \"burst_high_ttft_p50_ms\": %.3f,\n",
+               Percentile(burst_ttft, 0.5) * 1e3);
+  std::fprintf(f, "  \"burst_high_ttft_p99_ms\": %.3f,\n",
+               Percentile(burst_ttft, 0.99) * 1e3);
+  std::fprintf(f, "  \"low_ttft_p50_ms\": %.3f,\n", Percentile(low_ttft, 0.5) * 1e3);
+  std::fprintf(f, "  \"low_ttft_p99_ms\": %.3f,\n", Percentile(low_ttft, 0.99) * 1e3);
+  WriteClassTenantArrays(f, snap);
+  std::fprintf(f, "  \"tokens_decoded\": %zu,\n", snap.tokens_decoded);
+  std::fprintf(f, "  \"peak_concurrent_sessions\": %zu\n",
+               snap.peak_concurrent_sessions);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return true;
+}
+
+/// The preemptive-scheduling scenario. Phase A: high-priority requests on an
+/// idle engine (the TTFT baseline). Phase B: every slot filled with a long
+/// low-priority decode, then a burst of short high-priority requests lands
+/// provably mid-decode — they must preempt lows for their slots, and the lows
+/// must all resume and finish intact. Fails unless preemption happened, every
+/// low kept its full decode, no tenant starved, and the burst-phase high p99
+/// TTFT stays within 2x the idle baseline.
+int RunPriorityBurst(size_t num_tenants, bool midstep, long step_budget,
+                     const char* json_path) {
+  constexpr size_t kSlots = 4;
+  constexpr size_t kLows = 4;
+  constexpr size_t kHighs = 6;
+  constexpr size_t kLowSteps = 96;
+  constexpr size_t kHighSteps = 4;
+  // Slow hosts make microsecond-scale idle baselines flaky; the acceptance
+  // gate is max(2x idle, this floor).
+  constexpr double kTtftFloorSeconds = 0.050;
+
+  const ModelConfig model = bench::BenchModel();
+  const auto suite = InfinityBenchSuite(0.04);
+  const char* tasks[] = {"En.QA", "En.MC", "Code.D", "Math.F"};
+
+  ThreadPool pool(4);
+  SimEnvironment env;
+  DbOptions options;
+  options.model = model;
+  options.session.optimizer.short_context_threshold = 512;
+  options.session.window = WindowConfig{32, 128};
+  options.materialize_pool = &pool;
+  AlayaDB db(options, &env);
+
+  std::vector<Tenant> docs;
+  for (size_t i = 0; i < 4; ++i) {
+    SyntheticContextOptions copts;
+    copts.model = model;
+    copts.spec = FindTask(suite, tasks[i]);
+    copts.spec.seed += i * 1000;
+    copts.pool = &pool;
+    auto doc = std::make_unique<SyntheticContext>(copts);
+    if (!doc->Generate().ok()) return 1;
+    // Import the full document: prompts are fully covered, so TTFT isolates
+    // scheduling (admission + preemption) rather than prefill length.
+    auto kv = std::make_unique<KvCache>(model);
+    if (!kv->AppendPrefixFrom(doc->kv(), doc->num_tokens()).ok()) return 1;
+    std::vector<int32_t> tokens = doc->tokens();
+    auto training = doc->MakeTrainingQueries(128);
+    if (!db.Import(std::move(tokens), std::move(kv), training.get()).ok()) return 1;
+    const size_t imported = doc->num_tokens();
+    docs.push_back(Tenant{std::move(doc), imported});
+  }
+
+  ServingEngineOptions eopts;
+  eopts.scheduler.max_concurrent_sessions = kSlots;
+  eopts.scheduler.step_token_budget =
+      step_budget < 0 ? 64 : static_cast<size_t>(step_budget);
+  // Tenant 0 carries double weight so the run exercises WEIGHTED fair share,
+  // not just round-robin; the ledger lands in the JSON.
+  eopts.scheduler.tenant_weights[0] = 2.0;
+  eopts.midstep_admission = midstep;
+  eopts.pool = &pool;
+  ServingEngine engine(&db, eopts);
+  if (Status s = engine.Start(); !s.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  auto make = [&](size_t doc_idx, size_t steps, int priority, size_t i) {
+    ServingRequest r = MakeRequest(docs[doc_idx % docs.size()], steps, false);
+    r.priority = priority;
+    r.tenant_id = i % std::max<size_t>(1, num_tenants);
+    return r;
+  };
+
+  // Phase A — idle baseline: one high-priority request at a time against an
+  // otherwise empty engine; its TTFT is pure admission + first step.
+  std::printf("=== priority burst: phase A (idle high-priority baseline, "
+              "%zu requests) ===\n", kHighs);
+  std::vector<double> idle_ttft;
+  for (size_t i = 0; i < kHighs; ++i) {
+    auto h = engine.Submit(make(i, kHighSteps, /*priority=*/1, i));
+    if (!h.ok()) return 1;
+    const RequestResult* r = h.value().Wait();
+    if (r == nullptr || !r->status.ok()) {
+      std::fprintf(stderr, "idle high %zu failed\n", i);
+      return 1;
+    }
+    idle_ttft.push_back(r->ttft_seconds);
+  }
+
+  // Phase B — fill every slot with a long low-priority decode, prove all are
+  // mid-decode (first token streamed), then fire the high burst.
+  std::printf("=== priority burst: phase B (%zu long low-priority decodes, "
+              "then %zu-request high burst mid-decode) ===\n", kLows, kHighs);
+  std::atomic<size_t> lows_started{0};
+  std::vector<RequestHandle> lows, highs;
+  for (size_t i = 0; i < kLows; ++i) {
+    ServingRequest r = make(i, kLowSteps, /*priority=*/0, i);
+    r.on_token = [&lows_started](size_t step, std::span<const float>) {
+      if (step == 0) lows_started.fetch_add(1);
+    };
+    auto h = engine.Submit(std::move(r));
+    if (!h.ok()) return 1;
+    lows.push_back(h.value());
+  }
+  while (lows_started.load() < kLows) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  for (size_t i = 0; i < kHighs; ++i) {
+    auto h = engine.Submit(make(i, kHighSteps, /*priority=*/1, i));
+    if (!h.ok()) return 1;
+    highs.push_back(h.value());
+  }
+
+  std::vector<double> burst_ttft, low_ttft;
+  for (size_t i = 0; i < highs.size(); ++i) {
+    const RequestResult* r = highs[i].Wait();
+    if (r == nullptr || !r->status.ok() || r->steps_completed != kHighSteps) {
+      std::fprintf(stderr, "burst high %zu failed\n", i);
+      return 1;
+    }
+    burst_ttft.push_back(r->ttft_seconds);
+  }
+  size_t low_preemptions = 0;
+  for (size_t i = 0; i < lows.size(); ++i) {
+    const RequestResult* r = lows[i].Wait();
+    if (r == nullptr || !r->status.ok() || r->steps_completed != kLowSteps) {
+      // A resumed low losing decode steps would be silent recompute/loss —
+      // exactly what suspend/resume promises not to do.
+      std::fprintf(stderr, "FAIL: low %zu did not finish intact\n", i);
+      return 1;
+    }
+    low_preemptions += r->preemptions;
+    if (r->resumes != r->preemptions) {
+      std::fprintf(stderr, "FAIL: low %zu: %zu preemptions, %zu resumes\n", i,
+                   r->preemptions, r->resumes);
+      return 1;
+    }
+    low_ttft.push_back(r->ttft_seconds);
+  }
+  engine.WaitIdle();
+  if (Status s = engine.Shutdown(); !s.ok()) return 1;
+  const ServingSnapshot snap = engine.snapshot();
+
+  const double idle_p99 = Percentile(idle_ttft, 0.99);
+  const double burst_p99 = Percentile(burst_ttft, 0.99);
+  std::printf("\n%10s %10s %12s %12s %12s %12s\n", "class", "completed",
+              "preempted", "resumed", "ttft-p50", "ttft-p99");
+  for (const ClassServingStats& cs : snap.classes) {
+    std::printf("%10d %10zu %12zu %12zu %10.2fms %10.2fms\n", cs.priority,
+                cs.completed, cs.preempted, cs.resumed,
+                Percentile(cs.ttft_seconds, 0.5) * 1e3,
+                Percentile(cs.ttft_seconds, 0.99) * 1e3);
+  }
+  std::printf("\n%10s %8s %10s %10s %12s %12s %16s\n", "tenant", "weight",
+              "admitted", "completed", "preempted", "resumed", "admitted-sec");
+  for (const TenantServingStats& ts : snap.tenants) {
+    std::printf("%10llu %8.2f %10zu %10zu %12zu %12zu %16.6f\n",
+                static_cast<unsigned long long>(ts.tenant_id), ts.weight,
+                ts.admitted, ts.completed, ts.preempted, ts.resumed,
+                ts.admitted_seconds);
+  }
+  std::printf("\nidle high p99 %.2fms, burst high p99 %.2fms, "
+              "%zu preemptions / %zu resumes\n",
+              idle_p99 * 1e3, burst_p99 * 1e3, snap.preemptions, snap.resumes);
+
+  if (snap.preemptions == 0 || snap.resumes == 0 || low_preemptions == 0) {
+    std::fprintf(stderr, "FAIL: high burst did not preempt any low decode\n");
+    return 1;
+  }
+  if (burst_p99 > std::max(2.0 * idle_p99, kTtftFloorSeconds)) {
+    std::fprintf(stderr,
+                 "FAIL: burst high p99 TTFT %.2fms exceeds 2x idle %.2fms\n",
+                 burst_p99 * 1e3, idle_p99 * 1e3);
+    return 1;
+  }
+  for (const TenantServingStats& ts : snap.tenants) {
+    if (ts.admitted == 0 || ts.completed == 0) {
+      std::fprintf(stderr, "FAIL: tenant %llu starved\n",
+                   static_cast<unsigned long long>(ts.tenant_id));
+      return 1;
+    }
+  }
+  if (json_path != nullptr &&
+      !WritePriorityBurstJson(json_path, kHighs * 2 + kLows, idle_ttft,
+                              burst_ttft, low_ttft, snap)) {
     return 1;
   }
   std::printf("bench_serving_throughput OK\n");
@@ -444,6 +766,9 @@ int main(int argc, char** argv) {
   uint64_t host_budget_bytes = 0;
   long step_budget = -1;  // -1 = unset: open loop defaults to 64, closed to 0.
   bool midstep = true;
+  bool virtual_time = false;
+  bool priority_burst = false;
+  size_t num_tenants = 3;
   const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--host-budget") == 0 && i + 1 < argc) {
@@ -476,6 +801,18 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--no-midstep") == 0) {
       midstep = false;  // Boundary-only admission: the phase-serialized mode.
+    } else if (std::strcmp(argv[i], "--virtual-time") == 0) {
+      virtual_time = true;  // Open-loop arrivals on the modeled device clocks.
+    } else if (std::strcmp(argv[i], "--priority-burst") == 0) {
+      priority_burst = true;  // The preemptive-scheduling scenario.
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 1 || n > 64) {
+        std::fprintf(stderr, "--tenants: need an integer in [1, 64]: %s\n", argv[i]);
+        return 2;
+      }
+      num_tenants = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--prefill-fraction") == 0 && i + 1 < argc) {
@@ -503,12 +840,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--prefill-fraction f] [--store-fraction f] "
                    "[--open-loop arrivals_per_sec] [--step-budget tokens] "
-                   "[--no-midstep] [--devices n] "
+                   "[--no-midstep] [--virtual-time] [--priority-burst] "
+                   "[--tenants n] [--devices n] "
                    "[--host-budget mib] [--json path]"
                    "   (0 <= f < 1, 0 <= store <= 1, arrivals > 0)\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (priority_burst) {
+    return RunPriorityBurst(num_tenants, midstep, step_budget, json_path);
   }
   if (open_loop_rate != 0.0) {
     if (!(open_loop_rate > 0.0)) {
@@ -528,6 +869,8 @@ int main(int argc, char** argv) {
     // exercised out of the box; closed loop keeps the historical unlimited.
     cfg.step_token_budget = step_budget < 0 ? 64 : static_cast<size_t>(step_budget);
     cfg.midstep = midstep;
+    cfg.virtual_time = virtual_time;
+    cfg.tenants = num_tenants;
     return RunOpenLoop(cfg, json_path);
   }
   // Negated form so NaN (which fails every comparison) is rejected too.

@@ -103,6 +103,55 @@ Result<AlayaDB::SessionCreation> AlayaDB::CreateSession(
   return out;
 }
 
+Result<AlayaDB::SessionResume> AlayaDB::ResumeSession(uint64_t context_id,
+                                                      size_t reused_prefix,
+                                                      int device) {
+  ALAYA_RETURN_IF_ERROR(options_.model.Validate());
+  device = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(std::max(device, 0)), env_->num_devices() - 1));
+  SessionResume out;
+  Context* reused = nullptr;
+  if (context_id != 0 && reused_prefix > 0) {
+    out.context_ref = contexts_.FindShared(context_id);
+    if (out.context_ref == nullptr && tiers_ != nullptr) {
+      // The pin was dropped at suspension, so the tier layer was free to spill
+      // the context to disk meanwhile. Page-in restores it bit-identically.
+      Result<std::shared_ptr<Context>> paged = tiers_->PageIn(context_id);
+      if (paged.ok()) out.context_ref = std::move(paged.value());
+    }
+    if (out.context_ref == nullptr) {
+      // Removed outright while the request was suspended. The parked KV's
+      // token positions are meaningless without the prefix; fail honestly
+      // rather than silently recomputing (callers surface this as a lost
+      // request, never as corrupted output).
+      return Status::NotFound("suspended request's reused context is gone");
+    }
+    if (reused_prefix > out.context_ref->length()) {
+      return Status::InvalidArgument(
+          "suspended prefix exceeds the stored context");
+    }
+    reused = out.context_ref.get();
+    if (tiers_ != nullptr) tiers_->OnPrefixHit(context_id);
+    if (reused->resident_device() != device) {
+      // Same cross-device charge as CreateSession: the resuming device pulls
+      // the window bytes over the interconnect and the context re-homes.
+      const WindowCache window(options_.session.window);
+      const size_t window_tokens =
+          std::min(window.Size(reused_prefix), reused_prefix);
+      out.cross_device_transfer_bytes =
+          static_cast<uint64_t>(window_tokens) * options_.model.KvBytesPerToken();
+      Device& dst = env_->device(static_cast<size_t>(device));
+      dst.clock().Advance(
+          dst.cost_model().TransferSeconds(out.cross_device_transfer_bytes));
+      reused->set_resident_device(device);
+    }
+  }
+  out.session = std::make_unique<Session>(options_.model, options_.session, reused,
+                                          reused == nullptr ? 0 : reused_prefix,
+                                          env_, device);
+  return out;
+}
+
 Status AlayaDB::BuildIndices(Context* context, const QuerySamples* queries,
                              const Context* base, size_t base_prefix) {
   if (options_.build_fine_indices) {

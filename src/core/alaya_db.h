@@ -84,6 +84,24 @@ class AlayaDB {
   Result<SessionCreation> CreateSession(const std::vector<int32_t>& prompt,
                                         int device = 0);
 
+  /// Rebinding for a preempted request resuming after suspension: constructs
+  /// a fresh session over EXACTLY the context/prefix the suspended session
+  /// had — deliberately no prefix re-matching (the store may have grown a
+  /// longer match since; rebinding to it would shift the suspended KV's token
+  /// positions) — ready for Session::AttachFromSuspend. `context_id` 0 means
+  /// the original session had no reuse. A context spilled to disk while the
+  /// request was suspended (dropping the pin during suspension makes it
+  /// evictable — that is the point) is demand-paged back; a context removed
+  /// outright fails honestly with kNotFound. Cross-device resume charges the
+  /// same modeled window transfer and re-homing as CreateSession.
+  struct SessionResume {
+    std::unique_ptr<Session> session;
+    std::shared_ptr<Context> context_ref;  ///< Re-pinned; null when no reuse.
+    uint64_t cross_device_transfer_bytes = 0;
+  };
+  Result<SessionResume> ResumeSession(uint64_t context_id, size_t reused_prefix,
+                                      int device = 0);
+
   /// DB.import(prompts, kv_cache): registers a precomputed context (and its
   /// optional prefill query samples for index training); builds indices.
   Result<uint64_t> Import(std::vector<int32_t> tokens, std::unique_ptr<KvCache> kv,

@@ -110,6 +110,30 @@ Session::DetachedState Session::DetachForStore() {
   return out;
 }
 
+Session::SuspendedState Session::DetachForSuspend() {
+  const uint64_t bytes = GpuResidentBytes();  // Before the detach zeroes it.
+  return SuspendedState{DetachForStore(), bytes};
+}
+
+Status Session::AttachFromSuspend(SuspendedState&& state) {
+  if (detached_) {
+    return Status::FailedPrecondition("cannot attach onto a detached session");
+  }
+  if (local_.NumTokens() != 0) {
+    return Status::FailedPrecondition("cannot attach onto a session with local KV");
+  }
+  if (state.base.reused_prefix != prefix_len_) {
+    // The resume path must rebind the exact prefix the suspended session saw;
+    // a different (e.g. freshly re-matched, longer) prefix would shift every
+    // local token's absolute position and corrupt attention.
+    return Status::InvalidArgument("suspended state prefix mismatch");
+  }
+  local_ = std::move(state.base.local_kv);
+  recorded_ = std::move(state.base.recorded);
+  gpu_reservation_.ResizeTo(GpuResidentBytes());
+  return Status::Ok();
+}
+
 Status Session::AttendHead(uint32_t layer, uint32_t q_head, const float* qh,
                            float* out_h, AttentionCallStats* stats) {
   if (detached_) return Status::FailedPrecondition("session was detached for store");

@@ -115,6 +115,34 @@ class Session {
   DetachedState DetachForStore();
   bool detached() const { return detached_; }
 
+  /// Everything a *suspended* (preempted) request needs to later resume with
+  /// zero recompute: the detached KV/queries plus the byte count the caller
+  /// parks host-side while the request waits. Decode position and the
+  /// per-request "RNG state" live engine-side — fill_step/fill_prompt are
+  /// pure functions of (step/token, layer), so the engine's step and
+  /// prefill_pos counters ARE the generator state; it parks them alongside
+  /// this struct.
+  struct SuspendedState {
+    DetachedState base;
+    uint64_t kv_bytes = 0;  ///< Device bytes the detach released.
+  };
+
+  /// Generalization of DetachForStore for preemption: same detach (the
+  /// session is dead afterwards), plus the released byte count so the engine
+  /// can reserve host memory for the parked KV and charge the modeled
+  /// device→host offload transfer.
+  SuspendedState DetachForSuspend();
+
+  /// Resume-side reattach: moves a suspended request's KV and recorded
+  /// queries back into this session and re-reserves device residency. Only
+  /// valid on a freshly constructed session (not detached, zero local
+  /// tokens) built over the same reused prefix length the suspended session
+  /// had — the context *pointer* may differ (the context may have been
+  /// spilled and paged back in while suspended; page-in restores it
+  /// bit-identically), which is why the state's borrowed reused_context is
+  /// ignored in favor of this session's own binding.
+  Status AttachFromSuspend(SuspendedState&& state);
+
   // --- Introspection ---
   size_t reused_prefix() const { return prefix_len_; }
   bool partial_reuse() const {

@@ -17,6 +17,11 @@ RequestScheduler::RequestScheduler(const ModelConfig& model,
   placement_ = options_.placement != nullptr
                    ? options_.placement
                    : std::make_shared<const BestFitPlacement>();
+  // FairSharePolicy is a safe default: single-tenant, uniform-priority,
+  // no-deadline traffic (everything that existed before policies) orders
+  // exactly FIFO under it.
+  policy_ = options_.policy != nullptr ? options_.policy
+                                       : std::make_shared<const FairSharePolicy>();
   loads_.resize(options_.devices);
   for (size_t d = 0; d < loads_.size(); ++d) {
     loads_[d].device = static_cast<int>(d);
@@ -70,6 +75,35 @@ AdmissionEstimate RequestScheduler::Estimate(const ServingRequest& request,
     e.prefill_step_gpu_seconds = per_token * static_cast<double>(chunk);
     e.prefill_total_gpu_seconds = per_token * static_cast<double>(e.prefill_tokens);
   }
+  // The fair-share cost of admitting this request: everything it will run.
+  e.total_gpu_seconds = e.prefill_total_gpu_seconds +
+                        e.step_gpu_seconds * static_cast<double>(request.max_new_tokens);
+  return e;
+}
+
+AdmissionEstimate RequestScheduler::EstimateResumed(const ServingRequest& request,
+                                                    size_t reused_prefix,
+                                                    size_t prefill_pos,
+                                                    size_t steps_done) const {
+  // Full completion footprint: the detached KV (prefilled suffix + decoded
+  // tail so far) returns to the device in full, so gpu_bytes and the per-step
+  // decode cost are unchanged from the original estimate.
+  AdmissionEstimate e = Estimate(request, reused_prefix);
+  prefill_pos = std::min(prefill_pos, request.prompt.size());
+  const size_t remaining_prefill = request.prompt.size() - prefill_pos;
+  if (e.prefill_tokens > 0) {
+    const double per_token =
+        e.prefill_total_gpu_seconds / static_cast<double>(e.prefill_tokens);
+    e.prefill_total_gpu_seconds = per_token * static_cast<double>(remaining_prefill);
+    if (remaining_prefill == 0) e.prefill_step_gpu_seconds = 0;
+  }
+  e.prefill_tokens = remaining_prefill;
+  const size_t steps_left =
+      request.max_new_tokens - std::min(steps_done, request.max_new_tokens);
+  // Only remaining work counts toward fair-share: the finished slice was
+  // already charged when the request first admitted.
+  e.total_gpu_seconds =
+      e.prefill_total_gpu_seconds + e.step_gpu_seconds * static_cast<double>(steps_left);
   return e;
 }
 
@@ -190,43 +224,169 @@ Result<uint64_t> RequestScheduler::Enqueue(ServingRequest request,
   }
   Admitted item;
   item.id = next_id_++;
+  item.priority = request.priority;
+  item.tenant_id = request.tenant_id;
   item.request = std::move(request);
   item.estimate = e;
   item.affinity_device = pre.affinity_device;
   item.submit_time = std::chrono::steady_clock::now();
   const uint64_t id = item.id;
+  EnsureTenantLocked(item.tenant_id);
   pending_.push_back(std::move(item));
   return id;
 }
 
-std::vector<RequestScheduler::Admitted> RequestScheduler::Admit() {
+void RequestScheduler::EnsureTenantLocked(uint64_t tenant_id) {
+  auto [it, inserted] = ledger_.try_emplace(tenant_id);
+  if (inserted) {
+    const auto w = options_.tenant_weights.find(tenant_id);
+    it->second.weight =
+        (w != options_.tenant_weights.end() && w->second > 0) ? w->second : 1.0;
+  }
+}
+
+void RequestScheduler::ResetDeficitIfDrainedLocked(uint64_t tenant_id) {
+  for (const Admitted& p : pending_) {
+    if (p.tenant_id == tenant_id) return;
+  }
+  auto it = ledger_.find(tenant_id);
+  if (it != ledger_.end()) it->second.deficit_seconds = 0;
+}
+
+QueuedRequestView RequestScheduler::ViewOfLocked(const Admitted& item) const {
+  QueuedRequestView v;
+  v.id = item.id;
+  v.priority = item.priority;
+  v.tenant_id = item.tenant_id;
+  v.deadline = item.Deadline();
+  v.cost_seconds = item.estimate.total_gpu_seconds;
+  v.resume = item.resume;
+  return v;
+}
+
+void RequestScheduler::Requeue(Admitted item) {
+  std::lock_guard<std::mutex> lk(mu_);
+  EnsureTenantLocked(item.tenant_id);
+  pending_.push_back(std::move(item));
+}
+
+void RequestScheduler::AdviseVictimsLocked(const Admitted& blocked,
+                                           std::vector<uint64_t>* victims) const {
+  std::vector<RunningRequestView> running;
+  running.reserve(active_.size());
+  for (const auto& [id, entry] : active_) {
+    RunningRequestView r;
+    r.id = id;
+    r.priority = entry.priority;
+    r.tenant_id = entry.tenant_id;
+    r.device = entry.device;
+    r.gpu_bytes = entry.estimate.gpu_bytes;
+    r.step_seconds = entry.estimate.EffectiveStepSeconds();
+    r.deadline = entry.deadline;
+    r.admit_order = entry.admit_order;
+    running.push_back(r);
+  }
+  const std::vector<uint64_t> ranked =
+      policy_->RankVictims(ViewOfLocked(blocked), running);
+  if (ranked.empty()) return;
+
+  // Simulate suspending a growing prefix of the ranking until the blocked
+  // request would both have a slot and place on some device. Advice only:
+  // nothing is released here — capacity frees when the engine actually
+  // suspends the victims and calls back.
+  std::vector<DeviceLoad> sim = loads_;
+  size_t sim_active = active_.size();
+  PlacementRequest preq;
+  preq.gpu_bytes = blocked.estimate.gpu_bytes;
+  preq.step_seconds = blocked.estimate.EffectiveStepSeconds();
+  preq.affinity_device = blocked.affinity_device;
+  std::vector<uint64_t> chosen;
+  for (const uint64_t vid : ranked) {
+    const auto it = active_.find(vid);
+    if (it == active_.end()) continue;
+    DeviceLoad& load = sim[static_cast<size_t>(it->second.device)];
+    load.reserved_bytes -= it->second.estimate.gpu_bytes;
+    load.reserved_step_seconds -= it->second.estimate.EffectiveStepSeconds();
+    --load.active_sessions;
+    --sim_active;
+    chosen.push_back(vid);
+    if (sim_active < options_.max_concurrent_sessions &&
+        placement_->Place(preq, sim, options_.tpot_slo_seconds).placed()) {
+      victims->insert(victims->end(), chosen.begin(), chosen.end());
+      return;
+    }
+  }
+  // Even suspending every ranked victim would not make room: advise nothing
+  // (the blocked request waits for ordinary drain instead).
+}
+
+std::vector<RequestScheduler::Admitted> RequestScheduler::Admit(
+    std::vector<uint64_t>* preempt_victims) {
   std::lock_guard<std::mutex> lk(mu_);
   std::vector<Admitted> out;
+  const auto now = std::chrono::steady_clock::now();
   while (!pending_.empty()) {
-    if (active_.size() >= options_.max_concurrent_sessions) break;
-    Admitted& head = pending_.front();
-    // Enqueue guarantees every queued request fits an idle device, and the
-    // placement policy must place a feasible request on an all-idle fleet, so
-    // the head is always admissible once the system drains: no starvation.
-    const PlacementDecision placed = PlaceLocked(head);
-    if (!placed.placed()) {
-      if (placed.never_fits) {
+    // Policy views in arrival order (index 0 = FIFO head), rebuilt per pick:
+    // each admission mutates the ledger the next pick depends on. Queue depth
+    // is capped (max_queue_depth), so the rebuild is cheap.
+    std::vector<QueuedRequestView> views;
+    views.reserve(pending_.size());
+    for (const Admitted& p : pending_) views.push_back(ViewOfLocked(p));
+    const size_t pick = policy_->PickNext(views, ledger_);
+    if (pick >= pending_.size()) break;
+    Admitted& cand = pending_[pick];
+
+    // Expired-at-pick sweep: a doomed request must not absorb a deficit grant
+    // or block the queue — set it aside (TakeExpired) and re-pick. This also
+    // covers expiries the step-boundary RemoveQueuedExpired sweep has not
+    // seen yet because the policy reordered the queue.
+    if (cand.request.deadline_seconds > 0 && cand.Deadline() <= now) {
+      const uint64_t tenant = cand.tenant_id;
+      expired_.push_back(std::move(cand));
+      pending_.erase(pending_.begin() + static_cast<long>(pick));
+      ResetDeficitIfDrainedLocked(tenant);
+      continue;
+    }
+
+    const bool slots_full = active_.size() >= options_.max_concurrent_sessions;
+    PlacementDecision placed;
+    if (!slots_full) {
+      // Enqueue guarantees every queued request fits an idle device, and the
+      // placement policy must place a feasible request on an all-idle fleet,
+      // so the pick is always admissible once the system drains: no
+      // starvation.
+      placed = PlaceLocked(cand);
+    }
+    if (slots_full || !placed.placed()) {
+      if (!slots_full && placed.never_fits) {
         // Permanently unplaceable (a custom policy's verdict): remove it so
         // it cannot block the queue forever — rejection, not bypass.
-        never_fits_.push_back(std::move(head));
-        pending_.pop_front();
+        const uint64_t tenant = cand.tenant_id;
+        never_fits_.push_back(std::move(cand));
+        pending_.erase(pending_.begin() + static_cast<long>(pick));
+        ResetDeficitIfDrainedLocked(tenant);
         continue;
       }
-      break;  // FIFO: no bypass past a blocked head.
+      // Blocked pick: optionally advise preemption, then stop — no bypass
+      // past the policy's choice (admission order stays deterministic).
+      if (preempt_victims != nullptr && options_.preemption) {
+        AdviseVictimsLocked(cand, preempt_victims);
+      }
+      break;
     }
+    policy_->OnAdmitted(views, pick, &ledger_);
     DeviceLoad& load = loads_[static_cast<size_t>(placed.device)];
-    load.reserved_bytes += head.estimate.gpu_bytes;
-    load.reserved_step_seconds += head.estimate.EffectiveStepSeconds();
+    load.reserved_bytes += cand.estimate.gpu_bytes;
+    load.reserved_step_seconds += cand.estimate.EffectiveStepSeconds();
     ++load.active_sessions;
-    head.device = placed.device;
-    active_[head.id] = ActiveEntry{head.estimate, placed.device};
-    out.push_back(std::move(head));
-    pending_.pop_front();
+    cand.device = placed.device;
+    active_[cand.id] = ActiveEntry{cand.estimate,  placed.device,
+                                   cand.priority,  cand.tenant_id,
+                                   cand.Deadline(), admit_seq_++};
+    const uint64_t tenant = cand.tenant_id;
+    out.push_back(std::move(cand));
+    pending_.erase(pending_.begin() + static_cast<long>(pick));
+    ResetDeficitIfDrainedLocked(tenant);
   }
   return out;
 }
@@ -250,10 +410,24 @@ std::vector<RequestScheduler::Admitted> RequestScheduler::TakeNeverFits() {
   return out;
 }
 
-std::optional<RequestScheduler::Admitted> RequestScheduler::RemoveQueued(uint64_t id) {
+std::vector<RequestScheduler::Admitted> RequestScheduler::TakeExpired() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Admitted> out;
+  out.swap(expired_);
+  return out;
+}
+
+TenantLedger RequestScheduler::TenantLedgerSnapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ledger_;
+}
+
+std::optional<RequestScheduler::Admitted> RequestScheduler::RemoveQueued(
+    uint64_t id, bool include_resume) {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     if (it->id == id) {
+      if (it->resume && !include_resume) return std::nullopt;
       Admitted out = std::move(*it);
       pending_.erase(it);
       return out;

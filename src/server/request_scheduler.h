@@ -4,11 +4,16 @@
 // suffix + window + decoded tail at deployed KV precision) and projected
 // per-step modeled device times for both of its phases: a chunked prefill
 // phase over the prompt tokens no stored context covers, then steady-state
-// decode (CostModel). The scheduler admits requests FIFO while the aggregate
-// stays under the GPU memory budget (and, optionally, a per-step TPOT SLO),
-// and queues the rest — the provider-side knob the paper's MaaS scenario needs
-// ("heavy traffic", §2): memory decides *whether* a session may run, the cost
-// model decides *how many* may run at once.
+// decode (CostModel). The scheduler admits requests in the order a pluggable
+// SchedulingPolicy picks them — strict priority classes with weighted
+// fair-share across tenants and EDF within a tenant by default, exact
+// historical FIFO under FifoPolicy — while the aggregate stays under the GPU
+// memory budget (and, optionally, a per-step TPOT SLO), and queues the rest —
+// the provider-side knob the paper's MaaS scenario needs ("heavy traffic",
+// §2): memory decides *whether* a session may run, the cost model decides
+// *how many* may run at once, the policy decides *who goes first* — and,
+// via preemption (Admit's victim advice + Requeue), who must yield a slot to
+// a higher class and resume later with zero recompute.
 #pragma once
 
 #include <chrono>
@@ -26,6 +31,7 @@
 #include "src/core/model_config.h"
 #include "src/device/cost_model.h"
 #include "src/server/placement_policy.h"
+#include "src/server/scheduling_policy.h"
 
 namespace alaya {
 
@@ -68,6 +74,15 @@ struct ServingRequest {
   /// kDeadlineExceeded at the next step boundary of a running engine; tokens
   /// already streamed stand.
   double deadline_seconds = 0;
+  /// Scheduling class: higher admits strictly first, and (when preemption is
+  /// enabled) a blocked higher-class request may suspend running lower-class
+  /// sessions to make room. Equal-priority traffic is ordered by the
+  /// SchedulingPolicy (fair-share across tenants, EDF within a tenant).
+  int priority = 0;
+  /// Fair-share identity: requests of the same tenant share one weighted
+  /// deficit account (RequestSchedulerOptions::tenant_weights). The default
+  /// tenant 0 with uniform priorities degenerates to exact FIFO.
+  uint64_t tenant_id = 0;
 };
 
 /// Projected steady-state resource usage of one request, computed up front.
@@ -87,6 +102,11 @@ struct AdmissionEstimate {
   double prefill_step_gpu_seconds = 0;
   /// Projected total prefill latency (all prefill tokens).
   double prefill_total_gpu_seconds = 0;
+  /// Projected total modeled device-seconds of REMAINING work: the full
+  /// prefill phase plus every remaining decode step. This is the fair-share
+  /// cost one admission spends from its tenant's deficit account; for a
+  /// resumed request (EstimateResumed) it covers only the unfinished part.
+  double total_gpu_seconds = 0;
 
   /// Per-engine-step device time this request contributes while active: the
   /// prefill phase and the decode phase alternate never — a session is in one
@@ -167,10 +187,25 @@ struct RequestSchedulerOptions {
   /// means no reuse information: every prompt token is assumed to need
   /// prefill, the conservative upper bound.
   std::function<size_t(std::span<const int32_t>)> prefix_probe;
+  /// Admission-ordering / preemption strategy (nullptr -> FairSharePolicy:
+  /// strict priority classes, weighted deficit round-robin across tenants
+  /// over modeled device-seconds, EDF within a tenant — which degenerates to
+  /// exact FIFO for single-tenant uniform-priority no-deadline traffic).
+  /// FifoPolicy restores the historical scheduler bit-identically.
+  std::shared_ptr<const SchedulingPolicy> policy;
+  /// Fair-share weight per tenant id (unlisted tenants weigh 1.0; weights
+  /// <= 0 are treated as 1.0). A weight-2 tenant earns deficit credit twice
+  /// as fast as a weight-1 tenant contending in the same priority class.
+  std::map<uint64_t, double> tenant_weights;
+  /// Allow Admit() to advise preempting running lower-priority sessions when
+  /// a higher-priority request cannot admit (see Admit's preempt_victims).
+  /// Safe to leave on: equal-priority traffic never preempts.
+  bool preemption = true;
 };
 
-/// Thread-safe FIFO admission queue. Enqueue may race with the engine's
-/// Admit/Release loop (a front door accepting requests mid-flight).
+/// Thread-safe admission queue, ordered by a pluggable SchedulingPolicy.
+/// Enqueue may race with the engine's Admit/Release loop (a front door
+/// accepting requests mid-flight).
 class RequestScheduler {
  public:
   RequestScheduler(const ModelConfig& model, const WindowConfig& window,
@@ -228,6 +263,15 @@ class RequestScheduler {
     /// Stamped at Enqueue; the origin of TTFT measurements and the anchor the
     /// request's deadline (deadline_seconds) counts from.
     std::chrono::steady_clock::time_point submit_time;
+    /// Scheduling class and fair-share identity, copied from the request at
+    /// Enqueue so resume entries (whose `request` is a stub) order correctly.
+    int priority = 0;
+    uint64_t tenant_id = 0;
+    /// A preempted request re-entering the queue (Requeue): `request` carries
+    /// only deadline_seconds, `estimate` the remaining work, and id /
+    /// submit_time are the originals (TTFT and deadline anchors survive
+    /// suspension). The engine routes these back to its suspended set.
+    bool resume = false;
     /// Absolute deadline, or time_point::max() when the request has none.
     std::chrono::steady_clock::time_point Deadline() const;
   };
@@ -250,20 +294,60 @@ class RequestScheduler {
   Result<uint64_t> Enqueue(ServingRequest request);
   Result<uint64_t> Enqueue(ServingRequest request, const EnqueuePreflight& pre);
 
-  /// Pops every queued request admissible under the current load, FIFO with no
-  /// head-of-line bypass (keeps the admission order deterministic). An
-  /// admissible request is one the placement policy can put on SOME device —
-  /// fitting that device's remaining memory budget and TPOT headroom — or the
-  /// head while the fleet is idle (guaranteed progress). Each popped request
-  /// carries the device it was placed on. A head the policy reports as
-  /// never_fits (no device's budget could EVER hold it — possible under
-  /// custom policies; the built-in uniform-budget case is caught at Enqueue)
-  /// is removed instead of blocking the queue forever; the caller collects it
-  /// via TakeNeverFits and fails it with a typed kNeverFits result.
-  std::vector<Admitted> Admit();
+  /// Pops every queued request admissible under the current load, in the
+  /// order the SchedulingPolicy picks them (FifoPolicy: arrival order with no
+  /// head-of-line bypass — the historical behavior). An admissible request is
+  /// one the placement policy can put on SOME device — fitting that device's
+  /// remaining memory budget and TPOT headroom — or the pick while the fleet
+  /// is idle (guaranteed progress). Each popped request carries the device it
+  /// was placed on. A pick the policy reports as never_fits (no device's
+  /// budget could EVER hold it — possible under custom policies; the built-in
+  /// uniform-budget case is caught at Enqueue) is removed instead of blocking
+  /// the queue forever; the caller collects it via TakeNeverFits and fails it
+  /// with a typed kNeverFits result. A picked request whose deadline already
+  /// passed is likewise swept aside (TakeExpired) instead of absorbing a
+  /// deficit grant, and the policy re-picks.
+  ///
+  /// Preemption: when the picked request is blocked (all slots taken or no
+  /// device fits) and `preempt_victims` is non-null (and options.preemption
+  /// is set), the policy ranks running lower-priority victims and the
+  /// shortest prefix of that ranking whose suspension would let the pick
+  /// place is appended to `*preempt_victims`. Admission then stops — the
+  /// caller suspends the victims (Release + Requeue) and calls Admit again;
+  /// capacity only frees once real suspension happens. Callers stepping
+  /// mid-batch pass nullptr: preemption is a step-boundary-only affair.
+  std::vector<Admitted> Admit(std::vector<uint64_t>* preempt_victims = nullptr);
 
   /// Drains requests a prior Admit() rejected as permanently unplaceable.
   std::vector<Admitted> TakeNeverFits();
+
+  /// Drains requests a prior Admit() swept as expired-at-pick. The caller
+  /// finalizes them with kDeadlineExceeded (routing resume entries back to
+  /// its suspended set).
+  std::vector<Admitted> TakeExpired();
+
+  /// Re-queues a preempted request so a later Admit can resume it. The caller
+  /// (the engine's suspend path) builds the entry: resume=true, original id /
+  /// submit_time / priority / tenant_id, a stub request carrying only
+  /// deadline_seconds, and an EstimateResumed() estimate. No validation, no
+  /// backlog cap (a suspended request must always be re-queueable; the count
+  /// is bounded by max_concurrent_sessions), no reservation held until a
+  /// later Admit places it again.
+  void Requeue(Admitted item);
+
+  /// Estimate for a request resuming after suspension with `prefill_pos`
+  /// prompt tokens already prefilled (absolute; >= its original
+  /// `reused_prefix`) and `steps_done` tokens already decoded. gpu_bytes stays
+  /// the full completion footprint — the detached KV returns to the device —
+  /// while prefill_tokens / total_gpu_seconds cover only remaining work, so
+  /// fair-share never double-charges the finished slice.
+  AdmissionEstimate EstimateResumed(const ServingRequest& request,
+                                    size_t reused_prefix, size_t prefill_pos,
+                                    size_t steps_done) const;
+
+  /// Copy of the per-tenant fair-share ledger (deficit balances + lifetime
+  /// admitted work) — the snapshot's no-starvation evidence.
+  TenantLedger TenantLedgerSnapshot() const;
 
   /// Returns a finished (or failed) request's reservation to the pool.
   void Release(uint64_t id);
@@ -276,8 +360,11 @@ class RequestScheduler {
   // found — exactly one side wins the queue entry.
 
   /// Removes one queued (not yet admitted) request. Empty when the id is
-  /// unknown, already admitted, or already released.
-  std::optional<Admitted> RemoveQueued(uint64_t id);
+  /// unknown, already admitted, or already released. Resume entries are
+  /// skipped unless `include_resume`: a caller-thread cancel must not steal a
+  /// suspended request's queue entry out from under the driver, which owns
+  /// the suspended lifecycle and passes include_resume=true.
+  std::optional<Admitted> RemoveQueued(uint64_t id, bool include_resume = false);
 
   /// Removes every queued request whose deadline has passed at `now`.
   std::vector<Admitted> RemoveQueuedExpired(std::chrono::steady_clock::time_point now);
@@ -316,9 +403,28 @@ class RequestScheduler {
   /// when it must keep waiting. Caller holds mu_.
   PlacementDecision PlaceLocked(const Admitted& item) const;
 
+  /// Policy view of one queued entry. Caller holds mu_.
+  QueuedRequestView ViewOfLocked(const Admitted& item) const;
+  /// Creates the tenant's ledger entry on first sight (weight from
+  /// options.tenant_weights). Caller holds mu_.
+  void EnsureTenantLocked(uint64_t tenant_id);
+  /// DRR reset: a tenant whose queue just emptied forfeits banked deficit
+  /// (idle tenants do not accumulate credit). Caller holds mu_.
+  void ResetDeficitIfDrainedLocked(uint64_t tenant_id);
+  /// Ranks running victims for a blocked pick and appends the shortest
+  /// ranking prefix whose suspension would let `blocked` place. Caller holds
+  /// mu_.
+  void AdviseVictimsLocked(const Admitted& blocked,
+                           std::vector<uint64_t>* victims) const;
+
   struct ActiveEntry {
     AdmissionEstimate estimate;
     int device = 0;
+    int priority = 0;
+    uint64_t tenant_id = 0;
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    uint64_t admit_order = 0;  ///< Monotonic admission stamp (victim ranking).
   };
 
   ModelConfig model_;
@@ -326,13 +432,17 @@ class RequestScheduler {
   CostModel cost_;
   RequestSchedulerOptions options_;
   std::shared_ptr<const PlacementPolicy> placement_;
+  std::shared_ptr<const SchedulingPolicy> policy_;
 
   mutable std::mutex mu_;
   std::deque<Admitted> pending_;
   std::map<uint64_t, ActiveEntry> active_;
   std::vector<DeviceLoad> loads_;  ///< One per device; budgets fixed at ctor.
   std::vector<Admitted> never_fits_;  ///< Rejected by placement; see TakeNeverFits.
+  std::vector<Admitted> expired_;     ///< Swept expired-at-pick; see TakeExpired.
+  TenantLedger ledger_;  ///< Fair-share accounting, mutated via the policy.
   uint64_t next_id_ = 1;
+  uint64_t admit_seq_ = 0;  ///< Stamps ActiveEntry::admit_order.
 };
 
 }  // namespace alaya

@@ -224,6 +224,18 @@ void ServingEngine::FinalizeResult(uint64_t id, RequestResult&& result) {
     ++snapshot_.completed;
     if (stored->status.IsCancelled()) ++snapshot_.cancelled;
     if (stored->status.IsDeadlineExceeded()) ++snapshot_.deadline_exceeded;
+    // Per-class / per-tenant terminal accounting. Results are self-describing
+    // (priority/tenant stamped at admission or from the queue entry), so this
+    // is the single point every finalize path funnels through.
+    ClassServingStats& cs = class_stats_[stored->priority];
+    cs.priority = stored->priority;
+    ++cs.completed;
+    if (stored->ttft_seconds > 0 && cs.ttft_seconds.size() < 4096) {
+      cs.ttft_seconds.push_back(stored->ttft_seconds);
+    }
+    TenantServingStats& ts = tenant_stats_[stored->tenant_id];
+    ts.tenant_id = stored->tenant_id;
+    ++ts.completed;
     auto t = tickets_.find(id);
     if (t != tickets_.end()) {
       ticket = std::move(t->second);
@@ -250,15 +262,195 @@ void ServingEngine::FinalizeUnadmitted(RequestScheduler::Admitted&& adm,
                                        Status status) {
   RequestResult r;
   r.status = std::move(status);
+  r.priority = adm.priority;
+  r.tenant_id = adm.tenant_id;
   FinalizeResult(adm.id, std::move(r));
+}
+
+void ServingEngine::FinalizeSuspended(uint64_t id, Status status) {
+  auto it = suspended_.find(id);
+  if (it == suspended_.end()) return;
+  std::unique_ptr<ActiveSession> a = std::move(it->second);
+  suspended_.erase(it);
+  // The parked KV dies with the request; no scheduler Release — a suspended
+  // request holds no reservation (its slot was freed at suspension).
+  a->suspended_kv.reset();
+  a->host_kv_reservation.Release();
+  a->result.status = std::move(status);
+  FinalizeResult(a->id, std::move(a->result));
+}
+
+bool ServingEngine::SuspendVictim(uint64_t id) {
+  auto it = std::find_if(active_.begin(), active_.end(),
+                         [id](const auto& a) { return a->id == id; });
+  if (it == active_.end()) return false;
+  ActiveSession* a = it->get();
+  // A failed/terminal session is already on its way out — retiring it frees
+  // the slot anyway; suspending it would strand a dead request in suspended_.
+  if (a->failed || a->Terminal() || a->session == nullptr) return false;
+
+  // Detach the KV and decode state. step/prefill_pos stay on the parked
+  // ActiveSession — with pure fill callbacks they are the full generator
+  // state, which is what makes the resumed decode bit-identical.
+  Session::SuspendedState state = a->session->DetachForSuspend();
+  const uint64_t kv_bytes = state.kv_bytes;
+  // The offload is a modeled device→host transfer on the victim's device (it
+  // executes the copy-out), and the parked bytes live in host DRAM until
+  // resume.
+  Device& dev = db_->env().device(static_cast<size_t>(a->device));
+  dev.clock().Advance(dev.cost_model().TransferSeconds(kv_bytes));
+  a->host_kv_reservation = MemoryReservation(&db_->env().host_memory(), kv_bytes);
+  a->suspended_kv.emplace(std::move(state));
+  a->session.reset();
+  // Drop the context pin: while the request waits, the tier layer is free to
+  // spill (and later page back in) the context — resume re-pins it.
+  a->context_ref.reset();
+  a->state = RequestState::kSuspended;
+  ++a->result.preemptions;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++snapshot_.preemptions;
+    ClassServingStats& cs = class_stats_[a->result.priority];
+    cs.priority = a->result.priority;
+    ++cs.preempted;
+    TenantServingStats& ts = tenant_stats_[a->result.tenant_id];
+    ts.tenant_id = a->result.tenant_id;
+    ++ts.preempted;
+  }
+
+  // Requeue BEFORE Release: the resume entry must be visible before the
+  // reservation returns, or a WaitIdle between the two could observe an idle
+  // system while this request is suspended.
+  RequestScheduler::Admitted resume;
+  resume.id = a->id;
+  resume.request.deadline_seconds = a->request.deadline_seconds;
+  resume.submit_time = a->submit_time;
+  resume.priority = a->result.priority;
+  resume.tenant_id = a->result.tenant_id;
+  resume.affinity_device = a->device;  // Warm KV affinity: it lived here last.
+  resume.resume = true;
+  resume.estimate = scheduler_.EstimateResumed(
+      a->request, a->result.reused_prefix, a->prefill_pos, a->step);
+  scheduler_.Requeue(std::move(resume));
+  scheduler_.Release(a->id);
+  suspended_[a->id] = std::move(*it);
+  active_.erase(it);
+  return true;
+}
+
+void ServingEngine::ResumeSuspended(RequestScheduler::Admitted&& adm,
+                                    std::vector<ActiveSession*>* newly) {
+  auto it = suspended_.find(adm.id);
+  if (it == suspended_.end()) {
+    // Defensive: the driver owns both sides, so a resume entry without a
+    // parked request should not exist. Return the reservation rather than
+    // leak it.
+    scheduler_.Release(adm.id);
+    return;
+  }
+  std::unique_ptr<ActiveSession> parked = std::move(it->second);
+  suspended_.erase(it);
+  ActiveSession* a = parked.get();
+
+  // Terminal-while-suspended states the sweeps have not seen yet (Admit just
+  // won the queue entry): finalize before rebuilding anything. Finalize
+  // before Release, as everywhere, so idleness implies visible results.
+  if (a->ticket == nullptr) a->ticket = FindTicket(a->id);
+  Status terminal;
+  if (a->ticket != nullptr && a->ticket->cancel_requested.load()) {
+    terminal = Status::Cancelled("cancelled while suspended");
+  } else if (a->deadline <= std::chrono::steady_clock::now()) {
+    terminal = Status::DeadlineExceeded("deadline expired while suspended");
+  }
+  const uint64_t kv_bytes =
+      a->suspended_kv.has_value() ? a->suspended_kv->kv_bytes : 0;
+  Status rebuilt;
+  AlayaDB::SessionResume resumed;
+  if (terminal.ok()) {
+    // Rebind to the exact context/prefix the session had (paging it back in
+    // if it was spilled while suspended), then reattach the parked KV.
+    Result<AlayaDB::SessionResume> r = db_->ResumeSession(
+        a->result.reused_context_id, a->result.reused_prefix, adm.device);
+    if (r.ok()) {
+      resumed = std::move(r.value());
+      rebuilt = resumed.session->AttachFromSuspend(std::move(*a->suspended_kv));
+    } else {
+      rebuilt = r.status();
+    }
+  }
+  if (!terminal.ok() || !rebuilt.ok()) {
+    a->suspended_kv.reset();
+    a->host_kv_reservation.Release();
+    a->result.status = terminal.ok() ? rebuilt : terminal;
+    FinalizeResult(a->id, std::move(a->result));
+    scheduler_.Release(a->id);
+    return;
+  }
+
+  // The parked bytes travel host→device on the resuming device's clock, the
+  // host reservation returns, and the request re-enters the exact phase and
+  // position it was suspended in. prefill_pos/step were never touched, so
+  // there is zero recompute: prefilled_tokens and the decoded outputs come
+  // out identical to an uninterrupted run.
+  a->suspended_kv.reset();
+  a->session = std::move(resumed.session);
+  a->context_ref = std::move(resumed.context_ref);
+  a->device = adm.device;
+  Device& dev = db_->env().device(static_cast<size_t>(adm.device));
+  dev.clock().Advance(dev.cost_model().TransferSeconds(kv_bytes));
+  a->host_kv_reservation.Release();
+  a->state = a->prefill_pos < a->request.prompt.size()
+                 ? RequestState::kPrefilling
+                 : RequestState::kDecoding;
+  ++a->result.resumes;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++snapshot_.resumes;
+    ClassServingStats& cs = class_stats_[a->result.priority];
+    cs.priority = a->result.priority;
+    ++cs.resumed;
+    TenantServingStats& ts = tenant_stats_[a->result.tenant_id];
+    ts.tenant_id = a->result.tenant_id;
+    ++ts.resumed;
+    DeviceServingStats& ds = device_stats_[static_cast<size_t>(adm.device)];
+    ++ds.placements;
+    if (resumed.cross_device_transfer_bytes > 0) {
+      ++ds.cross_device_reuses;
+      ds.transfer_bytes += resumed.cross_device_transfer_bytes;
+    }
+  }
+  if (newly != nullptr) newly->push_back(a);
+  active_.push_back(std::move(parked));
 }
 
 void ServingEngine::SweepCancellations() {
   const auto now = std::chrono::steady_clock::now();
   finalizing_.fetch_add(1);  // Covers the dequeue-to-publication window.
   for (RequestScheduler::Admitted& adm : scheduler_.RemoveQueuedExpired(now)) {
-    FinalizeUnadmitted(std::move(adm),
-                       Status::DeadlineExceeded("deadline expired before admission"));
+    if (adm.resume) {
+      // A suspended request's deadline expired while it waited for a slot:
+      // owning its (just removed) resume entry, finalize the parked state.
+      FinalizeSuspended(adm.id,
+                        Status::DeadlineExceeded("deadline expired while suspended"));
+    } else {
+      FinalizeUnadmitted(std::move(adm),
+                         Status::DeadlineExceeded("deadline expired before admission"));
+    }
+  }
+  // Cancel-while-suspended: the caller-thread Cancel path deliberately skips
+  // resume entries (the driver owns the suspended lifecycle), so the driver
+  // sweeps the flags here — winning the queue entry first so a concurrent
+  // observer can never see the id both finalized and still queued.
+  for (auto it = suspended_.begin(); it != suspended_.end();) {
+    ActiveSession* a = it->second.get();
+    if (a->ticket == nullptr) a->ticket = FindTicket(a->id);
+    const bool cancelled =
+        a->ticket != nullptr && a->ticket->cancel_requested.load();
+    ++it;  // FinalizeSuspended erases; advance first.
+    if (cancelled &&
+        scheduler_.RemoveQueued(a->id, /*include_resume=*/true).has_value()) {
+      FinalizeSuspended(a->id, Status::Cancelled("cancelled while suspended"));
+    }
   }
   finalizing_.fetch_sub(1);
   for (auto& a : active_) {
@@ -276,23 +468,62 @@ void ServingEngine::SweepCancellations() {
   }
 }
 
-size_t ServingEngine::AdmitInto(std::vector<ActiveSession*>* newly) {
+size_t ServingEngine::AdmitInto(std::vector<ActiveSession*>* newly,
+                                bool allow_preempt) {
   const ModelConfig& model = db_->options().model;
   const size_t qdim = static_cast<size_t>(model.num_q_heads) * model.head_dim;
   const size_t kvdim = static_cast<size_t>(model.num_kv_heads) * model.head_dim;
   size_t added = 0;
-  // Placement can reject a head as permanently unplaceable (custom policies;
-  // the uniform-budget case already failed at Submit): those requests hold no
-  // reservation, so the finalizing_ guard keeps WaitIdle honest across the
-  // dequeue-to-publication window.
-  finalizing_.fetch_add(1);
-  std::vector<RequestScheduler::Admitted> admitted = scheduler_.Admit();
-  for (RequestScheduler::Admitted& adm : scheduler_.TakeNeverFits()) {
-    FinalizeUnadmitted(std::move(adm),
-                       Status::NeverFits("no device's budget can hold the request"));
+  // Admit → suspend advised victims → admit again, until the scheduler stops
+  // advising (or suspension frees nothing). Capacity only moves when a victim
+  // actually suspends, so the loop terminates: each round either admits, or
+  // shrinks the running set, or breaks.
+  std::vector<RequestScheduler::Admitted> admitted;
+  for (;;) {
+    std::vector<uint64_t> victims;
+    // Placement can reject a head as permanently unplaceable (custom
+    // policies; the uniform-budget case already failed at Submit), and a pick
+    // can be swept as expired: those requests hold no reservation, so the
+    // finalizing_ guard keeps WaitIdle honest across the
+    // dequeue-to-publication window.
+    finalizing_.fetch_add(1);
+    std::vector<RequestScheduler::Admitted> round =
+        scheduler_.Admit(allow_preempt ? &victims : nullptr);
+    for (RequestScheduler::Admitted& adm : scheduler_.TakeNeverFits()) {
+      FinalizeUnadmitted(std::move(adm),
+                         Status::NeverFits("no device's budget can hold the request"));
+    }
+    for (RequestScheduler::Admitted& adm : scheduler_.TakeExpired()) {
+      // Expired at pick time, before the boundary sweep saw it. Suspended
+      // requests route back through their parked state.
+      if (adm.resume) {
+        FinalizeSuspended(
+            adm.id, Status::DeadlineExceeded("deadline expired while suspended"));
+      } else {
+        FinalizeUnadmitted(
+            std::move(adm),
+            Status::DeadlineExceeded("deadline expired before admission"));
+      }
+    }
+    finalizing_.fetch_sub(1);
+    admitted.insert(admitted.end(), std::make_move_iterator(round.begin()),
+                    std::make_move_iterator(round.end()));
+    if (victims.empty()) break;
+    size_t suspended_now = 0;
+    for (const uint64_t vid : victims) {
+      if (SuspendVictim(vid)) ++suspended_now;
+    }
+    // Advice built on stale running state (victims already terminal) may free
+    // nothing; stop rather than spin — those victims retire at this boundary
+    // anyway and the next Admit sees the freed slots.
+    if (suspended_now == 0) break;
   }
-  finalizing_.fetch_sub(1);
   for (RequestScheduler::Admitted& adm : admitted) {
+    if (adm.resume) {
+      ResumeSuspended(std::move(adm), newly);
+      ++added;
+      continue;
+    }
     // Cancellation or deadline expiry may have landed after the queue pop;
     // don't build a session that would only retire immediately. Admit() took
     // the reservation, so return it explicitly on these paths.
@@ -322,6 +553,8 @@ size_t ServingEngine::AdmitInto(std::vector<ActiveSession*>* newly) {
     active->submit_time = adm.submit_time;
     active->deadline = deadline;
     active->result.id = adm.id;
+    active->result.priority = adm.priority;
+    active->result.tenant_id = adm.tenant_id;
 
     // Bind the session to its placed device: residency lands on that
     // device's tracker, modeled kernels on its clock, and a matched context
@@ -364,9 +597,12 @@ size_t ServingEngine::AdmitInto(std::vector<ActiveSession*>* newly) {
       // reserved bytes/seconds track real footprints.
       scheduler_.UpdateReservation(
           adm.id, scheduler_.Estimate(active->request, sc.reused_prefix));
+      // prefill_pos is always anchored to the reuse (== prompt length when
+      // fully covered): the suspend path snapshots it as the resume position
+      // regardless of which phase the session is in.
+      active->prefill_pos = sc.reused_prefix;
       if (!sc.truncated_prompt.empty()) {
         active->state = RequestState::kPrefilling;
-        active->prefill_pos = sc.reused_prefix;
         // Scratch sized for the largest chunk any step can grant; a budgeted
         // step simply uses a prefix of it.
         const size_t chunk = scheduler_.options().prefill_chunk_tokens;
@@ -396,12 +632,15 @@ size_t ServingEngine::AdmitInto(std::vector<ActiveSession*>* newly) {
   return added;
 }
 
-void ServingEngine::AdmitPending() { (void)AdmitInto(nullptr); }
+void ServingEngine::AdmitPending() { (void)AdmitInto(nullptr, /*allow_preempt=*/true); }
 
 size_t ServingEngine::MidStepAdmit(PrefillWave* wave, size_t* budget_left,
                                    std::vector<ActiveSession*>* chunked) {
   std::vector<ActiveSession*> newly;
-  const size_t admitted = AdmitInto(&newly);
+  // No preemption mid-step: suspending a session whose pointers are live in
+  // the running step's decode batch would pull state out from under it.
+  // Victims are advised and suspended at step boundaries only.
+  const size_t admitted = AdmitInto(&newly, /*allow_preempt=*/false);
   if (admitted > 0) {
     // Published immediately — not at step end — so a live observer sees the
     // admission while the step that absorbed it is still running.
@@ -441,7 +680,7 @@ void ServingEngine::LaunchChunk(ActiveSession* a, size_t count, PrefillWave* wav
   wave->Launch(job, &a->chunk_status, pool_);
 }
 
-Status ServingEngine::StepActiveSessions() {
+Status ServingEngine::StepActiveSessions(const WallTimer& step_timer) {
   const ModelConfig& model = db_->options().model;
   const size_t d = model.head_dim;
 
@@ -594,6 +833,44 @@ Status ServingEngine::StepActiveSessions() {
     }
   }
 
+  // Mid-step retirement: a session whose last token just decoded is retired
+  // NOW — result published, reservation released — so its slot is free for
+  // the wave-tail admission polls below instead of sitting occupied until the
+  // step boundary. Safe here: the layer loop is done and `decoding` is not
+  // read again, and erasing from active_ only moves unique_ptrs, never the
+  // sessions `prefilling`/`chunked` point at. Gated with midstep_admission so
+  // the boundary-only baseline keeps its exact retirement timing.
+  if (options_.midstep_admission) {
+    // Retirement frees the retiring sessions' KV before the end-of-step
+    // residency sample; take the step's high-water sample first so
+    // peak_gpu_bytes still reflects the footprint this step decoded at.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      SampleResidencyPeaksLocked();
+    }
+    size_t retired = 0;
+    auto it = active_.begin();
+    while (it != active_.end()) {
+      ActiveSession* a = it->get();
+      if (!a->failed && a->state == RequestState::kDecoding &&
+          a->step >= a->request.max_new_tokens) {
+        // The driver's post-step attribution loop no longer sees this
+        // session; attribute its partial-step wall time before finalizing.
+        a->result.decode_wall_seconds += step_timer.ElapsedSeconds();
+        a->state = RequestState::kRetiring;
+        FinishSession(a);
+        it = active_.erase(it);
+        ++retired;
+      } else {
+        ++it;
+      }
+    }
+    if (retired > 0) {
+      std::lock_guard<std::mutex> lk(mu_);
+      snapshot_.midstep_retirements += retired;
+    }
+  }
+
   // Poll admissions while waiting out the wave — on every step, not just
   // prefill-only ones. For prefill-only steps this is the only poll site (no
   // layer loop to interleave with); for mixed steps it extends coverage past
@@ -651,20 +928,26 @@ Status ServingEngine::StepActiveSessions() {
   ++snapshot_.engine_steps;
   // Sampled on every step — prefill-only steps included, so residency grown by
   // UpdateBatch (the prompt suffix landing in session-local KV) is observed
-  // even when no session decoded this step. The fleet peak sums the devices'
-  // simultaneous residency (with one device: exactly the old per-step sample);
-  // each device's own peak is tracked alongside.
+  // even when no session decoded this step.
+  for (size_t d = 0; d < device_stats_.size(); ++d) {
+    device_stats_[d].tokens_decoded += dev_tokens[d];
+    device_stats_[d].tokens_prefilled += dev_prefilled[d];
+  }
+  SampleResidencyPeaksLocked();
+  return Status::Ok();
+}
+
+void ServingEngine::SampleResidencyPeaksLocked() {
+  // The fleet peak sums the devices' simultaneous residency (with one device:
+  // exactly the per-step sample); each device's own peak is tracked alongside.
   uint64_t fleet_bytes = 0;
   for (size_t d = 0; d < device_stats_.size(); ++d) {
     const uint64_t current = db_->env().device(d).memory().current();
     fleet_bytes += current;
-    DeviceServingStats& ds = device_stats_[d];
-    ds.peak_gpu_bytes = std::max(ds.peak_gpu_bytes, current);
-    ds.tokens_decoded += dev_tokens[d];
-    ds.tokens_prefilled += dev_prefilled[d];
+    device_stats_[d].peak_gpu_bytes =
+        std::max(device_stats_[d].peak_gpu_bytes, current);
   }
   snapshot_.peak_gpu_bytes = std::max(snapshot_.peak_gpu_bytes, fleet_bytes);
-  return Status::Ok();
 }
 
 void ServingEngine::FinishSession(ActiveSession* active) {
@@ -774,7 +1057,7 @@ void ServingEngine::DriverLoop() {
       a->was_prefilling = a->state == RequestState::kPrefilling;
     }
     WallTimer step_timer;
-    status = StepActiveSessions();
+    status = StepActiveSessions(step_timer);
     if (!status.ok()) break;
     const double step_seconds = step_timer.ElapsedSeconds();
     for (auto& a : active_) {
@@ -810,9 +1093,23 @@ void ServingEngine::DriverLoop() {
     RetireFinished();
     finalizing_.fetch_add(1);  // Covers the dequeue-to-publication window.
     for (RequestScheduler::Admitted& adm : scheduler_.TakeAllQueued()) {
-      FinalizeUnadmitted(std::move(adm),
-                         status.ok() ? Status::Cancelled("engine aborted before admission")
-                                     : status);
+      if (adm.resume) {
+        FinalizeSuspended(adm.id,
+                          status.ok() ? Status::Cancelled("engine aborted while suspended")
+                                      : status);
+      } else {
+        FinalizeUnadmitted(std::move(adm),
+                           status.ok() ? Status::Cancelled("engine aborted before admission")
+                                       : status);
+      }
+    }
+    // Belt and braces: every suspended request has a resume entry (the
+    // invariant), so the loop above drained suspended_ — but a request whose
+    // entry was lost must still reach a terminal state.
+    while (!suspended_.empty()) {
+      FinalizeSuspended(suspended_.begin()->first,
+                        status.ok() ? Status::Cancelled("engine aborted while suspended")
+                                    : status);
     }
     finalizing_.fetch_sub(1);
   }
@@ -858,11 +1155,41 @@ const RequestResult* ServingEngine::result(uint64_t id) const {
 ServingSnapshot ServingEngine::snapshot() const {
   const AlayaDB::MaterializationStats mat = db_->materialization_stats();
   const std::vector<DeviceLoad> loads = scheduler_.DeviceLoads();
+  const TenantLedger ledger = scheduler_.TenantLedgerSnapshot();
   ServingSnapshot out;
   {
     std::lock_guard<std::mutex> lk(mu_);
     out = snapshot_;
     out.devices = device_stats_;
+    // Classes and tenants: engine-side terminal counters first (std::map →
+    // ascending key order)...
+    out.classes.reserve(class_stats_.size());
+    for (const auto& [priority, cs] : class_stats_) out.classes.push_back(cs);
+    out.tenants.reserve(std::max(tenant_stats_.size(), ledger.size()));
+    for (const auto& [tid, ts] : tenant_stats_) out.tenants.push_back(ts);
+  }
+  // ...then the scheduler's live fair-share ledger merged over them (a tenant
+  // can exist in the ledger before any of its requests reached a terminal
+  // state, and vice versa on a fresh scheduler).
+  for (const auto& [tid, share] : ledger) {
+    auto it = std::find_if(out.tenants.begin(), out.tenants.end(),
+                           [tid = tid](const TenantServingStats& t) {
+                             return t.tenant_id == tid;
+                           });
+    if (it == out.tenants.end()) {
+      TenantServingStats fresh;
+      fresh.tenant_id = tid;
+      it = out.tenants.insert(
+          std::upper_bound(out.tenants.begin(), out.tenants.end(), fresh,
+                           [](const TenantServingStats& a, const TenantServingStats& b) {
+                             return a.tenant_id < b.tenant_id;
+                           }),
+          fresh);
+    }
+    it->weight = share.weight;
+    it->deficit_seconds = share.deficit_seconds;
+    it->admitted_seconds = share.admitted_seconds;
+    it->admitted = share.admitted;
   }
   out.submitted = submitted_.load();
   out.rejected = rejected_.load();

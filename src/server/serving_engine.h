@@ -55,6 +55,11 @@
 // chunks) → Decoding (lockstep tokens) → Retiring (terminal result published,
 // reservation released). Requests with a fully-covered prompt skip straight
 // to Decoding; cancellation/deadline/errors jump to Retiring from any state.
+// Under preemption a running Prefilling/Decoding session may additionally be
+// Suspended (KV detached and parked host-side, slot yielded to a
+// higher-priority request) and later Resuming (KV reattached, the phase it
+// was suspended in continues from the exact position — zero recompute, so the
+// resumed decode is bit-identical to an uninterrupted one).
 //
 // Determinism: with deterministic fill_step/fill_prompt callbacks, a
 // concurrent schedule produces bit-identical outputs to a sequential one —
@@ -81,6 +86,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -159,6 +165,16 @@ struct RequestResult {
   /// Submit -> first decoded output block (queueing + admission + prefill +
   /// first step). 0 when no token was produced.
   double ttft_seconds = 0;
+  /// Scheduling class and fair-share identity the request ran under (copied
+  /// from the ServingRequest so results are self-describing for per-class /
+  /// per-tenant aggregation).
+  int priority = 0;
+  uint64_t tenant_id = 0;
+  /// Preemption lifecycle: times this request was suspended mid-run to yield
+  /// its slot, and times it was resumed. resumes can lag preemptions by one
+  /// when the request reached a terminal state while suspended.
+  size_t preemptions = 0;
+  size_t resumes = 0;
 };
 
 /// A submitted request's ticket: the handle and the driver communicate
@@ -231,6 +247,38 @@ struct DeviceServingStats {
   double modeled_busy_seconds = 0;
 };
 
+/// Per-tenant fair-share counters: the scheduler's live ledger (weight,
+/// deficit balance, lifetime admitted work) merged with the engine's terminal
+/// counters. `admitted > 0` for every tenant that submitted work is the
+/// no-starvation evidence the bench asserts.
+struct TenantServingStats {
+  uint64_t tenant_id = 0;
+  double weight = 1.0;
+  /// Banked fair-share credit in modeled device-seconds (resets when the
+  /// tenant's queue drains — idle tenants do not accumulate credit).
+  double deficit_seconds = 0;
+  double admitted_seconds = 0;  ///< Lifetime modeled seconds admitted.
+  size_t admitted = 0;          ///< Admissions (resumes included).
+  size_t completed = 0;         ///< Terminal results (errors/cancels included).
+  size_t preempted = 0;         ///< Suspensions of this tenant's sessions.
+  size_t resumed = 0;
+};
+
+/// Per-priority-class counters. `ttft_seconds` keeps a bounded sample of
+/// completed requests' TTFTs — the p99 input the preemption bench reports
+/// per class (high-priority p99 staying flat under low-priority load is the
+/// tentpole's headline number).
+struct ClassServingStats {
+  int priority = 0;
+  size_t completed = 0;
+  size_t preempted = 0;
+  size_t resumed = 0;
+  /// TTFTs of completed requests that produced at least one token, in
+  /// completion order, capped at 4096 samples (first-N; enough for stable
+  /// tail percentiles at bench scale without unbounded growth).
+  std::vector<double> ttft_seconds;
+};
+
 /// Aggregate serving metrics over one engine lifetime.
 struct ServingSnapshot {
   size_t submitted = 0;
@@ -245,6 +293,16 @@ struct ServingSnapshot {
   /// during a prefill-only wave) rather than at a step boundary — the
   /// continuous-batching counter. Zero when midstep_admission is off.
   size_t midstep_admissions = 0;
+  /// Sessions retired *inside* a running step — the moment their last token
+  /// decoded, instead of at the step boundary — freeing their slot for the
+  /// same step's mid-step admission polls. Zero when midstep_admission is off.
+  size_t midstep_retirements = 0;
+  /// Preemptive scheduling: running sessions suspended to yield their slot to
+  /// a higher-priority request, and suspended sessions resumed (with zero
+  /// prefill/decode recompute). preemptions >= resumes; the gap is requests
+  /// that reached a terminal state (cancel/deadline/abort) while suspended.
+  size_t preemptions = 0;
+  size_t resumes = 0;
   double serve_wall_seconds = 0;   ///< Wall time the driver thread was live.
   double tokens_per_second = 0;    ///< Aggregate decode throughput.
   size_t peak_concurrent_sessions = 0;
@@ -267,6 +325,10 @@ struct ServingSnapshot {
   /// Sharded serving: one entry per device (a single entry on the default
   /// single-device fleet — its counters then mirror the aggregates above).
   std::vector<DeviceServingStats> devices;
+  /// Multi-tenant fair share: one entry per tenant ever seen, ascending id.
+  std::vector<TenantServingStats> tenants;
+  /// Priority classes: one entry per distinct priority seen, ascending.
+  std::vector<ClassServingStats> classes;
 };
 
 class ServingEngine {
@@ -351,7 +413,13 @@ class ServingEngine {
   /// RetireFinished publishes its result and releases its reservation. A
   /// session is never in two states at once: the budget split (PlanStep)
   /// relies on Prefilling and Decoding being disjoint sets.
-  enum class RequestState { kQueued, kPrefilling, kDecoding, kRetiring };
+  ///
+  /// kSuspended is the preemption parking state: the session's KV is detached
+  /// host-side, its slot released, and the request waits in suspended_ (keyed
+  /// by id) with a resume entry queued at the scheduler. Resume rebuilds the
+  /// session and re-enters the phase (kPrefilling/kDecoding) it left at the
+  /// exact position it left it.
+  enum class RequestState { kQueued, kPrefilling, kDecoding, kSuspended, kRetiring };
 
   struct ActiveSession {
     uint64_t id = 0;
@@ -379,6 +447,14 @@ class ServingEngine {
     std::vector<float> out;  ///< [num_q_heads * head_dim]
     std::vector<float> pq, pk, pv;  ///< Prefill chunk scratch (token-major).
     std::vector<AttentionCallStats> head_stats;  ///< One per q_head.
+    /// Preemption parking: the detached KV + recorded queries while the
+    /// request is kSuspended (engaged exactly then), and the host-memory
+    /// reservation covering the parked bytes. The decode position (step) and
+    /// prefill_pos above are the rest of the suspended state — fill callbacks
+    /// are pure functions of (step/token, layer), so those counters ARE the
+    /// generator state and resume restarts from them bit-identically.
+    std::optional<Session::SuspendedState> suspended_kv;
+    MemoryReservation host_kv_reservation;
     bool failed = false;
 
     bool Terminal() const {
@@ -391,11 +467,34 @@ class ServingEngine {
   void DriverLoop();
   void SweepCancellations();
   /// Pops every currently admissible request from the scheduler, builds its
-  /// session, and appends it to active_. With `newly` set, collects raw
-  /// pointers to the sessions actually added (the mid-step path launches
-  /// their first chunks). Returns the number added.
-  size_t AdmitInto(std::vector<ActiveSession*>* newly);
+  /// session (or resumes a suspended one), and appends it to active_. With
+  /// `newly` set, collects raw pointers to the sessions actually added (the
+  /// mid-step path launches their first chunks). With `allow_preempt`, a
+  /// blocked higher-priority pick may suspend running lower-priority victims
+  /// (the scheduler advises, SuspendVictim executes, and admission re-runs) —
+  /// step-boundary only; the mid-step path passes false. Returns the number
+  /// added.
+  size_t AdmitInto(std::vector<ActiveSession*>* newly, bool allow_preempt);
   void AdmitPending();
+  /// Suspends one running session by id (driver thread only): detaches its
+  /// KV + decode state, parks the bytes host-side (modeled device→host
+  /// offload charged to its device clock), drops the context pin (the tier
+  /// layer may spill the context while the request waits), requeues a resume
+  /// entry and releases the slot. False when the id is not an active,
+  /// healthy, non-terminal session (nothing was freed).
+  bool SuspendVictim(uint64_t id);
+  /// Re-admission of a suspended request: rebuilds the session over the same
+  /// context/prefix (AlayaDB::ResumeSession — page-in if spilled), reattaches
+  /// the parked KV (modeled host→device upload charged to the new device),
+  /// and re-enters the exact phase/position it left. Terminal-while-suspended
+  /// (cancel/deadline) finalizes instead. Appends to active_ and `newly`.
+  void ResumeSuspended(RequestScheduler::Admitted&& adm,
+                       std::vector<ActiveSession*>* newly);
+  /// Finalizes a request parked in suspended_ (cancel/deadline/abort while
+  /// suspended): publishes the terminal result and frees the parked KV. The
+  /// caller must already own the queue entry (RemoveQueued include_resume /
+  /// TakeExpired / TakeAllQueued) — the id holds no scheduler reservation.
+  void FinalizeSuspended(uint64_t id, Status status);
   /// Mid-step admission: admits queued requests while a step is in flight
   /// (between decode layers / during a prefill-only wave). Newly admitted
   /// Prefilling sessions draw a first chunk from the step's unspent budget
@@ -408,7 +507,16 @@ class ServingEngine {
   /// grant in a->chunk_granted (accounting) and pointing the job's status at
   /// a->chunk_status.
   void LaunchChunk(ActiveSession* a, size_t count, PrefillWave* wave);
-  Status StepActiveSessions();
+  /// `step_timer` is the driver's wall timer for this step: sessions retired
+  /// mid-step get their partial-step wall time attributed from it (the
+  /// driver's post-step attribution loop no longer sees them).
+  Status StepActiveSessions(const WallTimer& step_timer);
+  /// Folds the fleet's current residency into the per-device and fleet
+  /// peak_gpu_bytes high-water marks. Caller holds mu_. Called at the end of
+  /// every step, and additionally just before mid-step retirement frees a
+  /// retiring session's KV (the step's true footprint would otherwise be
+  /// missed by the end-of-step sample).
+  void SampleResidencyPeaksLocked();
   void RetireFinished();
   void FinishSession(ActiveSession* active);
   /// Publishes a terminal result and wakes its handle's waiters.
@@ -431,6 +539,12 @@ class ServingEngine {
   ThreadPool* pool_;
 
   std::vector<std::unique_ptr<ActiveSession>> active_;  ///< Driver-thread-only.
+  /// Preempted requests parked until a resume entry re-admits them (or they
+  /// reach a terminal state while waiting). Driver-thread-only. Invariant:
+  /// every entry here has a matching resume entry queued at the scheduler
+  /// (requeue-before-release ordering), so WaitIdle can never observe an idle
+  /// system while a request is suspended.
+  std::map<uint64_t, std::unique_ptr<ActiveSession>> suspended_;
 
   // Lifecycle. life_cv_ carries every "work or state changed" signal: Submit
   // and Cancel wake an idle driver, the driver announces idleness (WaitIdle)
@@ -468,6 +582,11 @@ class ServingEngine {
   /// Driver-written per-device lifetime counters (guarded by mu_); residency
   /// and reservation fields are merged in at snapshot() time.
   std::vector<DeviceServingStats> device_stats_;
+  /// Per-class / per-tenant lifetime counters (guarded by mu_). The tenant
+  /// map holds only the engine-side counters; the scheduler's live ledger
+  /// (weight/deficit/admitted) is merged in at snapshot() time.
+  std::map<int, ClassServingStats> class_stats_;
+  std::map<uint64_t, TenantServingStats> tenant_stats_;
 };
 
 }  // namespace alaya

@@ -4,6 +4,8 @@
 // modeled per-step cost of the prefill phase, not just steady-state decode.
 #include "src/server/request_scheduler.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace alaya {
@@ -239,7 +241,11 @@ TEST(RequestSchedulerTest, DeadlineHandlesZeroAndAstronomicalBudgets) {
   huge.deadline_seconds = 1e12;
   ASSERT_TRUE(sched.Enqueue(std::move(huge)).ok());
 
+  // The default policy admits the finite-deadline request first (EDF within
+  // the class); restore arrival order so the indices below stay meaningful.
   auto admitted = sched.Admit();
+  std::sort(admitted.begin(), admitted.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
   ASSERT_EQ(admitted.size(), 3u);
   EXPECT_GT(admitted[0].Deadline(), far_future);  // None.
   EXPECT_LT(admitted[1].Deadline(), far_future);  // Real, finite.
