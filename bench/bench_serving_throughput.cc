@@ -185,8 +185,8 @@ void WriteClassTenantArrays(FILE* f, const ServingSnapshot& snap) {
                  "\"preempted\": %zu, \"resumed\": %zu, "
                  "\"ttft_p50_ms\": %.3f, \"ttft_p99_ms\": %.3f}",
                  i == 0 ? "" : ",", cs.priority, cs.completed, cs.preempted,
-                 cs.resumed, Percentile(cs.ttft_seconds, 0.5) * 1e3,
-                 Percentile(cs.ttft_seconds, 0.99) * 1e3);
+                 cs.resumed, cs.ttft_p50.Value() * 1e3,
+                 cs.ttft_p99.Value() * 1e3);
   }
   std::fprintf(f, "\n  ],\n");
   std::fprintf(f, "  \"tenants\": [");
@@ -715,8 +715,7 @@ int RunPriorityBurst(size_t num_tenants, bool midstep, long step_budget,
   for (const ClassServingStats& cs : snap.classes) {
     std::printf("%10d %10zu %12zu %12zu %10.2fms %10.2fms\n", cs.priority,
                 cs.completed, cs.preempted, cs.resumed,
-                Percentile(cs.ttft_seconds, 0.5) * 1e3,
-                Percentile(cs.ttft_seconds, 0.99) * 1e3);
+                cs.ttft_p50.Value() * 1e3, cs.ttft_p99.Value() * 1e3);
   }
   std::printf("\n%10s %8s %10s %10s %12s %12s %16s\n", "tenant", "weight",
               "admitted", "completed", "preempted", "resumed", "admitted-sec");
@@ -756,6 +755,246 @@ int RunPriorityBurst(size_t num_tenants, bool midstep, long step_budget,
   return 0;
 }
 
+/// Largest zero-reuse prompt the scheduler will accept (vs reject with the
+/// permanent kNeverFits) at `gang` context parallelism — the admission
+/// boundary the gang relaxes from one device's budget to the combined gang's.
+size_t MaxServableTokens(const ModelConfig& model, const CostModel& cost,
+                         uint64_t budget_bytes, size_t devices, size_t gang) {
+  RequestSchedulerOptions sopts;
+  sopts.gpu_budget_bytes = budget_bytes;
+  sopts.devices = devices;
+  sopts.max_gang_size = gang;
+  const WindowConfig wcfg{32, 128};
+  // Fresh scheduler per probe: Enqueue holds no reservation, but reusing one
+  // instance would trip the backlog cap long before the search converges.
+  auto fits = [&](size_t tokens) {
+    RequestScheduler sched(model, wcfg, cost, sopts);
+    ServingRequest r;
+    r.prompt.assign(tokens, 7);
+    r.max_new_tokens = 1;
+    r.fill_step = [](size_t, uint32_t, float*, float*, float*) {};
+    return sched.Enqueue(std::move(r)).ok();
+  };
+  if (!fits(1)) return 0;
+  size_t lo = 1, hi = 2;
+  while (hi <= (size_t{1} << 24) && fits(hi)) {
+    lo = hi;
+    hi *= 2;
+  }
+  while (lo + 1 < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    (fits(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+/// Machine-readable summary for --gang-size (CI archives BENCH_serving_gang.json).
+bool WriteGangJson(const char* path, size_t gang_size, uint64_t probe_budget,
+                   const std::vector<size_t>& max_tokens, double scaling,
+                   uint64_t gang_budget, bool golden_match,
+                   const ServingSnapshot& snap) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open --json path %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"mode\": \"gang-scaling\",\n");
+  std::fprintf(f, "  \"gang_size\": %zu,\n", gang_size);
+  std::fprintf(f, "  \"probe_budget_bytes\": %llu,\n",
+               static_cast<unsigned long long>(probe_budget));
+  std::fprintf(f, "  \"max_context_tokens\": [");
+  for (size_t k = 1; k < max_tokens.size(); ++k) {
+    std::fprintf(f, "%s%zu", k == 1 ? "" : ", ", max_tokens[k]);
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"context_scaling\": %.3f,\n", scaling);
+  std::fprintf(f, "  \"gang_budget_bytes\": %llu,\n",
+               static_cast<unsigned long long>(gang_budget));
+  std::fprintf(f, "  \"golden_match\": %s,\n", golden_match ? "true" : "false");
+  std::fprintf(f, "  \"gang_admissions\": %zu,\n", snap.gang_admissions);
+  std::fprintf(f, "  \"gang_ring_transfer_bytes\": %llu,\n",
+               static_cast<unsigned long long>(snap.gang_ring_transfer_bytes));
+  std::fprintf(f, "  \"shard_migrations\": %zu,\n", snap.shard_migrations);
+  std::fprintf(f, "  \"devices\": [");
+  for (size_t d = 0; d < snap.devices.size(); ++d) {
+    const DeviceServingStats& ds = snap.devices[d];
+    std::fprintf(f,
+                 "%s\n    {\"device\": %d, \"gang_shards\": %zu, "
+                 "\"placements\": %zu, \"modeled_busy_seconds\": %.6f}",
+                 d == 0 ? "" : ",", ds.device, ds.gang_shards, ds.placements,
+                 ds.modeled_busy_seconds);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return true;
+}
+
+/// --gang-size mode: the context-parallelism story. Part 1 probes the max
+/// servable context at each gang size (the kNeverFits admission boundary) —
+/// the headline is the 1 -> N scaling of what one request may hold. Part 2
+/// runs the same decode twice — solo on an unbounded device, then ganged
+/// across N devices under a per-device budget only the full gang satisfies —
+/// and self-gates: the gang must actually form (gang_admissions, per-member
+/// gang_shards) and its outputs must be bit-identical to the solo run (the
+/// ring-merged partial softmax is exact, not approximate).
+int RunGangScaling(size_t gang_size, const char* json_path) {
+  constexpr size_t kGangSteps = 12;
+  const ModelConfig model = bench::BenchModel();
+  const auto suite = InfinityBenchSuite(0.04);
+  const uint64_t kv_per_token = model.KvBytesPerToken();
+  const WindowConfig wcfg{32, 128};
+  ThreadPool pool(4);
+  SimEnvironment probe_env;
+
+  const uint64_t probe_budget = 512 * kv_per_token;
+  std::printf("=== device gangs: max servable context vs gang size "
+              "(per-device budget %s) ===\n", HumanBytes(probe_budget).c_str());
+  std::printf("%10s %20s\n", "gang", "max-context-tokens");
+  std::vector<size_t> max_tokens(gang_size + 1, 0);
+  for (size_t k = 1; k <= gang_size; ++k) {
+    max_tokens[k] = MaxServableTokens(model, probe_env.cost_model(),
+                                      probe_budget, gang_size, k);
+    std::printf("%10zu %20zu\n", k, max_tokens[k]);
+  }
+  const double scaling =
+      max_tokens[1] > 0 ? static_cast<double>(max_tokens[gang_size]) /
+                              static_cast<double>(max_tokens[1])
+                        : 0.0;
+
+  // One document shared by both golden runs: identical content guarantees any
+  // output divergence is the gang path's fault, not the workload's.
+  SyntheticContextOptions copts;
+  copts.model = model;
+  copts.spec = FindTask(suite, "En.QA");
+  copts.pool = &pool;
+  Tenant tenant;
+  tenant.doc = std::make_unique<SyntheticContext>(copts);
+  if (!tenant.doc->Generate().ok()) return 1;
+  tenant.imported_tokens = tenant.doc->num_tokens();
+
+  // Size the per-device budget so the decode footprint needs EXACTLY a
+  // gang_size gang: any budget in [ceil(bytes/N), bytes/(N-1)) rejects every
+  // smaller gang while the full gang's even shares fit.
+  RequestSchedulerOptions est_opts;
+  RequestScheduler est_sched(model, wcfg, probe_env.cost_model(), est_opts);
+  const AdmissionEstimate est = est_sched.Estimate(
+      MakeRequest(tenant, kGangSteps, false), tenant.doc->num_tokens());
+  uint64_t gang_budget = 0;
+  if (gang_size > 1) {
+    const uint64_t lo = (est.gpu_bytes + gang_size - 1) / gang_size;
+    const uint64_t hi = est.gpu_bytes / (gang_size - 1);
+    gang_budget = lo + (hi > lo ? (hi - lo) / 2 : 0);
+  }
+
+  auto run = [&](size_t devices, size_t gang, uint64_t budget,
+                 std::vector<float>* out, ServingSnapshot* snap) -> int {
+    SimEnvironment env;
+    DbOptions options;
+    options.model = model;
+    options.session.optimizer.short_context_threshold = 512;
+    options.session.window = wcfg;
+    options.materialize_pool = &pool;
+    AlayaDB db(options, &env);
+    auto kv = std::make_unique<KvCache>(model);
+    if (!kv->AppendPrefixFrom(tenant.doc->kv(), tenant.doc->num_tokens()).ok()) {
+      return 1;
+    }
+    auto training = tenant.doc->MakeTrainingQueries(128);
+    if (!db.Import(tenant.doc->tokens(), std::move(kv), training.get()).ok()) {
+      return 1;
+    }
+    ServingEngineOptions eopts;
+    eopts.scheduler.max_concurrent_sessions = 1;
+    eopts.scheduler.gpu_budget_bytes = budget;
+    eopts.devices = devices;
+    eopts.max_gang_size = gang;
+    eopts.pool = &pool;
+    ServingEngine engine(&db, eopts);
+    ServingRequest req = MakeRequest(tenant, kGangSteps, false);
+    req.record_outputs = true;
+    auto h = engine.Submit(std::move(req));
+    if (!h.ok()) {
+      std::fprintf(stderr, "gang submit failed: %s\n",
+                   h.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = engine.RunToCompletion(); !s.ok()) {
+      std::fprintf(stderr, "gang run failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const RequestResult* r = h.value().Wait();
+    if (r == nullptr || !r->status.ok() || r->steps_completed != kGangSteps) {
+      std::fprintf(stderr, "gang request did not complete: %s\n",
+                   r != nullptr ? r->status.ToString().c_str() : "(null)");
+      return 1;
+    }
+    *out = r->outputs;
+    *snap = engine.snapshot();
+    return 0;
+  };
+
+  std::printf("\n=== gang golden: %zu-step decode over %zu tokens, solo "
+              "(unbounded) vs gang-%zu (per-device budget %s, footprint %s) "
+              "===\n",
+              kGangSteps, tenant.doc->num_tokens(), gang_size,
+              HumanBytes(gang_budget).c_str(), HumanBytes(est.gpu_bytes).c_str());
+  std::vector<float> solo_out, gang_out;
+  ServingSnapshot solo_snap, gang_snap;
+  if (run(1, 1, 0, &solo_out, &solo_snap) != 0) return 1;
+  if (run(gang_size, gang_size, gang_budget, &gang_out, &gang_snap) != 0) return 1;
+
+  const bool golden_match =
+      solo_out.size() == gang_out.size() && !solo_out.empty() &&
+      std::memcmp(solo_out.data(), gang_out.data(),
+                  solo_out.size() * sizeof(float)) == 0;
+  std::printf("%8s %12s %14s\n", "device", "gang-shards", "busy-seconds");
+  for (const DeviceServingStats& ds : gang_snap.devices) {
+    std::printf("%8d %12zu %14.6f\n", ds.device, ds.gang_shards,
+                ds.modeled_busy_seconds);
+  }
+  std::printf("gang admissions %zu, ring transfer %s, golden %s, "
+              "context scaling 1->%zu: %.2fx\n",
+              gang_snap.gang_admissions,
+              HumanBytes(gang_snap.gang_ring_transfer_bytes).c_str(),
+              golden_match ? "MATCH" : "MISMATCH", gang_size, scaling);
+
+  int rc = 0;
+  if (!golden_match) {
+    std::fprintf(stderr, "FAIL: gang decode diverged from the solo golden\n");
+    rc = 1;
+  }
+  if (gang_size > 1) {
+    if (gang_snap.gang_admissions == 0) {
+      std::fprintf(stderr, "FAIL: no gang admission happened\n");
+      rc = 1;
+    }
+    for (size_t d = 0; d < gang_size; ++d) {
+      if (gang_snap.devices.size() <= d || gang_snap.devices[d].gang_shards == 0) {
+        std::fprintf(stderr, "FAIL: device %zu held no gang shard\n", d);
+        rc = 1;
+      }
+    }
+    if (gang_snap.gang_ring_transfer_bytes == 0) {
+      std::fprintf(stderr, "FAIL: gang decode moved no ring-exchange bytes\n");
+      rc = 1;
+    }
+    if (gang_size >= 4 && scaling < 3.0) {
+      std::fprintf(stderr, "FAIL: context scaling %.2fx < 3.0x at gang %zu\n",
+                   scaling, gang_size);
+      rc = 1;
+    }
+  }
+  if (json_path != nullptr &&
+      !WriteGangJson(json_path, gang_size, probe_budget, max_tokens, scaling,
+                     gang_budget, golden_match, gang_snap)) {
+    rc = 1;
+  }
+  if (rc == 0) std::printf("bench_serving_throughput OK\n");
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -769,6 +1008,7 @@ int main(int argc, char** argv) {
   bool virtual_time = false;
   bool priority_burst = false;
   size_t num_tenants = 3;
+  size_t gang_size = 0;  // > 0 selects the gang-scaling mode.
   const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--host-budget") == 0 && i + 1 < argc) {
@@ -805,6 +1045,17 @@ int main(int argc, char** argv) {
       virtual_time = true;  // Open-loop arrivals on the modeled device clocks.
     } else if (std::strcmp(argv[i], "--priority-burst") == 0) {
       priority_burst = true;  // The preemptive-scheduling scenario.
+    } else if (std::strcmp(argv[i], "--gang-size") == 0 && i + 1 < argc) {
+      // Context-parallelism mode: probe max servable context at gang sizes
+      // 1..n, then gate a gang-of-n decode bit-identical to the solo run.
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 1 || n > 16) {
+        std::fprintf(stderr, "--gang-size: need an integer in [1, 16]: %s\n",
+                     argv[i]);
+        return 2;
+      }
+      gang_size = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
       char* end = nullptr;
       const long n = std::strtol(argv[++i], &end, 10);
@@ -841,12 +1092,15 @@ int main(int argc, char** argv) {
                    "usage: %s [--prefill-fraction f] [--store-fraction f] "
                    "[--open-loop arrivals_per_sec] [--step-budget tokens] "
                    "[--no-midstep] [--virtual-time] [--priority-burst] "
-                   "[--tenants n] [--devices n] "
+                   "[--gang-size n] [--tenants n] [--devices n] "
                    "[--host-budget mib] [--json path]"
                    "   (0 <= f < 1, 0 <= store <= 1, arrivals > 0)\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (gang_size > 0) {
+    return RunGangScaling(gang_size, json_path);
   }
   if (priority_burst) {
     return RunPriorityBurst(num_tenants, midstep, step_budget, json_path);

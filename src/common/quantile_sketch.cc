@@ -1,0 +1,86 @@
+#include "src/common/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alaya {
+
+P2QuantileSketch::P2QuantileSketch(double q) : q_(std::clamp(q, 1e-6, 1.0 - 1e-6)) {
+  desired_[0] = 1;
+  desired_[1] = 1 + 2 * q_;
+  desired_[2] = 1 + 4 * q_;
+  desired_[3] = 3 + 2 * q_;
+  desired_[4] = 5;
+  increments_[0] = 0;
+  increments_[1] = q_ / 2;
+  increments_[2] = q_;
+  increments_[3] = (1 + q_) / 2;
+  increments_[4] = 1;
+}
+
+double P2QuantileSketch::Parabolic(int i, double d) const {
+  return heights_[i] +
+         d / (positions_[i + 1] - positions_[i - 1]) *
+             ((positions_[i] - positions_[i - 1] + d) *
+                  (heights_[i + 1] - heights_[i]) /
+                  (positions_[i + 1] - positions_[i]) +
+              (positions_[i + 1] - positions_[i] - d) *
+                  (heights_[i] - heights_[i - 1]) /
+                  (positions_[i] - positions_[i - 1]));
+}
+
+double P2QuantileSketch::Linear(int i, int d) const {
+  return heights_[i] + d * (heights_[i + d] - heights_[i]) /
+                           (positions_[i + d] - positions_[i]);
+}
+
+void P2QuantileSketch::Add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+  // Find the marker cell containing x, stretching the extremes if needed.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  ++count_;
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  // Nudge interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double diff = desired_[i] - positions_[i];
+    if ((diff >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (diff <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      const int d = diff >= 0 ? 1 : -1;
+      double h = Parabolic(i, d);
+      if (!(heights_[i - 1] < h && h < heights_[i + 1])) h = Linear(i, d);
+      heights_[i] = h;
+      positions_[i] += d;
+    }
+  }
+}
+
+double P2QuantileSketch::Value() const {
+  if (count_ == 0) return 0;
+  if (count_ < 5) {
+    // Exact nearest-rank order statistic over the (unsorted) init buffer.
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q_ * static_cast<double>(count_)));
+    return sorted[std::min(count_, std::max<size_t>(rank, 1)) - 1];
+  }
+  return heights_[2];
+}
+
+}  // namespace alaya

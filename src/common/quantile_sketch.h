@@ -1,0 +1,43 @@
+// Streaming quantile estimation for serving telemetry: the P² algorithm
+// (Jain & Chlamtac, CACM 1985). One sketch tracks one quantile of an
+// unbounded stream in O(1) memory — five markers whose heights approximate
+// the empirical CDF, adjusted per observation by a piecewise-parabolic
+// (hence P²) interpolation. This replaces the serving snapshot's
+// first-N-per-class TTFT sample buffers: per-class p50/p99 stay bounded-error
+// at any request volume instead of silently freezing after the buffer fills.
+#pragma once
+
+#include <cstddef>
+
+namespace alaya {
+
+/// One-quantile P² sketch. Exact (order statistic of the observations) until
+/// five samples have arrived; bounded-error streaming estimate after.
+/// Copyable — snapshots embed it by value.
+class P2QuantileSketch {
+ public:
+  /// `q` in (0, 1): the quantile to track (0.5 = median, 0.99 = p99).
+  explicit P2QuantileSketch(double q = 0.5);
+
+  void Add(double x);
+
+  /// Current estimate; 0 before any observation. With n < 5 this is the
+  /// nearest-rank order statistic (exact); after, the P² middle marker.
+  double Value() const;
+
+  size_t count() const { return count_; }
+  double quantile() const { return q_; }
+
+ private:
+  double Parabolic(int i, double d) const;
+  double Linear(int i, int d) const;
+
+  double q_;
+  size_t count_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};    ///< Marker heights (q0..q4).
+  double positions_[5] = {1, 2, 3, 4, 5};  ///< Actual marker positions (1-based).
+  double desired_[5];                      ///< Desired marker positions.
+  double increments_[5];                   ///< Per-observation desired deltas.
+};
+
+}  // namespace alaya

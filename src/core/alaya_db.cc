@@ -152,6 +152,29 @@ Result<AlayaDB::SessionResume> AlayaDB::ResumeSession(uint64_t context_id,
   return out;
 }
 
+Result<uint64_t> AlayaDB::MigrateShard(uint64_t context_id, int from, int to) {
+  if (from == to) return Status::InvalidArgument("migration source == target");
+  std::shared_ptr<Context> ref = contexts_.FindShared(context_id);
+  if (ref == nullptr) return Status::NotFound("context not in store");
+  if (ref->resident_device() != from) {
+    // A session re-homed the context between the caller's load probe and now
+    // (last-user-wins residency). The migration plan is stale; moving it
+    // anyway would fight the session that just pulled it.
+    return Status::FailedPrecondition("context is not resident on the source");
+  }
+  // Same bytes CreateSession's cross-device reuse moves: the window over the
+  // stored sequence — the part a future session keeps device-resident.
+  const WindowCache window(options_.session.window);
+  const size_t length = ref->length();
+  const size_t window_tokens = std::min(window.Size(length), length);
+  const uint64_t bytes =
+      static_cast<uint64_t>(window_tokens) * options_.model.KvBytesPerToken();
+  Device& dst = env_->device(static_cast<size_t>(std::max(to, 0)));
+  dst.clock().Advance(dst.cost_model().TransferSeconds(bytes));
+  ref->set_resident_device(to);
+  return bytes;
+}
+
 Status AlayaDB::BuildIndices(Context* context, const QuerySamples* queries,
                              const Context* base, size_t base_prefix) {
   if (options_.build_fine_indices) {

@@ -169,6 +169,17 @@ class AlayaDB {
     if (tiers_ != nullptr) tiers_->PrefetchAsync(id);
   }
 
+  /// Cross-device KV migration: moves context `context_id`'s device residency
+  /// from `from` to `to`, charging the modeled transfer of its window bytes
+  /// (the same formula CreateSession's cross-device reuse pays) to the
+  /// DESTINATION device's clock — it is the one stalled receiving. The
+  /// scheduler's rebalance probe calls this to shed a warm shard off a hot
+  /// device; subsequent prefix hits then place toward `to` via the affinity
+  /// probe. Returns the bytes moved. Fails kNotFound for unknown ids and
+  /// kFailedPrecondition when the context is not actually resident on `from`
+  /// (it raced a session re-homing it — the migration is stale, skip it).
+  Result<uint64_t> MigrateShard(uint64_t context_id, int from, int to);
+
  private:
   Status BuildIndices(Context* context, const QuerySamples* queries,
                       const Context* base = nullptr, size_t base_prefix = 0);

@@ -8,6 +8,7 @@
 #include "src/index/flat_index.h"
 #include "src/index/graph_search.h"
 #include "src/query/diprs.h"
+#include "src/query/sharded_attention.h"
 
 namespace alaya {
 
@@ -49,12 +50,12 @@ Status Session::UpdateBatch(uint32_t layer, size_t count, const float* q,
   // Window + local KV are device-resident; refresh the reservation once per
   // token (when the last layer has been updated).
   if (layer + 1 == config_.num_layers) {
-    gpu_reservation_.ResizeTo(GpuResidentBytes());
+    RefreshDeviceReservations();
   }
   return Status::Ok();
 }
 
-uint64_t Session::GpuResidentBytes() const {
+size_t Session::TokensOnGpu() const {
   const size_t n_local = local_.NumTokens();
   const size_t n_total = prefix_len_ + n_local;
   // Window tokens drawn from the reused context plus the entire local tail
@@ -63,8 +64,42 @@ uint64_t Session::GpuResidentBytes() const {
       std::min(window_.Size(n_total), n_total) > n_local
           ? window_.Size(n_total) - std::min(window_.Size(n_total), n_local)
           : 0;
-  const uint64_t tokens_on_gpu = window_from_context + n_local;
-  return tokens_on_gpu * config_.KvBytesPerToken();
+  return window_from_context + n_local;
+}
+
+uint64_t Session::GpuResidentBytes() const {
+  return static_cast<uint64_t>(TokensOnGpu()) * config_.KvBytesPerToken();
+}
+
+void Session::RefreshDeviceReservations() {
+  if (gang_ == nullptr || gang_->size() <= 1) {
+    gpu_reservation_.ResizeTo(GpuResidentBytes());
+    return;
+  }
+  const std::vector<DeviceGang::Shard> shards = gang_->ShardMap(TokensOnGpu());
+  for (size_t i = 0; i < shards.size(); ++i) {
+    gang_reservations_[i].ResizeTo(static_cast<uint64_t>(shards[i].tokens()) *
+                                   config_.KvBytesPerToken());
+  }
+}
+
+Status Session::BindGang(std::shared_ptr<const DeviceGang> gang) {
+  if (gang == nullptr || gang->size() <= 1) return Status::Ok();  // Degenerate: stay solo.
+  if (detached_) return Status::FailedPrecondition("session was detached for store");
+  if (local_.NumTokens() != 0) {
+    return Status::FailedPrecondition("gang must bind before the session holds local KV");
+  }
+  if (gang->primary() != device_->id()) {
+    return Status::InvalidArgument("gang primary must be the session's bound device");
+  }
+  gang_ = std::move(gang);
+  gang_reservations_.clear();
+  gang_reservations_.reserve(gang_->size());
+  for (size_t i = 0; i < gang_->size(); ++i) {
+    gang_reservations_.emplace_back(&gang_->member_device(i).memory(), 0);
+  }
+  gpu_reservation_.ResizeTo(0);
+  return Status::Ok();
 }
 
 QueryContext Session::MakeQueryContext(uint32_t layer) const {
@@ -90,13 +125,38 @@ Status Session::Attention(uint32_t layer, const float* q, float* out,
     total.Add(head_stats);
     total.plan_explain = head_stats.plan_explain;
   }
-  device_->clock().Advance(total.modeled_gpu_seconds);
+  ChargeModeledGpuSeconds(total.modeled_gpu_seconds);
   if (stats != nullptr) *stats = total;
   return Status::Ok();
 }
 
 void Session::ChargeModeledGpuSeconds(double seconds) {
-  device_->clock().Advance(seconds);
+  if (gang_ == nullptr || gang_->size() <= 1) {
+    device_->clock().Advance(seconds);
+    return;
+  }
+  // Context parallelism: each member runs the kernels over its own shard, so
+  // the modeled time splits by resident-token share (the shard map is block-
+  // quantized, so shares are exact block counts, not estimates).
+  const size_t n = TokensOnGpu();
+  const std::vector<DeviceGang::Shard> shards = gang_->ShardMap(n);
+  bool charged = false;
+  for (const DeviceGang::Shard& s : shards) {
+    if (s.tokens() == 0) continue;
+    charged = true;
+    gang_->member_device(s.member).clock().Advance(
+        seconds * (static_cast<double>(s.tokens()) / static_cast<double>(n)));
+  }
+  if (!charged) device_->clock().Advance(seconds);  // Nothing resident yet.
+  // One ring rotation per charge: every member forwards its partial-softmax
+  // triples for all query heads to its ring successor on the interconnect.
+  const uint64_t ring_bytes =
+      DeviceGang::RingExchangeBytes(config_.num_q_heads, config_.head_dim);
+  for (size_t i = 0; i < gang_->size(); ++i) {
+    Device& dev = gang_->member_device(i);
+    dev.clock().Advance(dev.cost_model().TransferSeconds(ring_bytes));
+  }
+  gang_ring_bytes_ += ring_bytes * gang_->size();
 }
 
 Session::DetachedState Session::DetachForStore() {
@@ -107,6 +167,7 @@ Session::DetachedState Session::DetachForStore() {
   local_ = KvCache(config_);
   recorded_.reset();
   gpu_reservation_.ResizeTo(0);
+  for (MemoryReservation& r : gang_reservations_) r.ResizeTo(0);
   return out;
 }
 
@@ -130,7 +191,7 @@ Status Session::AttachFromSuspend(SuspendedState&& state) {
   }
   local_ = std::move(state.base.local_kv);
   recorded_ = std::move(state.base.recorded);
-  gpu_reservation_.ResizeTo(GpuResidentBytes());
+  RefreshDeviceReservations();
   return Status::Ok();
 }
 
@@ -276,16 +337,14 @@ Status Session::AttendHead(uint32_t layer, uint32_t q_head, const float* qh,
     stats->attended_tokens += AccumulatePartition(qh, part, scale, &cpu_state);
   }
 
-  // Partition 2 (GPU): context window tokens + the local tail.
+  // Partition 2 (GPU): context window tokens + the local tail, accumulated as
+  // the canonical block fold — per-kShardBlockTokens partials merged in
+  // ascending order. Gang members own whole blocks, so a gang-of-N computes
+  // this exact float sequence distributed and the result stays bit-identical.
   PartialAttention gpu_state(d);
-  if (!ctx_window_ids.empty()) {
-    KvPartition part{ctx_keys, ctx_vals, ctx_window_ids, 0, 0};
-    stats->attended_tokens += AccumulatePartition(qh, part, scale, &gpu_state);
-  }
-  if (n_local > 0) {
-    KvPartition part{loc_keys, loc_vals, {}, 0, static_cast<uint32_t>(n_local)};
-    stats->attended_tokens += AccumulatePartition(qh, part, scale, &gpu_state);
-  }
+  stats->attended_tokens += AccumulateDeviceBlocks(
+      qh, scale, ctx_keys, ctx_vals, loc_keys, loc_vals, ctx_window_ids, n_local,
+      &gpu_state);
   const size_t gpu_tokens = ctx_window_ids.size() + n_local;
   stats->modeled_gpu_seconds +=
       device_->cost_model().GpuAttentionSeconds(4.0 * static_cast<double>(gpu_tokens) * d);

@@ -16,6 +16,7 @@
 #include "src/core/kv_cache.h"
 #include "src/core/query_samples.h"
 #include "src/device/device.h"
+#include "src/device/gang.h"
 #include "src/query/optimizer.h"
 
 namespace alaya {
@@ -94,7 +95,24 @@ class Session {
                     AttentionCallStats* stats);
 
   /// Advances the shared environment's modeled GPU clock (thread-safe).
+  /// Gang-backed sessions split the charge across members by resident-token
+  /// share and add one modeled ring-exchange rotation per call (each member
+  /// forwards its partial-softmax triples to its ring successor).
   void ChargeModeledGpuSeconds(double seconds);
+
+  /// Gang-backed mode (context parallelism): shard this session's
+  /// device-resident KV across `gang`'s members — per-member memory
+  /// reservations follow DeviceGang::ShardMap, and modeled kernel time is
+  /// split by shard weight plus a ring-exchange transfer per step. The math
+  /// is untouched (the block fold runs identically either way), so a
+  /// gang-backed decode is bit-identical to the single-device one. Only
+  /// valid on a fresh session (no local KV, not detached) whose bound device
+  /// is the gang's primary.
+  Status BindGang(std::shared_ptr<const DeviceGang> gang);
+  const DeviceGang* gang() const { return gang_.get(); }
+
+  /// Lifetime bytes of modeled ring-exchange traffic (gang mode only).
+  uint64_t gang_ring_transfer_bytes() const { return gang_ring_bytes_; }
 
   /// Everything DB.Store needs, severed from the live session — the ownership
   /// handoff that lets the serving engine retire a session immediately while
@@ -163,11 +181,20 @@ class Session {
   const RuleBasedOptimizer& optimizer() const { return optimizer_; }
 
   /// Bytes currently GPU-resident for this session (window + local KV at
-  /// deployed precision, across layers).
+  /// deployed precision, across layers — summed over gang members when
+  /// gang-backed).
   uint64_t GpuResidentBytes() const;
+
+  /// Device-resident tokens (context window drawn from the reused prefix plus
+  /// the local tail) — the sequence the gang shard map partitions.
+  size_t TokensOnGpu() const;
 
  private:
   QueryContext MakeQueryContext(uint32_t layer) const;
+
+  /// Re-sizes device reservations to the current residency: the single bound
+  /// device's tracker normally, each gang member's shard share in gang mode.
+  void RefreshDeviceReservations();
 
   ModelConfig config_;
   SessionOptions options_;
@@ -180,6 +207,12 @@ class Session {
   RuleBasedOptimizer optimizer_;
   WindowCache window_;
   MemoryReservation gpu_reservation_;
+  /// Context parallelism: non-null once BindGang succeeds. Reservations are
+  /// per member (gang_reservations_[i] on member i's tracker) and replace
+  /// gpu_reservation_, which stays at zero while gang-backed.
+  std::shared_ptr<const DeviceGang> gang_;
+  std::vector<MemoryReservation> gang_reservations_;
+  uint64_t gang_ring_bytes_ = 0;
   bool detached_ = false;
 };
 

@@ -1,0 +1,37 @@
+#include "src/device/gang.h"
+
+#include <algorithm>
+
+namespace alaya {
+
+DeviceGang::DeviceGang(SimEnvironment* env, std::vector<int> members)
+    : env_(env != nullptr ? env : &SimEnvironment::Global()),
+      members_(std::move(members)) {
+  if (members_.empty()) members_.push_back(0);
+  for (int& m : members_) m = std::max(m, 0);
+  // Grow the fleet to cover every member so member_device never faults.
+  int max_id = 0;
+  for (int m : members_) max_id = std::max(max_id, m);
+  env_->devices().EnsureAtLeast(static_cast<size_t>(max_id) + 1);
+}
+
+std::vector<DeviceGang::Shard> DeviceGang::ShardMap(size_t n_tokens) const {
+  const size_t k = members_.size();
+  std::vector<Shard> shards(k);
+  const size_t n_blocks = (n_tokens + kShardBlockTokens - 1) / kShardBlockTokens;
+  const size_t base = n_blocks / k;
+  const size_t extra = n_blocks % k;
+  size_t block = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const size_t owned = base + (i < extra ? 1 : 0);
+    Shard& s = shards[i];
+    s.device = members_[i];
+    s.member = i;
+    s.begin = std::min(n_tokens, block * kShardBlockTokens);
+    block += owned;
+    s.end = std::min(n_tokens, block * kShardBlockTokens);
+  }
+  return shards;
+}
+
+}  // namespace alaya

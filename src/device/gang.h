@@ -1,0 +1,82 @@
+// Device gangs (context parallelism): one session spanning N devices, per
+// "Context Parallelism for Scalable Million-Token Inference" (PAPERS.md).
+// A gang shards a session's device-resident KV — the context window plus the
+// session-local tail — across its members as contiguous token ranges, so the
+// max servable context grows with the gang instead of being capped by one
+// device's budget. Each member computes window attention over its own shard;
+// the per-shard (max, sumexp, weighted-V) triples ride a modeled ring
+// exchange and reduce through the partial-softmax merge
+// (src/attention/partial_softmax.h), which is exactly the combination
+// primitive ring attention needs.
+//
+// Determinism contract: ShardMap is a pure function of (members, n_tokens),
+// and shard boundaries are quantized to kShardBlockTokens — the same block
+// granularity the sharded-attention fold (src/query/sharded_attention.h)
+// reduces at in EVERY mode, gang or not. Because device assignment can only
+// move whole blocks between members and blocks always merge in ascending
+// order, a gang-of-N run is bit-identical to the single-device run of the
+// same prompt by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/device/device.h"
+
+namespace alaya {
+
+/// Reduction granularity of the sharded attention fold: device-resident
+/// tokens are accumulated into one partial-softmax state per block of this
+/// many tokens, then merged in ascending block order. Fixed (independent of
+/// gang size) so the float operation sequence never depends on how many
+/// devices the tokens happen to live on.
+inline constexpr size_t kShardBlockTokens = 128;
+
+/// A group of fleet devices serving one session's context in parallel.
+/// Immutable after construction; cheap to share between the scheduler's
+/// admission record and the session it backs.
+class DeviceGang {
+ public:
+  /// `env` must outlive the gang. `members` are fleet device ids (the fleet
+  /// is grown to cover them); members[0] is the gang's primary — the device
+  /// the session itself binds to and the one charged for work no shard owns
+  /// yet (e.g. the first tokens of a fresh prompt).
+  DeviceGang(SimEnvironment* env, std::vector<int> members);
+
+  size_t size() const { return members_.size(); }
+  int primary() const { return members_.front(); }
+  const std::vector<int>& members() const { return members_; }
+  Device& member_device(size_t i) const { return env_->device(static_cast<size_t>(members_[i])); }
+  SimEnvironment* env() const { return env_; }
+
+  /// One member's contiguous token range of the device-resident sequence.
+  struct Shard {
+    int device = 0;     ///< Fleet device id owning the range.
+    size_t member = 0;  ///< Index into members().
+    size_t begin = 0;   ///< First resident-token index (inclusive).
+    size_t end = 0;     ///< One past the last.
+    size_t tokens() const { return end - begin; }
+  };
+
+  /// Deterministic shard map over `n_tokens` device-resident tokens: the
+  /// token sequence is cut into ceil(n / kShardBlockTokens) blocks and the
+  /// blocks are dealt front-to-back — member i owns floor(blocks/size) whole
+  /// blocks, the first (blocks % size) members one extra. Always returns
+  /// size() shards (trailing members may own empty ranges); ranges are
+  /// contiguous, disjoint, and cover [0, n_tokens).
+  std::vector<Shard> ShardMap(size_t n_tokens) const;
+
+  /// Bytes one ring rotation moves per member: every member forwards its
+  /// partial (max, sumexp, weighted-V accumulator) triples — (head_dim + 2)
+  /// floats per query head — to its ring successor.
+  static uint64_t RingExchangeBytes(uint32_t num_q_heads, uint32_t head_dim) {
+    return static_cast<uint64_t>(head_dim + 2) * sizeof(float) * num_q_heads;
+  }
+
+ private:
+  SimEnvironment* env_;
+  std::vector<int> members_;
+};
+
+}  // namespace alaya

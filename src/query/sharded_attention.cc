@@ -1,0 +1,39 @@
+#include "src/query/sharded_attention.h"
+
+#include <algorithm>
+
+#include "src/attention/attention_engine.h"
+#include "src/device/gang.h"
+
+namespace alaya {
+
+size_t AccumulateDeviceBlocks(const float* qh, float scale,
+                              VectorSetView ctx_keys, VectorSetView ctx_vals,
+                              VectorSetView loc_keys, VectorSetView loc_vals,
+                              std::span<const uint32_t> ctx_window_ids,
+                              size_t n_local, PartialAttention* out) {
+  const size_t n_ctx = ctx_window_ids.size();
+  const size_t n = n_ctx + n_local;
+  size_t attended = 0;
+  for (size_t b0 = 0; b0 < n; b0 += kShardBlockTokens) {
+    const size_t b1 = std::min(n, b0 + kShardBlockTokens);
+    PartialAttention block(out->dim());
+    if (b0 < n_ctx) {
+      // Context-window slice of this block.
+      const size_t e = std::min(b1, n_ctx);
+      KvPartition part{ctx_keys, ctx_vals, ctx_window_ids.subspan(b0, e - b0), 0, 0};
+      attended += AccumulatePartition(qh, part, scale, &block);
+    }
+    if (b1 > n_ctx) {
+      // Local-tail slice of this block.
+      const size_t s = b0 > n_ctx ? b0 - n_ctx : 0;
+      KvPartition part{loc_keys, loc_vals, {}, static_cast<uint32_t>(s),
+                       static_cast<uint32_t>(b1 - n_ctx)};
+      attended += AccumulatePartition(qh, part, scale, &block);
+    }
+    out->Merge(block);
+  }
+  return attended;
+}
+
+}  // namespace alaya

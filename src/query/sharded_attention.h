@@ -1,0 +1,38 @@
+// Sharded (context-parallel) window attention: the canonical block fold that
+// makes device gangs bit-identical to single-device runs.
+//
+// The device-resident token sequence of one (layer, head) attention call is
+// the context-window ids (ascending) followed by the session-local tail. The
+// fold partitions that sequence into fixed blocks of kShardBlockTokens
+// (src/device/gang.h), accumulates each block into its own partial-softmax
+// state in sequence order, and merges the block partials in ascending block
+// index — the ring-attention reduction. Because a DeviceGang::ShardMap only
+// ever assigns WHOLE blocks to members, computing block partials on N devices
+// and ring-merging them performs the exact same float operation sequence as
+// this single-device fold: gang results are bit-identical by construction,
+// not by tolerance.
+//
+// This fold runs in every mode (gang or not), so single-device serving and
+// gang serving share one numerical contract.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "src/attention/partial_softmax.h"
+#include "src/index/vector_set.h"
+
+namespace alaya {
+
+/// Accumulates one head's partial attention over the device-resident sequence
+/// — context window tokens `ctx_window_ids` (rows of ctx_keys/ctx_vals)
+/// followed by local rows [0, n_local) of loc_keys/loc_vals — as a block fold:
+/// per-kShardBlockTokens partials merged in ascending order into `out`.
+/// Returns the number of tokens attended. `scale` is 1/sqrt(head_dim).
+size_t AccumulateDeviceBlocks(const float* qh, float scale,
+                              VectorSetView ctx_keys, VectorSetView ctx_vals,
+                              VectorSetView loc_keys, VectorSetView loc_vals,
+                              std::span<const uint32_t> ctx_window_ids,
+                              size_t n_local, PartialAttention* out);
+
+}  // namespace alaya

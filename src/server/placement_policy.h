@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 namespace alaya {
 
@@ -48,11 +49,17 @@ struct PlacementDecision {
   /// Chosen device id; < 0 when the request cannot be placed right now.
   int device = -1;
   /// True when no device could EVER hold the request (its footprint exceeds
-  /// every device's budget outright) — the scheduler's kNeverFits signal.
-  /// When false and device < 0, the request simply waits for load to drain.
+  /// every device's budget outright — for gang-aware policies, even the
+  /// largest permitted gang's combined budget) — the scheduler's kNeverFits
+  /// signal. When false and device < 0, the request waits for load to drain.
   bool never_fits = false;
+  /// Context parallelism: when the request was placed across a device gang,
+  /// every member id with the primary first (gang_members[0] == device).
+  /// Empty for ordinary single-device placements.
+  std::vector<int> gang_members;
 
   bool placed() const { return device >= 0; }
+  bool gang() const { return gang_members.size() > 1; }
 };
 
 /// Strategy interface. Implementations must be deterministic in their inputs
@@ -99,6 +106,32 @@ class LeastLoadedPlacement : public PlacementPolicy {
   PlacementDecision Place(const PlacementRequest& request,
                           std::span<const DeviceLoad> loads,
                           double tpot_slo_seconds) const override;
+};
+
+/// Gang-aware placement (context parallelism): single device when the request
+/// fits one, the smallest sufficient gang otherwise. Single-device placement
+/// delegates to an inner policy (BestFitPlacement by default, affinity bonus
+/// included). When no single device fits, the request's footprint is split
+/// evenly across candidate gangs of growing size k = 2..max_gang_size; the
+/// first k whose top-k devices (most free bytes first, warm-shard affinity
+/// preferred into the set and promoted to primary) each hold a 1/k share
+/// wins. never_fits only fires when even the largest permitted gang of the
+/// biggest-budget devices could not hold the request against EMPTY budgets —
+/// so kNeverFits means "no gang can ever hold this", not "busy right now".
+class GangPlacement : public PlacementPolicy {
+ public:
+  /// `max_gang_size` 0 means "the whole fleet". `single` is the policy used
+  /// for requests that fit one device (null = BestFitPlacement).
+  explicit GangPlacement(size_t max_gang_size = 0,
+                         std::shared_ptr<const PlacementPolicy> single = nullptr);
+
+  PlacementDecision Place(const PlacementRequest& request,
+                          std::span<const DeviceLoad> loads,
+                          double tpot_slo_seconds) const override;
+
+ private:
+  size_t max_gang_size_;
+  std::shared_ptr<const PlacementPolicy> single_;
 };
 
 /// Shared fit predicate: budget + per-device TPOT (empty device exempt).

@@ -5,6 +5,40 @@
 
 namespace alaya {
 
+namespace {
+
+/// Adds (+1) or removes (-1) one request's reservation shares on `loads`: an
+/// even byte split across the gang (integer division, remainder on the primary
+/// so shares sum EXACTLY to the estimate), an even step-seconds split, and one
+/// active session per member. With a single member this is bit-identical to
+/// the historical single-device arithmetic (full bytes, full step seconds).
+/// AdviseVictimsLocked runs the same function over its simulated loads, so the
+/// advice subtraction can never drift from the real bookkeeping.
+void ApplyReservationShares(std::vector<DeviceLoad>* loads,
+                            const std::vector<int>& members,
+                            const AdmissionEstimate& e, int sign) {
+  const size_t k = members.size();
+  if (k == 0) return;
+  const uint64_t base = e.gpu_bytes / k;
+  const uint64_t remainder = e.gpu_bytes % k;
+  const double step_share = e.EffectiveStepSeconds() / static_cast<double>(k);
+  for (size_t i = 0; i < k; ++i) {
+    DeviceLoad& load = (*loads)[static_cast<size_t>(members[i])];
+    const uint64_t bytes = base + (i == 0 ? remainder : 0);
+    if (sign > 0) {
+      load.reserved_bytes += bytes;
+      load.reserved_step_seconds += step_share;
+      ++load.active_sessions;
+    } else {
+      load.reserved_bytes -= bytes;
+      load.reserved_step_seconds -= step_share;
+      --load.active_sessions;
+    }
+  }
+}
+
+}  // namespace
+
 RequestScheduler::RequestScheduler(const ModelConfig& model,
                                    const WindowConfig& window, const CostModel& cost,
                                    const RequestSchedulerOptions& options)
@@ -14,9 +48,17 @@ RequestScheduler::RequestScheduler(const ModelConfig& model,
   options_.prefill_chunk_tokens = std::max<size_t>(1, options_.prefill_chunk_tokens);
   options_.min_prefill_tokens = std::max<size_t>(1, options_.min_prefill_tokens);
   options_.devices = std::max<size_t>(1, options_.devices);
+  options_.max_gang_size =
+      std::clamp<size_t>(options_.max_gang_size, 1, options_.devices);
   placement_ = options_.placement != nullptr
                    ? options_.placement
                    : std::make_shared<const BestFitPlacement>();
+  if (options_.max_gang_size > 1) {
+    // Gang admission: requests that fit one device still place through the
+    // inner policy; oversized ones span the smallest sufficient gang.
+    placement_ =
+        std::make_shared<const GangPlacement>(options_.max_gang_size, placement_);
+  }
   // FairSharePolicy is a safe default: single-tenant, uniform-priority,
   // no-deadline traffic (everything that existed before policies) orders
   // exactly FIFO under it.
@@ -210,13 +252,18 @@ Result<uint64_t> RequestScheduler::Enqueue(ServingRequest request,
   }
   const AdmissionEstimate& e = pre.estimate;
   std::lock_guard<std::mutex> lk(mu_);
-  if (options_.gpu_budget_bytes > 0 && e.gpu_bytes > options_.gpu_budget_bytes) {
-    // Permanent: no amount of waiting shrinks the footprint. Budgets are
-    // per-device and uniform, so exceeding one budget means exceeding every
-    // device's — the placement policy could never find a home for it.
+  // Permanent-rejection gate. Budgets are per-device and uniform, so without
+  // gangs exceeding one budget means exceeding every device's; with gangs the
+  // footprint shards across up to max_gang_size members, and only a request
+  // that outgrows even the largest permitted gang's combined budget can never
+  // be placed.
+  const uint64_t capacity_bytes =
+      options_.gpu_budget_bytes * static_cast<uint64_t>(options_.max_gang_size);
+  if (options_.gpu_budget_bytes > 0 && e.gpu_bytes > capacity_bytes) {
     return Status::NeverFits(
         "request footprint (prefilled prompt suffix + window + decoded tail) "
-        "exceeds the per-device GPU budget even running alone");
+        "exceeds the per-device GPU budget (and the largest permitted device "
+        "gang) even running alone");
   }
   if (pending_.size() >= options_.max_queue_depth) {
     // Retryable: the backlog drains as sessions finish.
@@ -282,6 +329,8 @@ void RequestScheduler::AdviseVictimsLocked(const Admitted& blocked,
     r.device = entry.device;
     r.gpu_bytes = entry.estimate.gpu_bytes;
     r.step_seconds = entry.estimate.EffectiveStepSeconds();
+    r.remaining_seconds =
+        std::max(0.0, entry.estimate.total_gpu_seconds - entry.consumed_seconds);
     r.deadline = entry.deadline;
     r.admit_order = entry.admit_order;
     running.push_back(r);
@@ -304,10 +353,7 @@ void RequestScheduler::AdviseVictimsLocked(const Admitted& blocked,
   for (const uint64_t vid : ranked) {
     const auto it = active_.find(vid);
     if (it == active_.end()) continue;
-    DeviceLoad& load = sim[static_cast<size_t>(it->second.device)];
-    load.reserved_bytes -= it->second.estimate.gpu_bytes;
-    load.reserved_step_seconds -= it->second.estimate.EffectiveStepSeconds();
-    --load.active_sessions;
+    ApplyReservationShares(&sim, it->second.gang, it->second.estimate, -1);
     --sim_active;
     chosen.push_back(vid);
     if (sim_active < options_.max_concurrent_sessions &&
@@ -375,14 +421,19 @@ std::vector<RequestScheduler::Admitted> RequestScheduler::Admit(
       break;
     }
     policy_->OnAdmitted(views, pick, &ledger_);
-    DeviceLoad& load = loads_[static_cast<size_t>(placed.device)];
-    load.reserved_bytes += cand.estimate.gpu_bytes;
-    load.reserved_step_seconds += cand.estimate.EffectiveStepSeconds();
-    ++load.active_sessions;
     cand.device = placed.device;
-    active_[cand.id] = ActiveEntry{cand.estimate,  placed.device,
-                                   cand.priority,  cand.tenant_id,
-                                   cand.Deadline(), admit_seq_++};
+    cand.gang = placed.gang() ? placed.gang_members
+                              : std::vector<int>{placed.device};
+    ApplyReservationLocked(cand.gang, cand.estimate, +1);
+    ActiveEntry entry;
+    entry.estimate = cand.estimate;
+    entry.device = placed.device;
+    entry.gang = cand.gang;
+    entry.priority = cand.priority;
+    entry.tenant_id = cand.tenant_id;
+    entry.deadline = cand.Deadline();
+    entry.admit_order = admit_seq_++;
+    active_[cand.id] = std::move(entry);
     const uint64_t tenant = cand.tenant_id;
     out.push_back(std::move(cand));
     pending_.erase(pending_.begin() + static_cast<long>(pick));
@@ -395,12 +446,18 @@ void RequestScheduler::UpdateReservation(uint64_t id, const AdmissionEstimate& a
   std::lock_guard<std::mutex> lk(mu_);
   auto it = active_.find(id);
   if (it == active_.end()) return;
-  DeviceLoad& load = loads_[static_cast<size_t>(it->second.device)];
-  load.reserved_bytes -= it->second.estimate.gpu_bytes;
-  load.reserved_step_seconds -= it->second.estimate.EffectiveStepSeconds();
+  // Swap the shares atomically under the lock; the gang membership is fixed
+  // for the life of the admission, only the footprint estimate moves.
+  ApplyReservationLocked(it->second.gang, it->second.estimate, -1);
   it->second.estimate = actual;
-  load.reserved_bytes += actual.gpu_bytes;
-  load.reserved_step_seconds += actual.EffectiveStepSeconds();
+  ApplyReservationLocked(it->second.gang, actual, +1);
+}
+
+void RequestScheduler::RecordProgress(uint64_t id, double modeled_seconds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  it->second.consumed_seconds += modeled_seconds;
 }
 
 std::vector<RequestScheduler::Admitted> RequestScheduler::TakeNeverFits() {
@@ -463,11 +520,14 @@ void RequestScheduler::Release(uint64_t id) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = active_.find(id);
   if (it == active_.end()) return;
-  DeviceLoad& load = loads_[static_cast<size_t>(it->second.device)];
-  load.reserved_bytes -= it->second.estimate.gpu_bytes;
-  load.reserved_step_seconds -= it->second.estimate.EffectiveStepSeconds();
-  --load.active_sessions;
+  ApplyReservationLocked(it->second.gang, it->second.estimate, -1);
   active_.erase(it);
+}
+
+void RequestScheduler::ApplyReservationLocked(const std::vector<int>& members,
+                                              const AdmissionEstimate& estimate,
+                                              int sign) {
+  ApplyReservationShares(&loads_, members, estimate, sign);
 }
 
 size_t RequestScheduler::queued() const {

@@ -201,6 +201,13 @@ struct RequestSchedulerOptions {
   /// a higher-priority request cannot admit (see Admit's preempt_victims).
   /// Safe to leave on: equal-priority traffic never preempts.
   bool preemption = true;
+  /// Context parallelism: maximum devices one session may gang across
+  /// (clamped to [1, devices]). Above 1, the placement policy is wrapped in
+  /// GangPlacement (a request that fits one device still places solo),
+  /// Enqueue's permanent-rejection gate relaxes to the largest permitted
+  /// gang's combined budget, and admission reserves per member — kNeverFits
+  /// then means "no gang can ever hold this", not "no single device can".
+  size_t max_gang_size = 1;
 };
 
 /// Thread-safe admission queue, ordered by a pluggable SchedulingPolicy.
@@ -254,6 +261,12 @@ class RequestScheduler {
     /// Device the placement policy admitted the request onto (0 on a
     /// single-device fleet). The engine binds the session here.
     int device = 0;
+    /// Context parallelism: when the placement spanned a device gang, every
+    /// member id with the primary first (gang[0] == device). Size <= 1 means
+    /// an ordinary single-device admission. The engine builds a DeviceGang
+    /// from this and binds it to the session; the scheduler holds one
+    /// 1/size reservation share on each member until Release.
+    std::vector<int> gang;
     /// Affinity target probed at Enqueue (-1 = none): the device the matched
     /// prefix context resided on then. Deliberately not re-probed per Admit
     /// poll — staleness costs at most one suboptimal placement (a modeled
@@ -383,6 +396,13 @@ class RequestScheduler {
   /// corrected, larger reservation. No-op for unknown/released ids.
   void UpdateReservation(uint64_t id, const AdmissionEstimate& actual);
 
+  /// Records `modeled_seconds` of completed work against an admitted request.
+  /// The engine calls this as it charges modeled step/chunk time; the running
+  /// balance feeds RunningRequestView::remaining_seconds so victim ranking
+  /// can weigh how much work a suspension would defer. No-op for
+  /// unknown/released ids.
+  void RecordProgress(uint64_t id, double modeled_seconds);
+
   size_t queued() const;
   size_t active() const;
   /// Sum of admitted requests' projected device bytes (fleet-wide).
@@ -420,12 +440,24 @@ class RequestScheduler {
   struct ActiveEntry {
     AdmissionEstimate estimate;
     int device = 0;
+    /// Gang members holding this request's reservation shares (gang[0] ==
+    /// device; size <= 1 = single-device).
+    std::vector<int> gang;
     int priority = 0;
     uint64_t tenant_id = 0;
     std::chrono::steady_clock::time_point deadline =
         std::chrono::steady_clock::time_point::max();
     uint64_t admit_order = 0;  ///< Monotonic admission stamp (victim ranking).
+    /// Modeled device-seconds of work completed so far (RecordProgress) —
+    /// subtracted from the estimate for cost-aware victim ranking.
+    double consumed_seconds = 0;
   };
+
+  /// Adds (`sign` = +1) or removes (-1) one request's reservation shares —
+  /// an even byte/step split across `members` (remainder on the primary),
+  /// one active session counted per member. Caller holds mu_.
+  void ApplyReservationLocked(const std::vector<int>& members,
+                              const AdmissionEstimate& estimate, int sign);
 
   ModelConfig model_;
   WindowCache window_;

@@ -142,17 +142,29 @@ std::vector<uint64_t> FairSharePolicy::RankVictims(
     const QueuedRequestView& blocked,
     std::span<const RunningRequestView> running) const {
   // Only strictly lower classes may be suspended (monotone: a resumed victim
-  // can never preempt its preemptor, so preemption cannot cycle). Best victim
-  // first: lowest class, then the latest deadline (no-deadline sessions are
-  // time_point::max() and go first — nothing is waiting on them), then the
-  // most recently admitted (it has sunk the least work).
+  // can never preempt its preemptor, so preemption cannot cycle). Within a
+  // class the ranking is cost-aware: suspending a victim parks its
+  // device-resident KV (a modeled transfer out now plus back in at resume,
+  // proportional to gpu_bytes) in exchange for the device time its remaining
+  // work would have held. Rank by park cost per remaining second — a session
+  // about to finish frees its slot soon anyway, so parking its KV is pure
+  // waste, while a long-running request with modest KV is the bargain. Ties
+  // (identical scores, e.g. equal geometry) fall back to the latest deadline
+  // (time_point::max() = nothing waiting on it), then the most recently
+  // admitted (least sunk work), keeping the order deterministic.
   std::vector<const RunningRequestView*> victims;
   for (const RunningRequestView& r : running) {
     if (r.priority < blocked.priority) victims.push_back(&r);
   }
+  const auto park_score = [](const RunningRequestView* v) {
+    return static_cast<double>(v->gpu_bytes) / std::max(v->remaining_seconds, 1e-12);
+  };
   std::sort(victims.begin(), victims.end(),
-            [](const RunningRequestView* a, const RunningRequestView* b) {
+            [&](const RunningRequestView* a, const RunningRequestView* b) {
               if (a->priority != b->priority) return a->priority < b->priority;
+              const double sa = park_score(a);
+              const double sb = park_score(b);
+              if (sa != sb) return sa < sb;
               if (a->deadline != b->deadline) return a->deadline > b->deadline;
               return a->admit_order > b->admit_order;
             });

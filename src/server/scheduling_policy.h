@@ -58,6 +58,10 @@ struct RunningRequestView {
   int device = 0;
   uint64_t gpu_bytes = 0;     ///< Reserved device bytes a suspension frees.
   double step_seconds = 0;    ///< Reserved per-step seconds a suspension frees.
+  /// Projected modeled device-seconds of work still ahead of this request
+  /// (admission estimate minus progress recorded so far): the throughput a
+  /// suspension defers, and the denominator of cost-aware victim ranking.
+  double remaining_seconds = 0;
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
   uint64_t admit_order = 0;   ///< Monotonic admission stamp (higher = newer).

@@ -4,11 +4,20 @@
 #include <span>
 
 #include "src/common/rng.h"
+#include "src/core/context_serializer.h"
+#include "src/device/gang.h"
 #include "src/query/batched_diprs.h"
 
 namespace alaya {
 
 namespace {
+
+/// VFS namespace for a suspended request's spilled KV. Distinct from the tier
+/// store's "ctx<id>" context prefix, so warm start never mistakes a parked
+/// request fragment for a stored context (ParseSpillName skips it).
+std::string SuspendSpillPrefix(uint64_t request_id) {
+  return "suspend" + std::to_string(request_id);
+}
 
 /// Normalizes engine options: clamps the fleet size, mirrors it into the
 /// scheduler, and defaults the scheduler's probes to the DB's context store —
@@ -17,6 +26,12 @@ namespace {
 ServingEngineOptions WithDefaults(AlayaDB* db, ServingEngineOptions o) {
   o.devices = std::max<size_t>(1, o.devices);
   o.scheduler.devices = o.devices;
+  // Gang size: the engine-level knob and the scheduler-level knob are the
+  // same control; honor whichever was set (larger wins) and keep both in
+  // sync so AdmitInto's DeviceGang construction matches the placement.
+  o.max_gang_size = std::clamp<size_t>(
+      std::max(o.max_gang_size, o.scheduler.max_gang_size), 1, o.devices);
+  o.scheduler.max_gang_size = o.max_gang_size;
   if (o.scheduler.prefix_probe == nullptr) {
     o.scheduler.prefix_probe = [db](std::span<const int32_t> tokens) {
       return db->contexts().BestPrefixMatchLength(tokens);
@@ -230,8 +245,12 @@ void ServingEngine::FinalizeResult(uint64_t id, RequestResult&& result) {
     ClassServingStats& cs = class_stats_[stored->priority];
     cs.priority = stored->priority;
     ++cs.completed;
-    if (stored->ttft_seconds > 0 && cs.ttft_seconds.size() < 4096) {
-      cs.ttft_seconds.push_back(stored->ttft_seconds);
+    if (stored->ttft_seconds > 0) {
+      // Streaming quantiles: every completed request contributes (no first-N
+      // cap), at O(1) memory per class.
+      ++cs.ttft_count;
+      cs.ttft_p50.Add(stored->ttft_seconds);
+      cs.ttft_p99.Add(stored->ttft_seconds);
     }
     TenantServingStats& ts = tenant_stats_[stored->tenant_id];
     ts.tenant_id = stored->tenant_id;
@@ -273,11 +292,68 @@ void ServingEngine::FinalizeSuspended(uint64_t id, Status status) {
   std::unique_ptr<ActiveSession> a = std::move(it->second);
   suspended_.erase(it);
   // The parked KV dies with the request; no scheduler Release — a suspended
-  // request holds no reservation (its slot was freed at suspension).
+  // request holds no reservation (its slot was freed at suspension). A
+  // spilled KV's file stays behind harmlessly: the VFS has no remove, the
+  // "suspend" prefix is invisible to warm start, and a future re-spill of the
+  // same id truncates it.
   a->suspended_kv.reset();
   a->host_kv_reservation.Release();
+  a->disk_kv_reservation.Release();
   a->result.status = std::move(status);
   FinalizeResult(a->id, std::move(a->result));
+}
+
+Status ServingEngine::SpillSuspendedKv(ActiveSession* a) {
+  TieredContextStore* tiers = db_->tiers();
+  if (tiers == nullptr || !a->suspended_kv.has_value()) {
+    return Status::FailedPrecondition("no tier store to spill suspended KV into");
+  }
+  Session::SuspendedState& state = *a->suspended_kv;
+  const uint64_t kv_bytes = state.kv_bytes;
+  // Wrap the parked KV in a throwaway Context so the serializer's persist
+  // path (payload files first, manifest as the commit record) does the
+  // formatting. The tokens are positional placeholders — resume never reads
+  // them; the engine-side prefill_pos/step counters are the real state.
+  const size_t n_local = state.base.local_kv.NumTokens();
+  auto kv = std::make_unique<KvCache>(std::move(state.base.local_kv));
+  Context shell(a->id, std::vector<int32_t>(n_local, 0), std::move(kv));
+  ContextSerializer serializer(&tiers->vfs());
+  const Status persisted = serializer.Persist(shell, SuspendSpillPrefix(a->id));
+  if (!persisted.ok()) {
+    // The KV must survive a failed spill: move it back and let the caller
+    // fall back to host-resident parking.
+    state.base.local_kv = std::move(shell.mutable_kv());
+    return persisted;
+  }
+  // The parked bytes now live on disk; the in-memory cache is left empty
+  // (geometry only) and the host never holds them while the request waits.
+  state.base.local_kv = KvCache(db_->options().model);
+  a->disk_kv_reservation =
+      MemoryReservation(&db_->env().disk_usage(), kv_bytes);
+  a->suspended_on_disk = true;
+  std::lock_guard<std::mutex> lk(mu_);
+  ++snapshot_.suspend_spills;
+  return Status::Ok();
+}
+
+Status ServingEngine::RestoreSuspendedKv(ActiveSession* a) {
+  TieredContextStore* tiers = db_->tiers();
+  if (tiers == nullptr || !a->suspended_kv.has_value()) {
+    return Status::FailedPrecondition("no spilled suspended KV to restore");
+  }
+  ContextSerializer serializer(&tiers->vfs());
+  Result<std::unique_ptr<Context>> loaded =
+      serializer.Load(SuspendSpillPrefix(a->id), a->id, db_->options().model,
+                      db_->options().index_build.roar);
+  ALAYA_RETURN_IF_ERROR(loaded.status());
+  // Serializer round-trips are exact, so the restored cache is bit-identical
+  // to the one DetachForSuspend parked — resume stays recompute-free.
+  a->suspended_kv->base.local_kv = std::move(loaded.value()->mutable_kv());
+  a->suspended_on_disk = false;
+  a->disk_kv_reservation.Release();
+  std::lock_guard<std::mutex> lk(mu_);
+  ++snapshot_.suspend_restores;
+  return Status::Ok();
 }
 
 bool ServingEngine::SuspendVictim(uint64_t id) {
@@ -292,15 +368,27 @@ bool ServingEngine::SuspendVictim(uint64_t id) {
   // Detach the KV and decode state. step/prefill_pos stay on the parked
   // ActiveSession — with pure fill callbacks they are the full generator
   // state, which is what makes the resumed decode bit-identical.
+  const uint64_t ring_bytes = a->session->gang_ring_transfer_bytes();
   Session::SuspendedState state = a->session->DetachForSuspend();
   const uint64_t kv_bytes = state.kv_bytes;
   // The offload is a modeled device→host transfer on the victim's device (it
   // executes the copy-out), and the parked bytes live in host DRAM until
-  // resume.
+  // resume — unless host pressure spills them onward to disk below.
   Device& dev = db_->env().device(static_cast<size_t>(a->device));
   dev.clock().Advance(dev.cost_model().TransferSeconds(kv_bytes));
-  a->host_kv_reservation = MemoryReservation(&db_->env().host_memory(), kv_bytes);
   a->suspended_kv.emplace(std::move(state));
+  // Host-pressure spill: when parking these bytes would push host usage past
+  // the budget, persist them to the tier store's disk instead. Failure falls
+  // back to host parking — the spill is an optimization, never a gate.
+  const bool spill = options_.suspend_spill_host_budget_bytes > 0 &&
+                     db_->tiers() != nullptr &&
+                     db_->env().host_memory().current() + kv_bytes >
+                         options_.suspend_spill_host_budget_bytes &&
+                     SpillSuspendedKv(a).ok();
+  if (!spill) {
+    a->host_kv_reservation =
+        MemoryReservation(&db_->env().host_memory(), kv_bytes);
+  }
   a->session.reset();
   // Drop the context pin: while the request waits, the tier layer is free to
   // spill (and later page back in) the context — resume re-pins it.
@@ -310,6 +398,7 @@ bool ServingEngine::SuspendVictim(uint64_t id) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++snapshot_.preemptions;
+    snapshot_.gang_ring_transfer_bytes += ring_bytes;
     ClassServingStats& cs = class_stats_[a->result.priority];
     cs.priority = a->result.priority;
     ++cs.preempted;
@@ -373,7 +462,20 @@ void ServingEngine::ResumeSuspended(RequestScheduler::Admitted&& adm,
         a->result.reused_context_id, a->result.reused_prefix, adm.device);
     if (r.ok()) {
       resumed = std::move(r.value());
-      rebuilt = resumed.session->AttachFromSuspend(std::move(*a->suspended_kv));
+      if (adm.gang.size() > 1) {
+        // Gang bind must precede AttachFromSuspend: a session only accepts a
+        // gang while it holds zero local KV.
+        rebuilt = resumed.session->BindGang(
+            std::make_shared<const DeviceGang>(&db_->env(), adm.gang));
+      }
+      if (rebuilt.ok() && a->suspended_on_disk) {
+        // The parked KV was spilled under host pressure; demand-page it back
+        // before the reattach (bit-identical serializer round-trip).
+        rebuilt = RestoreSuspendedKv(a);
+      }
+      if (rebuilt.ok()) {
+        rebuilt = resumed.session->AttachFromSuspend(std::move(*a->suspended_kv));
+      }
     } else {
       rebuilt = r.status();
     }
@@ -381,6 +483,7 @@ void ServingEngine::ResumeSuspended(RequestScheduler::Admitted&& adm,
   if (!terminal.ok() || !rebuilt.ok()) {
     a->suspended_kv.reset();
     a->host_kv_reservation.Release();
+    a->disk_kv_reservation.Release();
     a->result.status = terminal.ok() ? rebuilt : terminal;
     FinalizeResult(a->id, std::move(a->result));
     scheduler_.Release(a->id);
@@ -396,6 +499,7 @@ void ServingEngine::ResumeSuspended(RequestScheduler::Admitted&& adm,
   a->session = std::move(resumed.session);
   a->context_ref = std::move(resumed.context_ref);
   a->device = adm.device;
+  a->gang = adm.gang;
   Device& dev = db_->env().device(static_cast<size_t>(adm.device));
   dev.clock().Advance(dev.cost_model().TransferSeconds(kv_bytes));
   a->host_kv_reservation.Release();
@@ -417,6 +521,12 @@ void ServingEngine::ResumeSuspended(RequestScheduler::Admitted&& adm,
     if (resumed.cross_device_transfer_bytes > 0) {
       ++ds.cross_device_reuses;
       ds.transfer_bytes += resumed.cross_device_transfer_bytes;
+    }
+    if (adm.gang.size() > 1) {
+      ++snapshot_.gang_admissions;
+      for (const int m : adm.gang) {
+        ++device_stats_[static_cast<size_t>(m)].gang_shards;
+      }
     }
   }
   if (newly != nullptr) newly->push_back(a);
@@ -548,6 +658,7 @@ size_t ServingEngine::AdmitInto(std::vector<ActiveSession*>* newly,
     auto active = std::make_unique<ActiveSession>();
     active->id = adm.id;
     active->device = adm.device;
+    active->gang = adm.gang;
     active->request = std::move(adm.request);
     active->ticket = std::move(ticket);
     active->submit_time = adm.submit_time;
@@ -591,26 +702,45 @@ size_t ServingEngine::AdmitInto(std::vector<ActiveSession*>* newly,
       active->context_ref = std::move(sc.context_ref);
       active->result.reused_prefix = sc.reused_prefix;
       active->result.reused_context_id = sc.context_id;
-      // The enqueue-time prefix probe was an estimate; the store may have
-      // changed since (it will, under background materialization). Re-anchor
-      // the admission reservation to the reuse the session actually got, so
-      // reserved bytes/seconds track real footprints.
-      scheduler_.UpdateReservation(
-          adm.id, scheduler_.Estimate(active->request, sc.reused_prefix));
-      // prefill_pos is always anchored to the reuse (== prompt length when
-      // fully covered): the suspend path snapshots it as the resume position
-      // regardless of which phase the session is in.
-      active->prefill_pos = sc.reused_prefix;
-      if (!sc.truncated_prompt.empty()) {
-        active->state = RequestState::kPrefilling;
-        // Scratch sized for the largest chunk any step can grant; a budgeted
-        // step simply uses a prefix of it.
-        const size_t chunk = scheduler_.options().prefill_chunk_tokens;
-        active->pq.resize(chunk * qdim);
-        active->pk.resize(chunk * kvdim);
-        active->pv.resize(chunk * kvdim);
-      } else {
-        active->state = RequestState::kDecoding;
+      if (adm.gang.size() > 1) {
+        // Context parallelism: the scheduler placed this request across a
+        // device gang. Bind before any prefill lands — a session only accepts
+        // a gang while its local KV is empty.
+        Status bound = active->session->BindGang(
+            std::make_shared<const DeviceGang>(&db_->env(), adm.gang));
+        if (!bound.ok()) {
+          active->result.status = bound;
+          active->failed = true;
+        } else {
+          std::lock_guard<std::mutex> lk(mu_);
+          ++snapshot_.gang_admissions;
+          for (const int m : adm.gang) {
+            ++device_stats_[static_cast<size_t>(m)].gang_shards;
+          }
+        }
+      }
+      if (!active->failed) {
+        // The enqueue-time prefix probe was an estimate; the store may have
+        // changed since (it will, under background materialization). Re-anchor
+        // the admission reservation to the reuse the session actually got, so
+        // reserved bytes/seconds track real footprints.
+        scheduler_.UpdateReservation(
+            adm.id, scheduler_.Estimate(active->request, sc.reused_prefix));
+        // prefill_pos is always anchored to the reuse (== prompt length when
+        // fully covered): the suspend path snapshots it as the resume position
+        // regardless of which phase the session is in.
+        active->prefill_pos = sc.reused_prefix;
+        if (!sc.truncated_prompt.empty()) {
+          active->state = RequestState::kPrefilling;
+          // Scratch sized for the largest chunk any step can grant; a budgeted
+          // step simply uses a prefix of it.
+          const size_t chunk = scheduler_.options().prefill_chunk_tokens;
+          active->pq.resize(chunk * qdim);
+          active->pk.resize(chunk * kvdim);
+          active->pv.resize(chunk * kvdim);
+        } else {
+          active->state = RequestState::kDecoding;
+        }
       }
     }
 
@@ -793,6 +923,7 @@ Status ServingEngine::StepActiveSessions(const WallTimer& step_timer) {
       AttentionCallStats layer_stats;
       for (const AttentionCallStats& hs : a->head_stats) layer_stats.Add(hs);
       a->session->ChargeModeledGpuSeconds(layer_stats.modeled_gpu_seconds);
+      scheduler_.RecordProgress(a->id, layer_stats.modeled_gpu_seconds);
       a->result.stats.Add(layer_stats);
       if (layer + 1 == model.num_layers) {
         if (a->request.record_outputs) {
@@ -906,6 +1037,7 @@ Status ServingEngine::StepActiveSessions(const WallTimer& step_timer) {
     }
     modeled *= static_cast<double>(model.num_q_heads) * model.num_layers;
     a->session->ChargeModeledGpuSeconds(modeled);
+    scheduler_.RecordProgress(a->id, modeled);
     a->result.stats.modeled_gpu_seconds += modeled;
     a->prefill_pos += a->chunk_granted;
     a->result.prefilled_tokens += a->chunk_granted;
@@ -950,6 +1082,42 @@ void ServingEngine::SampleResidencyPeaksLocked() {
   snapshot_.peak_gpu_bytes = std::max(snapshot_.peak_gpu_bytes, fleet_bytes);
 }
 
+void ServingEngine::MaybeRebalance() {
+  if (options_.rebalance_skew_factor <= 0 || options_.devices < 2) return;
+  const std::vector<DeviceLoad> loads = scheduler_.DeviceLoads();
+  size_t hot = 0, cold = 0;
+  for (size_t i = 1; i < loads.size(); ++i) {
+    if (loads[i].reserved_bytes > loads[hot].reserved_bytes) hot = i;
+    if (loads[i].reserved_bytes < loads[cold].reserved_bytes) cold = i;
+  }
+  const double threshold =
+      options_.rebalance_skew_factor *
+      static_cast<double>(std::max<uint64_t>(loads[cold].reserved_bytes, 1));
+  if (hot == cold ||
+      static_cast<double>(loads[hot].reserved_bytes) <= threshold) {
+    return;
+  }
+  // Load skew crossed the trigger: shed ONE warm, unpinned context from the
+  // hot device to the cold one. One migration per probe keeps the correction
+  // gentle — if skew persists, the next step boundary probes again. Pinned
+  // contexts (use_count > 2: the store's ref + ours + a live session's) are
+  // skipped; migrating under a running session would charge its device clock
+  // for KV the session still attends locally.
+  for (const uint64_t id : db_->contexts().Ids()) {
+    std::shared_ptr<Context> ref = db_->contexts().FindShared(id);
+    if (ref == nullptr) continue;  // Spilled or removed — nothing resident.
+    if (ref->resident_device() != static_cast<int>(hot)) continue;
+    if (ref.use_count() != 2) continue;
+    Result<uint64_t> moved = db_->MigrateShard(id, static_cast<int>(hot),
+                                               static_cast<int>(cold));
+    if (!moved.ok()) continue;  // Raced a re-homing; plan is stale, skip.
+    std::lock_guard<std::mutex> lk(mu_);
+    ++snapshot_.shard_migrations;
+    snapshot_.shard_migrated_bytes += moved.value();
+    break;
+  }
+}
+
 void ServingEngine::FinishSession(ActiveSession* active) {
   if (!active->failed && active->request.store_on_finish) {
     // DB.Store expects ids for every session-local token: the prefilled prompt
@@ -986,6 +1154,11 @@ void ServingEngine::FinishSession(ActiveSession* active) {
     } else {
       active->result.status = stored.status();
     }
+  }
+  if (active->session != nullptr && active->session->gang() != nullptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    snapshot_.gang_ring_transfer_bytes +=
+        active->session->gang_ring_transfer_bytes();
   }
   // Free the session (and its device reservation) before returning the
   // admission reservation, so the next admit sees consistent accounting; and
@@ -1026,6 +1199,7 @@ void ServingEngine::DriverLoop() {
     // enter here, the continuous-batching entry point.
     SweepCancellations();
     RetireFinished();
+    MaybeRebalance();
     AdmitPending();
 
     if (active_.empty()) {

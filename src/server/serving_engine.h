@@ -90,6 +90,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/quantile_sketch.h"
 #include "src/common/thread_pool.h"
 #include "src/common/timer.h"
 #include "src/core/alaya_db.h"
@@ -121,6 +122,29 @@ struct ServingEngineOptions {
   /// id-based result() lookup forgets. 0 = unlimited (the old always-grow
   /// behavior; an always-on engine then leaks one entry per request served).
   size_t result_retention = 4096;
+  /// Context parallelism: maximum devices one request may gang across
+  /// (clamped to [1, devices]; mirrored into scheduler.max_gang_size, taking
+  /// the larger when both are set). Above 1, a prompt whose KV footprint
+  /// exceeds one device's budget shards its resident window across the
+  /// smallest sufficient device gang (ring-merged partial softmax,
+  /// bit-identical to the single-device math) instead of rejecting with
+  /// kNeverFits.
+  size_t max_gang_size = 1;
+  /// Cross-device KV rebalance probe: when > 0, the driver checks
+  /// reserved-byte skew at each step boundary and migrates ONE warm, unpinned
+  /// context off the hottest device once its reserved bytes exceed
+  /// factor * max(coldest device's reserved bytes, 1). The migration charges
+  /// the destination's clock with the modeled window transfer
+  /// (AlayaDB::MigrateShard); future prefix hits then place toward the cold
+  /// device via the affinity probe. 0 disables the probe.
+  double rebalance_skew_factor = 0;
+  /// Host-pressure spill for suspended KV: when > 0 and the DB has tiering
+  /// enabled, a suspension that would push host usage past this budget
+  /// persists the parked KV through the tier store's file system instead of
+  /// holding host DRAM; resume demand-pages it back bit-identically (the
+  /// serializer round-trip is exact). 0 keeps every parked KV host-resident
+  /// (the historical behavior).
+  uint64_t suspend_spill_host_budget_bytes = 0;
   /// Continuous batching: admit newly queued requests *inside* a running step
   /// — between decode layers and while a prefill-only step's wave is in
   /// flight — launching their first prefill chunk into the current step
@@ -242,6 +266,10 @@ struct DeviceServingStats {
   uint64_t peak_gpu_bytes = 0;  ///< Max device residency observed at step ends.
   uint64_t reserved_bytes = 0;  ///< Scheduler reservation currently held here.
   size_t active_sessions = 0;   ///< Admitted sessions currently placed here.
+  /// Gang shards placed on this device (lifetime): each gang admission or
+  /// resume increments every member's count, so a gang-of-4 decode shows
+  /// gang_shards > 0 on all four members — the bench's sharding self-gate.
+  size_t gang_shards = 0;
   /// The device's virtual clock: modeled seconds of kernels + transfers it
   /// has executed — the utilization axis (relative to the busiest device).
   double modeled_busy_seconds = 0;
@@ -264,19 +292,20 @@ struct TenantServingStats {
   size_t resumed = 0;
 };
 
-/// Per-priority-class counters. `ttft_seconds` keeps a bounded sample of
-/// completed requests' TTFTs — the p99 input the preemption bench reports
-/// per class (high-priority p99 staying flat under low-priority load is the
-/// tentpole's headline number).
+/// Per-priority-class counters. The TTFT quantiles are streaming P² sketches
+/// over EVERY completed request that produced a token — the p99 input the
+/// preemption bench reports per class (high-priority p99 staying flat under
+/// low-priority load is the headline number). Unlike the old first-4096
+/// sampling, a long run's tail keeps contributing: O(1) memory per class,
+/// no truncation bias toward early (usually uncontended) requests.
 struct ClassServingStats {
   int priority = 0;
   size_t completed = 0;
   size_t preempted = 0;
   size_t resumed = 0;
-  /// TTFTs of completed requests that produced at least one token, in
-  /// completion order, capped at 4096 samples (first-N; enough for stable
-  /// tail percentiles at bench scale without unbounded growth).
-  std::vector<double> ttft_seconds;
+  size_t ttft_count = 0;  ///< Requests folded into the sketches.
+  P2QuantileSketch ttft_p50{0.50};
+  P2QuantileSketch ttft_p99{0.99};
 };
 
 /// Aggregate serving metrics over one engine lifetime.
@@ -303,6 +332,20 @@ struct ServingSnapshot {
   /// that reached a terminal state (cancel/deadline/abort) while suspended.
   size_t preemptions = 0;
   size_t resumes = 0;
+  /// Context parallelism: admissions (resumes included) that placed on a
+  /// multi-device gang, the modeled ring-exchange bytes their sessions moved
+  /// between members, and the rebalance probe's shard migrations (count and
+  /// modeled bytes) — see ServingEngineOptions::{max_gang_size,
+  /// rebalance_skew_factor}.
+  size_t gang_admissions = 0;
+  uint64_t gang_ring_transfer_bytes = 0;
+  size_t shard_migrations = 0;
+  uint64_t shard_migrated_bytes = 0;
+  /// Suspended-KV tiering (suspend_spill_host_budget_bytes): parked KVs
+  /// spilled to disk under host pressure, and spilled KVs paged back in at
+  /// resume. restores can lag spills when a request retires while spilled.
+  size_t suspend_spills = 0;
+  size_t suspend_restores = 0;
   double serve_wall_seconds = 0;   ///< Wall time the driver thread was live.
   double tokens_per_second = 0;    ///< Aggregate decode throughput.
   size_t peak_concurrent_sessions = 0;
@@ -424,6 +467,9 @@ class ServingEngine {
   struct ActiveSession {
     uint64_t id = 0;
     int device = 0;  ///< Fleet device the scheduler placed this session on.
+    /// Gang members when the admission spanned devices (gang[0] == device;
+    /// size <= 1 = ordinary single-device placement).
+    std::vector<int> gang;
     ServingRequest request;
     std::unique_ptr<Session> session;
     std::shared_ptr<Context> context_ref;  ///< Pins the reused context.
@@ -455,6 +501,11 @@ class ServingEngine {
     /// generator state and resume restarts from them bit-identically.
     std::optional<Session::SuspendedState> suspended_kv;
     MemoryReservation host_kv_reservation;
+    /// Satellite of the suspend path: the parked KV was persisted to the tier
+    /// store's disk under host pressure (suspended_kv's cache is then empty;
+    /// the bytes live behind disk_kv_reservation until resume restores them).
+    bool suspended_on_disk = false;
+    MemoryReservation disk_kv_reservation;
     bool failed = false;
 
     bool Terminal() const {
@@ -490,6 +541,19 @@ class ServingEngine {
   /// (cancel/deadline) finalizes instead. Appends to active_ and `newly`.
   void ResumeSuspended(RequestScheduler::Admitted&& adm,
                        std::vector<ActiveSession*>* newly);
+  /// Host-pressure spill (suspend_spill_host_budget_bytes): persists a
+  /// suspended request's parked KV through the tier store's serializer under
+  /// the "suspend<id>" prefix and swaps the host reservation for a disk one.
+  /// On failure the KV stays host-resident — spilling is an optimization,
+  /// never a correctness gate.
+  Status SpillSuspendedKv(ActiveSession* a);
+  /// Resume-side page-in: loads the spilled KV back into suspended_kv
+  /// (bit-identical serializer round-trip) and releases the disk reservation.
+  Status RestoreSuspendedKv(ActiveSession* a);
+  /// Step-boundary rebalance probe (rebalance_skew_factor): migrates one
+  /// warm, unpinned context off the hottest device when reserved-byte skew
+  /// crosses the threshold.
+  void MaybeRebalance();
   /// Finalizes a request parked in suspended_ (cancel/deadline/abort while
   /// suspended): publishes the terminal result and frees the parked KV. The
   /// caller must already own the queue entry (RemoveQueued include_resume /

@@ -1,0 +1,122 @@
+// P² streaming quantile sketch (Jain & Chlamtac 1985) vs exact quantiles on
+// seeded traces — the replacement for the serving snapshot's first-N TTFT
+// sample buffers. The contract under test: exact nearest-rank below five
+// observations, bounded-error streaming estimate after, at any stream length
+// (no silent freeze once a buffer would have filled).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/quantile_sketch.h"
+#include "src/common/rng.h"
+
+namespace alaya {
+namespace {
+
+/// Nearest-rank percentile of an unsorted sample (the bench's definition).
+double ExactPercentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t rank = std::min(
+      v.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(v.size() - 1) + 0.5));
+  return v[rank];
+}
+
+/// Classic nearest-rank order statistic, ceil(q*n) 1-based — the small-n
+/// contract P2QuantileSketch::Value documents.
+double NearestRank(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(v.size())));
+  return v[std::min(v.size(), std::max<size_t>(rank, 1)) - 1];
+}
+
+TEST(QuantileSketchTest, EmptySketchReportsZero) {
+  P2QuantileSketch s(0.5);
+  EXPECT_EQ(s.Value(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.quantile(), 0.5);
+}
+
+TEST(QuantileSketchTest, ExactBelowFiveObservations) {
+  // With n < 5 the sketch must return the exact nearest-rank order statistic,
+  // not an interpolation — small classes (a priority class that saw two
+  // requests) report true values.
+  P2QuantileSketch p50(0.5);
+  P2QuantileSketch p99(0.99);
+  const std::vector<double> obs = {0.7, 0.1, 0.9, 0.3};
+  std::vector<double> seen;
+  for (const double x : obs) {
+    p50.Add(x);
+    p99.Add(x);
+    seen.push_back(x);
+    EXPECT_DOUBLE_EQ(p50.Value(), NearestRank(seen, 0.5)) << seen.size();
+    EXPECT_DOUBLE_EQ(p99.Value(), NearestRank(seen, 0.99)) << seen.size();
+  }
+}
+
+TEST(QuantileSketchTest, TracksUniformTraceWithinBoundedError) {
+  // 20k seeded uniform draws: p50 and p99 estimates must land within a small
+  // absolute error of the exact sample quantiles (uniform [0, 1) makes the
+  // bound directly interpretable).
+  Rng rng(0xABCDEF01);
+  P2QuantileSketch p50(0.5);
+  P2QuantileSketch p99(0.99);
+  std::vector<double> trace;
+  for (size_t i = 0; i < 20000; ++i) {
+    const double x = rng.Uniform();
+    trace.push_back(x);
+    p50.Add(x);
+    p99.Add(x);
+  }
+  EXPECT_EQ(p50.count(), trace.size());
+  EXPECT_NEAR(p50.Value(), ExactPercentile(trace, 0.5), 0.02);
+  EXPECT_NEAR(p99.Value(), ExactPercentile(trace, 0.99), 0.02);
+  EXPECT_GT(p99.Value(), p50.Value());
+}
+
+TEST(QuantileSketchTest, TracksSkewedTraceRelativeError) {
+  // TTFT-shaped trace: a lognormal-ish body with a heavy tail (squared
+  // exponential of a gaussian), where first-N sampling goes wrong in practice
+  // — the tail arrives late, after a fixed buffer froze. Relative-error bound
+  // against the exact quantiles of the full trace.
+  Rng rng(0x5EEDF00D);
+  P2QuantileSketch p50(0.5);
+  P2QuantileSketch p99(0.99);
+  std::vector<double> trace;
+  for (size_t i = 0; i < 50000; ++i) {
+    float g = 0;
+    rng.FillGaussian(&g, 1);
+    const double x = std::exp(static_cast<double>(g));
+    trace.push_back(x);
+    p50.Add(x);
+    p99.Add(x);
+  }
+  const double exact50 = ExactPercentile(trace, 0.5);
+  const double exact99 = ExactPercentile(trace, 0.99);
+  EXPECT_NEAR(p50.Value(), exact50, 0.05 * exact50);
+  EXPECT_NEAR(p99.Value(), exact99, 0.10 * exact99);
+}
+
+TEST(QuantileSketchTest, SortedAndReversedFeedsAgree) {
+  // Order robustness: the same multiset fed ascending and descending must
+  // yield estimates near the same exact quantile (the streaming markers must
+  // not depend on a favorable arrival order).
+  std::vector<double> vals;
+  for (size_t i = 0; i < 1000; ++i) {
+    vals.push_back(static_cast<double>(i) / 1000.0);
+  }
+  P2QuantileSketch asc(0.9), desc(0.9);
+  for (const double v : vals) asc.Add(v);
+  for (auto it = vals.rbegin(); it != vals.rend(); ++it) desc.Add(*it);
+  const double exact = ExactPercentile(vals, 0.9);
+  EXPECT_NEAR(asc.Value(), exact, 0.03);
+  EXPECT_NEAR(desc.Value(), exact, 0.03);
+}
+
+}  // namespace
+}  // namespace alaya
