@@ -69,6 +69,17 @@
 // tenant ids (tenant 0 weighted 2.0 in --priority-burst to exercise weighted
 // fair share); the per-tenant ledger lands in the JSON summary.
 //
+// --kv-codec {fp32,fp16,int8} (default fp32) sets DbOptions::quant.kv_codec:
+// imported and materialized KV is rounded onto the codec grid and the context
+// store accounts its DEPLOYED (compressed) bytes, so a --host-budget run fits
+// more contexts resident as the codec narrows. The codec name and the store's
+// resident KV bytes land in the JSON summary.
+//
+// --codec-gate runs the quantized-residency gate instead of the sweep: two
+// identical import workloads against the same --host-budget, one fp32 and one
+// int8; the int8 store must hold STRICTLY more contexts resident (and stay
+// under budget) or the run exits non-zero. CI smoke-runs this.
+//
 // --json <path> additionally emits the machine-readable summary CI archives
 // as BENCH_serving.json — p50/p99 TTFT and TPOT, aggregate throughput, tier
 // counters, preemption/resume totals, per-class and per-tenant stats, and the
@@ -92,6 +103,9 @@
 using namespace alaya;
 
 namespace {
+
+/// KV codec for every DB the run constructs (--kv-codec; fp32 = historical).
+VectorCodec g_kv_codec = VectorCodec::kFp32;
 
 struct Tenant {
   std::unique_ptr<SyntheticContext> doc;
@@ -270,6 +284,9 @@ bool WriteBenchJson(const char* path, const char* mode, size_t requests,
   std::fprintf(f, "  \"tier_resident_contexts\": %zu,\n",
                snap.tier_resident_contexts);
   std::fprintf(f, "  \"tier_spilled_contexts\": %zu,\n", snap.tier_spilled_contexts);
+  std::fprintf(f, "  \"kv_codec\": \"%s\",\n", VectorCodecName(g_kv_codec));
+  std::fprintf(f, "  \"tier_resident_kv_bytes\": %llu,\n",
+               static_cast<unsigned long long>(snap.tier_resident_kv_bytes));
   std::fprintf(f, "  \"devices\": [");
   for (size_t d = 0; d < snap.devices.size(); ++d) {
     const DeviceServingStats& ds = snap.devices[d];
@@ -325,6 +342,7 @@ int RunOpenLoopOnce(const OpenLoopConfig& cfg, OpenLoopResult* out) {
   options.session.window = WindowConfig{32, 128};
   options.materialize_pool = &pool;
   options.tier.host_budget_bytes = cfg.host_budget_bytes;
+  options.quant.kv_codec = g_kv_codec;
   AlayaDB db(options, &env);
 
   size_t expected_prefill_per_round = 0;
@@ -995,6 +1013,125 @@ int RunGangScaling(size_t gang_size, const char* json_path) {
   return rc;
 }
 
+// --- Quantized-residency gate (--codec-gate) ------------------------------
+
+struct CodecBudgetResult {
+  size_t resident = 0;
+  size_t spilled = 0;
+  uint64_t resident_bytes = 0;
+};
+
+/// Imports `kContexts` synthetic tenants into a budgeted store under `codec`
+/// and reports the residency split the eviction policy settles on. The
+/// workload (specs, seeds, training queries) is byte-identical across calls,
+/// so any residency difference is attributable to the codec alone.
+int ImportUnderBudget(VectorCodec codec, uint64_t budget_bytes,
+                      CodecBudgetResult* out) {
+  const ModelConfig model = bench::BenchModel();
+  const auto suite = InfinityBenchSuite(0.04);
+  const char* tasks[] = {"En.QA", "En.MC", "Code.D", "Math.F"};
+  constexpr size_t kContexts = 8;
+
+  ThreadPool pool(4);
+  SimEnvironment env;
+  DbOptions options;
+  options.model = model;
+  options.materialize_pool = &pool;
+  options.tier.host_budget_bytes = budget_bytes;
+  options.quant.kv_codec = codec;
+  AlayaDB db(options, &env);
+
+  for (size_t i = 0; i < kContexts; ++i) {
+    SyntheticContextOptions copts;
+    copts.model = model;
+    copts.spec = FindTask(suite, tasks[i % 4]);
+    copts.spec.seed += i * 1000;
+    copts.pool = &pool;
+    SyntheticContext doc(copts);
+    if (!doc.Generate().ok()) return 1;
+    auto kv = std::make_unique<KvCache>(model);
+    if (!kv->AppendPrefixFrom(doc.kv(), doc.num_tokens()).ok()) return 1;
+    auto training = doc.MakeTrainingQueries(128);
+    std::vector<int32_t> tokens = doc.tokens();
+    if (!db.Import(std::move(tokens), std::move(kv), training.get()).ok()) return 1;
+  }
+
+  const TieredContextStore* tiers = db.tiers();
+  if (tiers == nullptr) {
+    std::fprintf(stderr, "codec gate: tiering disabled (need --host-budget > 0)\n");
+    return 1;
+  }
+  const TieredContextStore::Stats ts = tiers->stats();
+  out->resident = ts.resident_contexts;
+  out->spilled = ts.spilled_contexts;
+  out->resident_bytes = ts.resident_kv_bytes;
+  if (ts.resident_contexts + ts.spilled_contexts != kContexts) {
+    std::fprintf(stderr, "codec gate: %zu resident + %zu spilled != %zu imported\n",
+                 ts.resident_contexts, ts.spilled_contexts, kContexts);
+    return 1;
+  }
+  if (ts.resident_kv_bytes > budget_bytes) {
+    std::fprintf(stderr, "codec gate: %llu resident bytes over the %llu budget\n",
+                 static_cast<unsigned long long>(ts.resident_kv_bytes),
+                 static_cast<unsigned long long>(budget_bytes));
+    return 1;
+  }
+  return 0;
+}
+
+int RunCodecGate(uint64_t budget_bytes, const char* json_path) {
+  if (budget_bytes == 0) {
+    std::fprintf(stderr, "--codec-gate needs --host-budget > 0\n");
+    return 2;
+  }
+  std::printf("=== codec gate: residency at equal host budget (%s) ===\n",
+              HumanBytes(budget_bytes).c_str());
+  CodecBudgetResult fp32, int8;
+  if (ImportUnderBudget(VectorCodec::kFp32, budget_bytes, &fp32) != 0) return 1;
+  if (ImportUnderBudget(VectorCodec::kInt8, budget_bytes, &int8) != 0) return 1;
+  std::printf("%8s %10s %10s %16s\n", "codec", "resident", "spilled", "kv-bytes");
+  std::printf("%8s %10zu %10zu %16s\n", "fp32", fp32.resident, fp32.spilled,
+              HumanBytes(fp32.resident_bytes).c_str());
+  std::printf("%8s %10zu %10zu %16s\n", "int8", int8.resident, int8.spilled,
+              HumanBytes(int8.resident_bytes).c_str());
+  // The budget must actually bind on fp32 (otherwise the comparison is
+  // vacuous) and int8 must then fit strictly more contexts resident.
+  bool pass = true;
+  if (fp32.spilled == 0) {
+    std::fprintf(stderr, "FAIL: budget does not bind on fp32 (nothing spilled); "
+                         "lower --host-budget\n");
+    pass = false;
+  }
+  if (int8.resident <= fp32.resident) {
+    std::fprintf(stderr, "FAIL: int8 fits %zu resident contexts vs fp32's %zu "
+                         "(want strictly more)\n",
+                 int8.resident, fp32.resident);
+    pass = false;
+  }
+  if (json_path != nullptr) {
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"mode\": \"codec-gate\",\n  \"host_budget_bytes\": %llu,\n"
+                 "  \"fp32\": {\"resident\": %zu, \"spilled\": %zu, "
+                 "\"resident_kv_bytes\": %llu},\n"
+                 "  \"int8\": {\"resident\": %zu, \"spilled\": %zu, "
+                 "\"resident_kv_bytes\": %llu},\n  \"pass\": %s\n}\n",
+                 static_cast<unsigned long long>(budget_bytes), fp32.resident,
+                 fp32.spilled, static_cast<unsigned long long>(fp32.resident_bytes),
+                 int8.resident, int8.spilled,
+                 static_cast<unsigned long long>(int8.resident_bytes),
+                 pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  std::printf("codec gate: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1009,6 +1146,7 @@ int main(int argc, char** argv) {
   bool priority_burst = false;
   size_t num_tenants = 3;
   size_t gang_size = 0;  // > 0 selects the gang-scaling mode.
+  bool codec_gate = false;
   const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--host-budget") == 0 && i + 1 < argc) {
@@ -1064,6 +1202,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       num_tenants = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--kv-codec") == 0 && i + 1 < argc) {
+      ++i;
+      if (!ParseVectorCodec(argv[i], &g_kv_codec)) {
+        std::fprintf(stderr, "--kv-codec: want fp32|fp16|int8: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--codec-gate") == 0) {
+      codec_gate = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--prefill-fraction") == 0 && i + 1 < argc) {
@@ -1093,11 +1239,15 @@ int main(int argc, char** argv) {
                    "[--open-loop arrivals_per_sec] [--step-budget tokens] "
                    "[--no-midstep] [--virtual-time] [--priority-burst] "
                    "[--gang-size n] [--tenants n] [--devices n] "
-                   "[--host-budget mib] [--json path]"
+                   "[--host-budget mib] [--kv-codec fp32|fp16|int8] "
+                   "[--codec-gate] [--json path]"
                    "   (0 <= f < 1, 0 <= store <= 1, arrivals > 0)\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (codec_gate) {
+    return RunCodecGate(host_budget_bytes, json_path);
   }
   if (gang_size > 0) {
     return RunGangScaling(gang_size, json_path);
@@ -1167,6 +1317,7 @@ int main(int argc, char** argv) {
     options.session.window = WindowConfig{32, 128};
     options.materialize_pool = &pool;
     options.tier.host_budget_bytes = host_budget_bytes;
+    options.quant.kv_codec = g_kv_codec;
     AlayaDB db(options, &env);
 
     size_t expected_prefill = 0;

@@ -1,5 +1,7 @@
 #include "src/attention/attention_engine.h"
 
+#include "src/common/vector_codec.h"
+
 #include <cmath>
 
 namespace alaya {
@@ -7,16 +9,17 @@ namespace alaya {
 size_t AccumulatePartition(const float* q, const KvPartition& part, float scale,
                            PartialAttention* state) {
   const size_t d = part.keys.d;
+  const KernelOps& ops = Kernels();  // Hoisted: one dispatch for the loop.
   size_t count = 0;
   if (!part.ids.empty()) {
     for (uint32_t id : part.ids) {
-      const float logit = Dot(q, part.keys.Vec(id), d) * scale;
+      const float logit = ops.dot(q, part.keys.Vec(id), d) * scale;
       state->Accumulate(logit, part.values.Vec(id));
       ++count;
     }
   } else {
     for (uint32_t id = part.range_begin; id < part.range_end; ++id) {
-      const float logit = Dot(q, part.keys.Vec(id), d) * scale;
+      const float logit = ops.dot(q, part.keys.Vec(id), d) * scale;
       state->Accumulate(logit, part.values.Vec(id));
       ++count;
     }
@@ -57,8 +60,9 @@ void ExactAttentionScores(const float* q, VectorSetView keys, size_t n,
                           float* scores) {
   const size_t d = keys.d;
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const KernelOps& ops = Kernels();
   for (size_t i = 0; i < n; ++i) {
-    scores[i] = Dot(q, keys.Vec(static_cast<uint32_t>(i)), d) * scale;
+    scores[i] = ops.dot(q, keys.Vec(static_cast<uint32_t>(i)), d) * scale;
   }
   SoftmaxInPlace(scores, n);
 }

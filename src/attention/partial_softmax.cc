@@ -2,27 +2,28 @@
 
 #include <cmath>
 
-#include "src/common/vec_math.h"
+#include "src/common/vector_codec.h"
 
 namespace alaya {
 
 void PartialAttention::Accumulate(float logit, const float* v) {
   const size_t d = acc_.size();
+  const KernelOps& ops = Kernels();
   if (logit <= max_logit_) {
     const float w = std::exp(logit - max_logit_);
     sum_exp_ += w;
-    Axpy(acc_.data(), v, d, w);
+    ops.axpy(acc_.data(), v, d, w);
     return;
   }
   // New maximum: rescale the existing accumulator onto the new base.
   const float rescale = (sum_exp_ > 0.f) ? std::exp(max_logit_ - logit) : 0.f;
   if (rescale != 1.f) {
-    Scale(acc_.data(), d, rescale);
+    ops.scale(acc_.data(), d, rescale);
     sum_exp_ *= rescale;
   }
   max_logit_ = logit;
   sum_exp_ += 1.f;
-  Axpy(acc_.data(), v, d, 1.f);
+  ops.axpy(acc_.data(), v, d, 1.f);
 }
 
 void PartialAttention::Merge(const PartialAttention& other) {
@@ -34,15 +35,16 @@ void PartialAttention::Merge(const PartialAttention& other) {
     sum_exp_ = other.sum_exp_;
     return;
   }
+  const KernelOps& ops = Kernels();
   if (other.max_logit_ <= max_logit_) {
     const float w = std::exp(other.max_logit_ - max_logit_);
     sum_exp_ += other.sum_exp_ * w;
-    Axpy(acc_.data(), other.acc_.data(), d, w);
+    ops.axpy(acc_.data(), other.acc_.data(), d, w);
   } else {
     const float w = std::exp(max_logit_ - other.max_logit_);
-    Scale(acc_.data(), d, w);
+    ops.scale(acc_.data(), d, w);
     sum_exp_ = sum_exp_ * w + other.sum_exp_;
-    Axpy(acc_.data(), other.acc_.data(), d, 1.f);
+    ops.axpy(acc_.data(), other.acc_.data(), d, 1.f);
     max_logit_ = other.max_logit_;
   }
 }

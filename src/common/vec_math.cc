@@ -4,39 +4,26 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/common/vector_codec.h"
+
 namespace alaya {
 
-float Dot(const float* a, const float* b, size_t d) {
-  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
-  size_t i = 0;
-  for (; i + 4 <= d; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  float s = s0 + s1 + s2 + s3;
-  for (; i < d; ++i) s += a[i] * b[i];
-  return s;
-}
+// The BLAS-1 style primitives dispatch through the kernel table resolved at
+// startup (see vector_codec.h). The scalar table preserves the historical
+// loops bit-for-bit; wider levels agree to accumulation-order rounding.
+
+float Dot(const float* a, const float* b, size_t d) { return Kernels().dot(a, b, d); }
 
 float L2Sq(const float* a, const float* b, size_t d) {
-  float s = 0.f;
-  for (size_t i = 0; i < d; ++i) {
-    const float t = a[i] - b[i];
-    s += t * t;
-  }
-  return s;
+  return Kernels().l2sq(a, b, d);
 }
 
 float Norm(const float* a, size_t d) { return std::sqrt(Dot(a, a, d)); }
 
-void Scale(float* a, size_t d, float s) {
-  for (size_t i = 0; i < d; ++i) a[i] *= s;
-}
+void Scale(float* a, size_t d, float s) { Kernels().scale(a, d, s); }
 
 void Axpy(float* y, const float* x, size_t d, float alpha) {
-  for (size_t i = 0; i < d; ++i) y[i] += alpha * x[i];
+  Kernels().axpy(y, x, d, alpha);
 }
 
 void NormalizeInPlace(float* a, size_t d) {
@@ -91,7 +78,7 @@ float RelativeError(const float* a, const float* b, size_t d, float eps) {
 }
 
 void MatVecDot(const float* m, size_t rows, size_t d, const float* v, float* out) {
-  for (size_t i = 0; i < rows; ++i) out[i] = Dot(m + i * d, v, d);
+  Kernels().matvec(m, rows, d, v, out);
 }
 
 void SortByScoreDesc(std::vector<ScoredId>* v) {

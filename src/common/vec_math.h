@@ -1,5 +1,16 @@
 // Dense float vector kernels used throughout attention computation and
-// vector search. All loops are written to auto-vectorize under -O3.
+// vector search. The BLAS-1 style primitives (Dot, L2Sq, Axpy, Scale,
+// MatVecDot) are thin wrappers over the runtime-dispatched kernel table in
+// vector_codec.h — AVX2/NEON when the CPU has them, a scalar fallback that is
+// bit-exact with the historical loops otherwise. Hot loops that score many
+// vectors can grab `Kernels()` once and call through the table directly.
+//
+// Contract (shared with every table kernel):
+//   - d == 0 is valid: reductions return 0, in-place ops write nothing;
+//   - no alignment requirement beyond natural element alignment;
+//   - input spans must not alias outputs (Axpy's y and x must be distinct);
+//   - results across dispatch levels agree to accumulation-order rounding,
+//     not bit-exactly — replay-stable comparisons must stay in-process.
 #pragma once
 
 #include <cstddef>

@@ -25,6 +25,11 @@ std::vector<int32_t> ComposeTokens(const Context* reused, size_t reused_prefix,
 
 AlayaDB::AlayaDB(const DbOptions& options, SimEnvironment* env)
     : options_(options), env_(env != nullptr ? env : &SimEnvironment::Global()) {
+  // One quantization knob set: the index codec rides into every RoarGraph
+  // build/extend/restore through index_build.roar (the tiered store below
+  // captures the same options for its restore path).
+  options_.index_build.roar.codec = options_.quant.index_codec;
+  options_.index_build.roar.rerank_k = options_.quant.rerank_k;
   if (options_.tier.Enabled()) {
     tiers_ = std::make_unique<TieredContextStore>(
         &contexts_, env_, options_.model, options_.index_build.roar,
@@ -201,6 +206,10 @@ Result<uint64_t> AlayaDB::Import(std::vector<int32_t> tokens,
   if (kv->NumTokens() != tokens.size()) {
     return Status::InvalidArgument("token/KV length mismatch");
   }
+  // Round the imported KV onto the deployment grid before anything reads it:
+  // indices build over (and searches score against) exactly the keys the
+  // deployed representation would hold.
+  kv->QuantizeInPlace(options_.quant.kv_codec);
   const uint64_t kv_bytes = kv->DeployedBytes();
   auto context = std::make_unique<Context>(0, std::move(tokens), std::move(kv));
   ALAYA_RETURN_IF_ERROR(BuildIndices(context.get(), queries));
@@ -224,6 +233,9 @@ Result<std::unique_ptr<Context>> AlayaDB::MaterializeContext(
     ALAYA_RETURN_IF_ERROR(kv->AppendPrefixFrom(reused->kv(), reused_prefix));
   }
   ALAYA_RETURN_IF_ERROR(kv->AppendAllFrom(local_kv));
+  // Quantize after the full sequence is assembled (prefix + tail share one
+  // grid per head); a kFp32 kv_codec leaves the floats untouched.
+  kv->QuantizeInPlace(options_.quant.kv_codec);
 
   const uint64_t kv_bytes = kv->DeployedBytes();
   auto context = std::make_unique<Context>(0, std::move(tokens), std::move(kv));

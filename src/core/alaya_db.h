@@ -33,6 +33,11 @@ struct DbOptions {
   ModelConfig model = ModelConfig::Tiny();
   SessionOptions session;
   IndexBuildOptions index_build;
+  /// Quantization: the one knob set (vector_codec.h). index_codec/rerank_k
+  /// are copied into index_build.roar at construction; kv_codec rounds every
+  /// materialized/imported context's KV onto the codec grid, which shrinks
+  /// DeployedBytes (tier budgets, admission) to the codec's width.
+  QuantOptions quant;
   /// Build RoarGraph per (layer, KV head) on Import/Store.
   bool build_fine_indices = true;
   /// Additionally build coarse block indices (used when the optimizer has GPU

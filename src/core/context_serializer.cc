@@ -33,6 +33,15 @@ enum ManifestRow : uint32_t {
   kRowReusedBaseNodes,     // u64
   kRowInsertedSuffix,      // u64
   kRowTokensBegin,
+  // v3 manifests (written only for quantized KV) insert, BETWEEN the fixed
+  // rows above and the tokens:
+  //   kRowTokensBegin + 0: codec id (float)
+  //   then 2 * num_layers * num_kv_heads param rows, Slot() order — for each
+  //   (layer, head): keys {scale, zero_point} then vals {scale, zero_point}
+  //   in the row's first two float slots;
+  // tokens (and the trailer) shift down accordingly. The trailer magic names
+  // the layout, so LoadManifest probes both candidate trailer positions to
+  // detect the version — a v2 manifest needs no migration.
   // After the tokens, three trailer rows close the manifest:
   //   kRowTokensBegin + length + 0: magic   (u64 — format/version witness)
   //   kRowTokensBegin + length + 1: generation (u64 — persist stamp)
@@ -46,8 +55,10 @@ enum ManifestRow : uint32_t {
 
 /// Bumped when the row layout changes; doubles as the torn-write witness (an
 /// old-format or truncated manifest has no matching magic row where the
-/// trailer should be).
-constexpr uint64_t kManifestMagic = 0x414C41594D463032ULL;  // "ALAYMF02"
+/// trailer should be). v2 is the pre-codec layout and still what fp32
+/// contexts write; v3 adds the codec + params rows.
+constexpr uint64_t kManifestMagic = 0x414C41594D463032ULL;    // "ALAYMF02"
+constexpr uint64_t kManifestMagicV3 = 0x414C41594D463033ULL;  // "ALAYMF03"
 
 constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
 constexpr uint64_t kFnvPrime = 1099511628211ULL;
@@ -147,13 +158,36 @@ Status ContextSerializer::Persist(const Context& context, const std::string& pre
   ALAYA_RETURN_IF_ERROR(put64(&index_bytes));
   for (double d : stat_f64) ALAYA_RETURN_IF_ERROR(put64(&d));
   for (uint64_t u : stat_u64) ALAYA_RETURN_IF_ERROR(put64(&u));
+  // Quantized KV: v3 rows — codec id, then per-(layer, head) keys/vals affine
+  // params. fp32 contexts skip these and stay byte-identical v2 manifests.
+  const VectorCodec kv_codec = context.kv().codec();
+  if (kv_codec != VectorCodec::kFp32) {
+    auto put2 = [&](float a, float b) -> Status {
+      std::fill(row.begin(), row.end(), 0.f);
+      row[0] = a;
+      row[1] = b;
+      return append(/*hashed=*/true);
+    };
+    ALAYA_RETURN_IF_ERROR(put(static_cast<float>(static_cast<uint8_t>(kv_codec))));
+    for (uint32_t layer = 0; layer < m.num_layers; ++layer) {
+      for (uint32_t h = 0; h < m.num_kv_heads; ++h) {
+        const CodecParams& kp = context.kv().KeyParams(layer, h);
+        const CodecParams& vp = context.kv().ValParams(layer, h);
+        ALAYA_RETURN_IF_ERROR(put2(kp.scale, kp.zero_point));
+        ALAYA_RETURN_IF_ERROR(put2(vp.scale, vp.zero_point));
+      }
+    }
+  }
   for (int32_t t : context.tokens()) {
     ALAYA_RETURN_IF_ERROR(put(static_cast<float>(t)));
   }
   // Trailer: magic, generation, then the checksum over everything above. The
   // trailer rows are excluded from the hash (the checksum cannot cover
-  // itself); the magic row doubles as the truncation witness.
-  ALAYA_RETURN_IF_ERROR(put64_trailer(&kManifestMagic));
+  // itself); the magic row doubles as the truncation witness and names the
+  // layout version.
+  const uint64_t magic =
+      kv_codec != VectorCodec::kFp32 ? kManifestMagicV3 : kManifestMagic;
+  ALAYA_RETURN_IF_ERROR(put64_trailer(&magic));
   ALAYA_RETURN_IF_ERROR(put64_trailer(&generation));
   ALAYA_RETURN_IF_ERROR(put64_trailer(&checksum));
   return mf->Flush();
@@ -244,15 +278,63 @@ Result<ContextManifest> ContextSerializer::LoadManifestImpl(
   ALAYA_RETURN_IF_ERROR(get64(kRowInsertedSuffix, &u));
   s.inserted_suffix_nodes = static_cast<size_t>(u);
 
+  // Version detection: the trailer magic names the layout, so probe both
+  // candidate trailer positions with unhashed reads (a failed probe — row out
+  // of range — just means "not that version"). v2 puts the trailer right
+  // after the tokens; v3 first inserts the codec row and 2 * layers * heads
+  // param rows.
+  const size_t slots =
+      static_cast<size_t>(man.num_layers) * man.num_kv_heads;
+  const size_t v2_trailer = kRowTokensBegin + man.length;
+  const size_t v3_trailer = kRowTokensBegin + 1 + 2 * slots + man.length;
+  bool is_v3 = false;
+  uint64_t probe = 0;
+  if (get64_trailer(static_cast<uint32_t>(v2_trailer), &probe).ok() &&
+      probe == kManifestMagic) {
+    is_v3 = false;
+  } else if (get64_trailer(static_cast<uint32_t>(v3_trailer), &probe).ok() &&
+             probe == kManifestMagicV3) {
+    is_v3 = true;
+  } else {
+    return Status::Corruption("manifest trailer missing or wrong magic (torn write?)");
+  }
+
   // Bound the token count by the file's actual rows BEFORE allocating: a
   // garbled length row must fail cleanly, not drive a huge resize.
-  if (man.length + kRowTokensBegin + 3 >
-      static_cast<size_t>(mf->num_vectors())) {
+  const size_t tokens_begin = is_v3 ? kRowTokensBegin + 1 + 2 * slots
+                                    : static_cast<size_t>(kRowTokensBegin);
+  if (man.length + tokens_begin + 3 > static_cast<size_t>(mf->num_vectors())) {
     return Status::Corruption("manifest token count exceeds stored rows");
   }
+
+  if (is_v3) {
+    // Hashed reads continue in file order: codec row, then the param rows.
+    ALAYA_ASSIGN_OR_RETURN(float f_codec, get(kRowTokensBegin));
+    const auto codec_id = static_cast<uint32_t>(f_codec);
+    if (codec_id > static_cast<uint32_t>(VectorCodec::kInt8) ||
+        codec_id == static_cast<uint32_t>(VectorCodec::kFp32)) {
+      return Status::Corruption("v3 manifest carries an unknown or fp32 codec id");
+    }
+    man.kv_codec = static_cast<VectorCodec>(codec_id);
+    man.key_params.resize(slots);
+    man.val_params.resize(slots);
+    uint32_t idx = kRowTokensBegin + 1;
+    auto get2 = [&](uint32_t i, CodecParams* p) -> Status {
+      ALAYA_RETURN_IF_ERROR(mf->ReadVector(i, row.data()));
+      checksum = Fnv1a(checksum, row.data(), row_bytes);
+      p->scale = row[0];
+      p->zero_point = row[1];
+      return Status::Ok();
+    };
+    for (size_t s2 = 0; s2 < slots; ++s2) {
+      ALAYA_RETURN_IF_ERROR(get2(idx++, &man.key_params[s2]));
+      ALAYA_RETURN_IF_ERROR(get2(idx++, &man.val_params[s2]));
+    }
+  }
+
   man.tokens.resize(man.length);
   for (size_t t = 0; t < man.length; ++t) {
-    ALAYA_ASSIGN_OR_RETURN(float v, get(static_cast<uint32_t>(kRowTokensBegin + t)));
+    ALAYA_ASSIGN_OR_RETURN(float v, get(static_cast<uint32_t>(tokens_begin + t)));
     man.tokens[t] = static_cast<int32_t>(v);
   }
 
@@ -260,12 +342,8 @@ Result<ContextManifest> ContextSerializer::LoadManifestImpl(
   // old-format or foreign file has no magic where the trailer belongs, and a
   // garbled-in-place one fails the checksum. All three are Corruption — the
   // tiered store's warm start skips the context rather than resurrecting a
-  // half-persisted one.
-  const uint32_t trailer = static_cast<uint32_t>(kRowTokensBegin + man.length);
-  uint64_t magic = 0;
-  if (!get64_trailer(trailer, &magic).ok() || magic != kManifestMagic) {
-    return Status::Corruption("manifest trailer missing or wrong magic (torn write?)");
-  }
+  // half-persisted one. (The magic itself was verified by the version probe.)
+  const uint32_t trailer = static_cast<uint32_t>(tokens_begin + man.length);
   ALAYA_RETURN_IF_ERROR(get64_trailer(trailer + 1, &man.generation));
   uint64_t stored_checksum = 0;
   ALAYA_RETURN_IF_ERROR(get64_trailer(trailer + 2, &stored_checksum));
@@ -312,6 +390,13 @@ Result<std::unique_ptr<Context>> ContextSerializer::Load(
     for (uint32_t h = 0; h < model.num_kv_heads; ++h) {
       loaded_graphs.push_back(std::move(graphs[h]));
     }
+  }
+
+  if (man.kv_codec != VectorCodec::kFp32) {
+    // The payload floats are already on the codec's grid (persisted verbatim);
+    // re-attach the codec id + params so DeployedBytes and any re-persist see
+    // exactly the state the original process had.
+    kv->SetCodecState(man.kv_codec, man.key_params, man.val_params);
   }
 
   auto context = std::make_unique<Context>(id, std::move(man.tokens), std::move(kv));

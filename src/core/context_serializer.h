@@ -41,6 +41,13 @@ struct ContextManifest {
   uint64_t index_bytes = 0;  ///< In-memory bytes of the persisted indices.
   IndexBuildStats build_stats;
   std::vector<int32_t> tokens;
+  /// KV quantization codec (manifest v3). v2 manifests — everything persisted
+  /// before codecs existed — load as kFp32 with empty params.
+  VectorCodec kv_codec = VectorCodec::kFp32;
+  /// Per-(layer, kv_head) affine params, KvCache Slot() order (layer-major);
+  /// empty for kFp32.
+  std::vector<CodecParams> key_params;
+  std::vector<CodecParams> val_params;
   /// Monotone stamp the tiered store assigns per persist — distinguishes a
   /// re-persisted context from a stale manifest generation on warm start.
   uint64_t generation = 0;
@@ -54,6 +61,12 @@ class ContextSerializer {
   /// `prefix` namespaces the files (e.g. "ctx42"). Payload files land first;
   /// the manifest — stamped with `generation` and ending in a checksum
   /// trailer — is written last, as the commit record.
+  ///
+  /// Quantized KV: the payload rows are already on the codec's grid (fp32
+  /// storage convention), so they persist verbatim; the manifest is written
+  /// in the v3 layout, which adds the codec id and the per-head scale /
+  /// zero-point rows. fp32 contexts keep writing the v2 layout byte-for-byte,
+  /// and v2 manifests load as kFp32 — old spill directories stay readable.
   Status Persist(const Context& context, const std::string& prefix,
                  uint64_t generation = 0);
 

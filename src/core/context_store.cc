@@ -15,14 +15,16 @@ Status Context::BuildFineIndices(const IndexBuildOptions& options,
   IndexBuildStats total;
 
   // Extend-from-base: reuse the base context's per-head graphs for the shared
-  // prefix and insert only the suffix vectors. Only sound when the base's
-  // WHOLE sequence is this context's prefix (its graphs then cover exactly
-  // rows [0, base_prefix) of every head's key set) and the index layouts
-  // agree; anything else falls back to the scratch build below.
+  // prefix and insert only the suffix vectors. Sound whenever the first
+  // base_prefix tokens agree and the index layouts match: a full reuse
+  // (base_prefix == base->length()) adopts the base adjacency verbatim, a
+  // PARTIAL reuse (base_prefix < base->length()) adopts it with the base's
+  // out-of-prefix edges dropped (RoarGraph::ExtendFromBase) instead of a
+  // scratch rebuild. Layout mismatches fall back to the scratch build below.
   const bool can_extend =
       base != nullptr && base != this && base->HasFineIndices() &&
       base->fine_shared_ && options.share_gqa_group && base_prefix > 0 &&
-      base_prefix == base->length() && base_prefix <= kv_->NumTokens() &&
+      base_prefix <= base->length() && base_prefix <= kv_->NumTokens() &&
       base->fine_.size() ==
           static_cast<size_t>(cfg.num_layers) * cfg.num_kv_heads;
   if (can_extend) {
@@ -201,13 +203,13 @@ size_t ContextStore::pending() const {
   return pending_.size();
 }
 
-Context* ContextStore::Find(uint64_t id) {
+Context* ContextStore::FindUnsafeForTest(uint64_t id) {
   std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = contexts_.find(id);
   return it == contexts_.end() ? nullptr : it->second.context.get();
 }
 
-const Context* ContextStore::Find(uint64_t id) const {
+const Context* ContextStore::FindUnsafeForTest(uint64_t id) const {
   std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = contexts_.find(id);
   return it == contexts_.end() ? nullptr : it->second.context.get();

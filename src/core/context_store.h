@@ -174,13 +174,14 @@ class ContextStore {
   /// Number of reserved-but-unpublished contexts.
   size_t pending() const;
 
-  /// Borrowed lookup — TEST-ONLY by contract. The raw pointer is only safe
-  /// while no concurrent Remove OR spill can run, which on every serving path
-  /// is never true now that the tiered store evicts: production callers must
-  /// use FindShared (the pin keeps a concurrently-evicted context alive).
-  /// Remaining callers are single-threaded tests and setup code.
-  Context* Find(uint64_t id);
-  const Context* Find(uint64_t id) const;
+  /// Borrowed lookup — TEST-ONLY, and the name now says so. The raw pointer
+  /// is only safe while no concurrent Remove OR spill can run, which on every
+  /// serving path is never true now that the tiered store evicts: production
+  /// code must use FindShared (the pin keeps a concurrently-evicted context
+  /// alive). The only callers are single-threaded tests and setup code; src/
+  /// has none.
+  Context* FindUnsafeForTest(uint64_t id);
+  const Context* FindUnsafeForTest(uint64_t id) const;
 
   /// Owning lookup: keeps the context alive across a concurrent Remove or
   /// spill. Null for unknown ids AND for spilled entries (nothing resident).

@@ -1,5 +1,6 @@
 #include "src/core/kv_cache.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace alaya {
@@ -81,7 +82,47 @@ uint64_t KvCache::FloatBytes() const {
 }
 
 uint64_t KvCache::DeployedBytes() const {
-  return NumTokens() * config_.KvBytesPerToken();
+  const uint64_t full = NumTokens() * config_.KvBytesPerToken();
+  const uint64_t bps = config_.bytes_per_scalar;
+  const uint64_t coded = std::min<uint64_t>(bps, CodecBytesPerScalar(codec_));
+  return full / bps * coded;
+}
+
+void KvCache::QuantizeInPlace(VectorCodec codec) {
+  codec_ = codec;
+  key_params_.assign(heads_.size(), CodecParams{});
+  val_params_.assign(heads_.size(), CodecParams{});
+  if (codec == VectorCodec::kFp32) return;
+  for (size_t s = 0; s < heads_.size(); ++s) {
+    KvHeadStore& h = heads_[s];
+    const size_t n = h.keys.size();
+    if (n == 0) continue;
+    QuantizeRows(h.keys.MutableVec(0), n, config_.head_dim, codec, &key_params_[s]);
+    QuantizeRows(h.values.MutableVec(0), n, config_.head_dim, codec, &val_params_[s]);
+  }
+}
+
+void KvCache::SetCodecState(VectorCodec codec, std::vector<CodecParams> key_params,
+                            std::vector<CodecParams> val_params) {
+  codec_ = codec;
+  if (codec == VectorCodec::kFp32) {
+    key_params_.clear();
+    val_params_.clear();
+    return;
+  }
+  assert(key_params.size() == heads_.size() && val_params.size() == heads_.size());
+  key_params_ = std::move(key_params);
+  val_params_ = std::move(val_params);
+}
+
+const CodecParams& KvCache::KeyParams(uint32_t layer, uint32_t kv_head) const {
+  static const CodecParams kIdentity;
+  return key_params_.empty() ? kIdentity : key_params_[Slot(layer, kv_head)];
+}
+
+const CodecParams& KvCache::ValParams(uint32_t layer, uint32_t kv_head) const {
+  static const CodecParams kIdentity;
+  return val_params_.empty() ? kIdentity : val_params_[Slot(layer, kv_head)];
 }
 
 void KvCache::Reserve(uint32_t layer, size_t tokens) {

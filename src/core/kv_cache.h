@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/vector_codec.h"
 #include "src/core/model_config.h"
 #include "src/index/vector_set.h"
 
@@ -47,9 +48,33 @@ class KvCache {
   /// Appends all tokens of `src` (geometries must match).
   Status AppendAllFrom(const KvCache& src);
 
+  /// Rounds every stored K/V element onto `codec`'s grid in place and records
+  /// the per-(layer, head, keys|vals) affine params. The resident data stays
+  /// fp32 (this repo computes in fp32, accounts deployed) but carries exactly
+  /// the information the deployed representation would, and DeployedBytes()
+  /// switches to the codec's byte width. Idempotent for already-on-grid data.
+  /// Quantize once, after the final token of a context is appended — appends
+  /// after quantization would mix grids within a head.
+  void QuantizeInPlace(VectorCodec codec);
+
+  /// Restores codec metadata without touching the (already on-grid) floats —
+  /// the spill-restore path, where params must match what was persisted.
+  /// `key_params`/`val_params` are indexed by Slot() order (layer-major) and
+  /// must each hold num_layers * num_kv_heads entries (ignored for kFp32).
+  void SetCodecState(VectorCodec codec, std::vector<CodecParams> key_params,
+                     std::vector<CodecParams> val_params);
+
+  VectorCodec codec() const { return codec_; }
+  /// Affine params for one head's keys/values (identity until quantized).
+  const CodecParams& KeyParams(uint32_t layer, uint32_t kv_head) const;
+  const CodecParams& ValParams(uint32_t layer, uint32_t kv_head) const;
+
   /// Resident fp32 bytes (actual process memory).
   uint64_t FloatBytes() const;
-  /// Deployed-precision bytes (bf16 accounting used in reported numbers).
+  /// Deployed-precision bytes — what admission, tier budgets and reported
+  /// numbers charge. Per-scalar width is the smaller of the model's deployed
+  /// precision (bf16 by default) and the quantization codec's width, so
+  /// kv_codec=int8 halves the accounted footprint and fp16 changes nothing.
   uint64_t DeployedBytes() const;
 
   void Reserve(uint32_t layer, size_t tokens);
@@ -61,6 +86,9 @@ class KvCache {
 
   ModelConfig config_;
   std::vector<KvHeadStore> heads_;
+  VectorCodec codec_ = VectorCodec::kFp32;
+  std::vector<CodecParams> key_params_;  ///< Slot()-indexed; empty until coded.
+  std::vector<CodecParams> val_params_;
 };
 
 }  // namespace alaya

@@ -288,10 +288,10 @@ Status Session::AttendHead(uint32_t layer, uint32_t q_head, const float* qh,
           if (options_.use_window_dipr_hint) hints.prior_best_ip = prior;
           if (plan.query == QueryClass::kDipr) {
             retrieved = filter.enabled()
-                            ? DiprsSearchFiltered(fine->graph(), fine->vectors(),
+                            ? DiprsSearchFiltered(fine->graph(), fine->scoring(),
                                                   fine->EntryPoint(qh), qh, plan.dipr,
                                                   filter, hints)
-                            : DiprsSearch(fine->graph(), fine->vectors(),
+                            : DiprsSearch(fine->graph(), fine->scoring(),
                                           fine->EntryPoint(qh), qh, plan.dipr, hints);
           } else {
             ALAYA_RETURN_IF_ERROR(

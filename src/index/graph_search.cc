@@ -17,9 +17,9 @@ struct MaxFirst {
 
 }  // namespace
 
-SearchResult GraphBeamSearch(const AdjacencyGraph& graph, VectorSetView vectors,
-                             uint32_t entry, const float* q, size_t ef,
-                             VisitedSet* visited) {
+SearchResult GraphBeamSearch(const AdjacencyGraph& graph,
+                             const ScoringView& vectors, uint32_t entry,
+                             const float* q, size_t ef, VisitedSet* visited) {
   SearchResult out;
   if (graph.size() == 0 || ef == 0) return out;
 
@@ -28,12 +28,14 @@ SearchResult GraphBeamSearch(const AdjacencyGraph& graph, VectorSetView vectors,
   visited->Resize(graph.size());
   visited->Reset();
 
+  const QueryScorer scorer(vectors, q);
+
   // Classic two-heap beam search: `frontier` holds nodes to expand (best
   // first); `results` keeps the ef best scored nodes seen so far.
   std::priority_queue<ScoredId, std::vector<ScoredId>, MaxFirst> frontier;
   TopKMaxHeap results(ef);
 
-  const float entry_score = Dot(q, vectors.Vec(entry), vectors.d);
+  const float entry_score = scorer.Score(entry);
   out.stats.dist_comps++;
   visited->Visit(entry);
   frontier.push({entry, entry_score});
@@ -46,7 +48,7 @@ SearchResult GraphBeamSearch(const AdjacencyGraph& graph, VectorSetView vectors,
     out.stats.hops++;
     for (uint32_t v : graph.Neighbors(cur.id)) {
       if (!visited->Visit(v)) continue;
-      const float score = Dot(q, vectors.Vec(v), vectors.d);
+      const float score = scorer.Score(v);
       out.stats.dist_comps++;
       if (results.WouldAccept(score)) {
         results.Push(v, score);
@@ -56,10 +58,11 @@ SearchResult GraphBeamSearch(const AdjacencyGraph& graph, VectorSetView vectors,
   }
 
   out.hits = results.TakeSortedDesc();
+  out.stats.dist_comps += RerankTopHits(vectors, q, &out.hits);
   return out;
 }
 
-SearchResult GraphTopK(const AdjacencyGraph& graph, VectorSetView vectors,
+SearchResult GraphTopK(const AdjacencyGraph& graph, const ScoringView& vectors,
                        uint32_t entry, const float* q, const TopKParams& params,
                        VisitedSet* visited) {
   SearchResult res =
@@ -68,16 +71,17 @@ SearchResult GraphTopK(const AdjacencyGraph& graph, VectorSetView vectors,
   return res;
 }
 
-uint32_t GreedyDescend(const AdjacencyGraph& graph, VectorSetView vectors,
+uint32_t GreedyDescend(const AdjacencyGraph& graph, const ScoringView& vectors,
                        uint32_t entry, const float* q, SearchStats* stats) {
+  const QueryScorer scorer(vectors, q);
   uint32_t cur = entry;
-  float cur_score = Dot(q, vectors.Vec(cur), vectors.d);
+  float cur_score = scorer.Score(cur);
   if (stats) stats->dist_comps++;
   bool improved = true;
   while (improved) {
     improved = false;
     for (uint32_t v : graph.Neighbors(cur)) {
-      const float s = Dot(q, vectors.Vec(v), vectors.d);
+      const float s = scorer.Score(v);
       if (stats) stats->dist_comps++;
       if (s > cur_score) {
         cur_score = s;

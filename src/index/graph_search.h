@@ -3,6 +3,7 @@
 // query type, and as the skeleton DIPRS builds on.
 #pragma once
 
+#include "src/common/vector_codec.h"
 #include "src/common/visited_set.h"
 #include "src/index/graph_common.h"
 #include "src/index/index.h"
@@ -12,18 +13,24 @@ namespace alaya {
 /// Classic ef-bounded beam search: returns the ef best candidates found,
 /// sorted by descending inner product. `visited` may be nullptr (a local set
 /// is used); passing one amortizes allocation across queries.
-SearchResult GraphBeamSearch(const AdjacencyGraph& graph, VectorSetView vectors,
-                             uint32_t entry, const float* q, size_t ef,
+///
+/// `vectors` is a ScoringView: pass a bare VectorSetView for exact fp32
+/// scoring (every historical call site), or attach a CodedVectorSet to
+/// traverse on quantized codes with the top rerank_k hits re-scored against
+/// fp32 before returning.
+SearchResult GraphBeamSearch(const AdjacencyGraph& graph,
+                             const ScoringView& vectors, uint32_t entry,
+                             const float* q, size_t ef,
                              VisitedSet* visited = nullptr);
 
 /// Beam search returning only the top k of an ef-wide beam.
-SearchResult GraphTopK(const AdjacencyGraph& graph, VectorSetView vectors,
+SearchResult GraphTopK(const AdjacencyGraph& graph, const ScoringView& vectors,
                        uint32_t entry, const float* q, const TopKParams& params,
                        VisitedSet* visited = nullptr);
 
 /// Greedy 1-best descent (used by HNSW upper layers): repeatedly moves to the
 /// best-scoring neighbor until no improvement.
-uint32_t GreedyDescend(const AdjacencyGraph& graph, VectorSetView vectors,
+uint32_t GreedyDescend(const AdjacencyGraph& graph, const ScoringView& vectors,
                        uint32_t entry, const float* q, SearchStats* stats = nullptr);
 
 }  // namespace alaya

@@ -44,6 +44,7 @@ Status RoarGraph::BuildFromBipartite(
 
   ProjectBipartite(query_knn);
   EnhanceConnectivity();
+  BuildCodedStore();
   built_ = true;
   return Status::Ok();
 }
@@ -53,21 +54,42 @@ Status RoarGraph::ExtendFromBase(const RoarGraph& base, size_t base_count) {
   if (base.keys_.d != keys_.d) {
     return Status::InvalidArgument("base/extended key dimension mismatch");
   }
-  if (base.size() != base_count || base_count == 0 || base_count > keys_.n) {
+  if (base.size() < base_count || base_count == 0 || base_count > keys_.n) {
     return Status::InvalidArgument(
-        "base graph must cover exactly the first base_count keys");
+        "base graph must cover at least the first base_count keys");
   }
 
-  // Adopt the base adjacency verbatim (truncated only if this index was
-  // configured with a smaller degree cap than the base was built with).
+  // Adopt the base adjacency for the shared prefix. A base larger than
+  // base_count is the partial-reuse case: only its first base_count keys are
+  // our tokens, so edges into [base_count, base.size()) are dropped instead
+  // of rebuilding the prefix graph from scratch; the connectivity pass below
+  // repairs any prefix node the truncation orphans.
+  const bool partial_prefix = base.size() > base_count;
   graph_.Reset(static_cast<uint32_t>(keys_.n), options_.max_degree);
   std::vector<uint32_t> nbrs;
   for (uint32_t u = 0; u < base_count; ++u) {
     auto span = base.graph_.Neighbors(u);
-    nbrs.assign(span.begin(), span.end());
+    nbrs.clear();
+    for (uint32_t v : span) {
+      if (v < base_count) nbrs.push_back(v);
+    }
     graph_.SetNeighbors(u, nbrs);
   }
-  entry_ = base.entry_;
+  if (base.entry_ < base_count) {
+    entry_ = base.entry_;
+  } else {
+    // The base's max-norm entry lives outside the shared prefix; recompute
+    // over the keys we actually kept.
+    entry_ = 0;
+    float best_norm = -1.f;
+    for (uint32_t i = 0; i < base_count; ++i) {
+      const float n2 = Dot(keys_.Vec(i), keys_.Vec(i), keys_.d);
+      if (n2 > best_norm) {
+        best_norm = n2;
+        entry_ = i;
+      }
+    }
+  }
   float entry_norm = Dot(keys_.Vec(entry_), keys_.Vec(entry_), keys_.d);
 
   // Insert the suffix keys one at a time: beam-search the growing graph for
@@ -98,7 +120,8 @@ Status RoarGraph::ExtendFromBase(const RoarGraph& base, size_t base_count) {
     }
   }
   built_ = true;  // EnhanceConnectivity's beam searches need a built graph.
-  if (keys_.n > base_count) EnhanceConnectivity();
+  if (keys_.n > base_count || partial_prefix) EnhanceConnectivity();
+  BuildCodedStore();
   return Status::Ok();
 }
 
@@ -115,9 +138,12 @@ Status RoarGraph::AdoptGraph(AdjacencyGraph&& graph) {
       entry_ = i;
     }
   }
+  BuildCodedStore();
   built_ = true;
   return Status::Ok();
 }
+
+void RoarGraph::BuildCodedStore() { coded_.Encode(keys_, options_.codec); }
 
 void RoarGraph::ProjectBipartite(const std::vector<std::vector<ScoredId>>& query_knn) {
   // Stage (2): keys co-retrieved by one query become candidate neighbors.
@@ -283,7 +309,7 @@ Status RoarGraph::SearchTopK(const float* q, const TopKParams& params,
   if (q == nullptr || out == nullptr) return Status::InvalidArgument("null arg");
   if (!built_) return Status::FailedPrecondition("RoarGraph not built");
   out->Clear();
-  *out = GraphBeamSearch(graph_, keys_, entry_, q, params.EffectiveEf(), nullptr);
+  *out = GraphBeamSearch(graph_, scoring(), entry_, q, params.EffectiveEf(), nullptr);
   if (out->hits.size() > params.k) out->hits.resize(params.k);
   return Status::Ok();
 }
@@ -293,7 +319,7 @@ Status RoarGraph::SearchDipr(const float* q, const DiprParams& params,
   if (q == nullptr || out == nullptr) return Status::InvalidArgument("null arg");
   if (!built_) return Status::FailedPrecondition("RoarGraph not built");
   out->Clear();
-  *out = DiprsSearch(graph_, keys_, entry_, q, params);
+  *out = DiprsSearch(graph_, scoring(), entry_, q, params);
   return Status::Ok();
 }
 
@@ -311,7 +337,7 @@ Status RoarGraph::SearchDiprFiltered(const float* q, const DiprParams& params,
   if (q == nullptr || out == nullptr) return Status::InvalidArgument("null arg");
   if (!built_) return Status::FailedPrecondition("RoarGraph not built");
   out->Clear();
-  *out = DiprsSearchFiltered(graph_, keys_, entry_, q, params, filter);
+  *out = DiprsSearchFiltered(graph_, scoring(), entry_, q, params, filter);
   return Status::Ok();
 }
 

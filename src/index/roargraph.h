@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "src/common/thread_pool.h"
+#include "src/common/vector_codec.h"
 #include "src/index/graph_common.h"
 #include "src/index/index.h"
 #include "src/index/knn_graph.h"
@@ -31,6 +32,12 @@ struct RoarGraphOptions {
   uint32_t ef_enhance = 64;
   ThreadPool* pool = nullptr;  ///< nullptr -> ThreadPool::Global().
   bool sequential = false;     ///< Disable parallel build (CPU baseline mode).
+  /// Representation searches score candidates on (kFp32 = exact, no sidecar).
+  /// Build and rerank always use the fp32 keys.
+  VectorCodec codec = VectorCodec::kFp32;
+  /// With a non-fp32 codec, the top rerank_k hits of every search are
+  /// re-scored against fp32 (0 disables rerank).
+  size_t rerank_k = 32;
 };
 
 class RoarGraph final : public VectorIndex, public SearchableGraph {
@@ -52,13 +59,15 @@ class RoarGraph final : public VectorIndex, public SearchableGraph {
   /// recomputes the entry point and marks the index built.
   Status AdoptGraph(AdjacencyGraph&& graph);
 
-  /// Seeds this index from `base` — built over exactly the first `base_count`
-  /// rows of this index's key set — and incrementally inserts the remaining
-  /// keys [base_count, n): each new key is attached via a beam search over the
-  /// growing graph, diversity-pruned like a projection candidate, and given
-  /// best-effort reverse edges; a final connectivity pass restores full
-  /// reachability. The base adjacency is adopted verbatim, never rebuilt —
-  /// the index-sharing path DB.Store takes when a session extends a stored
+  /// Seeds this index from `base`, whose first `base_count` keys are exactly
+  /// this index's first `base_count` keys, and incrementally inserts the
+  /// remaining keys [base_count, n): each new key is attached via a beam
+  /// search over the growing graph, diversity-pruned like a projection
+  /// candidate, and given best-effort reverse edges; a final connectivity
+  /// pass restores full reachability. The base adjacency is adopted with
+  /// out-of-prefix edges dropped (a base larger than base_count is the
+  /// partial-reuse case: its suffix nodes are not our tokens), never rebuilt
+  /// — the index-sharing path DB.Store takes when a session extends a stored
   /// context (the base must stay alive only for the duration of this call).
   Status ExtendFromBase(const RoarGraph& base, size_t base_count);
 
@@ -67,7 +76,9 @@ class RoarGraph final : public VectorIndex, public SearchableGraph {
   // --- VectorIndex ---
   IndexClass index_class() const override { return IndexClass::kFine; }
   size_t size() const override { return keys_.n; }
-  uint64_t MemoryBytes() const override { return graph_.MemoryBytes(); }
+  uint64_t MemoryBytes() const override {
+    return graph_.MemoryBytes() + coded_.MemoryBytes();
+  }
   Status SearchTopK(const float* q, const TopKParams& params,
                     SearchResult* out) const override;
   Status SearchDipr(const float* q, const DiprParams& params,
@@ -82,12 +93,19 @@ class RoarGraph final : public VectorIndex, public SearchableGraph {
   VectorSetView vectors() const override { return keys_; }
   uint32_t EntryPoint(const float* /*q*/) const override { return entry_; }
 
+  /// What searches score on: fp32 keys plus the coded sidecar when the index
+  /// was built with a non-fp32 codec (empty sidecar == exact scoring).
+  ScoringView scoring() const { return {keys_, &coded_, options_.rerank_k}; }
+  VectorCodec codec() const { return options_.codec; }
+
   /// Fraction of nodes reachable from the entry point (1.0 after a healthy
   /// build; exposed for tests).
   double ReachableFraction() const;
 
  private:
   void ProjectBipartite(const std::vector<std::vector<ScoredId>>& query_knn);
+  /// (Re-)encodes the coded sidecar; every build path's final step.
+  void BuildCodedStore();
   void PruneNode(uint32_t u, std::vector<uint32_t>* candidates);
   void EnhanceConnectivity();
   void ForceEdge(uint32_t u, uint32_t v);
@@ -95,6 +113,7 @@ class RoarGraph final : public VectorIndex, public SearchableGraph {
   VectorSetView keys_;
   RoarGraphOptions options_;
   AdjacencyGraph graph_;
+  CodedVectorSet coded_;
   uint32_t entry_ = 0;
   bool built_ = false;
 };

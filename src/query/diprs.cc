@@ -31,7 +31,8 @@ inline void TryAppend(uint32_t id, float ip, DiprsState* st) {
   }
 }
 
-SearchResult Finalize(DiprsState* st, const DiprParams& params) {
+SearchResult Finalize(DiprsState* st, const DiprParams& params,
+                      const ScoringView& view, const float* q) {
   SearchResult out;
   out.stats = st->stats;
   const float threshold = st->best_ip - params.beta;
@@ -42,12 +43,16 @@ SearchResult Finalize(DiprsState* st, const DiprParams& params) {
   if (params.max_tokens > 0 && out.hits.size() > params.max_tokens) {
     out.hits.resize(params.max_tokens);
   }
+  // Coded views: re-score the head of the critical set against exact fp32 so
+  // the attention weights downstream see exact inner products for the tokens
+  // that dominate the softmax.
+  out.stats.dist_comps += RerankTopHits(view, q, &out.hits);
   return out;
 }
 
 }  // namespace
 
-SearchResult DiprsSearch(const AdjacencyGraph& graph, VectorSetView vectors,
+SearchResult DiprsSearch(const AdjacencyGraph& graph, const ScoringView& vectors,
                          uint32_t entry, const float* q, const DiprParams& params,
                          const DiprsHints& hints, VisitedSet* visited) {
   SearchResult empty;
@@ -64,9 +69,11 @@ SearchResult DiprsSearch(const AdjacencyGraph& graph, VectorSetView vectors,
   st.max_explored = hints.max_explored;
   st.best_ip = hints.prior_best_ip;
 
+  const QueryScorer scorer(vectors, q);
+
   // Line 1: initialize C with the start key.
   visited->Visit(entry);
-  const float entry_ip = Dot(q, vectors.Vec(entry), vectors.d);
+  const float entry_ip = scorer.Score(entry);
   st.stats.dist_comps++;
   st.c.push_back({entry, entry_ip});
   if (entry_ip > st.best_ip) st.best_ip = entry_ip;
@@ -78,17 +85,18 @@ SearchResult DiprsSearch(const AdjacencyGraph& graph, VectorSetView vectors,
     st.stats.hops++;
     for (uint32_t v : graph.Neighbors(u)) {
       if (!visited->Visit(v)) continue;
-      const float ip = Dot(q, vectors.Vec(v), vectors.d);
+      const float ip = scorer.Score(v);
       st.stats.dist_comps++;
       TryAppend(v, ip, &st);
     }
   }
 
   // Lines 8-9: keep candidates within beta of the best inner product found.
-  return Finalize(&st, params);
+  return Finalize(&st, params, vectors, q);
 }
 
-SearchResult DiprsSearchFiltered(const AdjacencyGraph& graph, VectorSetView vectors,
+SearchResult DiprsSearchFiltered(const AdjacencyGraph& graph,
+                                 const ScoringView& vectors,
                                  uint32_t entry, const float* q,
                                  const DiprParams& params, const IdFilter& filter,
                                  const DiprsHints& hints, VisitedSet* visited) {
@@ -109,11 +117,13 @@ SearchResult DiprsSearchFiltered(const AdjacencyGraph& graph, VectorSetView vect
   st.max_explored = hints.max_explored;
   st.best_ip = hints.prior_best_ip;
 
+  const QueryScorer scorer(vectors, q);
+
   // Seed C with passing nodes. If the entry fails the predicate, BFS through
   // the graph (bounded) until a few passing seeds are found.
   visited->Visit(entry);
   if (filter.Pass(entry)) {
-    const float ip = Dot(q, vectors.Vec(entry), vectors.d);
+    const float ip = scorer.Score(entry);
     st.stats.dist_comps++;
     st.c.push_back({entry, ip});
     if (ip > st.best_ip) st.best_ip = ip;
@@ -129,7 +139,7 @@ SearchResult DiprsSearchFiltered(const AdjacencyGraph& graph, VectorSetView vect
       for (uint32_t v : graph.Neighbors(u)) {
         if (!visited->Visit(v)) continue;
         if (filter.Pass(v)) {
-          const float ip = Dot(q, vectors.Vec(v), vectors.d);
+          const float ip = scorer.Score(v);
           st.stats.dist_comps++;
           st.c.push_back({v, ip});
           if (ip > st.best_ip) st.best_ip = ip;
@@ -155,7 +165,7 @@ SearchResult DiprsSearchFiltered(const AdjacencyGraph& graph, VectorSetView vect
     for (uint32_t v : graph.Neighbors(u)) {
       if (!visited->Visit(v)) continue;
       if (filter.Pass(v)) {
-        const float ip = Dot(q, vectors.Vec(v), vectors.d);
+        const float ip = scorer.Score(v);
         st.stats.dist_comps++;
         TryAppend(v, ip, &st);
       } else {
@@ -171,7 +181,7 @@ SearchResult DiprsSearchFiltered(const AdjacencyGraph& graph, VectorSetView vect
       for (uint32_t w : graph.Neighbors(b)) {
         if (!visited->Visit(w)) continue;
         if (filter.Pass(w)) {
-          const float ip = Dot(q, vectors.Vec(w), vectors.d);
+          const float ip = scorer.Score(w);
           st.stats.dist_comps++;
           TryAppend(w, ip, &st);
         } else {
@@ -181,7 +191,7 @@ SearchResult DiprsSearchFiltered(const AdjacencyGraph& graph, VectorSetView vect
     }
   }
 
-  return Finalize(&st, params);
+  return Finalize(&st, params, vectors, q);
 }
 
 }  // namespace alaya

@@ -13,6 +13,7 @@
 
 #include <limits>
 
+#include "src/common/vector_codec.h"
 #include "src/common/visited_set.h"
 #include "src/index/graph_common.h"
 #include "src/index/index.h"
@@ -30,7 +31,11 @@ struct DiprsHints {
 };
 
 /// Algorithm 1. Returns the critical token set c_K, best-first.
-SearchResult DiprsSearch(const AdjacencyGraph& graph, VectorSetView vectors,
+///
+/// `vectors` is a ScoringView: a bare VectorSetView scores exactly on fp32
+/// (every historical call site); attaching a CodedVectorSet traverses on the
+/// quantized codes and re-scores the top rerank_k survivors against fp32.
+SearchResult DiprsSearch(const AdjacencyGraph& graph, const ScoringView& vectors,
                          uint32_t entry, const float* q, const DiprParams& params,
                          const DiprsHints& hints = DiprsHints{},
                          VisitedSet* visited = nullptr);
@@ -39,7 +44,8 @@ SearchResult DiprsSearch(const AdjacencyGraph& graph, VectorSetView vectors,
 /// passing `filter` are candidates; traversal additionally inspects 2-hop
 /// neighbors through filtered-out nodes (ACORN-style) so graph connectivity
 /// survives the predicate.
-SearchResult DiprsSearchFiltered(const AdjacencyGraph& graph, VectorSetView vectors,
+SearchResult DiprsSearchFiltered(const AdjacencyGraph& graph,
+                                 const ScoringView& vectors,
                                  uint32_t entry, const float* q,
                                  const DiprParams& params, const IdFilter& filter,
                                  const DiprsHints& hints = DiprsHints{},

@@ -1377,6 +1377,7 @@ ServingSnapshot ServingEngine::snapshot() const {
     out.tier_prefetches = ts.prefetches;
     out.tier_resident_contexts = ts.resident_contexts;
     out.tier_spilled_contexts = ts.spilled_contexts;
+    out.tier_resident_kv_bytes = ts.resident_kv_bytes;
   }
   // Merge live per-device state: what the scheduler currently reserves on
   // each device, and each device clock's modeled busy seconds (utilization).

@@ -365,6 +365,7 @@ struct ServingSnapshot {
   uint64_t tier_prefetches = 0;
   size_t tier_resident_contexts = 0;
   size_t tier_spilled_contexts = 0;
+  uint64_t tier_resident_kv_bytes = 0;  ///< Deployed (codec-compressed) bytes.
   /// Sharded serving: one entry per device (a single entry on the default
   /// single-device fleet — its counters then mirror the aggregates above).
   std::vector<DeviceServingStats> devices;

@@ -129,7 +129,7 @@ TEST(AlayaDbTest, StoreMaterializesSession) {
   auto stored = db.Store(session, new_tokens);
   ASSERT_TRUE(stored.ok()) << stored.status().ToString();
   EXPECT_EQ(db.contexts().size(), 2u);
-  const Context* ctx = db.contexts().Find(stored.value());
+  const Context* ctx = db.contexts().FindUnsafeForTest(stored.value());
   ASSERT_NE(ctx, nullptr);
   EXPECT_EQ(ctx->length(), 105u);
   EXPECT_EQ(ctx->kv().NumTokens(), 105u);
@@ -199,7 +199,7 @@ TEST(AlayaDbTest, CoarseIndicesBuiltWhenRequested) {
   AlayaDB db(fx.options, &fx.env);
   auto id = db.Import(fx.TokenRange(0, 64), fx.MakeKv(64, 7));
   ASSERT_TRUE(id.ok());
-  const Context* ctx = db.contexts().Find(id.value());
+  const Context* ctx = db.contexts().FindUnsafeForTest(id.value());
   EXPECT_TRUE(ctx->HasCoarseIndices());
   EXPECT_GT(fx.env.gpu_memory().current(), 0u);  // Coarse blocks are GPU-resident.
 }

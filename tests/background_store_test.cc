@@ -174,8 +174,8 @@ TEST(BackgroundStoreTest, BackgroundMatchesSynchronousStoreBitIdentical) {
     EXPECT_EQ(b->outputs, s->outputs) << "request " << i;
     ASSERT_NE(b->stored_context_id, 0u);
     ASSERT_EQ(b->stored_context_id, s->stored_context_id);
-    const Context* bc = bg_fx.db->contexts().Find(b->stored_context_id);
-    const Context* sc = sync_fx.db->contexts().Find(s->stored_context_id);
+    const Context* bc = bg_fx.db->contexts().FindUnsafeForTest(b->stored_context_id);
+    const Context* sc = sync_fx.db->contexts().FindUnsafeForTest(s->stored_context_id);
     ASSERT_NE(bc, nullptr);
     ASSERT_NE(sc, nullptr);
     ExpectContextsIdentical(bg_fx.model, *bc, *sc);
@@ -195,8 +195,8 @@ TEST(BackgroundStoreTest, ExtendFromBaseSkipsPrefixRebuild) {
   ASSERT_TRUE(r->status.ok()) << r->status.ToString();
   ASSERT_NE(r->stored_context_id, 0u);
 
-  const Context* base = fx.db->contexts().Find(fx.context_id);
-  const Context* stored = fx.db->contexts().Find(r->stored_context_id);
+  const Context* base = fx.db->contexts().FindUnsafeForTest(fx.context_id);
+  const Context* stored = fx.db->contexts().FindUnsafeForTest(r->stored_context_id);
   ASSERT_NE(base, nullptr);
   ASSERT_NE(stored, nullptr);
   ASSERT_TRUE(stored->HasFineIndices());
@@ -274,7 +274,7 @@ TEST(BackgroundStoreTest, StoreAsyncDetachesAndPublishesThroughDrain) {
   EXPECT_EQ(stats.pending, 0u);
   EXPECT_EQ(stats.completed, 1u);
   EXPECT_EQ(stats.failed, 0u);
-  const Context* stored = fx.db->contexts().Find(id.value());
+  const Context* stored = fx.db->contexts().FindUnsafeForTest(id.value());
   ASSERT_NE(stored, nullptr);
   EXPECT_EQ(stored->length(), fx.context_tokens + 3);
   EXPECT_EQ(stored->kv().NumTokens(), fx.context_tokens + 3);
@@ -327,7 +327,7 @@ TEST(BackgroundStoreTest, FailedMaterializationIsAttributable) {
   EXPECT_EQ(stats.failed, 1u);
   EXPECT_FALSE(stats.first_error.ok());
   // The reserved id never published, was aborted, and maps to its error.
-  EXPECT_EQ(fx.db->contexts().Find(id.value()), nullptr);
+  EXPECT_EQ(fx.db->contexts().FindUnsafeForTest(id.value()), nullptr);
   EXPECT_EQ(fx.db->contexts().pending(), 0u);
   auto errors = fx.db->materialization_errors();
   ASSERT_EQ(errors.count(id.value()), 1u);
@@ -350,8 +350,8 @@ TEST(BackgroundStoreTest, InlineFallbackIsCountedAndPublished) {
   auto id = fx.db->StoreAsync(session, {});  // No decode; no pin passed.
   ASSERT_TRUE(id.ok()) << id.status().ToString();
   // Inline path: published before StoreAsync even returned.
-  ASSERT_NE(fx.db->contexts().Find(id.value()), nullptr);
-  EXPECT_EQ(fx.db->contexts().Find(id.value())->length(), fx.context_tokens);
+  ASSERT_NE(fx.db->contexts().FindUnsafeForTest(id.value()), nullptr);
+  EXPECT_EQ(fx.db->contexts().FindUnsafeForTest(id.value())->length(), fx.context_tokens);
   const AlayaDB::MaterializationStats stats = fx.db->materialization_stats();
   EXPECT_EQ(stats.completed, 1u);
   EXPECT_EQ(stats.failed, 0u);
@@ -421,7 +421,7 @@ TEST(BackgroundStoreTest, PrefixMatchNeverObservesHalfBuiltContext) {
   EXPECT_EQ(fx.db->contexts().pending(), 0u);
   // Every stored context is complete and serviceable after the drain.
   for (uint64_t cid : fx.db->contexts().Ids()) {
-    const Context* ctx = fx.db->contexts().Find(cid);
+    const Context* ctx = fx.db->contexts().FindUnsafeForTest(cid);
     ASSERT_NE(ctx, nullptr);
     EXPECT_EQ(ctx->kv().NumTokens(), ctx->length());
     EXPECT_TRUE(ctx->HasFineIndices());

@@ -171,6 +171,51 @@ TEST(ContextSerializerTest, RoundtripPreservesDeviceAndBuildStats) {
   EXPECT_EQ(got.inserted_suffix_nodes, stats.inserted_suffix_nodes);
 }
 
+TEST(ContextSerializerTest, QuantizedContextRoundTripsCodecState) {
+  // An int8-quantized context persists a v3 manifest carrying the codec id and
+  // per-(layer, head) scale/zero-point rows; the KV payload itself is the
+  // on-grid fp32 data, so restore is bit-identical AND the restored cache
+  // reports the same compressed DeployedBytes as the original.
+  SerializerFixture fx;
+  auto original = fx.MakeContext(120, 8, /*build_indices=*/false);
+  original->mutable_kv().QuantizeInPlace(VectorCodec::kInt8);
+  const size_t deployed = original->kv().DeployedBytes();
+  ASSERT_EQ(original->kv().codec(), VectorCodec::kInt8);
+
+  ContextSerializer ser(&fx.vfs);
+  ASSERT_TRUE(ser.Persist(*original, "ctxq").ok());
+
+  auto man = ser.LoadManifest("ctxq", fx.model);
+  ASSERT_TRUE(man.ok()) << man.status().ToString();
+  EXPECT_EQ(man.value().kv_codec, VectorCodec::kInt8);
+  ASSERT_EQ(man.value().key_params.size(),
+            size_t{fx.model.num_layers} * fx.model.num_kv_heads);
+
+  auto loaded = ser.Load("ctxq", 13, fx.model, RoarGraphOptions{});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Context& ctx = *loaded.value();
+  EXPECT_EQ(ctx.kv().codec(), VectorCodec::kInt8);
+  EXPECT_EQ(ctx.kv().DeployedBytes(), deployed);
+  for (uint32_t layer = 0; layer < fx.model.num_layers; ++layer) {
+    for (uint32_t h = 0; h < fx.model.num_kv_heads; ++h) {
+      EXPECT_EQ(ctx.kv().KeyParams(layer, h).scale,
+                original->kv().KeyParams(layer, h).scale);
+      EXPECT_EQ(ctx.kv().KeyParams(layer, h).zero_point,
+                original->kv().KeyParams(layer, h).zero_point);
+      EXPECT_EQ(ctx.kv().ValParams(layer, h).scale,
+                original->kv().ValParams(layer, h).scale);
+      for (uint32_t t = 0; t < 120; t += 17) {
+        for (uint32_t j = 0; j < fx.model.head_dim; ++j) {
+          EXPECT_EQ(ctx.kv().Keys(layer, h).Vec(t)[j],
+                    original->kv().Keys(layer, h).Vec(t)[j]);
+          EXPECT_EQ(ctx.kv().Values(layer, h).Vec(t)[j],
+                    original->kv().Values(layer, h).Vec(t)[j]);
+        }
+      }
+    }
+  }
+}
+
 TEST(ContextSerializerTest, GeometryMismatchRejected) {
   SerializerFixture fx;
   auto original = fx.MakeContext(50, 3, false);

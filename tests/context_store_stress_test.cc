@@ -84,7 +84,7 @@ TEST(ContextStoreStressTest, RemoveDoesNotFreePinnedContext) {
   std::shared_ptr<Context> pinned = store.FindShared(id);
   ASSERT_NE(pinned, nullptr);
   ASSERT_TRUE(store.Remove(id));
-  EXPECT_EQ(store.Find(id), nullptr);
+  EXPECT_EQ(store.FindUnsafeForTest(id), nullptr);
   // The pin keeps the storage alive: reads remain valid after Remove.
   EXPECT_EQ(pinned->length(), 16u);
   EXPECT_EQ(pinned->tokens().front(), 7);
@@ -148,7 +148,7 @@ TEST(ContextStoreStressTest, ParallelImportCreateSessionStore) {
   EXPECT_EQ(db.contexts().size(), static_cast<size_t>(2 * kTenants));
   // All stored contexts remain individually reusable.
   for (uint64_t id : db.contexts().Ids()) {
-    const Context* ctx = db.contexts().Find(id);
+    const Context* ctx = db.contexts().FindUnsafeForTest(id);
     ASSERT_NE(ctx, nullptr);
     auto again = db.CreateSession(ctx->tokens());
     ASSERT_TRUE(again.ok());

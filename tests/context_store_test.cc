@@ -30,9 +30,9 @@ TEST(ContextStoreTest, AddFindRemove) {
   auto ctx = std::make_unique<Context>(0, Tokens({1, 2, 3}), MakeKv(m, 3, 1));
   const uint64_t id = store.Add(std::move(ctx));
   EXPECT_EQ(store.size(), 1u);
-  ASSERT_NE(store.Find(id), nullptr);
-  EXPECT_EQ(store.Find(id)->length(), 3u);
-  EXPECT_EQ(store.Find(id + 100), nullptr);
+  ASSERT_NE(store.FindUnsafeForTest(id), nullptr);
+  EXPECT_EQ(store.FindUnsafeForTest(id)->length(), 3u);
+  EXPECT_EQ(store.FindUnsafeForTest(id + 100), nullptr);
   EXPECT_TRUE(store.Remove(id));
   EXPECT_FALSE(store.Remove(id));
   EXPECT_EQ(store.size(), 0u);
@@ -126,7 +126,7 @@ TEST(ContextStoreTest, PendingIdInvisibleUntilPublished) {
   const uint64_t id = store.ReservePending();
   EXPECT_EQ(store.pending(), 1u);
   // Nothing observable yet: not by id, not by prefix, not in totals.
-  EXPECT_EQ(store.Find(id), nullptr);
+  EXPECT_EQ(store.FindUnsafeForTest(id), nullptr);
   EXPECT_EQ(store.FindShared(id), nullptr);
   EXPECT_EQ(store.size(), 0u);
   EXPECT_TRUE(store.Ids().empty());
@@ -137,8 +137,8 @@ TEST(ContextStoreTest, PendingIdInvisibleUntilPublished) {
   ASSERT_TRUE(
       store.Publish(id, std::make_unique<Context>(0, tokens, MakeKv(m, 3, 10))).ok());
   EXPECT_EQ(store.pending(), 0u);
-  ASSERT_NE(store.Find(id), nullptr);
-  EXPECT_EQ(store.Find(id)->id(), id);
+  ASSERT_NE(store.FindUnsafeForTest(id), nullptr);
+  EXPECT_EQ(store.FindUnsafeForTest(id)->id(), id);
   EXPECT_EQ(store.BestPrefixMatch(tokens).matched, 3u);
 }
 
@@ -168,8 +168,8 @@ TEST(ContextStoreTest, PresetIdCollidingWithPendingIsReassigned) {
   ASSERT_TRUE(
       store.Publish(pending_id, std::make_unique<Context>(0, Tokens({8}), MakeKv(m, 1, 15)))
           .ok());
-  EXPECT_EQ(store.Find(pending_id)->tokens(), Tokens({8}));
-  EXPECT_EQ(store.Find(got)->tokens(), Tokens({9}));
+  EXPECT_EQ(store.FindUnsafeForTest(pending_id)->tokens(), Tokens({8}));
+  EXPECT_EQ(store.FindUnsafeForTest(got)->tokens(), Tokens({9}));
   EXPECT_EQ(store.size(), 2u);
 }
 

@@ -265,9 +265,58 @@ TEST(RoarGraphTest, ExtendValidatesBase) {
 
   RoarGraph base(prefix_keys, RoarGraphOptions{});
   ASSERT_TRUE(base.BuildFromQueries(training.View()).ok());
-  // base.size() must equal base_count.
-  EXPECT_TRUE(target.ExtendFromBase(base, 50).IsInvalidArgument());
+  // base.size() must cover base_count (a LARGER base is the partial-prefix
+  // case, tested below; a smaller one cannot seed the prefix).
+  EXPECT_TRUE(target.ExtendFromBase(base, 150).IsInvalidArgument());
   EXPECT_TRUE(target.ExtendFromBase(base, 0).IsInvalidArgument());
+  EXPECT_TRUE(
+      RoarGraph(prefix_keys, RoarGraphOptions{}).ExtendFromBase(base, 101).IsInvalidArgument());
+}
+
+TEST(RoarGraphTest, ExtendFromPartialPrefixDropsOutOfPrefixEdges) {
+  // Partial reuse: the base graph covers MORE keys than the shared prefix.
+  // Extension must adopt only the in-prefix adjacency — never an edge to a
+  // base node that is not one of our tokens — and still insert the suffix.
+  constexpr size_t kBaseTotal = 900, kShared = 600, kTotal = 1000;
+  PlantedMips data(kBaseTotal, 16, 40, 31);
+  VectorSet training = MakeTrainingQueries(data, 250, 32);
+  RoarGraph base(data.keys.View(), RoarGraphOptions{});
+  ASSERT_TRUE(base.BuildFromQueries(training.View()).ok());
+
+  // New key set: the shared prefix plus a fresh suffix (planted elsewhere).
+  PlantedMips other(kTotal, 16, 40, 33);
+  VectorSet full(16);
+  full.AppendBatch(data.keys.View().data, kShared);
+  full.AppendBatch(other.keys.View().Vec(kShared), kTotal - kShared);
+
+  RoarGraph extended(full.View(), RoarGraphOptions{});
+  ASSERT_TRUE(extended.ExtendFromBase(base, kShared).ok());
+  EXPECT_TRUE(extended.built());
+
+  // Node counts: the graph covers exactly the new key set, no base suffix
+  // nodes leaked in.
+  ASSERT_EQ(extended.size(), kTotal);
+  ASSERT_EQ(extended.graph().size(), kTotal);
+
+  // Every adopted prefix edge is a subset of the base's (minus out-of-prefix
+  // targets) plus whatever reverse/repair edges insertion added — but no edge
+  // anywhere may target a node id outside [0, kTotal).
+  size_t dropped_witness = 0;
+  for (uint32_t u = 0; u < kShared; ++u) {
+    for (uint32_t v : base.graph().Neighbors(u)) {
+      if (v >= kShared) ++dropped_witness;  // Base had out-of-prefix edges.
+    }
+  }
+  EXPECT_GT(dropped_witness, 0u);  // The test exercises actual truncation.
+  for (uint32_t u = 0; u < kTotal; ++u) {
+    for (uint32_t v : extended.graph().Neighbors(u)) {
+      ASSERT_LT(v, kTotal) << "edge to non-existent node from " << u;
+    }
+  }
+  // Truncation may orphan prefix nodes; the connectivity pass must repair.
+  EXPECT_DOUBLE_EQ(extended.ReachableFraction(), 1.0);
+  // The entry is a live node of the new graph.
+  EXPECT_LT(extended.EntryPoint(nullptr), kTotal);
 }
 
 }  // namespace

@@ -224,7 +224,7 @@ TEST(ServingEngineTest, StoreOnFinishMaterializesContext) {
   ASSERT_TRUE(r->status.ok()) << r->status.ToString();
   ASSERT_NE(r->stored_context_id, 0u);
   EXPECT_EQ(fx.db->contexts().size(), 2u);
-  const Context* stored = fx.db->contexts().Find(r->stored_context_id);
+  const Context* stored = fx.db->contexts().FindUnsafeForTest(r->stored_context_id);
   ASSERT_NE(stored, nullptr);
   // Reused prefix + 3 decoded tokens, with the request's token ids appended.
   EXPECT_EQ(stored->length(), fx.context_tokens + 3);

@@ -228,7 +228,7 @@ TEST(ServingGangTest, MigrateShardSemanticsAndRaces) {
       std::min(window.Size(fx.context_tokens), fx.context_tokens);
   EXPECT_EQ(moved.value(), window_tokens * fx.model.KvBytesPerToken());
   EXPECT_GT(env.device(1).clock().Seconds(), before);
-  EXPECT_EQ(fx.db->contexts().Find(id)->resident_device(), 1);
+  EXPECT_EQ(fx.db->contexts().FindShared(id)->resident_device(), 1);
 
   // Stale plan (migration racing a session re-homing the context): the
   // context is no longer resident on `from`, so the move must refuse instead
@@ -236,7 +236,7 @@ TEST(ServingGangTest, MigrateShardSemanticsAndRaces) {
   auto stale = fx.db->MigrateShard(id, /*from=*/0, /*to=*/2);
   ASSERT_FALSE(stale.ok());
   EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
-  EXPECT_EQ(fx.db->contexts().Find(id)->resident_device(), 1);
+  EXPECT_EQ(fx.db->contexts().FindShared(id)->resident_device(), 1);
 
   // Degenerate move.
   auto self = fx.db->MigrateShard(id, 1, 1);
@@ -277,8 +277,8 @@ TEST(ServingGangTest, RebalanceProbeShedsWarmShardOffHotDevice) {
             window_tokens * fx.model.KvBytesPerToken());
   // The bystander context moved to the cold device; the session's own
   // context stayed where its session ran.
-  EXPECT_EQ(fx.db->contexts().Find(fx.context_ids[1])->resident_device(), 1);
-  EXPECT_EQ(fx.db->contexts().Find(fx.context_ids[0])->resident_device(), 0);
+  EXPECT_EQ(fx.db->contexts().FindShared(fx.context_ids[1])->resident_device(), 1);
+  EXPECT_EQ(fx.db->contexts().FindShared(fx.context_ids[0])->resident_device(), 0);
 }
 
 TEST(ServingGangTest, SuspendSpillToDiskResumesBitIdentical) {

@@ -382,7 +382,7 @@ TEST(ServingLiveTest, CancelAndDeadlineStormRacesDriver) {
     if (r->stored_context_id != 0) {
       ++stored;
       EXPECT_TRUE(r->status.ok());
-      EXPECT_NE(fx.db->contexts().Find(r->stored_context_id), nullptr);
+      EXPECT_NE(fx.db->contexts().FindShared(r->stored_context_id), nullptr);
     }
   }
   EXPECT_EQ(fx.db->contexts().size(), 1u + stored);

@@ -208,7 +208,7 @@ TEST(ServingMultiDeviceTest, CrossDeviceReuseChargesTransferAndRehomesContext) {
   EXPECT_EQ(snap.devices[1].transfer_bytes,
             window_tokens * fx.model.KvBytesPerToken());
   // Residency moved with the last user (last-user-wins).
-  const Context* ctx = fx.db->contexts().Find(fx.context_ids[0]);
+  const Context* ctx = fx.db->contexts().FindUnsafeForTest(fx.context_ids[0]);
   ASSERT_NE(ctx, nullptr);
   EXPECT_EQ(ctx->resident_device(), 1);
 }
@@ -221,7 +221,7 @@ TEST(ServingMultiDeviceTest, AffinityRoutesRequestsToWarmDevices) {
   MultiDeviceFixture fx;
   ServingEngineOptions opts = fx.EngineOptions(4, 4);
   for (size_t t = 0; t < fx.tenants; ++t) {
-    fx.db->contexts().Find(fx.context_ids[t])->set_resident_device(static_cast<int>(t));
+    fx.db->contexts().FindShared(fx.context_ids[t])->set_resident_device(static_cast<int>(t));
   }
   ServingEngine engine(fx.db.get(), opts);
   std::vector<RequestHandle> handles;
@@ -277,7 +277,7 @@ TEST(ServingMultiDeviceTest, StoredContextIsWarmOnItsSessionsDevice) {
   constexpr size_t kSteps = 3;
   MultiDeviceFixture fx(/*num_tenants=*/2);
   // Warm tenant 1's context on device 1 so its request places there.
-  fx.db->contexts().Find(fx.context_ids[1])->set_resident_device(1);
+  fx.db->contexts().FindShared(fx.context_ids[1])->set_resident_device(1);
   ServingEngineOptions opts = fx.EngineOptions(2, 2);
   ServingEngine engine(fx.db.get(), opts);
   ServingRequest req = fx.MakeRequest(1, 31, kSteps);
@@ -289,7 +289,7 @@ TEST(ServingMultiDeviceTest, StoredContextIsWarmOnItsSessionsDevice) {
   ASSERT_TRUE(r->status.ok()) << r->status.ToString();
   ASSERT_NE(r->stored_context_id, 0u);
 
-  const Context* stored = fx.db->contexts().Find(r->stored_context_id);
+  const Context* stored = fx.db->contexts().FindUnsafeForTest(r->stored_context_id);
   ASSERT_NE(stored, nullptr);
   EXPECT_EQ(stored->resident_device(), 1);
   // And the affinity probe reports it for extended prompts.

@@ -298,7 +298,7 @@ TEST(ServingPrefillTest, StoreAfterPrefillMaterializesFullPrompt) {
 
   // The materialized context covers the full prompt (reused prefix + the
   // prefilled suffix, with the prompt's own ids) plus the decoded tail.
-  const Context* stored = fx.db->contexts().Find(r->stored_context_id);
+  const Context* stored = fx.db->contexts().FindUnsafeForTest(r->stored_context_id);
   ASSERT_NE(stored, nullptr);
   ASSERT_EQ(stored->length(), kStored + kSuffix + kSteps);
   for (size_t i = 0; i < kStored + kSuffix; ++i) {
